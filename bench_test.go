@@ -1,0 +1,158 @@
+package chopin
+
+// One benchmark per paper table/figure: each Benchmark* regenerates the
+// corresponding experiment at a reduced trace scale and reports headline
+// metrics (gmean speedups, traffic, shares) via b.ReportMetric. Run the
+// cmd/chopinsim CLI with -scale 1.0 for full, paper-size reproductions;
+// EXPERIMENTS.md records those numbers against the paper's.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"chopin/internal/experiments"
+)
+
+// benchOptions keeps the per-iteration cost of `go test -bench=.` sensible:
+// a 10% workload over three representative traces (two resolutions, small
+// and large triangle counts).
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Scale:      0.10,
+		Benchmarks: []string{"cod2", "grid", "wolf"},
+	}
+}
+
+// runExperiment executes the experiment once per benchmark iteration and
+// returns the last result for metric extraction.
+func runExperiment(b *testing.B, id string) *experiments.Result {
+	b.Helper()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Run(id, benchOptions())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	return res
+}
+
+// lastRowFloat extracts column col (0-based, after the row label) of the
+// table's final row — the GMean/Avg row for most experiments.
+func lastRowFloat(b *testing.B, res *experiments.Result, col int) float64 {
+	b.Helper()
+	lines := strings.Split(strings.TrimSpace(res.Table.String()), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	if col+1 >= len(fields) {
+		return 0
+	}
+	v := strings.TrimSuffix(fields[col+1], "%")
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+func BenchmarkFig02GeometryShare(b *testing.B) {
+	res := runExperiment(b, "fig2")
+	b.ReportMetric(lastRowFloat(b, res, 3), "geo%@8gpu")
+}
+
+func BenchmarkFig04GPUpdOverhead(b *testing.B) {
+	runExperiment(b, "fig4")
+}
+
+func BenchmarkFig05IdealSpeedup(b *testing.B) {
+	res := runExperiment(b, "fig5")
+	b.ReportMetric(lastRowFloat(b, res, 2), "idealchopin_gmean")
+}
+
+func BenchmarkFig08RoundRobin(b *testing.B) {
+	res := runExperiment(b, "fig8")
+	b.ReportMetric(lastRowFloat(b, res, 2), "roundrobin_gmean")
+}
+
+func BenchmarkFig09TriangleRate(b *testing.B) {
+	runExperiment(b, "fig9")
+}
+
+func BenchmarkFig13Speedup(b *testing.B) {
+	res := runExperiment(b, "fig13")
+	b.ReportMetric(lastRowFloat(b, res, 3), "chopin+cs_gmean")
+}
+
+func BenchmarkFig14Breakdown(b *testing.B) {
+	runExperiment(b, "fig14")
+}
+
+func BenchmarkFig15DepthTest(b *testing.B) {
+	runExperiment(b, "fig15")
+}
+
+func BenchmarkFig16CullSensitivity(b *testing.B) {
+	runExperiment(b, "fig16")
+}
+
+func BenchmarkFig17Traffic(b *testing.B) {
+	res := runExperiment(b, "fig17")
+	b.ReportMetric(lastRowFloat(b, res, 0), "avg_comp_MB")
+}
+
+func BenchmarkFig18UpdateFreq(b *testing.B) {
+	res := runExperiment(b, "fig18")
+	b.ReportMetric(lastRowFloat(b, res, 2), "chopin+cs@1024")
+}
+
+func BenchmarkFig19GPUCount(b *testing.B) {
+	res := runExperiment(b, "fig19")
+	b.ReportMetric(lastRowFloat(b, res, 3), "chopin+cs@16gpu")
+}
+
+func BenchmarkFig20Bandwidth(b *testing.B) {
+	res := runExperiment(b, "fig20")
+	b.ReportMetric(lastRowFloat(b, res, 3), "chopin+cs@128GBps")
+}
+
+func BenchmarkFig21Latency(b *testing.B) {
+	res := runExperiment(b, "fig21")
+	b.ReportMetric(lastRowFloat(b, res, 3), "chopin+cs@400cy")
+}
+
+func BenchmarkFig22Threshold(b *testing.B) {
+	res := runExperiment(b, "fig22")
+	b.ReportMetric(lastRowFloat(b, res, 2), "chopin+cs@16384")
+}
+
+func BenchmarkTab2Config(b *testing.B) {
+	runExperiment(b, "tab2")
+}
+
+func BenchmarkTab3Benchmarks(b *testing.B) {
+	runExperiment(b, "tab3")
+}
+
+func BenchmarkSec6DSchedulerTraffic(b *testing.B) {
+	runExperiment(b, "sec6d")
+}
+
+func BenchmarkSec6EGroupCoverage(b *testing.B) {
+	runExperiment(b, "sec6e")
+}
+
+func BenchmarkSec6FHardwareCost(b *testing.B) {
+	runExperiment(b, "sec6f")
+}
+
+func BenchmarkExtAFRMicroStutter(b *testing.B) {
+	runExperiment(b, "ext-afr")
+}
+
+func BenchmarkExtReorderAblation(b *testing.B) {
+	res := runExperiment(b, "ext-reorder")
+	// The GMean row's empty cells collapse under Fields; the reordered
+	// gmean is the second remaining value.
+	b.ReportMetric(lastRowFloat(b, res, 1), "reorder_gmean")
+}

@@ -1,0 +1,92 @@
+package chopin
+
+import "testing"
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("benchmarks = %v", bs)
+	}
+}
+
+func TestGenerateTraceErrors(t *testing.T) {
+	if _, err := GenerateTrace("nope", 1); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	fr, err := GenerateTrace("cod2", 0.05)
+	if err != nil || fr.TriangleCount() == 0 {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+}
+
+func TestSimulateAllSchemes(t *testing.T) {
+	fr, err := GenerateTrace("cod2", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := ScaledThreshold(4096, 0.04)
+	ref := ReferenceImage(fr)
+	var base *Report
+	for _, s := range []Scheme{SchemeDuplication, SchemeGPUpd, SchemeCHOPIN, SchemeCHOPINNaive, SchemeCHOPINRoundRobin} {
+		rep, err := Simulate(Config{Scheme: s, GPUs: 4, GroupThreshold: th}, fr)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if rep.Cycles <= 0 {
+			t.Errorf("%s: no cycles", s)
+		}
+		if !rep.Image().Equal(ref, 1e-9) {
+			t.Errorf("%s: image differs from reference", s)
+		}
+		if s == SchemeDuplication {
+			base = rep
+		} else if sp := rep.SpeedupOver(base); sp <= 0 {
+			t.Errorf("%s: speedup %v", s, sp)
+		}
+	}
+}
+
+func TestSimulateDefaultsToCHOPIN(t *testing.T) {
+	fr, _ := GenerateTrace("wolf", 0.03)
+	rep, err := Simulate(Config{GroupThreshold: 128}, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GPUs != 8 {
+		t.Errorf("default GPUs = %d", rep.GPUs)
+	}
+	if rep.Stats.GroupsTotal == 0 {
+		t.Error("CHOPIN default run reported no groups")
+	}
+}
+
+func TestSimulateUnknownScheme(t *testing.T) {
+	fr, _ := GenerateTrace("wolf", 0.03)
+	if _, err := Simulate(Config{Scheme: "magic"}, fr); err == nil {
+		t.Error("expected error for unknown scheme")
+	}
+}
+
+func TestConfigOverridesApply(t *testing.T) {
+	fr, _ := GenerateTrace("wolf", 0.03)
+	slow, err := Simulate(Config{Scheme: SchemeCHOPIN, GPUs: 4, BandwidthGBps: 1, LatencyCycles: 4000, GroupThreshold: 64}, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Simulate(Config{Scheme: SchemeCHOPIN, GPUs: 4, IdealLinks: true, GroupThreshold: 64}, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cycles >= slow.Cycles {
+		t.Errorf("ideal links (%d) should beat 1 GB/s / 4000 cy links (%d)", fast.Cycles, slow.Cycles)
+	}
+}
+
+func TestScaledThreshold(t *testing.T) {
+	if got := ScaledThreshold(4096, 0.25); got != 1024 {
+		t.Errorf("ScaledThreshold = %d", got)
+	}
+	if got := ScaledThreshold(4096, 0.0001); got != 16 {
+		t.Errorf("floor = %d", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Command chopinsim runs the CHOPIN multi-GPU rendering simulator: single
+// scheme simulations or whole paper experiments.
+//
+// Usage:
+//
+//	chopinsim -list                         list experiments
+//	chopinsim -exp fig13 [-scale 0.25]      reproduce a paper figure/table
+//	chopinsim -exp all                      run every experiment
+//	chopinsim -bench cry -scheme chopin     simulate one scheme on one trace
+//
+// Trace scale 1.0 reproduces the paper's Table III workload sizes; smaller
+// scales shrink everything proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chopin/internal/experiments"
+	"chopin/internal/multigpu"
+	"chopin/internal/sfr"
+	"chopin/internal/stats"
+	"chopin/internal/trace"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		scale   = flag.Float64("scale", 0.25, "trace scale in (0,1]; 1.0 = paper-size workloads")
+		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all eight)")
+		scheme  = flag.String("scheme", "", "single run: duplication | gpupd | sort-middle | chopin | chopin-naive | chopin-rr | chopin-reorder")
+		bench   = flag.String("bench", "cod2", "single run: benchmark name")
+		gpus    = flag.Int("gpus", 8, "single run: GPU count")
+		ideal   = flag.Bool("ideal", false, "single run: idealized inter-GPU links")
+		pngOut  = flag.String("png", "", "single run: write the rendered frame to this PNG file")
+		verbose = flag.Bool("v", false, "stream per-simulation progress")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+	case *exp != "":
+		opt := experiments.Options{
+			Scale:   *scale,
+			Verbose: *verbose,
+			Out:     os.Stderr,
+		}
+		if *benches != "" {
+			opt.Benchmarks = strings.Split(*benches, ",")
+		}
+		ids := []string{*exp}
+		if *exp == "all" {
+			ids = experiments.IDs()
+		}
+		for _, id := range ids {
+			res, err := experiments.Run(id, opt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Println(res)
+		}
+	case *scheme != "":
+		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *pngOut); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func schemeByName(name string, cfg *multigpu.Config) (sfr.Scheme, error) {
+	switch name {
+	case "duplication":
+		return sfr.Duplication{}, nil
+	case "gpupd":
+		return sfr.GPUpd{}, nil
+	case "chopin":
+		return sfr.CHOPIN{}, nil
+	case "chopin-naive":
+		cfg.UseCompScheduler = false
+		return sfr.CHOPIN{}, nil
+	case "chopin-rr":
+		cfg.UseCompScheduler = false
+		return sfr.CHOPIN{RoundRobin: true}, nil
+	case "chopin-reorder":
+		return sfr.CHOPIN{Reorder: true}, nil
+	case "sort-middle":
+		return sfr.SortMiddle{}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func runSingle(scheme, bench string, gpus int, scale float64, ideal bool, pngOut string) error {
+	b, err := trace.ByName(bench)
+	if err != nil {
+		return err
+	}
+	fr := trace.Generate(b, scale)
+	cfg := multigpu.DefaultConfig()
+	cfg.NumGPUs = gpus
+	cfg.Link.Ideal = ideal
+	cfg.GroupThreshold = max(16, int(float64(cfg.GroupThreshold)*scale))
+	s, err := schemeByName(scheme, &cfg)
+	if err != nil {
+		return err
+	}
+	sys := multigpu.New(cfg, fr.Width, fr.Height)
+	st := s.Run(sys, fr)
+
+	fmt.Printf("%s on %s (%d GPUs, scale %.2f, %d draws, %d triangles)\n",
+		st.Scheme, bench, gpus, scale, len(fr.Draws), fr.TriangleCount())
+	fmt.Printf("total cycles: %d\n", st.TotalCycles)
+	for _, p := range stats.Phases() {
+		if st.Phase(p) > 0 {
+			fmt.Printf("  %-13s %12d cycles (%.1f%%)\n", p, st.Phase(p),
+				100*float64(st.Phase(p))/float64(st.TotalCycles))
+		}
+	}
+	fmt.Printf("traffic: composition %s MB, primitive-distribution %s MB, sync %s MB, control %s MB\n",
+		stats.MB(st.CompositionBytes), stats.MB(st.PrimDistBytes),
+		stats.MB(st.SyncBytes), stats.MB(st.ControlBytes))
+	fmt.Printf("fragments: generated %d, depth-passed %d, shaded %d\n",
+		st.Raster.FragsGenerated, st.Raster.DepthPassed(), st.Raster.FragsShaded)
+	if st.GroupsTotal > 0 {
+		fmt.Printf("composition groups: %d total, %d accelerated (%d triangles)\n",
+			st.GroupsTotal, st.GroupsAccelerated, st.TrianglesAccelerated)
+	}
+	img := sys.AssembleImage(0)
+	fmt.Printf("display image checksum: %016x\n", img.Checksum())
+	if pngOut != "" {
+		f, err := os.Create(pngOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := img.WritePNG(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", pngOut)
+	}
+	return nil
+}

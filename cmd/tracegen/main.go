@@ -1,0 +1,95 @@
+// Command tracegen generates, inspects, and saves the synthetic benchmark
+// traces that stand in for the paper's eight game frames (Table III).
+//
+// Usage:
+//
+//	tracegen -list                      show the benchmark table
+//	tracegen -bench cry -info           summarize a generated trace
+//	tracegen -bench cry -o cry.trace    write the binary trace to a file
+//	tracegen -in cry.trace -info        summarize a saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopin/internal/primitive"
+	"chopin/internal/trace"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list benchmarks (Table III)")
+		bench = flag.String("bench", "", "benchmark to generate")
+		scale = flag.Float64("scale", 1.0, "trace scale in (0,1]")
+		out   = flag.String("o", "", "write the generated trace to this file")
+		in    = flag.String("in", "", "load a trace file instead of generating")
+		info  = flag.Bool("info", false, "print a trace summary")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %-32s %-10s %8s %10s\n", "name", "title", "resolution", "draws", "triangles")
+		for _, b := range trace.Benchmarks {
+			fmt.Printf("%-8s %-32s %dx%-6d %8d %10d\n", b.Name, b.Title, b.Width, b.Height, b.Draws, b.Triangles)
+		}
+		return
+	}
+
+	var fr *primitive.Frame
+	switch {
+	case *in != "":
+		var err error
+		fr, err = trace.LoadFile(*in)
+		if err != nil {
+			fail(err)
+		}
+	case *bench != "":
+		b, err := trace.ByName(*bench)
+		if err != nil {
+			fail(err)
+		}
+		fr = trace.Generate(b, *scale)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *info {
+		summarize(fr)
+	}
+	if *out != "" {
+		if err := trace.SaveFile(*out, fr); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func summarize(fr *primitive.Frame) {
+	groups := primitive.BuildGroups(fr.Draws)
+	var transDraws, transTris int
+	for _, d := range fr.Draws {
+		if d.Transparent() {
+			transDraws++
+			transTris += d.TriangleCount()
+		}
+	}
+	fmt.Printf("resolution: %dx%d\n", fr.Width, fr.Height)
+	fmt.Printf("draw commands: %d (%d transparent)\n", len(fr.Draws), transDraws)
+	fmt.Printf("triangles: %d (%d transparent)\n", fr.TriangleCount(), transTris)
+	fmt.Printf("composition groups: %d\n", len(groups))
+	for i, g := range groups {
+		kind := "opaque"
+		if g.Transparent {
+			kind = "transparent/" + g.BlendOp.String()
+		}
+		fmt.Printf("  group %2d: draws [%4d,%4d) %8d tris  %s\n", i, g.Start, g.End, g.Triangles, kind)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Scaling: sweep the GPU count from 1 to 16 on one benchmark and compare
+// how each rendering scheme's frame time scales — the experiment behind the
+// paper's Fig. 19 and its central claim: CHOPIN keeps scaling where
+// conventional SFR and GPUpd flatten out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chopin"
+)
+
+func main() {
+	const (
+		bench = "ut3"
+		scale = 0.25
+	)
+	fr, err := chopin.GenerateTrace(bench, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	threshold := chopin.ScaledThreshold(4096, scale)
+	fmt.Printf("%s at scale %.2f: %d draws, %d triangles\n\n", bench, scale, len(fr.Draws), fr.TriangleCount())
+
+	schemes := []chopin.Scheme{chopin.SchemeDuplication, chopin.SchemeGPUpd, chopin.SchemeCHOPIN}
+	counts := []int{1, 2, 4, 8, 16}
+
+	// Header.
+	fmt.Printf("%-6s", "GPUs")
+	for _, s := range schemes {
+		fmt.Printf(" %22s", s)
+	}
+	fmt.Println()
+
+	single := map[chopin.Scheme]int64{}
+	for _, n := range counts {
+		fmt.Printf("%-6d", n)
+		for _, s := range schemes {
+			rep, err := chopin.Simulate(chopin.Config{
+				Scheme:         s,
+				GPUs:           n,
+				GroupThreshold: threshold,
+			}, fr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if n == 1 {
+				single[s] = rep.Cycles
+			}
+			fmt.Printf(" %12d (%5.2fx)", rep.Cycles, float64(single[s])/float64(rep.Cycles))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(speedups are relative to each scheme's own 1-GPU run)")
+}

@@ -1,0 +1,410 @@
+// Package composite implements parallel image composition: the reduction of
+// several sub-images into one (paper Section II-D).
+//
+// Two kinds of reduction appear in sort-last rendering:
+//
+//   - Opaque composition keeps, per pixel, the fragment closest to the
+//     camera. It is commutative and associative, so sub-images can be
+//     composed out-of-order ([DepthMerge]).
+//
+//   - Transparent composition blends pixels with an operator such as
+//     Porter–Duff over. Blending is NOT commutative — order matters — but it
+//     IS associative, so adjacent sub-images in draw order may be merged in
+//     any grouping ([ChainCompose], [TreeCompose]). CHOPIN exploits exactly
+//     this property.
+//
+// The package also provides the classic communication schedules from the
+// parallel-rendering literature — direct-send, binary-swap and radix-k —
+// with per-message traffic accounting, both as comparison baselines and as a
+// standalone composition library.
+package composite
+
+import (
+	"fmt"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/framebuffer"
+)
+
+// Traffic accumulates the communication cost of a composition schedule.
+type Traffic struct {
+	// Messages is the number of point-to-point transfers.
+	Messages int
+	// Bytes is the total payload transferred.
+	Bytes int64
+	// Rounds is the number of communication rounds (the critical-path
+	// length of the schedule).
+	Rounds int
+}
+
+// Add accumulates o into t, taking the max of rounds (schedules compose in
+// parallel across pairs within a round).
+func (t *Traffic) Add(o Traffic) {
+	t.Messages += o.Messages
+	t.Bytes += o.Bytes
+	t.Rounds += o.Rounds
+}
+
+// DepthMerge composes src into dst over the given tiles by keeping, per
+// pixel, the value whose depth passes cmp against the current one (for
+// CmpLess: the nearer fragment). Only src's dirty tiles are examined —
+// untouched tiles cannot contribute — and the number of transferred pixels
+// is returned for traffic accounting. Passing nil tiles merges every tile.
+func DepthMerge(dst, src *framebuffer.Buffer, cmp colorspace.CompareFunc, tiles []int) (pixels int) {
+	if tiles == nil {
+		tiles = allTiles(dst)
+	}
+	for _, tl := range tiles {
+		if !src.Dirty(tl) {
+			continue
+		}
+		x0, y0, x1, y1 := dst.TileRect(tl)
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				if colorspace.Compare(cmp, src.DepthAt(x, y), dst.DepthAt(x, y)) {
+					dst.Set(x, y, src.At(x, y))
+					dst.SetDepth(x, y, src.DepthAt(x, y))
+				}
+			}
+		}
+		pixels += dst.TilePixelCount(tl)
+	}
+	return pixels
+}
+
+// BlendMerge composes the FRONT sub-image src over the BACK sub-image dst
+// with the given operator over the given tiles: dst = op(src, dst) per
+// pixel. Only src's dirty tiles are examined; the number of transferred
+// pixels is returned. Passing nil tiles merges every tile.
+//
+// "Front" means later in draw-command order: sub-images must be merged
+// respecting the stream order, though associativity allows any grouping.
+func BlendMerge(dst, src *framebuffer.Buffer, op colorspace.BlendOp, tiles []int) (pixels int) {
+	if tiles == nil {
+		tiles = allTiles(dst)
+	}
+	for _, tl := range tiles {
+		if !src.Dirty(tl) {
+			continue
+		}
+		x0, y0, x1, y1 := dst.TileRect(tl)
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				dst.Set(x, y, colorspace.Blend(op, src.At(x, y), dst.At(x, y)))
+			}
+		}
+		pixels += dst.TilePixelCount(tl)
+	}
+	return pixels
+}
+
+func allTiles(b *framebuffer.Buffer) []int {
+	tiles := make([]int, b.TileCount())
+	for i := range tiles {
+		tiles[i] = i
+	}
+	return tiles
+}
+
+// ChainCompose folds an ordered back-to-front list of transparent layers
+// into a single image by merging left to right: layer i+1 is composed over
+// the accumulated result of layers 0..i. The input buffers are not modified.
+func ChainCompose(op colorspace.BlendOp, layers []*framebuffer.Buffer) *framebuffer.Buffer {
+	if len(layers) == 0 {
+		return nil
+	}
+	acc := layers[0].Clone()
+	for _, l := range layers[1:] {
+		BlendMerge(acc, l, op, nil)
+	}
+	return acc
+}
+
+// TreeCompose composes the same ordered layer list as ChainCompose but by
+// recursively merging adjacent halves — the asynchronous pairing CHOPIN's
+// composition scheduler performs. By associativity the result equals
+// ChainCompose up to floating-point rounding. The input buffers are not
+// modified.
+func TreeCompose(op colorspace.BlendOp, layers []*framebuffer.Buffer) *framebuffer.Buffer {
+	switch len(layers) {
+	case 0:
+		return nil
+	case 1:
+		return layers[0].Clone()
+	}
+	mid := len(layers) / 2
+	back := TreeCompose(op, layers[:mid])
+	front := TreeCompose(op, layers[mid:])
+	BlendMerge(back, front, op, nil)
+	return back
+}
+
+// DepthReference sequentially depth-merges all sub-images into a fresh
+// buffer, the golden reference the parallel schedules are tested against.
+func DepthReference(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) *framebuffer.Buffer {
+	if len(subs) == 0 {
+		return nil
+	}
+	acc := subs[0].Clone()
+	for _, s := range subs[1:] {
+		DepthMerge(acc, s, cmp, nil)
+	}
+	return acc
+}
+
+// DirectSend runs the direct-send schedule (paper Section II-D): every GPU
+// sends each screen region directly to that region's owner, and each owner
+// composes the incoming sub-images for its tiles. Ownership is the standard
+// round-robin tile interleave. The assembled full image and the traffic are
+// returned; the input sub-images are not modified.
+//
+// Direct-send completes in one logical round but issues N·(N−1) messages,
+// which is what congests the network at scale — the problem CHOPIN's
+// composition scheduler addresses.
+func DirectSend(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*framebuffer.Buffer, Traffic) {
+	n := len(subs)
+	if n == 0 {
+		return nil, Traffic{}
+	}
+	result := subs[0].Clone()
+	tr := Traffic{Rounds: 1}
+	for owner := 0; owner < n; owner++ {
+		tiles := framebuffer.OwnedTiles(subs[0].TilesX(), subs[0].TilesY(), n, owner)
+		for src := 0; src < n; src++ {
+			if src == 0 {
+				continue // result starts as sub-image 0
+			}
+			px := DepthMerge(result, subs[src], cmp, tiles)
+			if px > 0 {
+				tr.Messages++
+				tr.Bytes += int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
+			}
+		}
+	}
+	return result, tr
+}
+
+// BinarySwap runs the binary-swap schedule: in log2(N) rounds, pairs of GPUs
+// exchange complementary halves of their current region and compose what
+// they receive, so every GPU ends owning 1/N of the fully composed image,
+// which is then gathered. N must be a power of two.
+func BinarySwap(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*framebuffer.Buffer, Traffic) {
+	n := len(subs)
+	if n == 0 {
+		return nil, Traffic{}
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("composite: BinarySwap requires a power-of-two GPU count, got %d", n))
+	}
+	// Work on scanline ranges [lo, hi) per GPU; each buffer accumulates the
+	// composition of its current range.
+	work := make([]*framebuffer.Buffer, n)
+	for i, s := range subs {
+		work[i] = s.Clone()
+	}
+	h := subs[0].Height()
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for i := range hi {
+		hi[i] = h
+	}
+	var tr Traffic
+	for stride := 1; stride < n; stride *= 2 {
+		tr.Rounds++
+		for g := 0; g < n; g++ {
+			peer := g ^ stride
+			if peer < g {
+				continue // handle each pair once
+			}
+			// Split the (identical) current range between the pair: g keeps
+			// the top half, peer keeps the bottom half; each sends the other
+			// half to its partner, who composes it.
+			mid := (lo[g] + hi[g]) / 2
+			px := mergeRows(work[g], work[peer], cmp, lo[g], mid)
+			tr.Messages++
+			tr.Bytes += int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
+			px = mergeRows(work[peer], work[g], cmp, mid, hi[g])
+			tr.Messages++
+			tr.Bytes += int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
+			hi[g] = mid
+			lo[peer] = mid
+		}
+	}
+	// Gather: every GPU contributes its final range to the display GPU.
+	result := work[0].Clone()
+	tr.Rounds++
+	for g := 1; g < n; g++ {
+		px := copyRows(result, work[g], lo[g], hi[g])
+		tr.Messages++
+		tr.Bytes += int64(px) * framebuffer.ColorBytesPerPixel
+	}
+	return result, tr
+}
+
+// RadixK runs the radix-k schedule: GPUs are grouped into k-sized groups
+// that run direct-send internally over log_k(N) rounds, generalizing
+// binary-swap (k=2) and direct-send (k=N). N must be a power of k.
+func RadixK(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc, k int) (*framebuffer.Buffer, Traffic) {
+	n := len(subs)
+	if n == 0 {
+		return nil, Traffic{}
+	}
+	if k < 2 {
+		panic("composite: RadixK requires k >= 2")
+	}
+	for m := n; m > 1; m /= k {
+		if m%k != 0 {
+			panic(fmt.Sprintf("composite: RadixK requires the GPU count (%d) to be a power of k (%d)", n, k))
+		}
+	}
+	work := make([]*framebuffer.Buffer, n)
+	for i, s := range subs {
+		work[i] = s.Clone()
+	}
+	h := subs[0].Height()
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for i := range hi {
+		hi[i] = h
+	}
+	var tr Traffic
+	for stride := 1; stride < n; stride *= k {
+		tr.Rounds++
+		for base := 0; base < n; base++ {
+			if (base/stride)%k != 0 {
+				continue
+			}
+			// The group is base, base+stride, ..., base+(k-1)*stride, all
+			// sharing the same current range. Split it k ways; member j
+			// keeps piece j and receives that piece from the others.
+			members := make([]int, k)
+			for j := range members {
+				members[j] = base + j*stride
+			}
+			l, r := lo[base], hi[base]
+			for j, m := range members {
+				p0 := l + (r-l)*j/k
+				p1 := l + (r-l)*(j+1)/k
+				for _, o := range members {
+					if o == m {
+						continue
+					}
+					px := mergeRows(work[m], work[o], cmp, p0, p1)
+					tr.Messages++
+					tr.Bytes += int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
+				}
+				lo[m], hi[m] = p0, p1
+			}
+		}
+	}
+	result := work[0].Clone()
+	tr.Rounds++
+	for g := 1; g < n; g++ {
+		px := copyRows(result, work[g], lo[g], hi[g])
+		tr.Messages++
+		tr.Bytes += int64(px) * framebuffer.ColorBytesPerPixel
+	}
+	return result, tr
+}
+
+// MixedRadix runs a multi-round schedule for ARBITRARY GPU counts, in the
+// spirit of 2-3 swap (Yu et al., SC'08, the paper's reference [68]): the
+// GPU count is factorized, and each round runs radix-k direct-send inside
+// groups sized by one prime factor. Powers of two reduce to binary-swap;
+// any other count works without padding or idle GPUs.
+func MixedRadix(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*framebuffer.Buffer, Traffic) {
+	n := len(subs)
+	if n == 0 {
+		return nil, Traffic{}
+	}
+	factors := factorize(n)
+	work := make([]*framebuffer.Buffer, n)
+	for i, s := range subs {
+		work[i] = s.Clone()
+	}
+	h := subs[0].Height()
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for i := range hi {
+		hi[i] = h
+	}
+	var tr Traffic
+	stride := 1
+	for _, k := range factors {
+		tr.Rounds++
+		for base := 0; base < n; base++ {
+			if (base/stride)%k != 0 {
+				continue
+			}
+			members := make([]int, k)
+			for j := range members {
+				members[j] = base + j*stride
+			}
+			l, r := lo[base], hi[base]
+			for j, m := range members {
+				p0 := l + (r-l)*j/k
+				p1 := l + (r-l)*(j+1)/k
+				for _, o := range members {
+					if o == m {
+						continue
+					}
+					px := mergeRows(work[m], work[o], cmp, p0, p1)
+					tr.Messages++
+					tr.Bytes += int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
+				}
+				lo[m], hi[m] = p0, p1
+			}
+		}
+		stride *= k
+	}
+	result := work[0].Clone()
+	tr.Rounds++
+	for g := 1; g < n; g++ {
+		px := copyRows(result, work[g], lo[g], hi[g])
+		tr.Messages++
+		tr.Bytes += int64(px) * framebuffer.ColorBytesPerPixel
+	}
+	return result, tr
+}
+
+// factorize returns n's prime factors in ascending order.
+func factorize(n int) []int {
+	var out []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			out = append(out, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// mergeRows depth-merges rows [y0, y1) of src into dst and returns the pixel
+// count of the region.
+func mergeRows(dst, src *framebuffer.Buffer, cmp colorspace.CompareFunc, y0, y1 int) int {
+	w := dst.Width()
+	for y := y0; y < y1; y++ {
+		for x := 0; x < w; x++ {
+			if colorspace.Compare(cmp, src.DepthAt(x, y), dst.DepthAt(x, y)) {
+				dst.Set(x, y, src.At(x, y))
+				dst.SetDepth(x, y, src.DepthAt(x, y))
+			}
+		}
+	}
+	return (y1 - y0) * w
+}
+
+// copyRows copies rows [y0, y1) of src into dst and returns the pixel count.
+func copyRows(dst, src *framebuffer.Buffer, y0, y1 int) int {
+	w := dst.Width()
+	for y := y0; y < y1; y++ {
+		for x := 0; x < w; x++ {
+			dst.Set(x, y, src.At(x, y))
+			dst.SetDepth(x, y, src.DepthAt(x, y))
+		}
+	}
+	return (y1 - y0) * w
+}

@@ -1,0 +1,326 @@
+package composite
+
+import (
+	"math/rand"
+	"testing"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/framebuffer"
+)
+
+// randomSubImages builds n full-screen sub-images with random opaque content
+// at random depths, as if each GPU had rendered a disjoint subset of draws.
+func randomSubImages(t *testing.T, n, w, h int, seed int64) []*framebuffer.Buffer {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	subs := make([]*framebuffer.Buffer, n)
+	for i := range subs {
+		b := framebuffer.New(w, h)
+		b.ClearDirty()
+		// Each sub-image gets a few random rectangles of content.
+		for k := 0; k < 5; k++ {
+			x0, y0 := r.Intn(w), r.Intn(h)
+			x1 := x0 + 1 + r.Intn(w-x0)
+			y1 := y0 + 1 + r.Intn(h-y0)
+			c := colorspace.Opaque(r.Float64(), r.Float64(), r.Float64())
+			d := r.Float64()
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					if d < b.DepthAt(x, y) {
+						b.Set(x, y, c)
+						b.SetDepth(x, y, d)
+					}
+				}
+			}
+		}
+		subs[i] = b
+	}
+	return subs
+}
+
+// randomLayers builds n translucent layers (for blend composition).
+func randomLayers(n, w, h int, seed int64) []*framebuffer.Buffer {
+	r := rand.New(rand.NewSource(seed))
+	layers := make([]*framebuffer.Buffer, n)
+	for i := range layers {
+		b := framebuffer.New(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if r.Float64() < 0.7 {
+					b.Set(x, y, colorspace.FromStraight(r.Float64(), r.Float64(), r.Float64(), r.Float64()))
+				}
+			}
+		}
+		layers[i] = b
+	}
+	return layers
+}
+
+func TestDepthMergeKeepsNearer(t *testing.T) {
+	a := framebuffer.New(64, 64)
+	b := framebuffer.New(64, 64)
+	red := colorspace.Opaque(1, 0, 0)
+	green := colorspace.Opaque(0, 1, 0)
+	a.Set(1, 1, red)
+	a.SetDepth(1, 1, 0.5)
+	b.Set(1, 1, green)
+	b.SetDepth(1, 1, 0.3) // nearer
+	DepthMerge(a, b, colorspace.CmpLess, nil)
+	if a.At(1, 1) != green || a.DepthAt(1, 1) != 0.3 {
+		t.Errorf("merge kept %+v at depth %v", a.At(1, 1), a.DepthAt(1, 1))
+	}
+	// Merging the other direction: red (0.5) loses against green (0.3).
+	b2 := framebuffer.New(64, 64)
+	b2.Set(1, 1, red)
+	b2.SetDepth(1, 1, 0.5)
+	DepthMerge(a, b2, colorspace.CmpLess, nil)
+	if a.At(1, 1) != green {
+		t.Error("farther pixel overwrote nearer one")
+	}
+}
+
+func TestDepthMergeSkipsCleanTiles(t *testing.T) {
+	dst := framebuffer.New(128, 128)
+	src := framebuffer.New(128, 128)
+	src.ClearDirty()
+	src.Set(1, 1, colorspace.Opaque(1, 1, 1)) // dirties tile 0 only
+	src.SetDepth(1, 1, 0.1)
+	px := DepthMerge(dst, src, colorspace.CmpLess, nil)
+	if px != 64*64 {
+		t.Errorf("transferred %d pixels, want one tile (%d)", px, 64*64)
+	}
+}
+
+func TestDepthMergeRestrictedTiles(t *testing.T) {
+	dst := framebuffer.New(128, 128) // 2×2 tiles
+	src := framebuffer.New(128, 128)
+	src.Set(1, 1, colorspace.Opaque(1, 0, 0)) // tile 0
+	src.SetDepth(1, 1, 0.1)
+	src.Set(100, 100, colorspace.Opaque(0, 1, 0)) // tile 3
+	src.SetDepth(100, 100, 0.1)
+	DepthMerge(dst, src, colorspace.CmpLess, []int{3})
+	if dst.At(1, 1) == colorspace.Opaque(1, 0, 0) {
+		t.Error("merged tile outside restriction")
+	}
+	if dst.At(100, 100) != colorspace.Opaque(0, 1, 0) {
+		t.Error("restricted tile not merged")
+	}
+}
+
+// TestDepthMergeOutOfOrder is the opaque-composition property CHOPIN relies
+// on (Section III-B): sub-images may be composed in ANY order.
+func TestDepthMergeOutOfOrder(t *testing.T) {
+	subs := randomSubImages(t, 6, 96, 96, 7)
+	ref := DepthReference(subs, colorspace.CmpLess)
+
+	perm := rand.New(rand.NewSource(8)).Perm(len(subs))
+	shuffled := make([]*framebuffer.Buffer, len(subs))
+	for i, p := range perm {
+		shuffled[i] = subs[p]
+	}
+	got := DepthReference(shuffled, colorspace.CmpLess)
+	if !got.Equal(ref, 0) {
+		t.Errorf("out-of-order depth composition differs in %d pixels", got.DiffCount(ref, 0))
+	}
+}
+
+func TestBlendMergeOverSemantics(t *testing.T) {
+	back := framebuffer.New(64, 64)
+	front := framebuffer.New(64, 64)
+	back.Set(2, 2, colorspace.Opaque(1, 1, 1))             // white background layer
+	front.Set(2, 2, colorspace.FromStraight(0, 0, 0, 0.5)) // 50% black glass
+	BlendMerge(back, front, colorspace.BlendOver, nil)
+	want := colorspace.RGBA{R: 0.5, G: 0.5, B: 0.5, A: 1}
+	if got := back.At(2, 2); !got.ApproxEqual(want, 1e-12) {
+		t.Errorf("blend merge = %+v, want %+v", got, want)
+	}
+}
+
+// TestChainVsTreeCompose verifies the associativity of transparent
+// composition: the sequential chain and CHOPIN's pairwise tree produce the
+// same image (up to floating-point rounding).
+func TestChainVsTreeCompose(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		layers := randomLayers(n, 48, 48, int64(n))
+		chain := ChainCompose(colorspace.BlendOver, layers)
+		tree := TreeCompose(colorspace.BlendOver, layers)
+		if !chain.Equal(tree, 1e-9) {
+			t.Errorf("n=%d: chain and tree compositions differ in %d pixels",
+				n, chain.DiffCount(tree, 1e-9))
+		}
+	}
+}
+
+// TestChainOrderMatters documents non-commutativity: reversing the layer
+// order changes the image, which is why transparent sub-images may only
+// merge with ADJACENT neighbours.
+func TestChainOrderMatters(t *testing.T) {
+	layers := randomLayers(3, 16, 16, 99)
+	fwd := ChainCompose(colorspace.BlendOver, layers)
+	rev := ChainCompose(colorspace.BlendOver,
+		[]*framebuffer.Buffer{layers[2], layers[1], layers[0]})
+	if fwd.Equal(rev, 1e-9) {
+		t.Error("expected reversed composition order to differ")
+	}
+}
+
+func TestComposeEmptyInputs(t *testing.T) {
+	if ChainCompose(colorspace.BlendOver, nil) != nil {
+		t.Error("ChainCompose(nil) should be nil")
+	}
+	if TreeCompose(colorspace.BlendOver, nil) != nil {
+		t.Error("TreeCompose(nil) should be nil")
+	}
+	if DepthReference(nil, colorspace.CmpLess) != nil {
+		t.Error("DepthReference(nil) should be nil")
+	}
+	if r, _ := DirectSend(nil, colorspace.CmpLess); r != nil {
+		t.Error("DirectSend(nil) should be nil")
+	}
+}
+
+func TestDirectSendMatchesReference(t *testing.T) {
+	subs := randomSubImages(t, 8, 128, 96, 11)
+	ref := DepthReference(subs, colorspace.CmpLess)
+	got, tr := DirectSend(subs, colorspace.CmpLess)
+	if !got.Equal(ref, 0) {
+		t.Fatalf("direct-send differs from reference in %d pixels", got.DiffCount(ref, 0))
+	}
+	if tr.Rounds != 1 {
+		t.Errorf("direct-send rounds = %d, want 1", tr.Rounds)
+	}
+	if tr.Messages == 0 || tr.Bytes == 0 {
+		t.Errorf("traffic not accounted: %+v", tr)
+	}
+	// Direct-send sends at most N·(N−1) messages.
+	if tr.Messages > 8*7 {
+		t.Errorf("messages = %d, want <= 56", tr.Messages)
+	}
+}
+
+func TestBinarySwapMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		subs := randomSubImages(t, n, 64, 64, int64(20+n))
+		ref := DepthReference(subs, colorspace.CmpLess)
+		got, tr := BinarySwap(subs, colorspace.CmpLess)
+		if !got.Equal(ref, 0) {
+			t.Fatalf("n=%d: binary-swap differs in %d pixels", n, got.DiffCount(ref, 0))
+		}
+		wantRounds := 1 // gather
+		for m := 1; m < n; m *= 2 {
+			wantRounds++
+		}
+		if tr.Rounds != wantRounds {
+			t.Errorf("n=%d: rounds = %d, want %d", n, tr.Rounds, wantRounds)
+		}
+	}
+}
+
+func TestBinarySwapRequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=3")
+		}
+	}()
+	BinarySwap(randomSubImages(t, 3, 32, 32, 1), colorspace.CmpLess)
+}
+
+func TestRadixKMatchesReference(t *testing.T) {
+	cases := []struct{ n, k int }{{4, 2}, {8, 2}, {9, 3}, {4, 4}, {8, 8}}
+	for _, c := range cases {
+		subs := randomSubImages(t, c.n, 64, 64, int64(30+c.n*c.k))
+		ref := DepthReference(subs, colorspace.CmpLess)
+		got, _ := RadixK(subs, colorspace.CmpLess, c.k)
+		if !got.Equal(ref, 0) {
+			t.Fatalf("n=%d k=%d: radix-k differs in %d pixels", c.n, c.k, got.DiffCount(ref, 0))
+		}
+	}
+}
+
+func TestRadixKDegenerateCases(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power group size")
+		}
+	}()
+	RadixK(randomSubImages(t, 6, 32, 32, 1), colorspace.CmpLess, 4)
+}
+
+func TestRadixKEqualsBinarySwapTraffic(t *testing.T) {
+	// radix-2 is binary-swap: same rounds, same message count.
+	subs := randomSubImages(t, 8, 64, 64, 77)
+	_, bs := BinarySwap(subs, colorspace.CmpLess)
+	_, rk := RadixK(subs, colorspace.CmpLess, 2)
+	if bs.Rounds != rk.Rounds {
+		t.Errorf("rounds: binary-swap %d vs radix-2 %d", bs.Rounds, rk.Rounds)
+	}
+	if bs.Messages != rk.Messages {
+		t.Errorf("messages: binary-swap %d vs radix-2 %d", bs.Messages, rk.Messages)
+	}
+}
+
+func TestScheduleTrafficScaling(t *testing.T) {
+	// Binary-swap moves asymptotically less data per GPU than direct-send's
+	// naive all-to-all when sub-images are fully dirty.
+	subs := randomSubImages(t, 8, 64, 64, 55)
+	for _, s := range subs {
+		// Make everything dirty so direct-send cannot skip tiles.
+		for i := 0; i < s.TileCount(); i++ {
+			s.MarkDirty(i)
+		}
+	}
+	_, ds := DirectSend(subs, colorspace.CmpLess)
+	_, bs := BinarySwap(subs, colorspace.CmpLess)
+	if bs.Bytes >= ds.Bytes {
+		t.Errorf("binary-swap bytes (%d) should be below direct-send (%d)", bs.Bytes, ds.Bytes)
+	}
+}
+
+func TestTrafficAdd(t *testing.T) {
+	a := Traffic{Messages: 1, Bytes: 10, Rounds: 1}
+	a.Add(Traffic{Messages: 2, Bytes: 20, Rounds: 3})
+	if a.Messages != 3 || a.Bytes != 30 || a.Rounds != 4 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestMixedRadixMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 6, 8, 10, 12} {
+		subs := randomSubImages(t, n, 64, 64, int64(40+n))
+		ref := DepthReference(subs, colorspace.CmpLess)
+		got, tr := MixedRadix(subs, colorspace.CmpLess)
+		if !got.Equal(ref, 0) {
+			t.Fatalf("n=%d: mixed-radix differs in %d pixels", n, got.DiffCount(ref, 0))
+		}
+		if tr.Rounds < 2 || tr.Messages == 0 {
+			t.Errorf("n=%d: traffic = %+v", n, tr)
+		}
+	}
+}
+
+func TestMixedRadixEqualsBinarySwapForPowersOfTwo(t *testing.T) {
+	subs := randomSubImages(t, 8, 64, 64, 99)
+	_, bs := BinarySwap(subs, colorspace.CmpLess)
+	_, mr := MixedRadix(subs, colorspace.CmpLess)
+	if bs.Rounds != mr.Rounds || bs.Messages != mr.Messages {
+		t.Errorf("mixed-radix(8) should equal binary-swap: %+v vs %+v", mr, bs)
+	}
+}
+
+func TestFactorize(t *testing.T) {
+	cases := map[int][]int{
+		2: {2}, 6: {2, 3}, 8: {2, 2, 2}, 12: {2, 2, 3}, 7: {7}, 1: nil,
+	}
+	for n, want := range cases {
+		got := factorize(n)
+		if len(got) != len(want) {
+			t.Errorf("factorize(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("factorize(%d) = %v, want %v", n, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/gpu"
+	"chopin/internal/primitive"
+	"chopin/internal/raster"
+	"chopin/internal/sim"
+	"chopin/internal/vecmath"
+)
+
+func draw(tris int) primitive.DrawCommand {
+	return primitive.DrawCommand{
+		Tris:  make([]primitive.Triangle, tris),
+		Model: vecmath.Identity(),
+		State: primitive.DefaultState(),
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	s := NewRoundRobin(3)
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, s.Assign(10, 0))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assignments = %v", got)
+		}
+	}
+	if s.Name() == "" {
+		t.Error("scheduler must have a name")
+	}
+}
+
+// mkGPUs builds n idle GPUs on a shared engine.
+func mkGPUs(n int) (*sim.Engine, []*gpu.GPU) {
+	eng := sim.New()
+	gpus := make([]*gpu.GPU, n)
+	for i := range gpus {
+		gpus[i] = gpu.New(i, eng, gpu.DefaultCosts(), 128, 128, raster.DefaultConfig())
+	}
+	return eng, gpus
+}
+
+func TestLeastLoadedBalancesStatic(t *testing.T) {
+	_, gpus := mkGPUs(4)
+	s := NewLeastLoaded(gpus, 1, 0)
+	// With no execution progress, assignment is greedy by scheduled count.
+	loads := make([]int64, 4)
+	sizes := []int{100, 50, 50, 10, 10, 10, 10, 200}
+	for _, sz := range sizes {
+		g := s.Assign(sz, 0)
+		loads[g] += int64(sz)
+	}
+	// Greedy: 100→0, 50→1, 50→2, 10→3 ×4? (3 has 10, then mins...) just
+	// check balance: max-min spread far below a single-GPU pileup.
+	var mn, mx int64 = 1 << 60, 0
+	for _, l := range loads {
+		if l < mn {
+			mn = l
+		}
+		if l > mx {
+			mx = l
+		}
+	}
+	if mx-mn > 200 {
+		t.Errorf("loads unbalanced: %v", loads)
+	}
+}
+
+func TestLeastLoadedUsesProgress(t *testing.T) {
+	eng, gpus := mkGPUs(2)
+	s := NewLeastLoaded(gpus, 1, 0)
+	// GPU0 is assigned a large draw.
+	g := s.Assign(1000, 0)
+	if g != 0 {
+		t.Fatalf("first assignment to %d", g)
+	}
+	// Before any processing, the next draw goes to GPU1.
+	if g := s.Assign(10, 0); g != 1 {
+		t.Fatalf("second assignment to %d", g)
+	}
+	_ = eng
+	// Remaining accounting matches.
+	if rem := s.Remaining(0, 0); rem != 1000 {
+		t.Errorf("Remaining(0) = %d", rem)
+	}
+	if rem := s.Remaining(1, 0); rem != 10 {
+		t.Errorf("Remaining(1) = %d", rem)
+	}
+}
+
+func TestLeastLoadedNoteDuplicated(t *testing.T) {
+	_, gpus := mkGPUs(2)
+	s := NewLeastLoaded(gpus, 1, 0)
+	s.NoteDuplicated(500)
+	if s.Remaining(0, 0) != 500 || s.Remaining(1, 0) != 500 {
+		t.Errorf("remaining after duplication: %d %d", s.Remaining(0, 0), s.Remaining(1, 0))
+	}
+}
+
+func TestUpdateTrafficBytes(t *testing.T) {
+	// Section VI-D: 4 KB for 1 M triangles at 1024-triangle intervals.
+	if got := UpdateTrafficBytes(1_000_000, 1024); got != 4*976 {
+		t.Errorf("1M tris @1024 = %d bytes", got)
+	}
+	if got := UpdateTrafficBytes(1_000_000_000, 1024); got != 4*976562 {
+		t.Errorf("1B tris @1024 = %d bytes", got)
+	}
+	if got := UpdateTrafficBytes(100, 0); got != 400 {
+		t.Errorf("interval 0 should clamp to 1: %d", got)
+	}
+}
+
+func TestHardwareCostMatchesPaper(t *testing.T) {
+	c := Cost(8)
+	// Section VI-F: 128 bytes for the draw scheduler, 27 bytes for the
+	// composition scheduler in an 8-GPU system.
+	if c.DrawSchedulerBytes != 128 {
+		t.Errorf("draw scheduler = %d bytes, want 128", c.DrawSchedulerBytes)
+	}
+	if c.CompSchedulerBytes != 27 {
+		t.Errorf("composition scheduler = %d bytes, want 27", c.CompSchedulerBytes)
+	}
+}
+
+func TestPlanThreshold(t *testing.T) {
+	draws := []primitive.DrawCommand{draw(10), draw(10), draw(5000)}
+	draws[2].State.DepthFunc = colorspace.CmpLessEqual // boundary before it
+	steps := Plan(draws, 4096)
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if !steps[0].Duplicate {
+		t.Error("small group should revert to duplication")
+	}
+	if steps[1].Duplicate {
+		t.Error("large group should be accelerated")
+	}
+	st := Summarize(steps)
+	if st.Groups != 2 || st.Accelerated != 1 || st.TrianglesAccel != 5000 || st.TrianglesTotal != 5020 {
+		t.Errorf("summary = %+v", st)
+	}
+}
+
+func TestDivideRangePreservesOrderAndBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(8)
+		count := r.Intn(40)
+		draws := make([]primitive.DrawCommand, count)
+		total := 0
+		for i := range draws {
+			draws[i] = draw(1 + r.Intn(50))
+			total += draws[i].TriangleCount()
+		}
+		chunks := DivideRange(draws, 0, count, n)
+		if len(chunks) != n {
+			t.Fatalf("chunks = %d, want %d", len(chunks), n)
+		}
+		pos := 0
+		for _, c := range chunks {
+			if c[0] != pos {
+				t.Fatalf("chunk start %d, want %d (chunks %v)", c[0], pos, chunks)
+			}
+			if c[1] < c[0] {
+				t.Fatalf("negative chunk %v", c)
+			}
+			pos = c[1]
+		}
+		if pos != count {
+			t.Fatalf("chunks end at %d, want %d", pos, count)
+		}
+		// Balance: no chunk exceeds 2×(total/n) + the largest draw.
+		if count >= n && n > 1 {
+			maxDraw := 0
+			for i := range draws {
+				if draws[i].TriangleCount() > maxDraw {
+					maxDraw = draws[i].TriangleCount()
+				}
+			}
+			for _, c := range chunks {
+				sum := 0
+				for i := c[0]; i < c[1]; i++ {
+					sum += draws[i].TriangleCount()
+				}
+				if sum > 2*total/n+maxDraw {
+					t.Fatalf("chunk %v holds %d of %d triangles", c, sum, total)
+				}
+			}
+		}
+	}
+}
+
+func TestCompositionSchedulerFullExchange(t *testing.T) {
+	const n = 4
+	cs := NewCompositionScheduler(n)
+	for g := 0; g < n; g++ {
+		cs.SetReady(g, 1)
+	}
+	transfers := map[[2]int]bool{}
+	rounds := 0
+	var inflight []Session
+	for !cs.Done() {
+		rounds++
+		if rounds > 100 {
+			t.Fatal("composition did not converge")
+		}
+		sessions := cs.NextSessions()
+		if len(sessions) == 0 && len(inflight) == 0 {
+			t.Fatalf("deadlock: no sessions and nothing in flight (transfers=%d)", len(transfers))
+		}
+		inflight = append(inflight, sessions...)
+		// Complete one in-flight session per iteration, in order.
+		s := inflight[0]
+		inflight = inflight[1:]
+		key := [2]int{s.Sender, s.Receiver}
+		if transfers[key] {
+			t.Fatalf("duplicate transfer %v", key)
+		}
+		transfers[key] = true
+		cs.Complete(s)
+	}
+	if len(transfers) != n*(n-1) {
+		t.Errorf("transfers = %d, want %d", len(transfers), n*(n-1))
+	}
+}
+
+func TestCompositionSchedulerPortExclusivity(t *testing.T) {
+	cs := NewCompositionScheduler(4)
+	for g := 0; g < 4; g++ {
+		cs.SetReady(g, 1)
+	}
+	sessions := cs.NextSessions()
+	sendBusy := map[int]bool{}
+	recvBusy := map[int]bool{}
+	for _, s := range sessions {
+		if sendBusy[s.Sender] {
+			t.Errorf("sender %d double-booked", s.Sender)
+		}
+		if recvBusy[s.Receiver] {
+			t.Errorf("receiver %d double-booked", s.Receiver)
+		}
+		sendBusy[s.Sender] = true
+		recvBusy[s.Receiver] = true
+	}
+	if len(sessions) == 0 {
+		t.Fatal("no sessions scheduled among 4 ready GPUs")
+	}
+}
+
+func TestCompositionSchedulerRespectsReadiness(t *testing.T) {
+	cs := NewCompositionScheduler(3)
+	cs.SetReady(0, 1)
+	// Only GPU0 ready: nothing can pair.
+	if got := cs.NextSessions(); len(got) != 0 {
+		t.Errorf("sessions with one ready GPU = %v", got)
+	}
+	cs.SetReady(1, 1)
+	// Links are full duplex: both directions of the pair start together.
+	got := cs.NextSessions()
+	if len(got) != 2 {
+		t.Fatalf("sessions = %v, want both directions", got)
+	}
+	if got[0].Sender != 0 || got[0].Receiver != 1 || got[1].Sender != 1 || got[1].Receiver != 0 {
+		t.Errorf("sessions = %v", got)
+	}
+	cs.Complete(got[0])
+	cs.Complete(got[1])
+	// GPU2 never became ready, so the exchange is not globally done.
+	if cs.Done() {
+		t.Error("scheduler done with GPU2 outstanding")
+	}
+}
+
+func TestCompositionSchedulerMismatchedCGID(t *testing.T) {
+	cs := NewCompositionScheduler(2)
+	cs.SetReady(0, 1)
+	cs.SetReady(1, 2) // different group
+	if got := cs.NextSessions(); len(got) != 0 {
+		t.Errorf("cross-group session scheduled: %v", got)
+	}
+}
+
+func TestCompositionSchedulerCompleteUnscheduledPanics(t *testing.T) {
+	cs := NewCompositionScheduler(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cs.Complete(Session{Sender: 0, Receiver: 1})
+}
+
+func TestCompositionSchedulerReset(t *testing.T) {
+	cs := NewCompositionScheduler(2)
+	cs.SetReady(0, 1)
+	cs.SetReady(1, 1)
+	for !cs.Done() {
+		for _, s := range cs.NextSessions() {
+			cs.Complete(s)
+		}
+	}
+	cs.Reset()
+	if cs.Done() {
+		t.Error("reset scheduler should not be done")
+	}
+	if e := cs.Entry(0); e.Ready || e.SentGPUs != 0 {
+		t.Errorf("entry after reset = %+v", e)
+	}
+}
+
+func TestTransparentComposerChain(t *testing.T) {
+	const n = 4
+	tc := NewTransparentComposer(n)
+	for g := 0; g < n; g++ {
+		tc.SetReady(g)
+	}
+	merges := 0
+	for !tc.Done() {
+		ms := tc.NextMerges()
+		if len(ms) == 0 {
+			t.Fatal("no merges possible but not done")
+		}
+		for _, m := range ms {
+			// Front range must start right after back range.
+			_, backHi, ok1 := tc.Holds(m.To)
+			frontLo, _, ok2 := tc.Holds(m.From)
+			if !ok1 || !ok2 || frontLo != backHi+1 {
+				t.Fatalf("non-adjacent merge %+v", m)
+			}
+			tc.Complete(m)
+			merges++
+		}
+	}
+	if merges != n-1 {
+		t.Errorf("merges = %d, want %d", merges, n-1)
+	}
+	holder, ok := tc.FinalHolder()
+	if !ok || holder != 0 {
+		t.Errorf("final holder = %d, %v", holder, ok)
+	}
+}
+
+func TestTransparentComposerPartialReadiness(t *testing.T) {
+	tc := NewTransparentComposer(4)
+	tc.SetReady(1)
+	tc.SetReady(2)
+	// Only 1 and 2 ready: exactly the (2→1) merge is available.
+	ms := tc.NextMerges()
+	if len(ms) != 1 || ms[0].From != 2 || ms[0].To != 1 {
+		t.Fatalf("merges = %v", ms)
+	}
+	tc.Complete(ms[0])
+	// Now GPU1 holds [1,2]; nothing else ready.
+	if ms := tc.NextMerges(); len(ms) != 0 {
+		t.Errorf("unexpected merges %v", ms)
+	}
+	tc.SetReady(0)
+	tc.SetReady(3)
+	// 0 can absorb [1,2], 3 not adjacent to 0's [0,0]... after first merge
+	// 0 holds [0,2] and then absorbs 3.
+	total := 0
+	for !tc.Done() {
+		ms := tc.NextMerges()
+		if len(ms) == 0 {
+			t.Fatal("stalled")
+		}
+		for _, m := range ms {
+			tc.Complete(m)
+			total++
+		}
+	}
+	if total != 2 {
+		t.Errorf("remaining merges = %d, want 2", total)
+	}
+}
+
+func TestTransparentComposerParallelMerges(t *testing.T) {
+	tc := NewTransparentComposer(4)
+	for g := 0; g < 4; g++ {
+		tc.SetReady(g)
+	}
+	// All ready: (1→0) and (3→2) can run in parallel.
+	ms := tc.NextMerges()
+	if len(ms) != 2 {
+		t.Fatalf("parallel merges = %v", ms)
+	}
+}
+
+func TestTransparentComposerCompleteUnscheduledPanics(t *testing.T) {
+	tc := NewTransparentComposer(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tc.Complete(Merge{From: 1, To: 0})
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+
+	"chopin/internal/primitive"
+)
+
+// Reorder implements the draw-command reordering the paper sketches as a
+// group-enlarging extension (Section IV-A: "more sophisticated mechanisms
+// could potentially reorder draw commands to create larger composition
+// groups at the cost of additional complexity").
+//
+// Only reorderings that provably preserve the final image are performed:
+//
+//   - The stream is first split at hard barriers: render-target/depth-buffer
+//     switches (Event 2) and the opaque→transparent frontier. Draws never
+//     cross a barrier.
+//   - Within a barrier-delimited window, OPAQUE depth-writing draws are
+//     stably grouped by identical render state. Two opaque draws with
+//     depth-test less/less-equal and depth writes commute: the depth test
+//     resolves every pixel to the nearest fragment regardless of submission
+//     order (ties are the only exception, and tie depths require exactly
+//     coincident geometry).
+//   - Transparent draws and opaque draws with depth writes disabled are
+//     order-sensitive and are never moved relative to each other.
+//
+// The result is a stream with fewer, larger composition groups, which gives
+// CHOPIN more parallel-composition opportunities per frame.
+func Reorder(draws []primitive.DrawCommand) []primitive.DrawCommand {
+	out := make([]primitive.DrawCommand, 0, len(draws))
+	window := make([]primitive.DrawCommand, 0, len(draws))
+
+	flush := func() {
+		if len(window) == 0 {
+			return
+		}
+		// Stable sort by state key: identical states become adjacent, and
+		// the original order inside each state class is preserved.
+		sort.SliceStable(window, func(i, j int) bool {
+			return stateKey(&window[i].State) < stateKey(&window[j].State)
+		})
+		out = append(out, window...)
+		window = window[:0]
+	}
+
+	movable := func(d *primitive.DrawCommand) bool {
+		return !d.Transparent() && d.State.DepthWrite
+	}
+
+	for i := range draws {
+		d := draws[i]
+		if !movable(&d) {
+			// Order-sensitive draw: flush the window and emit in place.
+			flush()
+			out = append(out, d)
+			continue
+		}
+		if len(window) > 0 {
+			prev := &window[len(window)-1]
+			if prev.State.RenderTarget != d.State.RenderTarget ||
+				prev.State.DepthBuffer != d.State.DepthBuffer {
+				flush() // Event-2 barrier
+			}
+		}
+		window = append(window, d)
+	}
+	flush()
+
+	// Re-number to the new stream order.
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}
+
+// stateKey produces a comparable grouping key for a render state.
+func stateKey(s *primitive.RenderState) uint64 {
+	key := uint64(s.RenderTarget)<<32 | uint64(s.DepthBuffer)<<16
+	key |= uint64(s.DepthFunc) << 8
+	key |= uint64(s.BlendOp) << 4
+	if s.DepthWrite {
+		key |= 1
+	}
+	return key
+}

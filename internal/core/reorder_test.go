@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/primitive"
+	"chopin/internal/vecmath"
+)
+
+func stateless(tris int, mod func(*primitive.RenderState)) primitive.DrawCommand {
+	d := primitive.DrawCommand{
+		Tris:  make([]primitive.Triangle, tris),
+		Model: vecmath.Identity(),
+		State: primitive.DefaultState(),
+	}
+	if mod != nil {
+		mod(&d.State)
+	}
+	return d
+}
+
+func TestReorderMergesCompatibleGroups(t *testing.T) {
+	lessEq := func(s *primitive.RenderState) { s.DepthFunc = colorspace.CmpLessEqual }
+	// Alternating depth funcs create 4 groups; reordering merges to 2.
+	draws := []primitive.DrawCommand{
+		stateless(10, nil), stateless(10, lessEq),
+		stateless(10, nil), stateless(10, lessEq),
+	}
+	before := primitive.BuildGroups(draws)
+	after := primitive.BuildGroups(Reorder(draws))
+	if len(before) != 4 {
+		t.Fatalf("before = %d groups", len(before))
+	}
+	if len(after) != 2 {
+		t.Fatalf("after = %d groups, want 2", len(after))
+	}
+}
+
+func TestReorderPreservesTransparentOrder(t *testing.T) {
+	trans := func(op colorspace.BlendOp) func(*primitive.RenderState) {
+		return func(s *primitive.RenderState) {
+			s.BlendOp = op
+			s.DepthWrite = false
+		}
+	}
+	draws := []primitive.DrawCommand{
+		stateless(5, nil),
+		stateless(3, trans(colorspace.BlendOver)),
+		stateless(4, trans(colorspace.BlendOver)),
+		stateless(2, trans(colorspace.BlendAdd)),
+	}
+	for i := range draws {
+		draws[i].ID = i
+	}
+	out := Reorder(draws)
+	// Transparent draws must keep their relative order and stay after the
+	// opaque draw (they are unmovable and act as barriers).
+	var transIDs []int
+	for _, d := range out {
+		if d.Transparent() {
+			transIDs = append(transIDs, d.TriangleCount())
+		}
+	}
+	if len(transIDs) != 3 || transIDs[0] != 3 || transIDs[1] != 4 || transIDs[2] != 2 {
+		t.Errorf("transparent order = %v", transIDs)
+	}
+}
+
+func TestReorderRespectsRTBarriers(t *testing.T) {
+	rt1 := func(s *primitive.RenderState) { s.RenderTarget = 1; s.DepthBuffer = 1 }
+	lessEq := func(s *primitive.RenderState) { s.DepthFunc = colorspace.CmpLessEqual }
+	draws := []primitive.DrawCommand{
+		stateless(10, nil),
+		stateless(10, rt1), // barrier
+		stateless(10, lessEq),
+	}
+	out := Reorder(draws)
+	// The lessEq draw must not move before the RT-1 draw.
+	if out[0].State.RenderTarget != 0 || out[1].State.RenderTarget != 1 || out[2].State.DepthFunc != colorspace.CmpLessEqual {
+		t.Errorf("order violated: %+v", out)
+	}
+}
+
+func TestReorderPreservesCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var draws []primitive.DrawCommand
+	total := 0
+	for i := 0; i < 100; i++ {
+		d := stateless(1+r.Intn(30), nil)
+		switch r.Intn(4) {
+		case 0:
+			d.State.DepthFunc = colorspace.CmpLessEqual
+		case 1:
+			d.State.BlendOp = colorspace.BlendOver
+			d.State.DepthWrite = false
+		case 2:
+			d.State.RenderTarget = r.Intn(2)
+			d.State.DepthBuffer = d.State.RenderTarget
+		}
+		d.ID = i
+		total += d.TriangleCount()
+		draws = append(draws, d)
+	}
+	out := Reorder(draws)
+	if len(out) != len(draws) {
+		t.Fatalf("draw count changed: %d -> %d", len(draws), len(out))
+	}
+	sum := 0
+	for i, d := range out {
+		sum += d.TriangleCount()
+		if d.ID != i {
+			t.Fatalf("IDs not renumbered at %d", i)
+		}
+	}
+	if sum != total {
+		t.Fatalf("triangles changed: %d -> %d", total, sum)
+	}
+	// Groups never increase.
+	if len(primitive.BuildGroups(out)) > len(primitive.BuildGroups(draws)) {
+		t.Error("reordering increased group count")
+	}
+}

@@ -1,0 +1,264 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (Section VI). Each experiment is a named runner that simulates
+// the required scheme/configuration matrix over the benchmark traces and
+// renders a paper-style text table.
+//
+// Experiments accept a trace scale: 1.0 regenerates the exact Table III
+// workload sizes; smaller scales shrink draw counts, triangle counts,
+// resolution, and all triangle-denominated thresholds proportionally, so
+// the comparisons keep their shape while running quickly. EXPERIMENTS.md
+// records paper-vs-measured values at full scale.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"chopin/internal/multigpu"
+	"chopin/internal/primitive"
+	"chopin/internal/sfr"
+	"chopin/internal/stats"
+	"chopin/internal/trace"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale is the trace scale in (0, 1]; 1.0 is the paper's full size.
+	Scale float64
+	// Benchmarks restricts the workload set (nil = all eight).
+	Benchmarks []string
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// Verbose, when set, streams progress lines to Out.
+	Verbose bool
+	// Out receives progress output (may be nil).
+	Out io.Writer
+}
+
+func (o *Options) normalize() {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = trace.Names()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+}
+
+// scaled converts a triangle-denominated paper parameter to the trace scale.
+func (o *Options) scaled(tris int) int {
+	v := int(float64(tris) * o.Scale)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// baseConfig returns the Table II configuration with thresholds adjusted to
+// the trace scale.
+func (o *Options) baseConfig() multigpu.Config {
+	cfg := multigpu.DefaultConfig()
+	// The group threshold is denominated in the trace's triangles, so it
+	// scales with the workload. GPUpd's batch size does NOT scale: batches
+	// cost link latency apiece, and latency does not shrink with workload,
+	// so keeping the byte-per-batch granularity fixed preserves the
+	// distribution-to-rendering ratio across scales.
+	cfg.GroupThreshold = o.scaled(cfg.GroupThreshold)
+	return cfg
+}
+
+// Result is a finished experiment.
+type Result struct {
+	// ID and Title identify the experiment.
+	ID, Title string
+	// Table is the paper-style output table.
+	Table *stats.Table
+	// Notes carries free-form observations (gmeans, caveats).
+	Notes []string
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table)
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+type runner struct {
+	title string
+	fn    func(*Options) (*Result, error)
+}
+
+var registry = map[string]runner{}
+
+func register(id, title string, fn func(*Options) (*Result, error)) {
+	registry[id] = runner{title: title, fn: fn}
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's description.
+func Title(id string) string { return registry[id].title }
+
+// Run executes the named experiment.
+func Run(id string, opt Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	opt.normalize()
+	return r.fn(&opt)
+}
+
+// frameCache memoizes generated traces per (benchmark, scale).
+var (
+	frameMu    sync.Mutex
+	frameCache = map[string]*primitive.Frame{}
+)
+
+func frameFor(bench string, scale float64) (*primitive.Frame, error) {
+	key := fmt.Sprintf("%s@%.4f", bench, scale)
+	frameMu.Lock()
+	defer frameMu.Unlock()
+	if fr, ok := frameCache[key]; ok {
+		return fr, nil
+	}
+	b, err := trace.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	fr := trace.Generate(b, scale)
+	frameCache[key] = fr
+	return fr, nil
+}
+
+// job is one simulation in an experiment's matrix.
+type job struct {
+	bench  string
+	scheme sfr.Scheme
+	cfg    multigpu.Config
+	out    **stats.FrameStats
+}
+
+// runJobs executes jobs with bounded parallelism, preserving determinism
+// (each job is an independent simulation).
+func runJobs(opt *Options, jobs []job) error {
+	sem := make(chan struct{}, opt.Workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := range jobs {
+		j := &jobs[i]
+		fr, err := frameFor(j.bench, opt.Scale)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if rec := recover(); rec != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s on %s panicked: %v", j.scheme.Name(), j.bench, rec)
+					}
+					mu.Unlock()
+				}
+			}()
+			sys := multigpu.New(j.cfg, fr.Width, fr.Height)
+			st := j.scheme.Run(sys, fr)
+			st.Bench = j.bench
+			*j.out = st
+			if opt.Verbose {
+				mu.Lock()
+				fmt.Fprintf(opt.Out, "  %-20s %-8s n=%-2d  %12d cycles\n",
+					j.scheme.Name(), j.bench, j.cfg.NumGPUs, st.TotalCycles)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// variant is a named scheme+config mutation relative to the base config.
+type variant struct {
+	name   string
+	scheme sfr.Scheme
+	mutate func(*multigpu.Config)
+}
+
+func ident(*multigpu.Config) {}
+
+// fig13Variants are the schemes compared in the headline figure, in paper
+// order. Duplication (the baseline) is run separately.
+func fig13Variants() []variant {
+	return []variant{
+		{"GPUpd", sfr.GPUpd{}, ident},
+		{"IdealGPUpd", sfr.GPUpd{}, func(c *multigpu.Config) { c.Link.Ideal = true }},
+		{"CHOPIN", sfr.CHOPIN{}, func(c *multigpu.Config) { c.UseCompScheduler = false }},
+		{"CHOPIN+CompSched", sfr.CHOPIN{}, ident},
+		{"IdealCHOPIN", sfr.CHOPIN{}, func(c *multigpu.Config) { c.Link.Ideal = true }},
+	}
+}
+
+// speedupMatrix runs the variants plus the Duplication baseline over the
+// benchmarks at the given GPU count and returns per-benchmark speedups and
+// the variant gmeans.
+func speedupMatrix(opt *Options, vars []variant, gpus int, mutateAll func(*multigpu.Config)) (map[string][]float64, []float64, error) {
+	base := make([]*stats.FrameStats, len(opt.Benchmarks))
+	results := make([][]*stats.FrameStats, len(vars))
+	for i := range results {
+		results[i] = make([]*stats.FrameStats, len(opt.Benchmarks))
+	}
+	var jobs []job
+	for bi, bench := range opt.Benchmarks {
+		cfg := opt.baseConfig()
+		cfg.NumGPUs = gpus
+		if mutateAll != nil {
+			mutateAll(&cfg)
+		}
+		jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &base[bi]})
+		for vi, v := range vars {
+			vcfg := cfg
+			v.mutate(&vcfg)
+			jobs = append(jobs, job{bench, v.scheme, vcfg, &results[vi][bi]})
+		}
+	}
+	if err := runJobs(opt, jobs); err != nil {
+		return nil, nil, err
+	}
+	perBench := map[string][]float64{}
+	gmeans := make([]float64, len(vars))
+	for vi := range vars {
+		var sp []float64
+		for bi, bench := range opt.Benchmarks {
+			s := results[vi][bi].Speedup(base[bi])
+			perBench[bench] = append(perBench[bench], 0) // placeholder grow
+			perBench[bench][vi] = s
+			sp = append(sp, s)
+		}
+		gmeans[vi] = stats.GeoMean(sp)
+	}
+	return perBench, gmeans, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chopin/internal/core"
+	"chopin/internal/multigpu"
+	"chopin/internal/sfr"
+	"chopin/internal/stats"
+	"chopin/internal/trace"
+)
+
+// The "ext-" experiments go beyond the paper's evaluation: they implement
+// the extensions the paper sketches (draw reordering, Section IV-A) and the
+// comparisons its introduction motivates (AFR micro-stuttering, Section I).
+
+func init() {
+	register("ext-afr", "Extension: AFR vs SFR — average frame rate vs frame latency and micro-stutter", extAFR)
+	register("ext-reorder", "Extension: draw-command reordering to enlarge composition groups", extReorder)
+	register("ext-taxonomy", "Extension: the full Molnar sorting taxonomy — sort-first (GPUpd), sort-middle, sort-last (CHOPIN)", extTaxonomy)
+}
+
+func extAFR(opt *Options) (*Result, error) {
+	const frames = 8
+	tbl := stats.NewTable("bench", "scheme", "avg frame interval", "max frame interval", "avg latency")
+	for _, name := range opt.Benchmarks {
+		b, err := trace.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		seq := trace.GenerateSequence(b, opt.Scale, frames)
+		cfg := opt.baseConfig()
+
+		afrSys := multigpu.New(cfg, seq[0].Width, seq[0].Height)
+		afr := sfr.RunAFR(afrSys, seq)
+		chop := sfr.RunSFRSequence(cfg, sfr.CHOPIN{}, seq)
+
+		for _, s := range []*sfr.SequenceStats{afr, chop} {
+			tbl.AddRow(name, s.Scheme,
+				fmt.Sprintf("%.0f", s.AvgFrameInterval()),
+				fmt.Sprintf("%d", s.MaxFrameInterval()),
+				fmt.Sprintf("%.0f", s.AvgLatency()))
+		}
+	}
+	return &Result{ID: "ext-afr", Title: Title("ext-afr"), Table: tbl, Notes: []string{
+		"AFR overlaps whole frames across GPUs: high average frame rate, but every frame still",
+		"takes a full single-GPU render (latency) and display gaps bunch (micro-stutter, Section I);",
+		"SFR (CHOPIN) improves the latency of every individual frame",
+	}}, nil
+}
+
+func extReorder(opt *Options) (*Result, error) {
+	tbl := stats.NewTable("bench", "groups", "groups reordered", "accel tris", "accel tris reordered", "CHOPIN", "CHOPIN_Reorder")
+	var plain, reord []float64
+	for _, name := range opt.Benchmarks {
+		fr, err := frameFor(name, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		cfg := opt.baseConfig()
+		before := core.Summarize(core.Plan(fr.Draws, cfg.GroupThreshold))
+		reordered := core.Reorder(fr.Draws)
+		after := core.Summarize(core.Plan(reordered, cfg.GroupThreshold))
+
+		var base, ch, chR *stats.FrameStats
+		jobs := []job{
+			{name, sfr.Duplication{}, cfg, &base},
+			{name, sfr.CHOPIN{}, cfg, &ch},
+			{name, sfr.CHOPIN{Reorder: true}, cfg, &chR},
+		}
+		if err := runJobs(opt, jobs); err != nil {
+			return nil, err
+		}
+		sp := ch.Speedup(base)
+		spR := chR.Speedup(base)
+		plain = append(plain, sp)
+		reord = append(reord, spR)
+		tbl.AddRow(name,
+			fmt.Sprintf("%d", before.Groups), fmt.Sprintf("%d", after.Groups),
+			fmt.Sprintf("%.1f%%", 100*float64(before.TrianglesAccel)/float64(max(1, before.TrianglesTotal))),
+			fmt.Sprintf("%.1f%%", 100*float64(after.TrianglesAccel)/float64(max(1, after.TrianglesTotal))),
+			fmt.Sprintf("%.3f", sp), fmt.Sprintf("%.3f", spR))
+	}
+	tbl.AddRow("GMean", "", "", "", "",
+		fmt.Sprintf("%.3f", stats.GeoMean(plain)), fmt.Sprintf("%.3f", stats.GeoMean(reord)))
+	return &Result{ID: "ext-reorder", Title: Title("ext-reorder"), Table: tbl, Notes: []string{
+		"reordering groups draws with identical opaque depth-write state, merging adjacent groups;",
+		"the reordered stream provably renders the same image (opaque depth-writing draws commute)",
+	}}, nil
+}
+
+func extTaxonomy(opt *Options) (*Result, error) {
+	tbl := stats.NewTable("bench", "GPUpd (sort-first)", "SortMiddle", "CHOPIN (sort-last)", "exchange MB (middle)", "composition MB (last)")
+	var gp, sm, ch []float64
+	for _, name := range opt.Benchmarks {
+		cfg := opt.baseConfig()
+		var base, a, b, c *stats.FrameStats
+		jobs := []job{
+			{name, sfr.Duplication{}, cfg, &base},
+			{name, sfr.GPUpd{}, cfg, &a},
+			{name, sfr.SortMiddle{}, cfg, &b},
+			{name, sfr.CHOPIN{}, cfg, &c},
+		}
+		if err := runJobs(opt, jobs); err != nil {
+			return nil, err
+		}
+		gp = append(gp, a.Speedup(base))
+		sm = append(sm, b.Speedup(base))
+		ch = append(ch, c.Speedup(base))
+		tbl.AddRow(name,
+			fmt.Sprintf("%.3f", a.Speedup(base)),
+			fmt.Sprintf("%.3f", b.Speedup(base)),
+			fmt.Sprintf("%.3f", c.Speedup(base)),
+			stats.MB(b.PrimDistBytes),
+			stats.MB(c.CompositionBytes))
+	}
+	tbl.AddRow("GMean",
+		fmt.Sprintf("%.3f", stats.GeoMean(gp)),
+		fmt.Sprintf("%.3f", stats.GeoMean(sm)),
+		fmt.Sprintf("%.3f", stats.GeoMean(ch)), "", "")
+	return &Result{ID: "ext-taxonomy", Title: Title("ext-taxonomy"), Table: tbl, Notes: []string{
+		"sort-middle eliminates redundant geometry like sort-last, but ships ~288 B of",
+		"post-geometry attributes per primitive — the bandwidth cost that makes it rarely",
+		"adopted (paper Section III-A); CHOPIN's sub-image exchange is screen-bounded instead",
+	}}, nil
+}

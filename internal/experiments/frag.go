@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chopin/internal/sfr"
+	"chopin/internal/sim"
+	"chopin/internal/stats"
+)
+
+// int64ToCycle converts an int latency parameter to a sim.Cycle.
+func int64ToCycle(v int) sim.Cycle { return sim.Cycle(v) }
+
+func init() {
+	register("fig15", "Fragments passing the depth/stencil test: duplication vs CHOPIN+CompSched", fig15)
+	register("fig16", "Sensitivity to artificially retained depth-culled fragments (ut3)", fig16)
+}
+
+func fig15(opt *Options) (*Result, error) {
+	counts := []int{2, 4, 8}
+	dup := make([][]*stats.FrameStats, len(counts))
+	ch := make([][]*stats.FrameStats, len(counts))
+	var jobs []job
+	for ci, n := range counts {
+		dup[ci] = make([]*stats.FrameStats, len(opt.Benchmarks))
+		ch[ci] = make([]*stats.FrameStats, len(opt.Benchmarks))
+		for bi, bench := range opt.Benchmarks {
+			cfg := opt.baseConfig()
+			cfg.NumGPUs = n
+			jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &dup[ci][bi]})
+			jobs = append(jobs, job{bench, sfr.CHOPIN{}, cfg, &ch[ci][bi]})
+		}
+	}
+	if err := runJobs(opt, jobs); err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("bench", "GPUs", "dup passed", "CHOPIN+ passed", "ratio", "early share")
+	avg := make([]float64, len(counts))
+	for bi, bench := range opt.Benchmarks {
+		for ci, n := range counts {
+			d := dup[ci][bi].Raster.DepthPassed()
+			c := ch[ci][bi].Raster.DepthPassed()
+			ratio := float64(c) / float64(d)
+			avg[ci] += ratio / float64(len(opt.Benchmarks))
+			early := float64(ch[ci][bi].Raster.FragsEarlyPassed) / float64(c)
+			tbl.AddRow(bench, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", d), fmt.Sprintf("%d", c),
+				fmt.Sprintf("%.3f", ratio), fmt.Sprintf("%.1f%%", 100*early))
+		}
+	}
+	notes := []string{}
+	for ci, n := range counts {
+		notes = append(notes, fmt.Sprintf("avg extra depth-passing fragments at %d GPUs: %+.1f%% (paper: 3%%, 5.4%%, 7.1%%)",
+			n, 100*(avg[ci]-1)))
+	}
+	return &Result{ID: "fig15", Title: Title("fig15"), Table: tbl, Notes: notes}, nil
+}
+
+func fig16(opt *Options) (*Result, error) {
+	fractions := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}
+	bench := "ut3"
+	base := make([]*stats.FrameStats, 1)
+	runs := make([]*stats.FrameStats, len(fractions))
+	var jobs []job
+	cfg := opt.baseConfig()
+	jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &base[0]})
+	for fi, f := range fractions {
+		c := cfg
+		c.Raster.RetainCulledFraction = f
+		c.Raster.RetainSeed = 42
+		jobs = append(jobs, job{bench, sfr.CHOPIN{}, c, &runs[fi]})
+	}
+	if err := runJobs(opt, jobs); err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("retained culled", "speedup vs dup", "extra fragments in ROPs")
+	baseShaded := runs[0].Raster.FragsShaded
+	for fi, f := range fractions {
+		extra := float64(runs[fi].Raster.FragsShaded-baseShaded) / float64(baseShaded)
+		tbl.AddRow(fmt.Sprintf("%.0f%%", 100*f),
+			fmt.Sprintf("%.3f", runs[fi].Speedup(base[0])),
+			fmt.Sprintf("%+.1f%%", 100*extra))
+	}
+	return &Result{ID: "fig16", Title: Title("fig16"), Table: tbl,
+		Notes: []string{"paper: nearly half of all culled fragments must be retained before CHOPIN's benefit disappears"}}, nil
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chopin/internal/multigpu"
+	"chopin/internal/sfr"
+	"chopin/internal/stats"
+)
+
+func init() {
+	register("fig2", "Geometry-processing share of pipeline cycles under conventional SFR (1/2/4/8 GPUs)", fig2)
+	register("fig4", "GPUpd overhead: cycles in primitive projection + distribution (2/4/8 GPUs)", fig4)
+	register("fig5", "Ideal-system speedups: IdealGPUpd vs IdealCHOPIN over duplication", fig5)
+	register("fig8", "Round-robin draw scheduling load imbalance", fig8)
+	register("fig13", "Headline: speedups over duplication at 8 GPUs", fig13)
+	register("fig14", "Execution-cycle breakdown per scheme, normalized to duplication", fig14)
+	register("fig19", "Sensitivity to GPU count (2/4/8/16)", fig19)
+	register("fig20", "Sensitivity to inter-GPU link bandwidth (16/32/64/128 GB/s)", fig20)
+	register("fig21", "Sensitivity to inter-GPU link latency (100/200/300/400 cycles)", fig21)
+}
+
+func fig2(opt *Options) (*Result, error) {
+	counts := []int{1, 2, 4, 8}
+	shares := make([][]*stats.FrameStats, len(counts))
+	var jobs []job
+	for ci, n := range counts {
+		shares[ci] = make([]*stats.FrameStats, len(opt.Benchmarks))
+		for bi, bench := range opt.Benchmarks {
+			cfg := opt.baseConfig()
+			cfg.NumGPUs = n
+			jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &shares[ci][bi]})
+		}
+	}
+	if err := runJobs(opt, jobs); err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("bench", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs")
+	avg := make([]float64, len(counts))
+	for bi, bench := range opt.Benchmarks {
+		row := []string{bench}
+		for ci := range counts {
+			s := shares[ci][bi].GeometryShare()
+			avg[ci] += s / float64(len(opt.Benchmarks))
+			row = append(row, fmt.Sprintf("%.1f%%", 100*s))
+		}
+		tbl.AddRow(row...)
+	}
+	row := []string{"Avg"}
+	for _, a := range avg {
+		row = append(row, fmt.Sprintf("%.1f%%", 100*a))
+	}
+	tbl.AddRow(row...)
+	return &Result{ID: "fig2", Title: Title("fig2"), Table: tbl,
+		Notes: []string{"geometry share grows with GPU count because every GPU processes all primitives while fragment work splits"}}, nil
+}
+
+func fig4(opt *Options) (*Result, error) {
+	counts := []int{2, 4, 8}
+	res := make([][]*stats.FrameStats, len(counts))
+	var jobs []job
+	for ci, n := range counts {
+		res[ci] = make([]*stats.FrameStats, len(opt.Benchmarks))
+		for bi, bench := range opt.Benchmarks {
+			cfg := opt.baseConfig()
+			cfg.NumGPUs = n
+			jobs = append(jobs, job{bench, sfr.GPUpd{}, cfg, &res[ci][bi]})
+		}
+	}
+	if err := runJobs(opt, jobs); err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("bench", "GPUs", "projection", "distribution", "total overhead")
+	for bi, bench := range opt.Benchmarks {
+		for ci, n := range counts {
+			st := res[ci][bi]
+			proj := float64(st.Phase(stats.PhaseProjection)) / float64(st.TotalCycles)
+			dist := float64(st.Phase(stats.PhaseDistribution)) / float64(st.TotalCycles)
+			tbl.AddRow(bench, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1f%%", 100*proj),
+				fmt.Sprintf("%.1f%%", 100*dist),
+				fmt.Sprintf("%.1f%%", 100*(proj+dist)))
+		}
+	}
+	return &Result{ID: "fig4", Title: Title("fig4"), Table: tbl,
+		Notes: []string{"sequential primitive distribution grows into the dominant overhead as GPU count rises"}}, nil
+}
+
+func fig5(opt *Options) (*Result, error) {
+	vars := []variant{
+		{"IdealGPUpd", sfr.GPUpd{}, func(c *multigpu.Config) { c.Link.Ideal = true }},
+		{"IdealCHOPIN", sfr.CHOPIN{}, func(c *multigpu.Config) { c.Link.Ideal = true }},
+	}
+	perBench, gmeans, err := speedupMatrix(opt, vars, 8, nil)
+	if err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("bench", "Duplication", "IdealGPUpd", "IdealCHOPIN")
+	for _, bench := range opt.Benchmarks {
+		sp := perBench[bench]
+		tbl.AddRow(bench, "1.000", fmt.Sprintf("%.3f", sp[0]), fmt.Sprintf("%.3f", sp[1]))
+	}
+	tbl.AddRow("GMean", "1.000", fmt.Sprintf("%.3f", gmeans[0]), fmt.Sprintf("%.3f", gmeans[1]))
+	return &Result{ID: "fig5", Title: Title("fig5"), Table: tbl}, nil
+}
+
+func fig8(opt *Options) (*Result, error) {
+	vars := []variant{
+		{"GPUpd", sfr.GPUpd{}, ident},
+		{"CHOPIN_Round_Robin", sfr.CHOPIN{RoundRobin: true}, func(c *multigpu.Config) { c.UseCompScheduler = false }},
+	}
+	perBench, gmeans, err := speedupMatrix(opt, vars, 8, nil)
+	if err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("bench", "Duplication", "GPUpd", "CHOPIN_Round_Robin")
+	for _, bench := range opt.Benchmarks {
+		sp := perBench[bench]
+		tbl.AddRow(bench, "1.000", fmt.Sprintf("%.3f", sp[0]), fmt.Sprintf("%.3f", sp[1]))
+	}
+	tbl.AddRow("GMean", "1.000", fmt.Sprintf("%.3f", gmeans[0]), fmt.Sprintf("%.3f", gmeans[1]))
+	return &Result{ID: "fig8", Title: Title("fig8"), Table: tbl,
+		Notes: []string{"round-robin ignores draw sizes and execution state, causing load imbalance"}}, nil
+}
+
+func fig13(opt *Options) (*Result, error) {
+	vars := fig13Variants()
+	perBench, gmeans, err := speedupMatrix(opt, vars, 8, nil)
+	if err != nil {
+		return nil, err
+	}
+	header := append([]string{"bench"}, "GPUpd", "IdealGPUpd", "CHOPIN", "CHOPIN+CompSched", "IdealCHOPIN")
+	tbl := stats.NewTable(header...)
+	for _, bench := range opt.Benchmarks {
+		row := []string{bench}
+		for _, s := range perBench[bench] {
+			row = append(row, fmt.Sprintf("%.3f", s))
+		}
+		tbl.AddRow(row...)
+	}
+	row := []string{"GMean"}
+	for _, g := range gmeans {
+		row = append(row, fmt.Sprintf("%.3f", g))
+	}
+	tbl.AddRow(row...)
+	return &Result{ID: "fig13", Title: Title("fig13"), Table: tbl,
+		Notes: []string{"speedups normalized to primitive duplication at the same GPU count (paper: CHOPIN+CompSched 1.25x gmean, up to 1.56x)"}}, nil
+}
+
+func fig14(opt *Options) (*Result, error) {
+	vars := fig13Variants()
+	base := make([]*stats.FrameStats, len(opt.Benchmarks))
+	results := make([][]*stats.FrameStats, len(vars))
+	for i := range results {
+		results[i] = make([]*stats.FrameStats, len(opt.Benchmarks))
+	}
+	var jobs []job
+	for bi, bench := range opt.Benchmarks {
+		cfg := opt.baseConfig()
+		jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &base[bi]})
+		for vi, v := range vars {
+			vcfg := cfg
+			v.mutate(&vcfg)
+			jobs = append(jobs, job{bench, v.scheme, vcfg, &results[vi][bi]})
+		}
+	}
+	if err := runJobs(opt, jobs); err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("bench", "scheme", "normal", "projection", "distribution", "composition", "sync", "total")
+	emit := func(bench string, st, b *stats.FrameStats, name string) {
+		d := float64(b.TotalCycles)
+		tbl.AddRow(bench, name,
+			fmt.Sprintf("%.3f", float64(st.Phase(stats.PhaseNormal))/d),
+			fmt.Sprintf("%.3f", float64(st.Phase(stats.PhaseProjection))/d),
+			fmt.Sprintf("%.3f", float64(st.Phase(stats.PhaseDistribution))/d),
+			fmt.Sprintf("%.3f", float64(st.Phase(stats.PhaseComposition))/d),
+			fmt.Sprintf("%.3f", float64(st.Phase(stats.PhaseSync))/d),
+			fmt.Sprintf("%.3f", float64(st.TotalCycles)/d))
+	}
+	for bi, bench := range opt.Benchmarks {
+		emit(bench, base[bi], base[bi], "Duplication")
+		for vi, v := range vars {
+			emit(bench, results[vi][bi], base[bi], v.name)
+		}
+	}
+	return &Result{ID: "fig14", Title: Title("fig14"), Table: tbl,
+		Notes: []string{"all columns normalized to the duplication baseline's total cycles"}}, nil
+}
+
+func fig19(opt *Options) (*Result, error) {
+	counts := []int{2, 4, 8, 16}
+	vars := fig13Variants()
+	tbl := stats.NewTable("GPUs", "GPUpd", "IdealGPUpd", "CHOPIN", "CHOPIN+CompSched", "IdealCHOPIN")
+	for _, n := range counts {
+		_, gmeans, err := speedupMatrix(opt, vars, n, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, g := range gmeans {
+			row = append(row, fmt.Sprintf("%.3f", g))
+		}
+		tbl.AddRow(row...)
+	}
+	return &Result{ID: "fig19", Title: Title("fig19"), Table: tbl,
+		Notes: []string{"gmean speedup vs duplication at the SAME GPU count; CHOPIN scales, GPUpd does not"}}, nil
+}
+
+func fig20(opt *Options) (*Result, error) {
+	bws := []float64{16, 32, 64, 128}
+	vars := fig13Variants()
+	tbl := stats.NewTable("GB/s", "GPUpd", "IdealGPUpd", "CHOPIN", "CHOPIN+CompSched", "IdealCHOPIN")
+	for _, bw := range bws {
+		bw := bw
+		_, gmeans, err := speedupMatrix(opt, vars, 8, func(c *multigpu.Config) {
+			c.Link.BytesPerCycle = bw // GB/s at 1 GHz = bytes/cycle
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%.0f", bw)}
+		for _, g := range gmeans {
+			row = append(row, fmt.Sprintf("%.3f", g))
+		}
+		tbl.AddRow(row...)
+	}
+	return &Result{ID: "fig20", Title: Title("fig20"), Table: tbl}, nil
+}
+
+func fig21(opt *Options) (*Result, error) {
+	lats := []int{100, 200, 300, 400}
+	vars := fig13Variants()
+	tbl := stats.NewTable("cycles", "GPUpd", "IdealGPUpd", "CHOPIN", "CHOPIN+CompSched", "IdealCHOPIN")
+	for _, lat := range lats {
+		lat := lat
+		_, gmeans, err := speedupMatrix(opt, vars, 8, func(c *multigpu.Config) {
+			c.Link.LatencyCycles = int64ToCycle(lat)
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", lat)}
+		for _, g := range gmeans {
+			row = append(row, fmt.Sprintf("%.3f", g))
+		}
+		tbl.AddRow(row...)
+	}
+	return &Result{ID: "fig21", Title: Title("fig21"), Table: tbl,
+		Notes: []string{"GPUpd pays the link latency once per source GPU per batch; CHOPIN's bulk transfers amortize it"}}, nil
+}

@@ -1,0 +1,221 @@
+package framebuffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chopin/internal/colorspace"
+)
+
+func TestNewDimensions(t *testing.T) {
+	b := New(1280, 1024)
+	if b.Width() != 1280 || b.Height() != 1024 {
+		t.Fatalf("dims = %d×%d", b.Width(), b.Height())
+	}
+	if b.TilesX() != 20 || b.TilesY() != 16 || b.TileCount() != 320 {
+		t.Fatalf("tiles = %d×%d (%d)", b.TilesX(), b.TilesY(), b.TileCount())
+	}
+}
+
+func TestNewPartialTiles(t *testing.T) {
+	// 640×480: 480 is not a multiple of 64 → 10×8 grid with short last row.
+	b := New(640, 480)
+	if b.TilesX() != 10 || b.TilesY() != 8 {
+		t.Fatalf("tiles = %d×%d", b.TilesX(), b.TilesY())
+	}
+	last := b.TileCount() - 1
+	if got := b.TilePixelCount(last); got != 64*(480-7*64) {
+		t.Errorf("edge tile pixels = %d", got)
+	}
+	// All tile pixel counts sum to the full screen.
+	sum := 0
+	for i := 0; i < b.TileCount(); i++ {
+		sum += b.TilePixelCount(i)
+	}
+	if sum != 640*480 {
+		t.Errorf("tile pixel sum = %d, want %d", sum, 640*480)
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero width")
+		}
+	}()
+	New(0, 100)
+}
+
+func TestClearAndPixelAccess(t *testing.T) {
+	b := New(128, 128)
+	red := colorspace.Opaque(1, 0, 0)
+	b.Clear(red, 0.5)
+	if got := b.At(64, 64); got != red {
+		t.Errorf("At after clear = %+v", got)
+	}
+	if got := b.DepthAt(0, 0); got != 0.5 {
+		t.Errorf("DepthAt after clear = %v", got)
+	}
+	blue := colorspace.Opaque(0, 0, 1)
+	b.Set(10, 20, blue)
+	b.SetDepth(10, 20, 0.25)
+	b.SetStencil(10, 20, 7)
+	if b.At(10, 20) != blue || b.DepthAt(10, 20) != 0.25 || b.StencilAt(10, 20) != 7 {
+		t.Error("pixel write/read mismatch")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	b := New(256, 256) // 4×4 tiles
+	b.ClearDirty()
+	if len(b.DirtyTiles()) != 0 {
+		t.Fatal("fresh buffer should have no dirty tiles after ClearDirty")
+	}
+	b.Set(0, 0, colorspace.Opaque(1, 1, 1))     // tile 0
+	b.Set(100, 100, colorspace.Opaque(1, 1, 1)) // tile (1,1) = 5
+	if got := b.DirtyTiles(); len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Errorf("DirtyTiles = %v", got)
+	}
+	// SetDepth alone does not dirty a tile: composition transfers are driven
+	// by colour writes, and the rasterizer always writes colour when it
+	// writes depth.
+	b.ClearDirty()
+	b.SetDepth(200, 200, 0.1)
+	if len(b.DirtyTiles()) != 0 {
+		t.Error("SetDepth should not mark dirty")
+	}
+	b.MarkDirty(3)
+	if !b.Dirty(3) {
+		t.Error("MarkDirty(3) not visible")
+	}
+}
+
+func TestTileOfAndRectRoundTrip(t *testing.T) {
+	b := New(300, 200)
+	f := func(px, py uint16) bool {
+		x := int(px) % b.Width()
+		y := int(py) % b.Height()
+		tile := b.TileOf(x, y)
+		x0, y0, x1, y1 := b.TileRect(tile)
+		return x >= x0 && x < x1 && y >= y0 && y < y1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyTileFrom(t *testing.T) {
+	src := New(128, 128)
+	dst := New(128, 128)
+	green := colorspace.Opaque(0, 1, 0)
+	src.Set(70, 70, green) // tile (1,1) = 3 in a 2×2 grid
+	src.SetDepth(70, 70, 0.3)
+	src.SetStencil(70, 70, 9)
+	tile := src.TileOf(70, 70)
+	dst.ClearDirty()
+	dst.CopyTileFrom(src, tile)
+	if dst.At(70, 70) != green || dst.DepthAt(70, 70) != 0.3 || dst.StencilAt(70, 70) != 9 {
+		t.Error("tile copy did not transfer pixel planes")
+	}
+	if !dst.Dirty(tile) {
+		t.Error("tile copy should propagate dirty flag")
+	}
+	// Pixels outside the tile are untouched.
+	if dst.At(0, 0) != (colorspace.RGBA{}) {
+		t.Error("copy leaked outside tile")
+	}
+}
+
+func TestCopyTileFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	New(64, 64).CopyTileFrom(New(128, 128), 0)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	b := New(64, 64)
+	b.Set(1, 1, colorspace.Opaque(1, 0, 0))
+	c := b.Clone()
+	if !c.Equal(b, 0) {
+		t.Fatal("clone differs from original")
+	}
+	c.Set(2, 2, colorspace.Opaque(0, 1, 0))
+	if b.At(2, 2) == c.At(2, 2) {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestEqualAndDiffCount(t *testing.T) {
+	a := New(32, 32)
+	b := New(32, 32)
+	if !a.Equal(b, 0) {
+		t.Fatal("fresh buffers should be equal")
+	}
+	b.Set(5, 5, colorspace.Opaque(1, 1, 1))
+	if a.Equal(b, 0) {
+		t.Error("buffers should differ")
+	}
+	if got := a.DiffCount(b, 1e-9); got != 1 {
+		t.Errorf("DiffCount = %d, want 1", got)
+	}
+	if a.Equal(New(64, 64), 0) {
+		t.Error("different dimensions should not be equal")
+	}
+}
+
+func TestChecksumStable(t *testing.T) {
+	a := New(32, 32)
+	b := New(32, 32)
+	if a.Checksum() != b.Checksum() {
+		t.Error("identical buffers should checksum equal")
+	}
+	b.Set(0, 0, colorspace.Opaque(1, 0, 0))
+	if a.Checksum() == b.Checksum() {
+		t.Error("differing buffers should checksum differently")
+	}
+}
+
+func TestOwnerInterleaving(t *testing.T) {
+	// Tiles 0..7 with 4 GPUs: owners cycle 0,1,2,3,0,1,2,3.
+	for tile := 0; tile < 8; tile++ {
+		if got := OwnerOf(tile, 4); got != tile%4 {
+			t.Errorf("OwnerOf(%d, 4) = %d", tile, got)
+		}
+	}
+}
+
+func TestOwnedTilesPartition(t *testing.T) {
+	const tilesX, tilesY, n = 20, 16, 8
+	seen := make([]int, tilesX*tilesY)
+	total := 0
+	for gpu := 0; gpu < n; gpu++ {
+		tiles := OwnedTiles(tilesX, tilesY, n, gpu)
+		for _, tl := range tiles {
+			if OwnerOf(tl, n) != gpu {
+				t.Fatalf("tile %d listed for gpu %d but owned by %d", tl, gpu, OwnerOf(tl, n))
+			}
+			seen[tl]++
+		}
+		total += len(tiles)
+	}
+	if total != tilesX*tilesY {
+		t.Fatalf("partition covers %d tiles, want %d", total, tilesX*tilesY)
+	}
+	for tl, c := range seen {
+		if c != 1 {
+			t.Fatalf("tile %d covered %d times", tl, c)
+		}
+	}
+}
+
+func TestOwnerOfPanicsOnZeroGPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for numGPUs=0")
+		}
+	}()
+	OwnerOf(0, 0)
+}

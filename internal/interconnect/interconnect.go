@@ -1,0 +1,235 @@
+// Package interconnect models the inter-GPU link fabric: point-to-point
+// connections between GPU pairs in the style of NVLink/NVSwitch systems
+// (paper Section V), with finite per-GPU bandwidth, fixed latency, and the
+// head-of-line blocking behaviour that makes naive direct-send composition
+// congest (paper Sections II-D and IV-E).
+//
+// Each GPU has one egress port and one ingress port. Bulk data transfers
+// queue FIFO at the source's egress port; the head transfer may only start
+// when the destination is accepting bulk data (set by the GPU model: a GPU
+// still rendering its draw commands does not accept composition traffic).
+// A blocked head therefore blocks everything behind it — exactly the
+// congestion CHOPIN's composition scheduler exists to avoid.
+//
+// Small control messages (scheduler updates and notifications) bypass the
+// ports: they are delivered after the link latency and accounted separately,
+// matching the paper's observation that scheduler traffic is negligible
+// (Section VI-D).
+package interconnect
+
+import (
+	"fmt"
+
+	"chopin/internal/sim"
+)
+
+// Class tags a transfer for traffic accounting.
+type Class uint8
+
+const (
+	// ClassComposition is sub-image pixel data exchanged during image
+	// composition.
+	ClassComposition Class = iota
+	// ClassPrimDist is primitive-ID data exchanged by sort-first schemes
+	// (GPUpd's distribution phase).
+	ClassPrimDist
+	// ClassSync is render-target/depth-buffer broadcast data at
+	// memory-consistency synchronization points.
+	ClassSync
+	// ClassControl is small scheduler control traffic.
+	ClassControl
+
+	numClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassComposition:
+		return "composition"
+	case ClassPrimDist:
+		return "primdist"
+	case ClassSync:
+		return "sync"
+	case ClassControl:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
+// Config sets the fabric's performance parameters.
+type Config struct {
+	// BytesPerCycle is the uni-directional bandwidth of each port. The
+	// paper's default is 64 GB/s at 1 GHz = 64 bytes/cycle.
+	BytesPerCycle float64
+	// LatencyCycles is the point-to-point link latency (default 200).
+	LatencyCycles sim.Cycle
+	// Ideal makes every transfer instantaneous and unconstrained, the
+	// idealization used for IdealGPUpd and IdealCHOPIN (Section V).
+	Ideal bool
+}
+
+// DefaultConfig returns the paper's Table II link configuration.
+func DefaultConfig() Config {
+	return Config{BytesPerCycle: 64, LatencyCycles: 200}
+}
+
+// Stats accumulates fabric traffic by class.
+type Stats struct {
+	Bytes    [numClasses]int64
+	Messages [numClasses]int64
+}
+
+// BytesFor returns the bytes transferred under class c.
+func (s *Stats) BytesFor(c Class) int64 { return s.Bytes[c] }
+
+// MessagesFor returns the message count under class c.
+func (s *Stats) MessagesFor(c Class) int64 { return s.Messages[c] }
+
+// TotalBytes returns all bytes across classes.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.Bytes {
+		t += b
+	}
+	return t
+}
+
+type message struct {
+	src, dst    int
+	bytes       int64
+	class       Class
+	onDelivered func()
+}
+
+// Fabric is the inter-GPU network.
+type Fabric struct {
+	eng *sim.Engine
+	cfg Config
+	n   int
+
+	sending     []bool
+	egressQueue [][]message
+	ingressFree []sim.Cycle
+	accept      []bool
+
+	stats Stats
+}
+
+// New returns a fabric connecting n GPUs. All GPUs initially accept bulk
+// data.
+func New(eng *sim.Engine, n int, cfg Config) *Fabric {
+	if n <= 0 {
+		panic(fmt.Sprintf("interconnect: invalid GPU count %d", n))
+	}
+	if !cfg.Ideal && cfg.BytesPerCycle <= 0 {
+		panic("interconnect: BytesPerCycle must be positive")
+	}
+	f := &Fabric{
+		eng:         eng,
+		cfg:         cfg,
+		n:           n,
+		sending:     make([]bool, n),
+		egressQueue: make([][]message, n),
+		ingressFree: make([]sim.Cycle, n),
+		accept:      make([]bool, n),
+	}
+	for i := range f.accept {
+		f.accept[i] = true
+	}
+	return f
+}
+
+// Stats returns the accumulated traffic statistics.
+func (f *Fabric) Stats() *Stats { return &f.stats }
+
+// SetAccept marks whether gpu is accepting bulk data transfers. Flipping a
+// GPU to accepting retries any egress heads blocked on it.
+func (f *Fabric) SetAccept(gpu int, ok bool) {
+	was := f.accept[gpu]
+	f.accept[gpu] = ok
+	if ok && !was {
+		for src := 0; src < f.n; src++ {
+			f.tryStart(src)
+		}
+	}
+}
+
+// Send queues a bulk transfer of the given size from src to dst and invokes
+// onDelivered (which may be nil) when the last byte has drained at the
+// destination. Transfers from the same source are serviced FIFO.
+func (f *Fabric) Send(src, dst int, bytes int64, class Class, onDelivered func()) {
+	if src == dst {
+		panic("interconnect: self-send")
+	}
+	f.stats.Bytes[class] += bytes
+	f.stats.Messages[class]++
+	if f.cfg.Ideal {
+		f.eng.After(0, func() {
+			if onDelivered != nil {
+				onDelivered()
+			}
+		})
+		return
+	}
+	f.egressQueue[src] = append(f.egressQueue[src], message{src, dst, bytes, class, onDelivered})
+	f.tryStart(src)
+}
+
+// SendControl delivers a small control message after the link latency,
+// without consuming port bandwidth.
+func (f *Fabric) SendControl(src, dst int, bytes int64, fn func()) {
+	f.stats.Bytes[ClassControl] += bytes
+	f.stats.Messages[ClassControl]++
+	lat := f.cfg.LatencyCycles
+	if f.cfg.Ideal {
+		lat = 0
+	}
+	f.eng.After(lat, func() {
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// tryStart begins transmitting the head of src's egress queue if the egress
+// port is free and the destination is accepting.
+func (f *Fabric) tryStart(src int) {
+	if f.sending[src] || len(f.egressQueue[src]) == 0 {
+		return
+	}
+	m := f.egressQueue[src][0]
+	if !f.accept[m.dst] {
+		return // head-of-line blocked until the destination accepts
+	}
+	f.egressQueue[src] = f.egressQueue[src][1:]
+	f.sending[src] = true
+
+	tx := sim.Cycle(float64(m.bytes)/f.cfg.BytesPerCycle + 0.999999)
+	if tx < 1 {
+		tx = 1
+	}
+	// Egress port frees when the last byte leaves.
+	f.eng.After(tx, func() {
+		f.sending[src] = false
+		f.tryStart(src)
+	})
+	// Cut-through delivery: last byte arrives latency cycles after it was
+	// sent; the ingress port serializes concurrent arrivals.
+	arrive := f.eng.Now() + tx + f.cfg.LatencyCycles
+	recvDone := arrive
+	if drainFree := f.ingressFree[m.dst] + tx; drainFree > recvDone {
+		recvDone = drainFree
+	}
+	f.ingressFree[m.dst] = recvDone
+	f.eng.At(recvDone, func() {
+		if m.onDelivered != nil {
+			m.onDelivered()
+		}
+	})
+}
+
+// QueuedAt returns the number of bulk transfers waiting at src's egress port
+// (excluding one in flight), for tests and diagnostics.
+func (f *Fabric) QueuedAt(src int) int { return len(f.egressQueue[src]) }

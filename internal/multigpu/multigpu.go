@@ -1,0 +1,155 @@
+// Package multigpu assembles the simulated system: N GPUs (paper Table II),
+// the inter-GPU link fabric, the split-frame screen ownership, and the
+// consistency-synchronization machinery shared by all SFR schemes.
+//
+// The system presents itself to a rendering scheme as a set of GPU timing
+// models plus a fabric; schemes (package sfr) orchestrate who renders what
+// and how sub-images are exchanged.
+package multigpu
+
+import (
+	"fmt"
+
+	"chopin/internal/framebuffer"
+	"chopin/internal/gpu"
+	"chopin/internal/interconnect"
+	"chopin/internal/raster"
+	"chopin/internal/sim"
+)
+
+// Config is the simulated architecture configuration (paper Table II plus
+// the scheme parameters the sensitivity studies sweep).
+type Config struct {
+	// NumGPUs is the GPU count (Table II default: 8).
+	NumGPUs int
+	// Costs is the per-GPU pipeline cost model (8 SMs + 8 ROPs per GPU
+	// folded into aggregate rates).
+	Costs gpu.CostConfig
+	// Raster configures the functional rasterizer (early-Z and the Fig. 16
+	// retention knob).
+	Raster raster.Config
+	// Link configures the inter-GPU fabric (64 GB/s, 200 cycles default).
+	Link interconnect.Config
+
+	// GroupThreshold is the composition-group primitive threshold below
+	// which CHOPIN reverts to duplication (Table II default: 4096).
+	GroupThreshold int
+	// SchedulerQuantum is the draw-command scheduler's update interval in
+	// triangles (Fig. 18; default 1 = per-triangle updates).
+	SchedulerQuantum int
+	// UseCompScheduler enables CHOPIN's image-composition scheduler.
+	UseCompScheduler bool
+	// DriverCyclesPerDraw is the command-processor cost of issuing one draw.
+	DriverCyclesPerDraw float64
+	// BatchSize is GPUpd's primitive batch size for the batching/runahead
+	// optimizations. Small batches keep the order-preserving exchange
+	// fine-grained (GPUpd distributes primitive IDs in arrival order), at
+	// the cost of paying the link latency once per source GPU per batch —
+	// the sequential bottleneck of paper Fig. 4.
+	BatchSize int
+	// RecordPerDraw enables per-draw timing capture (Fig. 9).
+	RecordPerDraw bool
+}
+
+// DefaultConfig returns the paper's Table II system.
+func DefaultConfig() Config {
+	return Config{
+		NumGPUs:             8,
+		Costs:               gpu.DefaultCosts(),
+		Raster:              raster.DefaultConfig(),
+		Link:                interconnect.DefaultConfig(),
+		GroupThreshold:      4096,
+		SchedulerQuantum:    1,
+		UseCompScheduler:    true,
+		DriverCyclesPerDraw: 50,
+		BatchSize:           192,
+	}
+}
+
+// System is an N-GPU rendering system for one simulated frame.
+type System struct {
+	Cfg    Config
+	Eng    *sim.Engine
+	Fabric *interconnect.Fabric
+	GPUs   []*gpu.GPU
+
+	width, height int
+	tileCount     int
+	masks         [][]bool
+}
+
+// New builds a system for a width×height screen.
+func New(cfg Config, width, height int) *System {
+	if cfg.NumGPUs <= 0 {
+		panic(fmt.Sprintf("multigpu: invalid GPU count %d", cfg.NumGPUs))
+	}
+	eng := sim.New()
+	s := &System{
+		Cfg:    cfg,
+		Eng:    eng,
+		Fabric: interconnect.New(eng, cfg.NumGPUs, cfg.Link),
+		width:  width,
+		height: height,
+	}
+	for i := 0; i < cfg.NumGPUs; i++ {
+		s.GPUs = append(s.GPUs, gpu.New(i, eng, cfg.Costs, width, height, cfg.Raster))
+	}
+	s.tileCount = s.GPUs[0].Target(0).TileCount()
+	s.masks = make([][]bool, cfg.NumGPUs)
+	for g := 0; g < cfg.NumGPUs; g++ {
+		mask := make([]bool, s.tileCount)
+		for t := g; t < s.tileCount; t += cfg.NumGPUs {
+			mask[t] = true
+		}
+		s.masks[g] = mask
+	}
+	return s
+}
+
+// Width and Height return the screen dimensions.
+func (s *System) Width() int { return s.width }
+
+// Height returns the screen height in pixels.
+func (s *System) Height() int { return s.height }
+
+// TileCount returns the number of screen tiles.
+func (s *System) TileCount() int { return s.tileCount }
+
+// Owner returns the GPU owning tile t under the round-robin interleave.
+func (s *System) Owner(t int) int { return framebuffer.OwnerOf(t, s.Cfg.NumGPUs) }
+
+// Mask returns gpu g's tile-ownership mask (shared; do not mutate).
+func (s *System) Mask(g int) []bool { return s.masks[g] }
+
+// OwnedDirtyTiles returns the tiles of src's render target rt that are dirty
+// and owned by owner — the pixels a composition transfer to owner carries.
+func (s *System) OwnedDirtyTiles(src *gpu.GPU, rt, owner int) []int {
+	fb := src.Target(rt)
+	var tiles []int
+	for t := owner; t < s.tileCount; t += s.Cfg.NumGPUs {
+		if fb.Dirty(t) {
+			tiles = append(tiles, t)
+		}
+	}
+	return tiles
+}
+
+// PixelCount sums the pixels of the given tiles of a screen-sized buffer.
+func (s *System) PixelCount(tiles []int) int {
+	fb := s.GPUs[0].Target(0)
+	px := 0
+	for _, t := range tiles {
+		px += fb.TilePixelCount(t)
+	}
+	return px
+}
+
+// AssembleImage gathers every GPU's owned tiles of render target rt into a
+// single display image — what the display engine would scan out.
+func (s *System) AssembleImage(rt int) *framebuffer.Buffer {
+	out := framebuffer.New(s.width, s.height)
+	for t := 0; t < s.tileCount; t++ {
+		out.CopyTileFrom(s.GPUs[s.Owner(t)].Target(rt), t)
+	}
+	return out
+}

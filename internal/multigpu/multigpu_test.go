@@ -1,0 +1,125 @@
+package multigpu
+
+import (
+	"testing"
+
+	"chopin/internal/colorspace"
+)
+
+func TestDefaultConfigMatchesTable2(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NumGPUs != 8 {
+		t.Errorf("NumGPUs = %d", cfg.NumGPUs)
+	}
+	if cfg.GroupThreshold != 4096 {
+		t.Errorf("GroupThreshold = %d", cfg.GroupThreshold)
+	}
+	if cfg.Link.BytesPerCycle != 64 || cfg.Link.LatencyCycles != 200 {
+		t.Errorf("link = %+v", cfg.Link)
+	}
+	if !cfg.UseCompScheduler || cfg.SchedulerQuantum != 1 {
+		t.Errorf("scheduler config = %+v", cfg)
+	}
+}
+
+func TestNewSystemLayout(t *testing.T) {
+	sys := New(DefaultConfig(), 1280, 1024)
+	if len(sys.GPUs) != 8 {
+		t.Fatalf("GPUs = %d", len(sys.GPUs))
+	}
+	if sys.Width() != 1280 || sys.Height() != 1024 {
+		t.Errorf("dims = %dx%d", sys.Width(), sys.Height())
+	}
+	if sys.TileCount() != 320 {
+		t.Errorf("tiles = %d", sys.TileCount())
+	}
+}
+
+func TestMasksPartitionScreen(t *testing.T) {
+	sys := New(DefaultConfig(), 640, 480)
+	owned := make([]int, sys.TileCount())
+	for g := 0; g < 8; g++ {
+		mask := sys.Mask(g)
+		if len(mask) != sys.TileCount() {
+			t.Fatalf("mask length = %d", len(mask))
+		}
+		for tl, own := range mask {
+			if own {
+				owned[tl]++
+				if sys.Owner(tl) != g {
+					t.Fatalf("tile %d in mask of %d but owned by %d", tl, g, sys.Owner(tl))
+				}
+			}
+		}
+	}
+	for tl, c := range owned {
+		if c != 1 {
+			t.Fatalf("tile %d covered %d times", tl, c)
+		}
+	}
+}
+
+func TestOwnedDirtyTiles(t *testing.T) {
+	sys := New(DefaultConfig(), 640, 480)
+	g := sys.GPUs[0]
+	fb := g.Target(0)
+	fb.ClearDirty()
+	fb.MarkDirty(8)  // owned by GPU 0 (8 % 8)
+	fb.MarkDirty(9)  // owned by GPU 1
+	fb.MarkDirty(16) // owned by GPU 0
+	tiles := sys.OwnedDirtyTiles(g, 0, 0)
+	if len(tiles) != 2 || tiles[0] != 8 || tiles[1] != 16 {
+		t.Errorf("tiles = %v", tiles)
+	}
+	tiles = sys.OwnedDirtyTiles(g, 0, 1)
+	if len(tiles) != 1 || tiles[0] != 9 {
+		t.Errorf("tiles = %v", tiles)
+	}
+}
+
+func TestPixelCount(t *testing.T) {
+	sys := New(DefaultConfig(), 640, 480)
+	// Tile 0 is full 64x64; the bottom-right tile is 64x(480-7*64)=64x32.
+	if got := sys.PixelCount([]int{0}); got != 64*64 {
+		t.Errorf("PixelCount(0) = %d", got)
+	}
+	last := sys.TileCount() - 1
+	if got := sys.PixelCount([]int{0, last}); got != 64*64+64*32 {
+		t.Errorf("PixelCount(0,last) = %d", got)
+	}
+	if got := sys.PixelCount(nil); got != 0 {
+		t.Errorf("PixelCount(nil) = %d", got)
+	}
+}
+
+func TestAssembleImagePicksOwners(t *testing.T) {
+	sys := New(DefaultConfig(), 256, 128) // 4x2 tiles, owners 0..7
+	red := colorspace.Opaque(1, 0, 0)
+	// Each GPU paints a pixel in a tile it owns and one it does not.
+	for g, gp := range sys.GPUs {
+		fb := gp.Target(0)
+		x0, y0, _, _ := fb.TileRect(g)
+		fb.Set(x0, y0, red) // owned tile g
+		other := (g + 1) % 8
+		x1, y1, _, _ := fb.TileRect(other)
+		fb.Set(x1, y1, colorspace.Opaque(0, 1, 0)) // not owned
+	}
+	img := sys.AssembleImage(0)
+	for tl := 0; tl < sys.TileCount(); tl++ {
+		x, y, _, _ := img.TileRect(tl)
+		if img.At(x, y) != red {
+			t.Errorf("tile %d corner = %+v, want owner's red", tl, img.At(x, y))
+		}
+	}
+}
+
+func TestNewPanicsOnZeroGPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.NumGPUs = 0
+	New(cfg, 64, 64)
+}

@@ -1,0 +1,201 @@
+// Package primitive defines the data the graphics pipeline consumes —
+// vertices, triangles, draw commands and render state — plus the
+// composition-group builder that implements the five group-boundary events
+// of the paper's Section IV-A.
+//
+// A frame is an ordered list of draw commands (Immediate Mode Rendering:
+// draws cannot be reordered). Each draw carries the render state it executes
+// under; state *changes* between adjacent draws are what create
+// composition-group boundaries.
+package primitive
+
+import (
+	"chopin/internal/colorspace"
+	"chopin/internal/texture"
+	"chopin/internal/vecmath"
+)
+
+// Vertex is a single mesh vertex in object space with a premultiplied-alpha
+// colour attribute and a texture coordinate.
+type Vertex struct {
+	Position vecmath.Vec3
+	Color    colorspace.RGBA
+	// UV is the normalized texture coordinate (used when the draw binds a
+	// texture; interpolated perspective-correctly).
+	UV vecmath.Vec2
+}
+
+// Triangle is three vertices in winding order.
+type Triangle struct {
+	V [3]Vertex
+}
+
+// RenderState is the pipeline state a draw command executes under. The
+// fields mirror the state changes that force composition-group boundaries in
+// Section IV-A of the paper.
+type RenderState struct {
+	// RenderTarget identifies the colour buffer being drawn to
+	// (0 is the framebuffer; higher values are intermediate render targets).
+	// A change is boundary Event 2.
+	RenderTarget int
+	// DepthBuffer identifies the depth buffer in use. A change is boundary
+	// Event 2.
+	DepthBuffer int
+	// DepthWrite enables updates to the depth buffer. A toggle is boundary
+	// Event 3.
+	DepthWrite bool
+	// DepthFunc is the fragment occlusion-test comparison. A change is
+	// boundary Event 4.
+	DepthFunc colorspace.CompareFunc
+	// BlendOp is the pixel composition operator. A change is boundary
+	// Event 5. BlendNone means opaque (replace) rendering.
+	BlendOp colorspace.BlendOp
+}
+
+// DefaultState is the state most opaque draws run under: framebuffer target,
+// depth writes on, less-than depth test, no blending.
+func DefaultState() RenderState {
+	return RenderState{
+		DepthWrite: true,
+		DepthFunc:  colorspace.CmpLess,
+		BlendOp:    colorspace.BlendNone,
+	}
+}
+
+// Transparent reports whether the state blends fragments with the existing
+// contents rather than replacing them — the property that forces ordered
+// (though associative) composition.
+func (s RenderState) Transparent() bool { return s.BlendOp != colorspace.BlendNone }
+
+// DrawCommand is one draw call: a triangle list, its model transform, the
+// render state it runs under, and per-draw shader cost factors the timing
+// model uses.
+type DrawCommand struct {
+	// ID is the draw's position in the frame's command stream.
+	ID int
+	// Tris is the triangle list in input order.
+	Tris []Triangle
+	// Model is the object-to-world transform.
+	Model vecmath.Mat4
+	// State is the render state for this draw.
+	State RenderState
+	// VertexCost scales the per-vertex shader cycles for this draw
+	// (1.0 = the pipeline's base vertex-shader cost).
+	VertexCost float64
+	// PixelCost scales the per-fragment shader cycles for this draw.
+	PixelCost float64
+	// TextureID binds a texture from the frame's texture table (0 = none;
+	// valid IDs start at 1). Textured fragments modulate the interpolated
+	// vertex colour with the bilinear texture sample.
+	TextureID int
+}
+
+// TriangleCount returns the number of triangles in the draw.
+func (d DrawCommand) TriangleCount() int { return len(d.Tris) }
+
+// VertexCount returns the number of vertices the geometry stage processes.
+// Triangle lists are not indexed in this model, so it is 3 per triangle.
+func (d DrawCommand) VertexCount() int { return 3 * len(d.Tris) }
+
+// Transparent reports whether the draw blends with existing pixels.
+func (d DrawCommand) Transparent() bool { return d.State.Transparent() }
+
+// Frame is a complete single-frame workload: the command stream plus the
+// camera and screen configuration shared by every draw.
+type Frame struct {
+	// Draws is the ordered command stream (IMR order).
+	Draws []DrawCommand
+	// View and Proj are the camera transforms applied by the vertex shader.
+	View, Proj vecmath.Mat4
+	// Width and Height are the screen resolution in pixels.
+	Width, Height int
+	// Textures is the frame's texture table; DrawCommand.TextureID indexes
+	// it 1-based (Textures[id-1]).
+	Textures []*texture.Texture
+}
+
+// Texture resolves a draw's bound texture from the frame's table, or nil.
+func (f *Frame) Texture(id int) *texture.Texture {
+	if id <= 0 || id > len(f.Textures) {
+		return nil
+	}
+	return f.Textures[id-1]
+}
+
+// TriangleCount returns the total triangles across all draws.
+func (f *Frame) TriangleCount() int {
+	n := 0
+	for i := range f.Draws {
+		n += f.Draws[i].TriangleCount()
+	}
+	return n
+}
+
+// Group is a composition group: a contiguous range of draw commands that can
+// be distributed across GPUs and composed at the end (Section IV-A). Start
+// and End delimit the half-open draw-index range [Start, End).
+type Group struct {
+	Start, End int
+	// Transparent reports whether the group's draws blend; a group is either
+	// all-opaque or all-transparent because blend-operator changes force
+	// boundaries.
+	Transparent bool
+	// BlendOp is the (single) blend operator of a transparent group.
+	BlendOp colorspace.BlendOp
+	// Triangles is the total triangle count of the group, the quantity the
+	// threshold check of Fig. 7 consults.
+	Triangles int
+}
+
+// Len returns the number of draw commands in the group.
+func (g Group) Len() int { return g.End - g.Start }
+
+// Boundary reports whether a composition-group boundary must be inserted
+// between two adjacent draw commands, and which of the paper's five events
+// triggered it (0 if none). Event 1 (frame swap) never occurs inside a
+// frame's draw list and is handled by the per-frame structure.
+func Boundary(prev, next *RenderState) (event int) {
+	switch {
+	case prev.RenderTarget != next.RenderTarget || prev.DepthBuffer != next.DepthBuffer:
+		return 2
+	case prev.DepthWrite != next.DepthWrite:
+		return 3
+	case prev.DepthFunc != next.DepthFunc:
+		return 4
+	case prev.BlendOp != next.BlendOp:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// BuildGroups splits a frame's draw stream into composition groups by
+// greedily extending each group until one of the boundary events fires,
+// exactly the IMR grouping of Section IV-A.
+func BuildGroups(draws []DrawCommand) []Group {
+	if len(draws) == 0 {
+		return nil
+	}
+	var groups []Group
+	cur := Group{
+		Start:       0,
+		Transparent: draws[0].Transparent(),
+		BlendOp:     draws[0].State.BlendOp,
+		Triangles:   draws[0].TriangleCount(),
+	}
+	for i := 1; i < len(draws); i++ {
+		if Boundary(&draws[i-1].State, &draws[i].State) != 0 {
+			cur.End = i
+			groups = append(groups, cur)
+			cur = Group{
+				Start:       i,
+				Transparent: draws[i].Transparent(),
+				BlendOp:     draws[i].State.BlendOp,
+			}
+		}
+		cur.Triangles += draws[i].TriangleCount()
+	}
+	cur.End = len(draws)
+	groups = append(groups, cur)
+	return groups
+}

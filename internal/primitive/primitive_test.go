@@ -1,0 +1,223 @@
+package primitive
+
+import (
+	"math/rand"
+	"testing"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/vecmath"
+)
+
+func opaqueDraw(id, tris int) DrawCommand {
+	return DrawCommand{
+		ID:    id,
+		Tris:  make([]Triangle, tris),
+		Model: vecmath.Identity(),
+		State: DefaultState(),
+	}
+}
+
+func transparentDraw(id, tris int) DrawCommand {
+	d := opaqueDraw(id, tris)
+	d.State.BlendOp = colorspace.BlendOver
+	d.State.DepthWrite = false
+	return d
+}
+
+func TestDrawCounts(t *testing.T) {
+	d := opaqueDraw(0, 7)
+	if d.TriangleCount() != 7 || d.VertexCount() != 21 {
+		t.Errorf("counts = %d tris, %d verts", d.TriangleCount(), d.VertexCount())
+	}
+	if d.Transparent() {
+		t.Error("opaque draw reported transparent")
+	}
+	if !transparentDraw(1, 1).Transparent() {
+		t.Error("blend-over draw should be transparent")
+	}
+}
+
+func TestFrameTriangleCount(t *testing.T) {
+	f := Frame{Draws: []DrawCommand{opaqueDraw(0, 3), opaqueDraw(1, 4)}}
+	if f.TriangleCount() != 7 {
+		t.Errorf("frame triangles = %d", f.TriangleCount())
+	}
+}
+
+func TestBoundaryEvents(t *testing.T) {
+	base := DefaultState()
+
+	rt := base
+	rt.RenderTarget = 1
+	db := base
+	db.DepthBuffer = 2
+	dw := base
+	dw.DepthWrite = false
+	df := base
+	df.DepthFunc = colorspace.CmpGreater
+	bo := base
+	bo.BlendOp = colorspace.BlendOver
+
+	cases := []struct {
+		name      string
+		prev, nxt RenderState
+		want      int
+	}{
+		{"no change", base, base, 0},
+		{"render target switch", base, rt, 2},
+		{"depth buffer switch", base, db, 2},
+		{"depth write toggle", base, dw, 3},
+		{"depth func change", base, df, 4},
+		{"blend op change", base, bo, 5},
+	}
+	for _, c := range cases {
+		if got := Boundary(&c.prev, &c.nxt); got != c.want {
+			t.Errorf("%s: Boundary = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBoundaryEventPriority(t *testing.T) {
+	// When several state fields change at once the render-target event (2)
+	// dominates — any single event is enough to split, so priority only
+	// affects reporting.
+	a := DefaultState()
+	b := RenderState{RenderTarget: 1, DepthWrite: false, DepthFunc: colorspace.CmpGreater, BlendOp: colorspace.BlendAdd}
+	if got := Boundary(&a, &b); got != 2 {
+		t.Errorf("Boundary = %d, want 2", got)
+	}
+}
+
+func TestBuildGroupsEmpty(t *testing.T) {
+	if got := BuildGroups(nil); got != nil {
+		t.Errorf("BuildGroups(nil) = %v", got)
+	}
+}
+
+func TestBuildGroupsSingleGroup(t *testing.T) {
+	draws := []DrawCommand{opaqueDraw(0, 10), opaqueDraw(1, 20), opaqueDraw(2, 30)}
+	groups := BuildGroups(draws)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	g := groups[0]
+	if g.Start != 0 || g.End != 3 || g.Triangles != 60 || g.Transparent {
+		t.Errorf("group = %+v", g)
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestBuildGroupsSplitsOnTransparency(t *testing.T) {
+	draws := []DrawCommand{
+		opaqueDraw(0, 10),
+		opaqueDraw(1, 10),
+		transparentDraw(2, 5),
+		transparentDraw(3, 5),
+		opaqueDraw(4, 10),
+	}
+	groups := BuildGroups(draws)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3: %+v", len(groups), groups)
+	}
+	if groups[0].Transparent || !groups[1].Transparent || groups[2].Transparent {
+		t.Errorf("transparency flags wrong: %+v", groups)
+	}
+	if groups[1].BlendOp != colorspace.BlendOver {
+		t.Errorf("group blend op = %v", groups[1].BlendOp)
+	}
+	if groups[0].Triangles != 20 || groups[1].Triangles != 10 || groups[2].Triangles != 10 {
+		t.Errorf("triangle counts: %+v", groups)
+	}
+}
+
+func TestBuildGroupsSplitsOnEveryEvent(t *testing.T) {
+	mk := func(mod func(*RenderState)) DrawCommand {
+		d := opaqueDraw(0, 1)
+		mod(&d.State)
+		return d
+	}
+	draws := []DrawCommand{
+		opaqueDraw(0, 1),
+		mk(func(s *RenderState) { s.RenderTarget = 1 }),                                                           // event 2
+		mk(func(s *RenderState) { s.RenderTarget = 1; s.DepthWrite = false }),                                     // event 3
+		mk(func(s *RenderState) { s.RenderTarget = 1; s.DepthWrite = false; s.DepthFunc = colorspace.CmpAlways }), // event 4
+		mk(func(s *RenderState) {
+			s.RenderTarget = 1
+			s.DepthWrite = false
+			s.DepthFunc = colorspace.CmpAlways
+			s.BlendOp = colorspace.BlendAdd
+		}), // event 5
+	}
+	groups := BuildGroups(draws)
+	if len(groups) != 5 {
+		t.Fatalf("groups = %d, want 5: %+v", len(groups), groups)
+	}
+}
+
+// TestBuildGroupsPartition checks the structural invariants for random
+// streams: groups tile the draw list exactly, blend state is uniform within
+// each group, and triangle totals are preserved.
+func TestBuildGroupsPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		draws := make([]DrawCommand, n)
+		for i := range draws {
+			d := opaqueDraw(i, 1+r.Intn(100))
+			switch r.Intn(5) {
+			case 0:
+				d.State.BlendOp = colorspace.BlendOver
+			case 1:
+				d.State.RenderTarget = r.Intn(3)
+			case 2:
+				d.State.DepthWrite = false
+			}
+			draws[i] = d
+		}
+		groups := BuildGroups(draws)
+		pos := 0
+		tris := 0
+		for _, g := range groups {
+			if g.Start != pos {
+				t.Fatalf("trial %d: group starts at %d, want %d", trial, g.Start, pos)
+			}
+			if g.End <= g.Start {
+				t.Fatalf("trial %d: empty group %+v", trial, g)
+			}
+			wantTris := 0
+			for i := g.Start; i < g.End; i++ {
+				if draws[i].Transparent() != g.Transparent {
+					t.Fatalf("trial %d: draw %d transparency differs from group", trial, i)
+				}
+				if g.Transparent && draws[i].State.BlendOp != g.BlendOp {
+					t.Fatalf("trial %d: mixed blend op inside group", trial)
+				}
+				wantTris += draws[i].TriangleCount()
+			}
+			if g.Triangles != wantTris {
+				t.Fatalf("trial %d: group triangles = %d, want %d", trial, g.Triangles, wantTris)
+			}
+			pos = g.End
+			tris += g.Triangles
+		}
+		if pos != n {
+			t.Fatalf("trial %d: groups end at %d, want %d", trial, pos, n)
+		}
+		var whole Frame
+		whole.Draws = draws
+		if tris != whole.TriangleCount() {
+			t.Fatalf("trial %d: triangle totals differ", trial)
+		}
+	}
+}
+
+func TestBuildGroupsAdjacentSameStateMerge(t *testing.T) {
+	// Two adjacent draws with identical state never split.
+	draws := []DrawCommand{transparentDraw(0, 1), transparentDraw(1, 2)}
+	groups := BuildGroups(draws)
+	if len(groups) != 1 || !groups[0].Transparent || groups[0].Triangles != 3 {
+		t.Errorf("groups = %+v", groups)
+	}
+}

@@ -1,0 +1,103 @@
+package raster
+
+import (
+	"testing"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/framebuffer"
+	"chopin/internal/primitive"
+	"chopin/internal/texture"
+	"chopin/internal/vecmath"
+)
+
+// texturedQuad builds a full-target quad with standard UVs bound to the
+// given texture ID.
+func texturedQuad(texID int, w, h float64) primitive.DrawCommand {
+	c := colorspace.Opaque(1, 1, 1)
+	v := func(x, y, u, vv float64) primitive.Vertex {
+		return primitive.Vertex{
+			Position: vecmath.Vec3{X: x, Y: y, Z: -5},
+			Color:    c,
+			UV:       vecmath.Vec2{X: u, Y: vv},
+		}
+	}
+	return primitive.DrawCommand{
+		Tris: []primitive.Triangle{
+			{V: [3]primitive.Vertex{v(0, 0, 0, 0), v(w, 0, 1, 0), v(w, h, 1, 1)}},
+			{V: [3]primitive.Vertex{v(0, 0, 0, 0), v(w, h, 1, 1), v(0, h, 0, 1)}},
+		},
+		Model:     vecmath.Identity(),
+		State:     primitive.DefaultState(),
+		TextureID: texID,
+	}
+}
+
+func TestTexturedDrawModulates(t *testing.T) {
+	const w, h = 64, 64
+	fb := framebuffer.New(w, h)
+	r := New(fb, DefaultConfig())
+	// A texture that is solid green: modulating white vertices gives green.
+	texels := make([]colorspace.RGBA, 16*16)
+	for i := range texels {
+		texels[i] = colorspace.Opaque(0, 1, 0)
+	}
+	r.SetTextures([]*texture.Texture{texture.New("green", 16, 16, texels)})
+
+	view := vecmath.Identity()
+	proj := vecmath.Orthographic(0, w, h, 0, 1, 10)
+	res := r.Draw(texturedQuad(1, w, h), view, proj)
+
+	if res.TexSamples != w*h {
+		t.Errorf("TexSamples = %d, want %d", res.TexSamples, w*h)
+	}
+	if got := fb.At(32, 32); !got.ApproxEqual(colorspace.Opaque(0, 1, 0), 1e-9) {
+		t.Errorf("textured pixel = %+v, want green", got)
+	}
+}
+
+func TestUntexturedDrawNoSamples(t *testing.T) {
+	const w, h = 16, 16
+	fb := framebuffer.New(w, h)
+	r := New(fb, DefaultConfig())
+	view := vecmath.Identity()
+	proj := vecmath.Orthographic(0, w, h, 0, 1, 10)
+	res := r.Draw(texturedQuad(0, w, h), view, proj)
+	if res.TexSamples != 0 {
+		t.Errorf("TexSamples = %d for untextured draw", res.TexSamples)
+	}
+	// Unknown texture IDs are treated as unbound, not a crash.
+	res = r.Draw(texturedQuad(99, w, h), view, proj)
+	if res.TexSamples != 0 {
+		t.Errorf("TexSamples = %d for unknown texture", res.TexSamples)
+	}
+}
+
+func TestTextureUVInterpolation(t *testing.T) {
+	const w, h = 64, 64
+	fb := framebuffer.New(w, h)
+	r := New(fb, DefaultConfig())
+	// Half red, half blue vertically split texture.
+	texels := make([]colorspace.RGBA, 8*8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if x < 4 {
+				texels[y*8+x] = colorspace.Opaque(1, 0, 0)
+			} else {
+				texels[y*8+x] = colorspace.Opaque(0, 0, 1)
+			}
+		}
+	}
+	r.SetTextures([]*texture.Texture{texture.New("split", 8, 8, texels)})
+	view := vecmath.Identity()
+	proj := vecmath.Orthographic(0, w, h, 0, 1, 10)
+	r.Draw(texturedQuad(1, w, h), view, proj)
+
+	left := fb.At(8, 32)
+	right := fb.At(56, 32)
+	if left.R < 0.9 || left.B > 0.1 {
+		t.Errorf("left pixel = %+v, want red", left)
+	}
+	if right.B < 0.9 || right.R > 0.1 {
+		t.Errorf("right pixel = %+v, want blue", right)
+	}
+}

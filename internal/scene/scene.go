@@ -1,0 +1,200 @@
+// Package scene provides procedural geometry and cameras for building
+// synthetic game-frame workloads: tessellated spheres and boxes for opaque
+// objects, camera-facing quads for transparent particles and glass, and
+// full-screen quads for background/sky passes.
+//
+// Mesh generators take explicit tessellation parameters so trace generation
+// can hit exact triangle budgets (paper Table III).
+package scene
+
+import (
+	"math"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/primitive"
+	"chopin/internal/vecmath"
+)
+
+// Camera is a perspective camera.
+type Camera struct {
+	Eye, Center, Up vecmath.Vec3
+	// FovY is the vertical field of view in radians.
+	FovY float64
+	// Near and Far are the clip distances.
+	Near, Far float64
+}
+
+// DefaultCamera returns a camera at the origin looking down -Z with a 60°
+// field of view.
+func DefaultCamera() Camera {
+	return Camera{
+		Eye:    vecmath.Vec3{},
+		Center: vecmath.Vec3{Z: -1},
+		Up:     vecmath.Vec3{Y: 1},
+		FovY:   math.Pi / 3,
+		Near:   0.5,
+		Far:    400,
+	}
+}
+
+// View returns the camera's view matrix.
+func (c Camera) View() vecmath.Mat4 { return vecmath.LookAt(c.Eye, c.Center, c.Up) }
+
+// Proj returns the camera's projection matrix for the given aspect ratio.
+func (c Camera) Proj(aspect float64) vecmath.Mat4 {
+	return vecmath.Perspective(c.FovY, aspect, c.Near, c.Far)
+}
+
+// Sphere tessellates a UV sphere with the given latitudinal and longitudinal
+// segment counts, producing 2·lat·lon − 2·lon triangles (poles have single
+// fans). Vertex colours are modulated by latitude for visible shading.
+func Sphere(center vecmath.Vec3, radius float64, lat, lon int, col colorspace.RGBA) []primitive.Triangle {
+	if lat < 2 {
+		lat = 2
+	}
+	if lon < 3 {
+		lon = 3
+	}
+	point := func(i, j int) primitive.Vertex {
+		theta := math.Pi * float64(i) / float64(lat) // 0..pi
+		phi := 2 * math.Pi * float64(j) / float64(lon)
+		return primitive.Vertex{
+			Position: vecmath.Vec3{
+				X: center.X + radius*math.Sin(theta)*math.Cos(phi),
+				Y: center.Y + radius*math.Cos(theta),
+				Z: center.Z + radius*math.Sin(theta)*math.Sin(phi),
+			},
+			UV: vecmath.Vec2{X: float64(j) / float64(lon), Y: float64(i) / float64(lat)},
+		}
+	}
+	shadeAt := func(i int) colorspace.RGBA {
+		k := 0.6 + 0.4*float64(i)/float64(lat)
+		return colorspace.RGBA{R: col.R * k, G: col.G * k, B: col.B * k, A: col.A}
+	}
+	var tris []primitive.Triangle
+	for i := 0; i < lat; i++ {
+		for j := 0; j < lon; j++ {
+			jn := (j + 1) % lon
+			a, b, c, d := point(i, j), point(i+1, j), point(i+1, jn), point(i, jn)
+			a.Color, b.Color, c.Color, d.Color = shadeAt(i), shadeAt(i+1), shadeAt(i+1), shadeAt(i)
+			if i > 0 { // skip degenerate at the north pole
+				tris = append(tris, primitive.Triangle{V: [3]primitive.Vertex{a, b, d}})
+			}
+			if i < lat-1 { // skip degenerate at the south pole
+				tris = append(tris, primitive.Triangle{V: [3]primitive.Vertex{d, b, c}})
+			}
+		}
+	}
+	return tris
+}
+
+// SphereTriangleCount returns the triangle count Sphere produces for the
+// given tessellation.
+func SphereTriangleCount(lat, lon int) int {
+	if lat < 2 {
+		lat = 2
+	}
+	if lon < 3 {
+		lon = 3
+	}
+	return 2*lat*lon - 2*lon
+}
+
+// SphereSegmentsFor returns a (lat, lon) tessellation whose triangle count
+// is close to (and at least) target.
+func SphereSegmentsFor(target int) (lat, lon int) {
+	if target < 8 {
+		target = 8
+	}
+	// 2·lat·lon − 2·lon = target with lon ≈ 2·lat.
+	lat = int(math.Sqrt(float64(target)/4)) + 1
+	if lat < 2 {
+		lat = 2
+	}
+	lon = (target + 2*lat - 1) / (2*lat - 2)
+	if lon < 3 {
+		lon = 3
+	}
+	return lat, lon
+}
+
+// Box returns the 12 triangles of an axis-aligned box.
+func Box(center, halfExtent vecmath.Vec3, col colorspace.RGBA) []primitive.Triangle {
+	min := center.Sub(halfExtent)
+	max := center.Add(halfExtent)
+	v := func(x, y, z float64, k float64, u, vv float64) primitive.Vertex {
+		return primitive.Vertex{
+			Position: vecmath.Vec3{X: x, Y: y, Z: z},
+			Color:    colorspace.RGBA{R: col.R * k, G: col.G * k, B: col.B * k, A: col.A},
+			UV:       vecmath.Vec2{X: u, Y: vv},
+		}
+	}
+	quads := [][4]vecmath.Vec3{
+		{{X: min.X, Y: min.Y, Z: max.Z}, {X: max.X, Y: min.Y, Z: max.Z}, {X: max.X, Y: max.Y, Z: max.Z}, {X: min.X, Y: max.Y, Z: max.Z}}, // front
+		{{X: max.X, Y: min.Y, Z: min.Z}, {X: min.X, Y: min.Y, Z: min.Z}, {X: min.X, Y: max.Y, Z: min.Z}, {X: max.X, Y: max.Y, Z: min.Z}}, // back
+		{{X: min.X, Y: min.Y, Z: min.Z}, {X: min.X, Y: min.Y, Z: max.Z}, {X: min.X, Y: max.Y, Z: max.Z}, {X: min.X, Y: max.Y, Z: min.Z}}, // left
+		{{X: max.X, Y: min.Y, Z: max.Z}, {X: max.X, Y: min.Y, Z: min.Z}, {X: max.X, Y: max.Y, Z: min.Z}, {X: max.X, Y: max.Y, Z: max.Z}}, // right
+		{{X: min.X, Y: max.Y, Z: max.Z}, {X: max.X, Y: max.Y, Z: max.Z}, {X: max.X, Y: max.Y, Z: min.Z}, {X: min.X, Y: max.Y, Z: min.Z}}, // top
+		{{X: min.X, Y: min.Y, Z: min.Z}, {X: max.X, Y: min.Y, Z: min.Z}, {X: max.X, Y: min.Y, Z: max.Z}, {X: min.X, Y: min.Y, Z: max.Z}}, // bottom
+	}
+	var tris []primitive.Triangle
+	for qi, q := range quads {
+		k := 0.7 + 0.05*float64(qi)
+		a := v(q[0].X, q[0].Y, q[0].Z, k, 0, 0)
+		b := v(q[1].X, q[1].Y, q[1].Z, k, 1, 0)
+		c := v(q[2].X, q[2].Y, q[2].Z, k, 1, 1)
+		d := v(q[3].X, q[3].Y, q[3].Z, k, 0, 1)
+		tris = append(tris,
+			primitive.Triangle{V: [3]primitive.Vertex{a, b, c}},
+			primitive.Triangle{V: [3]primitive.Vertex{a, c, d}},
+		)
+	}
+	return tris
+}
+
+// GridPatch returns a tessellated rectangle in the XY plane at depth z,
+// spanning [x0,x1]×[y0,y1] with nx×ny cells (2·nx·ny triangles). Used for
+// terrain-like geometry and controllable triangle budgets.
+func GridPatch(x0, y0, x1, y1, z float64, nx, ny int, col colorspace.RGBA) []primitive.Triangle {
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	v := func(i, j int) primitive.Vertex {
+		fx := x0 + (x1-x0)*float64(i)/float64(nx)
+		fy := y0 + (y1-y0)*float64(j)/float64(ny)
+		k := 0.8 + 0.2*float64((i+j)%2)
+		return primitive.Vertex{
+			Position: vecmath.Vec3{X: fx, Y: fy, Z: z},
+			Color:    colorspace.RGBA{R: col.R * k, G: col.G * k, B: col.B * k, A: col.A},
+			UV:       vecmath.Vec2{X: float64(i) / float64(nx), Y: float64(j) / float64(ny)},
+		}
+	}
+	var tris []primitive.Triangle
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			a, b, c, d := v(i, j), v(i+1, j), v(i+1, j+1), v(i, j+1)
+			tris = append(tris,
+				primitive.Triangle{V: [3]primitive.Vertex{a, b, c}},
+				primitive.Triangle{V: [3]primitive.Vertex{a, c, d}},
+			)
+		}
+	}
+	return tris
+}
+
+// FacingQuad returns two triangles forming a camera-facing square of the
+// given half-size at position pos (facing +Z, suitable for a camera looking
+// down -Z). Used for transparent particles and glass panes.
+func FacingQuad(pos vecmath.Vec3, half float64, col colorspace.RGBA) []primitive.Triangle {
+	a := primitive.Vertex{Position: vecmath.Vec3{X: pos.X - half, Y: pos.Y - half, Z: pos.Z}, Color: col}
+	b := primitive.Vertex{Position: vecmath.Vec3{X: pos.X + half, Y: pos.Y - half, Z: pos.Z}, Color: col, UV: vecmath.Vec2{X: 1}}
+	c := primitive.Vertex{Position: vecmath.Vec3{X: pos.X + half, Y: pos.Y + half, Z: pos.Z}, Color: col, UV: vecmath.Vec2{X: 1, Y: 1}}
+	d := primitive.Vertex{Position: vecmath.Vec3{X: pos.X - half, Y: pos.Y + half, Z: pos.Z}, Color: col, UV: vecmath.Vec2{Y: 1}}
+	return []primitive.Triangle{
+		{V: [3]primitive.Vertex{a, b, c}},
+		{V: [3]primitive.Vertex{a, c, d}},
+	}
+}

@@ -1,0 +1,110 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/vecmath"
+)
+
+func TestSphereTriangleCount(t *testing.T) {
+	for _, c := range []struct{ lat, lon int }{{2, 3}, {4, 8}, {10, 20}, {1, 1}} {
+		tris := Sphere(vecmath.Vec3{}, 1, c.lat, c.lon, colorspace.Opaque(1, 1, 1))
+		if got, want := len(tris), SphereTriangleCount(c.lat, c.lon); got != want {
+			t.Errorf("lat=%d lon=%d: %d triangles, want %d", c.lat, c.lon, got, want)
+		}
+	}
+}
+
+func TestSphereVerticesOnSphere(t *testing.T) {
+	center := vecmath.Vec3{X: 1, Y: 2, Z: 3}
+	const r = 2.5
+	for _, tri := range Sphere(center, r, 6, 12, colorspace.Opaque(1, 0, 0)) {
+		for _, v := range tri.V {
+			d := v.Position.Sub(center).Len()
+			if math.Abs(d-r) > 1e-9 {
+				t.Fatalf("vertex at distance %v, want %v", d, r)
+			}
+		}
+	}
+}
+
+func TestSphereSegmentsFor(t *testing.T) {
+	for _, target := range []int{8, 50, 333, 5000, 60000} {
+		lat, lon := SphereSegmentsFor(target)
+		got := SphereTriangleCount(lat, lon)
+		if got < target {
+			t.Errorf("target %d: tessellation yields %d", target, got)
+		}
+		if got > 2*target+32 {
+			t.Errorf("target %d: tessellation overshoots to %d", target, got)
+		}
+	}
+}
+
+func TestBox(t *testing.T) {
+	tris := Box(vecmath.Vec3{}, vecmath.Vec3{X: 1, Y: 2, Z: 3}, colorspace.Opaque(0, 1, 0))
+	if len(tris) != 12 {
+		t.Fatalf("box triangles = %d", len(tris))
+	}
+	for _, tri := range tris {
+		for _, v := range tri.V {
+			if math.Abs(v.Position.X) > 1+1e-9 || math.Abs(v.Position.Y) > 2+1e-9 || math.Abs(v.Position.Z) > 3+1e-9 {
+				t.Fatalf("vertex outside box: %+v", v.Position)
+			}
+		}
+	}
+}
+
+func TestGridPatch(t *testing.T) {
+	tris := GridPatch(0, 0, 10, 5, -2, 4, 3, colorspace.Opaque(1, 1, 1))
+	if len(tris) != 2*4*3 {
+		t.Fatalf("patch triangles = %d", len(tris))
+	}
+	for _, tri := range tris {
+		for _, v := range tri.V {
+			p := v.Position
+			if p.X < -1e-9 || p.X > 10+1e-9 || p.Y < -1e-9 || p.Y > 5+1e-9 || p.Z != -2 {
+				t.Fatalf("vertex outside patch: %+v", p)
+			}
+		}
+	}
+	// Degenerate cell counts clamp to 1.
+	if got := len(GridPatch(0, 0, 1, 1, 0, 0, 0, colorspace.Opaque(1, 1, 1))); got != 2 {
+		t.Errorf("clamped patch = %d triangles", got)
+	}
+}
+
+func TestFacingQuad(t *testing.T) {
+	col := colorspace.FromStraight(1, 0, 0, 0.5)
+	tris := FacingQuad(vecmath.Vec3{X: 5, Y: -3, Z: -10}, 2, col)
+	if len(tris) != 2 {
+		t.Fatalf("quad triangles = %d", len(tris))
+	}
+	for _, tri := range tris {
+		for _, v := range tri.V {
+			if v.Position.Z != -10 {
+				t.Fatalf("quad vertex off-plane: %+v", v.Position)
+			}
+			if v.Color != col {
+				t.Fatal("quad colour not applied")
+			}
+		}
+	}
+}
+
+func TestDefaultCameraTransforms(t *testing.T) {
+	cam := DefaultCamera()
+	view := cam.View()
+	// A point straight ahead maps to the view -Z axis.
+	p := view.MulPoint(vecmath.Vec3{Z: -10})
+	if math.Abs(p.X) > 1e-9 || math.Abs(p.Y) > 1e-9 || p.Z >= 0 {
+		t.Errorf("view transform = %+v", p)
+	}
+	proj := cam.Proj(16.0 / 9.0)
+	clip := proj.MulVec4(vecmath.FromVec3(vecmath.Vec3{Z: -cam.Near}, 1))
+	if math.Abs(clip.Z) > 1e-9 {
+		t.Errorf("near-plane clip z = %v", clip.Z)
+	}
+}

@@ -1,0 +1,156 @@
+package sfr
+
+import (
+	"chopin/internal/colorspace"
+	"chopin/internal/framebuffer"
+	"chopin/internal/gpu"
+	"chopin/internal/multigpu"
+	"chopin/internal/primitive"
+	"chopin/internal/raster"
+	"chopin/internal/sim"
+)
+
+// SequenceStats reports a multi-frame run: the per-frame latencies and
+// display times that distinguish average frame rate from instantaneous
+// frame rate (the micro-stuttering discussion of the paper's introduction).
+type SequenceStats struct {
+	// Scheme identifies the run.
+	Scheme string
+	// IssueStart[i] is when frame i's first draw was submitted.
+	IssueStart []sim.Cycle
+	// Complete[i] is when frame i finished rendering.
+	Complete []sim.Cycle
+	// Display[i] is when frame i reached the screen (in order: a frame
+	// cannot display before its predecessor).
+	Display []sim.Cycle
+	// TotalCycles is when the last frame displayed.
+	TotalCycles sim.Cycle
+}
+
+// Frames returns the sequence length.
+func (s *SequenceStats) Frames() int { return len(s.Complete) }
+
+// AvgFrameInterval returns the mean display-to-display gap — the inverse of
+// the average frame rate.
+func (s *SequenceStats) AvgFrameInterval() float64 {
+	if len(s.Display) < 2 {
+		return float64(s.TotalCycles)
+	}
+	return float64(s.Display[len(s.Display)-1]-s.Display[0]) / float64(len(s.Display)-1)
+}
+
+// MaxFrameInterval returns the worst display-to-display gap — the inverse
+// of the worst instantaneous frame rate (micro-stutter).
+func (s *SequenceStats) MaxFrameInterval() sim.Cycle {
+	var worst sim.Cycle
+	for i := 1; i < len(s.Display); i++ {
+		if gap := s.Display[i] - s.Display[i-1]; gap > worst {
+			worst = gap
+		}
+	}
+	return worst
+}
+
+// AvgLatency returns the mean issue-to-complete latency per frame.
+func (s *SequenceStats) AvgLatency() float64 {
+	if len(s.Complete) == 0 {
+		return 0
+	}
+	var sum sim.Cycle
+	for i := range s.Complete {
+		sum += s.Complete[i] - s.IssueStart[i]
+	}
+	return float64(sum) / float64(len(s.Complete))
+}
+
+// RunAFR simulates alternate frame rendering: frame i is rendered entirely
+// by GPU i mod N. The CPU submits frames one at a time (a frame's draws are
+// issued back-to-back at the driver rate), so successive frames pipeline
+// across GPUs. AFR needs no inter-GPU synchronization at all — but a
+// frame's latency is always a full single-GPU render, and display intervals
+// bunch up: better average frame rate, no better instantaneous frame rate
+// (paper Section I).
+func RunAFR(sys *multigpu.System, frames []*primitive.Frame) *SequenceStats {
+	st := &SequenceStats{
+		Scheme:     "AFR",
+		IssueStart: make([]sim.Cycle, len(frames)),
+		Complete:   make([]sim.Cycle, len(frames)),
+		Display:    make([]sim.Cycle, len(frames)),
+	}
+	if len(frames) == 0 {
+		return st
+	}
+	eng := sys.Eng
+	n := sys.Cfg.NumGPUs
+	driver := sim.Cycle(sys.Cfg.DriverCyclesPerDraw)
+	for _, gp := range sys.GPUs {
+		gp.SetOwnership(nil) // AFR renders whole frames per GPU
+		gp.SetTextures(frames[0].Textures)
+	}
+
+	issue := sim.Cycle(0)
+	for fi, fr := range frames {
+		fi, fr := fi, fr
+		g := sys.GPUs[fi%n]
+		st.IssueStart[fi] = issue
+		outstanding := len(fr.Draws)
+		eng.At(issue, func() {
+			// A new frame on this GPU starts from a cleared framebuffer.
+			g.Target(0).Clear(colorspace.Transparent, framebuffer.ClearDepth)
+			for i := range fr.Draws {
+				d := fr.Draws[i]
+				eng.After(sim.Cycle(i)*driver, func() {
+					g.SubmitDraw(d, fr.View, fr.Proj, gpu.DrawOpts{
+						OnDone: func(*raster.DrawResult) {
+							outstanding--
+							if outstanding == 0 {
+								st.Complete[fi] = eng.Now()
+							}
+						},
+					})
+				})
+			}
+		})
+		// The CPU can begin submitting the next frame once this frame's
+		// command stream has been issued.
+		issue += sim.Cycle(len(fr.Draws)) * driver
+	}
+	eng.Run()
+
+	// Frames display in order.
+	var prev sim.Cycle
+	for i := range st.Complete {
+		d := st.Complete[i]
+		if d < prev {
+			d = prev
+		}
+		st.Display[i] = d
+		prev = d
+	}
+	st.TotalCycles = prev
+	return st
+}
+
+// RunSFRSequence renders the frames one after another under any
+// single-frame SFR scheme, accumulating the per-frame times: SFR's frame
+// latency equals its frame interval, so instantaneous and average frame
+// rates coincide.
+func RunSFRSequence(cfg multigpu.Config, scheme Scheme, frames []*primitive.Frame) *SequenceStats {
+	st := &SequenceStats{
+		Scheme:     scheme.Name(),
+		IssueStart: make([]sim.Cycle, len(frames)),
+		Complete:   make([]sim.Cycle, len(frames)),
+		Display:    make([]sim.Cycle, len(frames)),
+	}
+	var clock sim.Cycle
+	for i, fr := range frames {
+		sys := multigpu.New(cfg, fr.Width, fr.Height)
+		fs := scheme.Run(sys, fr)
+		st.IssueStart[i] = clock
+		clock += fs.TotalCycles
+		st.Complete[i] = clock
+		st.Display[i] = clock
+	}
+	st.TotalCycles = clock
+	return st
+}

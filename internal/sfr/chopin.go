@@ -1,0 +1,590 @@
+package sfr
+
+import (
+	"sort"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/composite"
+	"chopin/internal/core"
+	"chopin/internal/framebuffer"
+	"chopin/internal/gpu"
+	"chopin/internal/interconnect"
+	"chopin/internal/multigpu"
+	"chopin/internal/primitive"
+	"chopin/internal/raster"
+	"chopin/internal/sim"
+	"chopin/internal/stats"
+)
+
+// CHOPIN is the paper's scheme (Section IV): the frame is split into
+// composition groups; each group's draw commands are distributed whole
+// across GPUs (no redundant geometry processing); and the resulting
+// sub-images are composed in parallel — out-of-order for opaque groups,
+// associatively for transparent groups.
+//
+// The system Config selects the variants the paper evaluates:
+//
+//   - Config.UseCompScheduler toggles the image-composition scheduler
+//     (CHOPIN vs CHOPIN+CompSched, Fig. 13);
+//   - Config.Link.Ideal gives IdealCHOPIN;
+//   - RoundRobin replaces the Fig. 10 draw scheduler with naive round-robin
+//     (Fig. 8);
+//   - Config.GroupThreshold is the Fig. 7 duplication-fallback threshold
+//     (Fig. 22); Config.SchedulerQuantum is the update interval (Fig. 18).
+type CHOPIN struct {
+	// RoundRobin selects naive round-robin draw scheduling instead of the
+	// least-remaining-triangles scheduler.
+	RoundRobin bool
+	// Scheduler, when non-nil, overrides the draw-command scheduler
+	// entirely (for experimentation with custom policies).
+	Scheduler core.DrawScheduler
+	// Reorder enables the image-preserving draw reordering of
+	// core.Reorder, the group-enlarging extension sketched in
+	// Section IV-A.
+	Reorder bool
+}
+
+// Name implements Scheme.
+func (c CHOPIN) Name() string {
+	switch {
+	case c.RoundRobin:
+		return "CHOPIN_Round_Robin"
+	case c.Reorder:
+		return "CHOPIN_Reorder"
+	default:
+		return "CHOPIN"
+	}
+}
+
+// chopinRun carries the per-frame state of one CHOPIN simulation.
+type chopinRun struct {
+	sys *multigpu.System
+	fr  *primitive.Frame
+	st  *stats.FrameStats
+	n   int
+
+	sched core.DrawScheduler
+	ll    *core.LeastLoadedScheduler // non-nil when the Fig. 10 scheduler is used
+
+	steps   []core.Step
+	stepIdx int
+	prevRT  int
+
+	// cumDirty[g][rt] records owned tiles of g ever dirtied, surviving the
+	// per-group ClearDirty, for consistency-sync payloads.
+	cumDirty []map[int]map[int]bool
+}
+
+// Run implements Scheme.
+func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
+	if c.Reorder {
+		reordered := *fr
+		reordered.Draws = core.Reorder(fr.Draws)
+		fr = &reordered
+	}
+	r := &chopinRun{
+		sys: sys,
+		fr:  fr,
+		n:   sys.Cfg.NumGPUs,
+		st: &stats.FrameStats{
+			Scheme:    c.Name(),
+			NumGPUs:   sys.Cfg.NumGPUs,
+			Triangles: fr.TriangleCount(),
+		},
+	}
+	switch {
+	case c.Scheduler != nil:
+		r.sched = c.Scheduler
+	case c.RoundRobin:
+		r.sched = core.NewRoundRobin(r.n)
+	default:
+		r.ll = core.NewLeastLoaded(sys.GPUs, sys.Cfg.SchedulerQuantum, sys.Cfg.Link.LatencyCycles)
+		r.sched = r.ll
+	}
+	r.steps = core.Plan(fr.Draws, sys.Cfg.GroupThreshold)
+	if r.n == 1 {
+		// A 1-GPU system has nothing to compose: every group renders
+		// locally, exactly like the conventional pipeline.
+		for i := range r.steps {
+			r.steps[i].Duplicate = true
+		}
+	}
+	plan := core.Summarize(r.steps)
+	r.st.GroupsTotal = plan.Groups
+	r.st.GroupsAccelerated = plan.Accelerated
+	r.st.TrianglesAccelerated = plan.TrianglesAccel
+	for _, gp := range sys.GPUs {
+		gp.SetTextures(fr.Textures)
+	}
+	r.cumDirty = make([]map[int]map[int]bool, r.n)
+	for g := range r.cumDirty {
+		r.cumDirty[g] = map[int]map[int]bool{}
+	}
+	if len(fr.Draws) > 0 {
+		r.prevRT = fr.Draws[0].State.RenderTarget
+	}
+
+	sys.Eng.After(0, r.nextStep)
+	sys.Eng.Run()
+	finishStats(r.st, sys)
+	// Draw-scheduler status updates (Section VI-D), accounted analytically.
+	if r.ll != nil {
+		r.st.ControlBytes += core.UpdateTrafficBytes(r.st.Triangles, sys.Cfg.SchedulerQuantum)
+	}
+	return r.st
+}
+
+// foldDirty accumulates g's currently dirty owned tiles of rt into the
+// cumulative set.
+func (r *chopinRun) foldDirty(g, rt int) {
+	fb := r.sys.GPUs[g].Target(rt)
+	set := r.cumDirty[g][rt]
+	if set == nil {
+		set = map[int]bool{}
+		r.cumDirty[g][rt] = set
+	}
+	for t := g; t < r.sys.TileCount(); t += r.n {
+		if fb.Dirty(t) {
+			set[t] = true
+		}
+	}
+}
+
+// syncTiles returns g's cumulative dirty owned tiles of rt, sorted.
+func (r *chopinRun) syncTiles(g, rt int) []int {
+	r.foldDirty(g, rt)
+	set := r.cumDirty[g][rt]
+	tiles := make([]int, 0, len(set))
+	for t := range set {
+		tiles = append(tiles, t)
+	}
+	sort.Ints(tiles)
+	return tiles
+}
+
+// clearSync empties the cumulative sets for rt after a broadcast.
+func (r *chopinRun) clearSync(rt int) {
+	for g := 0; g < r.n; g++ {
+		delete(r.cumDirty[g], rt)
+	}
+}
+
+// nextStep advances to the next composition group, inserting a consistency
+// sync at render-target switches (paper Section V).
+func (r *chopinRun) nextStep() {
+	if r.stepIdx == len(r.steps) {
+		return
+	}
+	step := r.steps[r.stepIdx]
+	r.stepIdx++
+	rt := r.fr.Draws[step.Group.Start].State.RenderTarget
+
+	execute := func() {
+		switch {
+		case step.Duplicate:
+			r.duplicateGroup(step.Group, rt)
+		case step.Group.Transparent:
+			r.transparentGroup(step.Group, rt)
+		default:
+			r.opaqueGroup(step.Group, rt)
+		}
+	}
+	if rt != r.prevRT {
+		old := r.prevRT
+		r.prevRT = rt
+		syncStart := r.sys.Eng.Now()
+		consistencySync(r.sys, old, func(src int) []int { return r.syncTiles(src, old) }, func() {
+			r.clearSync(old)
+			r.st.AddPhase(stats.PhaseSync, r.sys.Eng.Now()-syncStart)
+			execute()
+		})
+		return
+	}
+	execute()
+}
+
+// duplicateGroup runs a below-threshold group the conventional way: every
+// GPU executes every draw with its tile-ownership mask (Fig. 7 step Ë).
+func (r *chopinRun) duplicateGroup(grp primitive.Group, rt int) {
+	eng := r.sys.Eng
+	phaseStart := eng.Now()
+	for g, gp := range r.sys.GPUs {
+		gp.SetOwnership(r.sys.Mask(g))
+	}
+	if r.ll != nil {
+		r.ll.NoteDuplicated(grp.Triangles)
+	}
+	total := grp.Len() * r.n
+	done := 0
+	driver := sim.Cycle(r.sys.Cfg.DriverCyclesPerDraw)
+	for i := grp.Start; i < grp.End; i++ {
+		d := r.fr.Draws[i]
+		eng.After(sim.Cycle(i-grp.Start)*driver, func() {
+			for g := 0; g < r.n; g++ {
+				r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
+					RecordTiming: r.sys.Cfg.RecordPerDraw && g == 0,
+					OnDone: func(*raster.DrawResult) {
+						done++
+						if done == total {
+							r.st.AddPhase(stats.PhaseNormal, eng.Now()-phaseStart)
+							r.nextStep()
+						}
+					},
+				})
+			}
+		})
+	}
+}
+
+// opaqueGroup distributes draws across GPUs and composes the sub-images
+// out-of-order (Fig. 7 steps Ï–Ð).
+func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
+	eng := r.sys.Eng
+	phaseStart := eng.Now()
+	var tAllReady sim.Cycle
+
+	// The merge comparison: strict less-than for depth-writing groups;
+	// less-or-equal when the group tests but does not write depth, so that
+	// its colour writes survive ties against the owner's identical depth.
+	mergeCmp := colorspace.CmpLess
+	if !r.fr.Draws[grp.Start].State.DepthWrite {
+		mergeCmp = colorspace.CmpLessEqual
+	}
+
+	for g, gp := range r.sys.GPUs {
+		gp.SetOwnership(nil) // distributed draws render the full screen
+		r.foldDirty(g, rt)
+		gp.Target(rt).ClearDirty()
+		r.sys.Fabric.SetAccept(g, false)
+	}
+
+	outstanding := make([]int, r.n)
+	ready := make([]bool, r.n)
+	readyCount := 0
+	driverDone := false
+
+	var cs *core.CompositionScheduler
+	if r.sys.Cfg.UseCompScheduler {
+		cs = core.NewCompositionScheduler(r.n)
+	}
+	// Naive direct-send bookkeeping: total directed transfers required.
+	naiveRemaining := r.n * (r.n - 1)
+
+	groupEnd := func() {
+		r.st.AddPhase(stats.PhaseNormal, tAllReady-phaseStart)
+		r.st.AddPhase(stats.PhaseComposition, eng.Now()-tAllReady)
+		for g := range r.cumDirty {
+			r.foldDirty(g, rt)
+		}
+		r.nextStep()
+	}
+
+	// region computes the transfer payload sender→receiver: sender's tiles
+	// dirtied by this group that receiver owns.
+	region := func(sender, receiver int) ([]int, int) {
+		tiles := r.sys.OwnedDirtyTiles(r.sys.GPUs[sender], rt, receiver)
+		return tiles, r.sys.PixelCount(tiles)
+	}
+	applyMerge := func(sender, receiver int, tiles []int) func() {
+		return func() {
+			composite.DepthMerge(
+				r.sys.GPUs[receiver].Target(rt),
+				r.sys.GPUs[sender].Target(rt),
+				mergeCmp, tiles)
+		}
+	}
+
+	// In scheduled mode a session occupies the ports only for the pixel
+	// transfer; the receiving GPU's ROPs drain the merge asynchronously.
+	// The group completes when all sessions AND all merges are done.
+	pendingMerges := 0
+	maybeGroupEnd := func() {
+		if cs.Done() && pendingMerges == 0 {
+			groupEnd()
+		}
+	}
+	var pumpScheduled func()
+	pumpScheduled = func() {
+		for _, s := range cs.NextSessions() {
+			s := s
+			tiles, px := region(s.Sender, s.Receiver)
+			if px == 0 {
+				eng.After(0, func() {
+					cs.Complete(s)
+					maybeGroupEnd()
+					pumpScheduled()
+				})
+				continue
+			}
+			pendingMerges++
+			bytes := int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
+			r.sys.Fabric.Send(s.Sender, s.Receiver, bytes, interconnect.ClassComposition, func() {
+				cs.Complete(s)
+				r.sys.GPUs[s.Receiver].SubmitMerge(px, applyMerge(s.Sender, s.Receiver, tiles), func() {
+					pendingMerges--
+					maybeGroupEnd()
+				})
+				pumpScheduled()
+			})
+		}
+	}
+
+	naiveSend := func(g int) {
+		for off := 1; off < r.n; off++ {
+			recv := (g + off) % r.n
+			tiles, px := region(g, recv)
+			finish := func() {
+				naiveRemaining--
+				if naiveRemaining == 0 {
+					groupEnd()
+				}
+			}
+			if px == 0 {
+				eng.After(0, finish)
+				continue
+			}
+			bytes := int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
+			r.sys.Fabric.Send(g, recv, bytes, interconnect.ClassComposition, func() {
+				r.sys.GPUs[recv].SubmitMerge(px, applyMerge(g, recv, tiles), finish)
+			})
+		}
+	}
+
+	maybeReady := func(g int) {
+		if !driverDone || ready[g] || outstanding[g] != 0 {
+			return
+		}
+		ready[g] = true
+		readyCount++
+		r.sys.Fabric.SetAccept(g, true)
+		if readyCount == r.n {
+			tAllReady = eng.Now()
+		}
+		if cs != nil {
+			cs.SetReady(g, r.stepIdx)
+			pumpScheduled()
+		} else {
+			naiveSend(g)
+		}
+	}
+
+	driver := sim.Cycle(r.sys.Cfg.DriverCyclesPerDraw)
+	for i := grp.Start; i < grp.End; i++ {
+		d := r.fr.Draws[i]
+		last := i == grp.End-1
+		eng.After(sim.Cycle(i-grp.Start)*driver, func() {
+			g := r.sched.Assign(d.TriangleCount(), eng.Now())
+			outstanding[g]++
+			r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
+				RecordTiming: r.sys.Cfg.RecordPerDraw && g == 0,
+				OnDone: func(*raster.DrawResult) {
+					outstanding[g]--
+					maybeReady(g)
+				},
+			})
+			if last {
+				driverDone = true
+				for g := 0; g < r.n; g++ {
+					maybeReady(g)
+				}
+			}
+		})
+	}
+}
+
+// transparentGroup distributes contiguous draw ranges, renders them into
+// per-GPU sub-image layers, merges adjacent layers asynchronously, and
+// blends the final layer over the background at each tile owner
+// (Fig. 7 steps Ì–Î).
+func (r *chopinRun) transparentGroup(grp primitive.Group, rt int) {
+	eng := r.sys.Eng
+	op := grp.BlendOp
+
+	// Every GPU first needs the true composed framebuffer (colour for the
+	// final blend, depth for occlusion of transparent fragments): a
+	// consistency sync on the current target (see DESIGN.md §4.3).
+	syncStart := eng.Now()
+	consistencySync(r.sys, rt, func(src int) []int { return r.syncTiles(src, rt) }, func() {
+		r.clearSync(rt)
+		r.st.AddPhase(stats.PhaseSync, eng.Now()-syncStart)
+		r.transparentBody(grp, rt, op)
+	})
+}
+
+func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.BlendOp) {
+	eng := r.sys.Eng
+	phaseStart := eng.Now()
+	var tAllReady sim.Cycle
+
+	// Create the sub-image layer render targets: opaque depth inherited,
+	// colour transparent (the "extra render targets" of Section IV-A).
+	layers := make([]*framebuffer.Buffer, r.n)
+	saved := make([]*framebuffer.Buffer, r.n)
+	for g, gp := range r.sys.GPUs {
+		gp.SetOwnership(nil)
+		saved[g] = gp.Target(rt)
+		layer := saved[g].Clone()
+		layer.FillColor(colorspace.Transparent)
+		layer.ClearDirty()
+		layers[g] = layer
+		gp.SetTarget(rt, layer)
+	}
+
+	chunks := core.DivideRange(r.fr.Draws, grp.Start, grp.End, r.n)
+	if r.ll != nil {
+		for g, c := range chunks {
+			tris := 0
+			for i := c[0]; i < c[1]; i++ {
+				tris += r.fr.Draws[i].TriangleCount()
+			}
+			r.ll.NoteAssigned(g, tris)
+		}
+	}
+
+	tc := core.NewTransparentComposer(r.n)
+	outstanding := make([]int, r.n)
+	issued := make([]bool, r.n)
+	readyCount := 0
+
+	groupEnd := func() {
+		for g, gp := range r.sys.GPUs {
+			gp.SetTarget(rt, saved[g])
+			r.foldDirty(g, rt)
+		}
+		r.st.AddPhase(stats.PhaseNormal, tAllReady-phaseStart)
+		r.st.AddPhase(stats.PhaseComposition, eng.Now()-tAllReady)
+		r.nextStep()
+	}
+
+	// backgroundMerge distributes the final layer to tile owners, who blend
+	// it over their authoritative framebuffer region.
+	backgroundMerge := func(holder int) {
+		layer := layers[holder]
+		pending := 0
+		started := false
+		finish := func() {
+			pending--
+			if pending == 0 && started {
+				groupEnd()
+			}
+		}
+		for owner := 0; owner < r.n; owner++ {
+			var tiles []int
+			for t := owner; t < r.sys.TileCount(); t += r.n {
+				if layer.Dirty(t) {
+					tiles = append(tiles, t)
+				}
+			}
+			px := r.sys.PixelCount(tiles)
+			if px == 0 {
+				continue
+			}
+			pending++
+			owner, tiles := owner, tiles
+			apply := func() {
+				// The GPU's target slot still points at the layer; blend
+				// into the real framebuffer it will be restored to.
+				composite.BlendMerge(saved[owner], layer, op, tiles)
+			}
+			if owner == holder {
+				r.sys.GPUs[owner].SubmitMerge(px, apply, finish)
+				continue
+			}
+			bytes := int64(px) * framebuffer.TransparentCompositionBytesPerPixel
+			r.sys.Fabric.Send(holder, owner, bytes, interconnect.ClassComposition, func() {
+				r.sys.GPUs[owner].SubmitMerge(px, apply, finish)
+			})
+		}
+		started = true
+		if pending == 0 {
+			eng.After(0, groupEnd)
+		}
+	}
+
+	var pump func()
+	pump = func() {
+		if tc.Done() {
+			holder, ok := tc.FinalHolder()
+			if !ok {
+				panic("sfr: transparent composition lost its holder")
+			}
+			backgroundMerge(holder)
+			return
+		}
+		for _, m := range tc.NextMerges() {
+			m := m
+			src := layers[m.From]
+			px := 0
+			for _, t := range src.DirtyTiles() {
+				px += src.TilePixelCount(t)
+			}
+			finish := func() {
+				tc.Complete(m)
+				pump()
+			}
+			apply := func() {
+				// m.From holds the later (front) range: blend it over
+				// m.To's accumulated layer.
+				composite.BlendMerge(layers[m.To], src, op, nil)
+			}
+			if px == 0 {
+				// Nothing rendered: complete the merge logically.
+				eng.After(0, func() {
+					apply()
+					finish()
+				})
+				continue
+			}
+			bytes := int64(px) * framebuffer.TransparentCompositionBytesPerPixel
+			r.sys.Fabric.Send(m.From, m.To, bytes, interconnect.ClassComposition, func() {
+				r.sys.GPUs[m.To].SubmitMerge(px, apply, finish)
+			})
+		}
+	}
+
+	maybeReady := func(g int) {
+		if !issued[g] || outstanding[g] != 0 {
+			return
+		}
+		issued[g] = false // guard against double-readiness
+		readyCount++
+		r.sys.Fabric.SetAccept(g, true)
+		if readyCount == r.n {
+			tAllReady = eng.Now()
+		}
+		tc.SetReady(g)
+		pump()
+	}
+
+	driver := sim.Cycle(r.sys.Cfg.DriverCyclesPerDraw)
+	for g := 0; g < r.n; g++ {
+		r.sys.Fabric.SetAccept(g, false)
+		c := chunks[g]
+		if c[0] == c[1] {
+			g := g
+			eng.After(0, func() {
+				issued[g] = true
+				maybeReady(g)
+			})
+			continue
+		}
+		for i := c[0]; i < c[1]; i++ {
+			d := r.fr.Draws[i]
+			g := g
+			last := i == c[1]-1
+			eng.After(sim.Cycle(i-c[0])*driver, func() {
+				outstanding[g]++
+				r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
+					OnDone: func(*raster.DrawResult) {
+						outstanding[g]--
+						maybeReady(g)
+					},
+				})
+				if last {
+					issued[g] = true
+					maybeReady(g)
+				}
+			})
+		}
+	}
+}

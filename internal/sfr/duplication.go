@@ -1,0 +1,85 @@
+package sfr
+
+import (
+	"chopin/internal/gpu"
+	"chopin/internal/multigpu"
+	"chopin/internal/primitive"
+	"chopin/internal/raster"
+	"chopin/internal/sim"
+	"chopin/internal/stats"
+)
+
+// Duplication is the conventional GPU sort-first SFR baseline (paper
+// Section III-A): every draw command is issued to every GPU, each GPU
+// geometry-processes all primitives, and the raster stage drops fragments
+// outside the GPU's owned screen tiles. No primitive exchange is needed,
+// but the geometry work is fully redundant — the scalability wall of
+// paper Fig. 2.
+type Duplication struct{}
+
+// Name implements Scheme.
+func (Duplication) Name() string { return "Duplication" }
+
+// Run implements Scheme.
+func (Duplication) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
+	st := &stats.FrameStats{
+		Scheme:    "Duplication",
+		NumGPUs:   sys.Cfg.NumGPUs,
+		Triangles: fr.TriangleCount(),
+	}
+	eng := sys.Eng
+	n := sys.Cfg.NumGPUs
+	for g, gp := range sys.GPUs {
+		gp.SetOwnership(sys.Mask(g))
+	}
+	for _, gp := range sys.GPUs {
+		gp.SetTextures(fr.Textures)
+	}
+	segs := splitSegments(fr.Draws)
+	segIdx := 0
+
+	var runSeg func()
+	runSeg = func() {
+		if segIdx == len(segs) {
+			return
+		}
+		seg := segs[segIdx]
+		segIdx++
+		phaseStart := eng.Now()
+
+		total := (seg.end - seg.start) * n
+		done := 0
+		onDone := func() {
+			done++
+			if done < total {
+				return
+			}
+			st.AddPhase(stats.PhaseNormal, eng.Now()-phaseStart)
+			if segIdx < len(segs) {
+				// Render-target switch: broadcast the finished target.
+				syncStart := eng.Now()
+				consistencySync(sys, seg.rt, nil, func() {
+					clearDirtyAll(sys, seg.rt)
+					st.AddPhase(stats.PhaseSync, eng.Now()-syncStart)
+					runSeg()
+				})
+			}
+		}
+		driver := sim.Cycle(sys.Cfg.DriverCyclesPerDraw)
+		for i := seg.start; i < seg.end; i++ {
+			d := fr.Draws[i]
+			eng.After(sim.Cycle(i-seg.start)*driver, func() {
+				for g := 0; g < n; g++ {
+					sys.GPUs[g].SubmitDraw(d, fr.View, fr.Proj, gpu.DrawOpts{
+						RecordTiming: sys.Cfg.RecordPerDraw && g == 0,
+						OnDone:       func(*raster.DrawResult) { onDone() },
+					})
+				}
+			})
+		}
+	}
+	eng.After(0, runSeg)
+	eng.Run()
+	finishStats(st, sys)
+	return st
+}

@@ -1,0 +1,331 @@
+package sfr
+
+import (
+	"chopin/internal/gpu"
+	"chopin/internal/interconnect"
+	"chopin/internal/multigpu"
+	"chopin/internal/primitive"
+	"chopin/internal/raster"
+	"chopin/internal/sim"
+	"chopin/internal/stats"
+)
+
+// GPUpd is the prior state-of-the-art sort-first scheme (Kim et al., MICRO
+// 2017; paper Section III-A): primitives are split evenly across GPUs for a
+// cooperative projection pre-pass, then primitive IDs are exchanged so each
+// GPU owns exactly the primitives falling into its screen tiles, and
+// finally each GPU runs the normal pipeline on its primitives.
+//
+// The exchange must preserve primitive order, so GPUs distribute their IDs
+// strictly one GPU at a time — the sequential bottleneck of paper Fig. 4.
+// Both paper optimizations are modelled: batching (projection of batch i+1
+// overlaps distribution of batch i) and runahead execution (a GPU starts
+// the normal pipeline on batches it has fully received while later batches
+// are still in flight). IdealGPUpd is obtained with an ideal link config.
+type GPUpd struct{}
+
+// Name implements Scheme.
+func (GPUpd) Name() string { return "GPUpd" }
+
+// batchPiece is a contiguous triangle range of one draw inside a batch.
+type batchPiece struct {
+	draw     int // index into frame draws
+	lo, hi   int // triangle range [lo, hi)
+	triStart int // global primitive index of lo (for stats)
+}
+
+// batch is a primitive batch: the unit of the batching optimization.
+type batch struct {
+	pieces []batchPiece
+	tris   int
+}
+
+// makeBatches slices a draw range into batches of at most batchSize
+// triangles, never splitting across the range boundary.
+func makeBatches(draws []primitive.DrawCommand, start, end, batchSize int) []batch {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	var out []batch
+	cur := batch{}
+	globalTri := 0
+	for di := start; di < end; di++ {
+		n := draws[di].TriangleCount()
+		lo := 0
+		for lo < n {
+			room := batchSize - cur.tris
+			take := n - lo
+			if take > room {
+				take = room
+			}
+			cur.pieces = append(cur.pieces, batchPiece{draw: di, lo: lo, hi: lo + take, triStart: globalTri})
+			cur.tris += take
+			lo += take
+			globalTri += take
+			if cur.tris == batchSize {
+				out = append(out, cur)
+				cur = batch{}
+			}
+		}
+	}
+	if cur.tris > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Run implements Scheme.
+func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
+	st := &stats.FrameStats{
+		Scheme:    "GPUpd",
+		NumGPUs:   sys.Cfg.NumGPUs,
+		Triangles: fr.TriangleCount(),
+	}
+	eng := sys.Eng
+	n := sys.Cfg.NumGPUs
+	for g, gp := range sys.GPUs {
+		gp.SetOwnership(sys.Mask(g))
+	}
+	for _, gp := range sys.GPUs {
+		gp.SetTextures(fr.Textures)
+	}
+	segs := splitSegments(fr.Draws)
+	segIdx := 0
+
+	// dests caches, per draw, the destination-GPU bitmask of each triangle.
+	dests := make([][]uint64, len(fr.Draws))
+	destMask := func(di, ti int) uint64 {
+		if dests[di] == nil {
+			d := &fr.Draws[di]
+			mvp := fr.Proj.Mul(fr.View).Mul(d.Model)
+			masks := make([]uint64, len(d.Tris))
+			for i := range d.Tris {
+				var m uint64
+				for _, tile := range raster.CoveredTiles(d.Tris[i], mvp, fr.Width, fr.Height) {
+					m |= 1 << uint(sys.Owner(tile))
+				}
+				masks[i] = m
+			}
+			dests[di] = masks
+		}
+		return dests[di][ti]
+	}
+
+	var runSeg func()
+	runSeg = func() {
+		if segIdx == len(segs) {
+			return
+		}
+		seg := segs[segIdx]
+		segIdx++
+		segStart := eng.Now()
+		batches := makeBatches(fr.Draws, seg.start, seg.end, sys.Cfg.BatchSize)
+
+		var projAllDone, distAllDone sim.Cycle
+		projected := 0   // batches fully projected
+		distributed := 0 // batches fully distributed
+		outstanding := 0 // sub-draws in flight
+		allDelivered := false
+
+		segEnd := func() {
+			// Attribute the wall clock: projection up to projAllDone,
+			// distribution up to distAllDone (overlapped projection charged
+			// to projection), the rest to the normal pipeline.
+			if distAllDone < projAllDone {
+				distAllDone = projAllDone
+			}
+			st.AddPhase(stats.PhaseProjection, projAllDone-segStart)
+			st.AddPhase(stats.PhaseDistribution, distAllDone-projAllDone)
+			st.AddPhase(stats.PhaseNormal, eng.Now()-distAllDone)
+			if segIdx < len(segs) {
+				syncStart := eng.Now()
+				consistencySync(sys, seg.rt, nil, func() {
+					clearDirtyAll(sys, seg.rt)
+					st.AddPhase(stats.PhaseSync, eng.Now()-syncStart)
+					runSeg()
+				})
+				return
+			}
+		}
+		drawDone := func() {
+			outstanding--
+			if outstanding == 0 && allDelivered {
+				segEnd()
+			}
+		}
+
+		// submitBatch runs the normal pipeline on dst's share of batch b
+		// (runahead execution: called as soon as the batch is delivered).
+		submitBatch := func(b *batch, dst int) {
+			var cur *primitive.DrawCommand
+			var sub primitive.DrawCommand
+			flush := func() {
+				if cur == nil || len(sub.Tris) == 0 {
+					cur = nil
+					return
+				}
+				outstanding++
+				sys.GPUs[dst].SubmitDraw(sub, fr.View, fr.Proj, gpu.DrawOpts{
+					OnDone: func(*raster.DrawResult) { drawDone() },
+				})
+				cur = nil
+			}
+			for _, p := range b.pieces {
+				d := &fr.Draws[p.draw]
+				if cur != d {
+					flush()
+					cur = d
+					sub = primitive.DrawCommand{
+						ID:         d.ID,
+						Model:      d.Model,
+						State:      d.State,
+						VertexCost: d.VertexCost,
+						PixelCost:  d.PixelCost,
+						TextureID:  d.TextureID,
+					}
+				}
+				for ti := p.lo; ti < p.hi; ti++ {
+					if destMask(p.draw, ti)&(1<<uint(dst)) != 0 {
+						sub.Tris = append(sub.Tris, d.Tris[ti])
+					}
+				}
+			}
+			flush()
+		}
+
+		// Distribution of batch bi: each source GPU in turn sends, to each
+		// destination, the IDs of the triangles in its projection slice that
+		// cover that destination's tiles (4 bytes per ID).
+		distStarted := make([]bool, len(batches))
+		var distribute func(bi int)
+		distribute = func(bi int) {
+			b := &batches[bi]
+			// Triangle index ranges of each source GPU's projection slice.
+			slice := func(src int) (int, int) {
+				lo := b.tris * src / n
+				hi := b.tris * (src + 1) / n
+				return lo, hi
+			}
+			// counts[src][dst] = IDs src sends to dst.
+			counts := make([][]int64, n)
+			for src := 0; src < n; src++ {
+				counts[src] = make([]int64, n)
+			}
+			idx := 0
+			for _, p := range b.pieces {
+				for ti := p.lo; ti < p.hi; ti++ {
+					src := 0
+					for s := 0; s < n; s++ {
+						if lo, hi := slice(s); idx >= lo && idx < hi {
+							src = s
+							break
+						}
+					}
+					m := destMask(p.draw, ti)
+					for dst := 0; dst < n; dst++ {
+						if m&(1<<uint(dst)) != 0 && dst != src {
+							counts[src][dst]++
+						}
+					}
+					idx++
+				}
+			}
+			pendingMsgs := 0
+			src := 0
+			var sendFrom func()
+			finishBatch := func() {
+				distributed++
+				if distAllDone < eng.Now() {
+					distAllDone = eng.Now()
+				}
+				for dst := 0; dst < n; dst++ {
+					submitBatch(b, dst)
+				}
+				if bi+1 < len(batches) {
+					// Batching: start the next batch's distribution if its
+					// projection (which overlapped this distribution) is
+					// already done; otherwise its projection callback will.
+					if projected >= bi+2 && !distStarted[bi+1] {
+						distStarted[bi+1] = true
+						distribute(bi + 1)
+					}
+					return
+				}
+				allDelivered = true
+				if outstanding == 0 {
+					segEnd()
+				}
+			}
+			msgDone := func() {
+				pendingMsgs--
+				if pendingMsgs != 0 {
+					return
+				}
+				src++
+				if src < n {
+					sendFrom()
+					return
+				}
+				finishBatch()
+			}
+			sendFrom = func() {
+				pendingMsgs = 0
+				for dst := 0; dst < n; dst++ {
+					if counts[src][dst] == 0 {
+						continue
+					}
+					pendingMsgs++
+					sys.Fabric.Send(src, dst, counts[src][dst]*4, interconnect.ClassPrimDist, msgDone)
+				}
+				if pendingMsgs == 0 {
+					// Nothing to send: the turn token still crosses the
+					// fabric to the next GPU (a control handshake).
+					sys.Fabric.SendControl(src, (src+1)%n, 4, func() {
+						src++
+						if src < n {
+							sendFrom()
+						} else {
+							finishBatch()
+						}
+					})
+				}
+			}
+			sendFrom()
+		}
+
+		// Projection: every batch is projected cooperatively; each GPU
+		// handles an even slice. Batches are issued back-to-back; per-GPU
+		// geometry units serialize them naturally.
+		for bi := range batches {
+			bi := bi
+			b := &batches[bi]
+			per := (b.tris + n - 1) / n
+			remaining := n
+			for g := 0; g < n; g++ {
+				sys.GPUs[g].SubmitProjection(per, func() {
+					remaining--
+					if remaining != 0 {
+						return
+					}
+					projected++
+					if projAllDone < eng.Now() {
+						projAllDone = eng.Now()
+					}
+					// Start distribution if it is this batch's turn.
+					if bi == distributed && !distStarted[bi] {
+						distStarted[bi] = true
+						distribute(bi)
+					}
+				})
+			}
+		}
+		if len(batches) == 0 {
+			allDelivered = true
+			segEnd()
+		}
+	}
+	eng.After(0, runSeg)
+	eng.Run()
+	finishStats(st, sys)
+	return st
+}

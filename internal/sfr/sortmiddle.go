@@ -1,0 +1,193 @@
+package sfr
+
+import (
+	"chopin/internal/gpu"
+	"chopin/internal/interconnect"
+	"chopin/internal/multigpu"
+	"chopin/internal/primitive"
+	"chopin/internal/raster"
+	"chopin/internal/sim"
+	"chopin/internal/stats"
+)
+
+// PostGeomBytesPerTriangle is the size of one transformed primitive in the
+// sort-middle exchange: three shaded vertices with clip-space position,
+// colour and texture coordinates plus assembly metadata. The large size of
+// post-geometry attributes is exactly why the paper notes sort-middle "is
+// rarely adopted" (Section III-A).
+const PostGeomBytesPerTriangle = 288
+
+// SortMiddle completes the Molnar sorting taxonomy the paper classifies SFR
+// schemes by (Section III-A): geometry processing is split evenly across
+// GPUs (no redundancy, like sort-last), but the *transformed* primitives
+// are then redistributed to the owners of the screen tiles they cover,
+// before rasterization. Unlike sort-first only one GPU transforms each
+// primitive; unlike sort-last no image composition is needed. The cost is
+// the exchange itself: post-geometry attributes are an order of magnitude
+// larger than the primitive IDs GPUpd ships, so the scheme is
+// bandwidth-bound — the reason the paper dismisses it.
+type SortMiddle struct{}
+
+// Name implements Scheme.
+func (SortMiddle) Name() string { return "SortMiddle" }
+
+// Run implements Scheme.
+func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
+	st := &stats.FrameStats{
+		Scheme:    "SortMiddle",
+		NumGPUs:   sys.Cfg.NumGPUs,
+		Triangles: fr.TriangleCount(),
+	}
+	eng := sys.Eng
+	n := sys.Cfg.NumGPUs
+	for g, gp := range sys.GPUs {
+		gp.SetOwnership(sys.Mask(g))
+		gp.SetTextures(fr.Textures)
+	}
+	segs := splitSegments(fr.Draws)
+	segIdx := 0
+
+	// Destination owners per triangle, shared with the GPUpd approach.
+	dests := make([][]uint64, len(fr.Draws))
+	destMask := func(di, ti int) uint64 {
+		if dests[di] == nil {
+			d := &fr.Draws[di]
+			mvp := fr.Proj.Mul(fr.View).Mul(d.Model)
+			masks := make([]uint64, len(d.Tris))
+			for i := range d.Tris {
+				var m uint64
+				for _, tile := range raster.CoveredTiles(d.Tris[i], mvp, fr.Width, fr.Height) {
+					m |= 1 << uint(sys.Owner(tile))
+				}
+				masks[i] = m
+			}
+			dests[di] = masks
+		}
+		return dests[di][ti]
+	}
+
+	var runSeg func()
+	runSeg = func() {
+		if segIdx == len(segs) {
+			return
+		}
+		seg := segs[segIdx]
+		segIdx++
+		segStart := eng.Now()
+
+		var tGeomDone, tExchangeDone sim.Cycle
+		geomPending := 0
+		xferPending := 0
+		geomIssued := false
+		xferIssued := false
+
+		// Phase 2: rasterize received primitives, in original draw order,
+		// each GPU restricted to its owned tiles.
+		outstanding := 0
+		segEnd := func() {
+			st.AddPhase(stats.PhaseProjection, tGeomDone-segStart)
+			if tExchangeDone < tGeomDone {
+				tExchangeDone = tGeomDone
+			}
+			st.AddPhase(stats.PhaseDistribution, tExchangeDone-tGeomDone)
+			st.AddPhase(stats.PhaseNormal, eng.Now()-tExchangeDone)
+			if segIdx < len(segs) {
+				syncStart := eng.Now()
+				consistencySync(sys, seg.rt, nil, func() {
+					clearDirtyAll(sys, seg.rt)
+					st.AddPhase(stats.PhaseSync, eng.Now()-syncStart)
+					runSeg()
+				})
+			}
+		}
+		rasterize := func() {
+			for i := seg.start; i < seg.end; i++ {
+				d := fr.Draws[i]
+				for dst := 0; dst < n; dst++ {
+					sub := primitive.DrawCommand{
+						ID:         d.ID,
+						Model:      d.Model,
+						State:      d.State,
+						VertexCost: d.VertexCost,
+						PixelCost:  d.PixelCost,
+						TextureID:  d.TextureID,
+					}
+					for ti := range d.Tris {
+						if destMask(i, ti)&(1<<uint(dst)) != 0 {
+							sub.Tris = append(sub.Tris, d.Tris[ti])
+						}
+					}
+					if len(sub.Tris) == 0 {
+						continue
+					}
+					outstanding++
+					sys.GPUs[dst].SubmitDraw(sub, fr.View, fr.Proj, gpu.DrawOpts{
+						GeomFree: true, // vertices arrive already transformed
+						OnDone: func(*raster.DrawResult) {
+							outstanding--
+							if outstanding == 0 {
+								segEnd()
+							}
+						},
+					})
+				}
+			}
+			if outstanding == 0 {
+				// Everything in the segment was clipped away.
+				eng.After(0, segEnd)
+			}
+		}
+
+		maybePhase2 := func() {
+			if geomIssued && xferIssued && geomPending == 0 && xferPending == 0 {
+				tExchangeDone = eng.Now()
+				rasterize()
+			}
+		}
+
+		// Phase 1: each draw is transformed by one GPU (round-robin), and
+		// the transformed primitives ship to their tile owners.
+		for i := seg.start; i < seg.end; i++ {
+			d := &fr.Draws[i]
+			src := (i - seg.start) % n
+			counts := make([]int64, n)
+			for ti := range d.Tris {
+				m := destMask(i, ti)
+				for dst := 0; dst < n; dst++ {
+					if m&(1<<uint(dst)) != 0 && dst != src {
+						counts[dst]++
+					}
+				}
+			}
+			geomPending++
+			sys.GPUs[src].SubmitGeometry(d.VertexCount(), d.TriangleCount(), d.VertexCost, func() {
+				geomPending--
+				if geomPending == 0 && geomIssued {
+					tGeomDone = eng.Now()
+				}
+				for dst := 0; dst < n; dst++ {
+					if counts[dst] == 0 {
+						continue
+					}
+					xferPending++
+					sys.Fabric.Send(src, dst, counts[dst]*PostGeomBytesPerTriangle,
+						interconnect.ClassPrimDist, func() {
+							xferPending--
+							maybePhase2()
+						})
+				}
+				maybePhase2()
+			})
+		}
+		geomIssued = true
+		xferIssued = true
+		if geomPending == 0 {
+			tGeomDone = eng.Now()
+			maybePhase2()
+		}
+	}
+	eng.After(0, runSeg)
+	eng.Run()
+	finishStats(st, sys)
+	return st
+}

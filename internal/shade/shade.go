@@ -1,0 +1,92 @@
+// Package shade models the programmable shader stages of the pipeline: the
+// vertex shader that projects object-space vertices to clip space, and the
+// pixel shader that computes fragment colours.
+//
+// Shaders here are ordinary Go functions. The rasterizer invokes them at the
+// same points a real GPU's SMs would, and the timing model charges
+// per-invocation cycle costs scaled by each draw command's VertexCost and
+// PixelCost factors.
+package shade
+
+import (
+	"chopin/internal/colorspace"
+	"chopin/internal/primitive"
+	"chopin/internal/vecmath"
+)
+
+// VertexOut is the vertex-shader output consumed by primitive assembly:
+// a clip-space position plus the interpolated attributes.
+type VertexOut struct {
+	// ClipPos is the homogeneous clip-space position (before perspective
+	// divide).
+	ClipPos vecmath.Vec4
+	// Color is the premultiplied vertex colour.
+	Color colorspace.RGBA
+	// UV is the texture coordinate, passed through to interpolation.
+	UV vecmath.Vec2
+}
+
+// PixelIn is the interpolated fragment input to a pixel shader.
+type PixelIn struct {
+	// X, Y are the fragment's pixel coordinates.
+	X, Y int
+	// Depth is the fragment's NDC depth in [0, 1].
+	Depth float64
+	// Color is the perspectively-interpolated vertex colour (already
+	// modulated by the bound texture for textured draws).
+	Color colorspace.RGBA
+	// U, V are the interpolated texture coordinates.
+	U, V float64
+}
+
+// VertexShader transforms one vertex by the combined model-view-projection
+// matrix.
+type VertexShader func(v primitive.Vertex, mvp vecmath.Mat4) VertexOut
+
+// PixelShader computes a fragment's final colour.
+type PixelShader func(in PixelIn) colorspace.RGBA
+
+// Program is a vertex- plus pixel-shader pair bound for a draw.
+type Program struct {
+	Vertex VertexShader
+	Pixel  PixelShader
+}
+
+// DefaultProgram returns the standard program: MVP transform with
+// pass-through colour in both stages.
+func DefaultProgram() Program {
+	return Program{Vertex: TransformVertex, Pixel: PassthroughPixel}
+}
+
+// TransformVertex is the standard vertex shader: position through the MVP
+// matrix, colour passed through.
+func TransformVertex(v primitive.Vertex, mvp vecmath.Mat4) VertexOut {
+	return VertexOut{
+		ClipPos: mvp.MulVec4(vecmath.FromVec3(v.Position, 1)),
+		Color:   v.Color,
+		UV:      v.UV,
+	}
+}
+
+// PassthroughPixel is the standard pixel shader: the interpolated vertex
+// colour, unchanged.
+func PassthroughPixel(in PixelIn) colorspace.RGBA { return in.Color }
+
+// DepthFogPixel returns a pixel shader that fades the interpolated colour
+// toward fogColor with depth, a cheap stand-in for distance fog used by the
+// example applications.
+func DepthFogPixel(fogColor colorspace.RGBA, density float64) PixelShader {
+	return func(in PixelIn) colorspace.RGBA {
+		t := in.Depth * density
+		if t > 1 {
+			t = 1
+		}
+		return in.Color.Scale(1 - t).Add(fogColor.Scale(t))
+	}
+}
+
+// TintPixel returns a pixel shader that modulates the interpolated colour by
+// a constant tint.
+func TintPixel(tint colorspace.RGBA) PixelShader {
+	return func(in PixelIn) colorspace.RGBA { return in.Color.Mul(tint) }
+}

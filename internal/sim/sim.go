@@ -1,0 +1,103 @@
+// Package sim provides the discrete-event simulation engine underneath the
+// multi-GPU timing model: a cycle-granular event queue with deterministic
+// ordering.
+//
+// Determinism matters: two events scheduled for the same cycle fire in the
+// order they were scheduled, so a simulation is a pure function of its
+// inputs and every experiment is bit-reproducible.
+package sim
+
+import "container/heap"
+
+// Cycle is a simulation timestamp in GPU clock cycles. It is an alias of
+// int64 (not a defined type) so that interfaces mentioning it — notably the
+// public DrawScheduler — can be implemented outside this module.
+type Cycle = int64
+
+type event struct {
+	at  Cycle
+	seq int64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now Cycle
+	seq int64
+	pq  eventQueue
+}
+
+// New returns a fresh engine at cycle 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// At schedules fn to run at the given cycle, which must not be in the past.
+func (e *Engine) At(t Cycle, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now. Negative delays panic.
+func (e *Engine) After(d Cycle, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the single earliest pending event and reports whether one
+// existed.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Cycle {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Cycle) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }

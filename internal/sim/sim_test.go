@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestZeroValueEngine(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatal("zero engine not empty at cycle 0")
+	}
+	if e.Step() {
+		t.Error("Step on empty engine should return false")
+	}
+}
+
+func TestEventOrderByTime(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("final time = %d", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-cycle events fired out of scheduling order: %v", order)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := New()
+	var hits []Cycle
+	e.At(100, func() {
+		e.After(50, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 1 || hits[0] != 150 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(10, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	if count != 5 || e.Now() != 40 {
+		t.Errorf("count=%d now=%d", count, e.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Errorf("now = %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 3 || e.Now() != 30 {
+		t.Errorf("after Run: fired=%d now=%d", fired, e.Now())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Errorf("now = %d, want 500", e.Now())
+	}
+}
+
+// TestDeterminism runs a randomized workload twice and checks identical
+// firing order — the property every experiment depends on.
+func TestDeterminism(t *testing.T) {
+	runOnce := func(seed int64) []int {
+		e := New()
+		r := rand.New(rand.NewSource(seed))
+		var order []int
+		for i := 0; i < 200; i++ {
+			i := i
+			e.At(Cycle(r.Intn(50)), func() { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a := runOnce(7)
+	b := runOnce(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

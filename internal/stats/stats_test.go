@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPhaseNames(t *testing.T) {
+	for _, p := range Phases() {
+		if p.String() == "unknown" {
+			t.Errorf("phase %d unnamed", p)
+		}
+	}
+	if len(Phases()) != 5 {
+		t.Errorf("Phases() = %v", Phases())
+	}
+}
+
+func TestAddPhaseAccumulates(t *testing.T) {
+	var f FrameStats
+	f.AddPhase(PhaseNormal, 100)
+	f.AddPhase(PhaseComposition, 50)
+	f.AddPhase(PhaseNormal, 25)
+	if f.Phase(PhaseNormal) != 125 || f.Phase(PhaseComposition) != 50 {
+		t.Errorf("phases = %v %v", f.Phase(PhaseNormal), f.Phase(PhaseComposition))
+	}
+	if f.TotalCycles != 175 {
+		t.Errorf("total = %d", f.TotalCycles)
+	}
+}
+
+func TestAddPhaseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative phase time")
+		}
+	}()
+	var f FrameStats
+	f.AddPhase(PhaseSync, -1)
+}
+
+func TestGeometryShare(t *testing.T) {
+	f := FrameStats{GPUs: []GPUSummary{
+		{GeomBusy: 30, FragBusy: 70},
+		{GeomBusy: 30, FragBusy: 70},
+	}}
+	if got := f.GeometryShare(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("share = %v", got)
+	}
+	var empty FrameStats
+	if empty.GeometryShare() != 0 {
+		t.Error("empty stats should report zero share")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &FrameStats{TotalCycles: 1000}
+	fast := &FrameStats{TotalCycles: 500}
+	if got := fast.Speedup(base); got != 2 {
+		t.Errorf("speedup = %v", got)
+	}
+	var zero FrameStats
+	if zero.Speedup(base) != 0 {
+		t.Error("zero-cycle stats should report zero speedup")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty GeoMean should be 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive input should yield 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "22", "dropped-extra-cell")
+	s := tbl.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("rule = %q", lines[1])
+	}
+	if strings.Contains(s, "dropped-extra-cell") {
+		t.Error("extra cells should be dropped")
+	}
+	// Columns aligned: every line at least as wide as the longest name.
+	for _, l := range lines[:3] {
+		if len(l) < len("a-much-longer-name") {
+			t.Errorf("line too short: %q", l)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+func TestMB(t *testing.T) {
+	if got := MB(1 << 20); got != "1.00" {
+		t.Errorf("MB = %q", got)
+	}
+	if got := MB(52428800); got != "50.00" {
+		t.Errorf("MB = %q", got)
+	}
+}

@@ -1,0 +1,51 @@
+package texture
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"chopin/internal/colorspace"
+)
+
+// wireTexture is the serialized form: only the base level travels; the
+// mipmap chain is regenerated on decode.
+type wireTexture struct {
+	ID     int
+	Name   string
+	W, H   int
+	Texels []float64 // 4 channels per texel
+}
+
+// GobEncode implements gob.GobEncoder.
+func (t *Texture) GobEncode() ([]byte, error) {
+	base := t.levels[0]
+	w := wireTexture{ID: t.ID, Name: t.Name, W: base.w, H: base.h}
+	w.Texels = make([]float64, 0, 4*len(base.texels))
+	for _, c := range base.texels {
+		w.Texels = append(w.Texels, c.R, c.G, c.B, c.A)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Texture) GobDecode(data []byte) error {
+	var w wireTexture
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if len(w.Texels) != 4*w.W*w.H {
+		return fmt.Errorf("texture: corrupt wire data for %q", w.Name)
+	}
+	texels := make([]colorspace.RGBA, w.W*w.H)
+	for i := range texels {
+		texels[i] = colorspace.RGBA{R: w.Texels[4*i], G: w.Texels[4*i+1], B: w.Texels[4*i+2], A: w.Texels[4*i+3]}
+	}
+	*t = *New(w.Name, w.W, w.H, texels)
+	t.ID = w.ID
+	return nil
+}

@@ -1,0 +1,221 @@
+// Package texture implements the texture-sampling substrate of the GPU
+// model: 2D textures with mipmap chains, nearest and bilinear filtering,
+// and procedural texture generators for the synthetic workloads.
+//
+// The paper's GPU (Fig. 1(c)) samples textures in dedicated TEX units
+// inside each SM; texture fetches are also the dominant off-chip memory
+// consumers the related work targets (Section VII). The timing model
+// charges per-sample TEX cycles and per-miss DRAM traffic based on the
+// sample counts the rasterizer records.
+package texture
+
+import (
+	"fmt"
+	"math"
+
+	"chopin/internal/colorspace"
+)
+
+// Filter selects the sampling filter.
+type Filter uint8
+
+const (
+	// Nearest picks the closest texel.
+	Nearest Filter = iota
+	// Bilinear blends the four surrounding texels.
+	Bilinear
+)
+
+// Texture is an immutable 2D texture with a full mipmap chain. Coordinates
+// are normalized: (0,0) is the top-left, (1,1) the bottom-right; sampling
+// wraps (repeat addressing).
+type Texture struct {
+	// ID identifies the texture inside a frame's texture table.
+	ID int
+	// Name describes the texture for trace inspection.
+	Name string
+
+	levels []mipLevel
+}
+
+type mipLevel struct {
+	w, h   int
+	texels []colorspace.RGBA
+}
+
+// New builds a texture from row-major texels of the given dimensions and
+// generates its mipmap chain by box filtering. Dimensions must be positive.
+func New(name string, w, h int, texels []colorspace.RGBA) *Texture {
+	if w <= 0 || h <= 0 || len(texels) != w*h {
+		panic(fmt.Sprintf("texture: bad dimensions %dx%d for %d texels", w, h, len(texels)))
+	}
+	t := &Texture{Name: name}
+	level := mipLevel{w: w, h: h, texels: texels}
+	t.levels = append(t.levels, level)
+	for level.w > 1 || level.h > 1 {
+		level = downsample(level)
+		t.levels = append(t.levels, level)
+	}
+	return t
+}
+
+func downsample(src mipLevel) mipLevel {
+	w := max(1, src.w/2)
+	h := max(1, src.h/2)
+	dst := mipLevel{w: w, h: h, texels: make([]colorspace.RGBA, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Box-filter the up-to-4 source texels.
+			var acc colorspace.RGBA
+			n := 0.0
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					sx, sy := 2*x+dx, 2*y+dy
+					if sx < src.w && sy < src.h {
+						c := src.texels[sy*src.w+sx]
+						acc.R += c.R
+						acc.G += c.G
+						acc.B += c.B
+						acc.A += c.A
+						n++
+					}
+				}
+			}
+			dst.texels[y*w+x] = acc.Scale(1 / n)
+		}
+	}
+	return dst
+}
+
+// Width returns the base-level width.
+func (t *Texture) Width() int { return t.levels[0].w }
+
+// Height returns the base-level height.
+func (t *Texture) Height() int { return t.levels[0].h }
+
+// Levels returns the mipmap chain length.
+func (t *Texture) Levels() int { return len(t.levels) }
+
+// TexelBytes returns the texture's base-level memory footprint (RGBA8).
+func (t *Texture) TexelBytes() int64 {
+	return int64(t.levels[0].w) * int64(t.levels[0].h) * 4
+}
+
+// wrap maps a normalized coordinate into [0, 1) with repeat addressing.
+func wrap(v float64) float64 {
+	v -= math.Floor(v)
+	if v < 0 {
+		v += 1
+	}
+	return v
+}
+
+func (l *mipLevel) texel(x, y int) colorspace.RGBA {
+	x %= l.w
+	if x < 0 {
+		x += l.w
+	}
+	y %= l.h
+	if y < 0 {
+		y += l.h
+	}
+	return l.texels[y*l.w+x]
+}
+
+// SampleLOD samples at the given level of detail (0 = base level; values
+// clamp to the chain) with the given filter.
+func (t *Texture) SampleLOD(u, v float64, lod int, f Filter) colorspace.RGBA {
+	if lod < 0 {
+		lod = 0
+	}
+	if lod >= len(t.levels) {
+		lod = len(t.levels) - 1
+	}
+	l := &t.levels[lod]
+	fu := wrap(u) * float64(l.w)
+	fv := wrap(v) * float64(l.h)
+	switch f {
+	case Bilinear:
+		fu -= 0.5
+		fv -= 0.5
+		x0 := int(math.Floor(fu))
+		y0 := int(math.Floor(fv))
+		tx := fu - float64(x0)
+		ty := fv - float64(y0)
+		c00 := l.texel(x0, y0)
+		c10 := l.texel(x0+1, y0)
+		c01 := l.texel(x0, y0+1)
+		c11 := l.texel(x0+1, y0+1)
+		lerp := func(a, b colorspace.RGBA, t float64) colorspace.RGBA {
+			return colorspace.RGBA{
+				R: a.R + (b.R-a.R)*t,
+				G: a.G + (b.G-a.G)*t,
+				B: a.B + (b.B-a.B)*t,
+				A: a.A + (b.A-a.A)*t,
+			}
+		}
+		return lerp(lerp(c00, c10, tx), lerp(c01, c11, tx), ty)
+	default:
+		return l.texel(int(fu), int(fv))
+	}
+}
+
+// Sample samples the base level.
+func (t *Texture) Sample(u, v float64, f Filter) colorspace.RGBA {
+	return t.SampleLOD(u, v, 0, f)
+}
+
+// Checkerboard returns a size×size two-colour checkerboard with squares
+// pixels per square.
+func Checkerboard(name string, size, squares int, a, b colorspace.RGBA) *Texture {
+	if squares < 1 {
+		squares = 1
+	}
+	texels := make([]colorspace.RGBA, size*size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			if (x/squares+y/squares)%2 == 0 {
+				texels[y*size+x] = a
+			} else {
+				texels[y*size+x] = b
+			}
+		}
+	}
+	return New(name, size, size, texels)
+}
+
+// Gradient returns a size×size horizontal gradient from a to b.
+func Gradient(name string, size int, a, b colorspace.RGBA) *Texture {
+	texels := make([]colorspace.RGBA, size*size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			t := float64(x) / float64(size-1)
+			texels[y*size+x] = colorspace.RGBA{
+				R: a.R + (b.R-a.R)*t,
+				G: a.G + (b.G-a.G)*t,
+				B: a.B + (b.B-a.B)*t,
+				A: a.A + (b.A-a.A)*t,
+			}
+		}
+	}
+	return New(name, size, size, texels)
+}
+
+// Noise returns a size×size deterministic value-noise texture, the kind of
+// detail texture games tile over surfaces.
+func Noise(name string, size int, seed int64) *Texture {
+	texels := make([]colorspace.RGBA, size*size)
+	// Simple xorshift-based hash noise: deterministic and dependency-free.
+	state := uint64(seed)*2654435761 + 1
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1024) / 1023
+	}
+	for i := range texels {
+		v := 0.3 + 0.7*next()
+		texels[i] = colorspace.RGBA{R: v, G: v * 0.9, B: v * 0.8, A: 1}
+	}
+	return New(name, size, size, texels)
+}

@@ -1,0 +1,152 @@
+package texture
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"chopin/internal/colorspace"
+)
+
+func TestNewAndMipChain(t *testing.T) {
+	tex := Checkerboard("c", 64, 8, colorspace.Opaque(1, 1, 1), colorspace.Opaque(0, 0, 0))
+	if tex.Width() != 64 || tex.Height() != 64 {
+		t.Fatalf("dims = %dx%d", tex.Width(), tex.Height())
+	}
+	// 64 → 32 → 16 → 8 → 4 → 2 → 1: 7 levels.
+	if tex.Levels() != 7 {
+		t.Errorf("levels = %d, want 7", tex.Levels())
+	}
+	if tex.TexelBytes() != 64*64*4 {
+		t.Errorf("TexelBytes = %d", tex.TexelBytes())
+	}
+}
+
+func TestNewPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New("bad", 2, 2, make([]colorspace.RGBA, 3))
+}
+
+func TestTopMipIsAverage(t *testing.T) {
+	// A 50/50 black-white checker averages to mid grey at the 1x1 level.
+	tex := Checkerboard("c", 16, 1, colorspace.Opaque(1, 1, 1), colorspace.Opaque(0, 0, 0))
+	top := tex.SampleLOD(0.5, 0.5, tex.Levels()-1, Nearest)
+	if math.Abs(top.R-0.5) > 1e-9 || math.Abs(top.G-0.5) > 1e-9 {
+		t.Errorf("1x1 mip = %+v, want mid grey", top)
+	}
+}
+
+func TestNearestSampling(t *testing.T) {
+	// 2x2 texture with distinct corners.
+	texels := []colorspace.RGBA{
+		colorspace.Opaque(1, 0, 0), colorspace.Opaque(0, 1, 0),
+		colorspace.Opaque(0, 0, 1), colorspace.Opaque(1, 1, 0),
+	}
+	tex := New("corners", 2, 2, texels)
+	cases := []struct {
+		u, v float64
+		want colorspace.RGBA
+	}{
+		{0.25, 0.25, texels[0]},
+		{0.75, 0.25, texels[1]},
+		{0.25, 0.75, texels[2]},
+		{0.75, 0.75, texels[3]},
+	}
+	for _, c := range cases {
+		if got := tex.Sample(c.u, c.v, Nearest); got != c.want {
+			t.Errorf("Sample(%v,%v) = %+v, want %+v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestBilinearBlends(t *testing.T) {
+	texels := []colorspace.RGBA{
+		colorspace.Opaque(1, 0, 0), colorspace.Opaque(0, 0, 0),
+		colorspace.Opaque(0, 0, 0), colorspace.Opaque(0, 0, 0),
+	}
+	tex := New("blend", 2, 2, texels)
+	// Sampling between texel centers blends; with repeat wrapping the
+	// midpoint mixes all four texels (R contributes 1/4).
+	got := tex.Sample(0.5, 0.5, Bilinear)
+	if math.Abs(got.R-0.25) > 1e-9 {
+		t.Errorf("bilinear mid = %+v, want R=0.25", got)
+	}
+	// At a texel center the sample equals the texel.
+	got = tex.Sample(0.25, 0.25, Bilinear)
+	if math.Abs(got.R-1) > 1e-9 {
+		t.Errorf("bilinear at center = %+v", got)
+	}
+}
+
+func TestWrapAddressing(t *testing.T) {
+	tex := Gradient("g", 8, colorspace.Opaque(0, 0, 0), colorspace.Opaque(1, 1, 1))
+	a := tex.Sample(0.3, 0.5, Nearest)
+	b := tex.Sample(1.3, 0.5, Nearest)
+	c := tex.Sample(-0.7, 0.5, Nearest)
+	if a != b || a != c {
+		t.Errorf("wrapping broken: %+v %+v %+v", a, b, c)
+	}
+}
+
+func TestSampleLODClamps(t *testing.T) {
+	tex := Noise("n", 16, 7)
+	if got := tex.SampleLOD(0.5, 0.5, -5, Nearest); got != tex.SampleLOD(0.5, 0.5, 0, Nearest) {
+		t.Error("negative LOD should clamp to base")
+	}
+	top := tex.SampleLOD(0.1, 0.9, 99, Nearest)
+	if top != tex.SampleLOD(0.6, 0.2, tex.Levels()-1, Nearest) {
+		t.Error("overlarge LOD should clamp to the 1x1 level")
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	a := Noise("n", 32, 42)
+	b := Noise("n", 32, 42)
+	c := Noise("n", 32, 43)
+	if a.Sample(0.37, 0.61, Nearest) != b.Sample(0.37, 0.61, Nearest) {
+		t.Error("same seed should give same texture")
+	}
+	same := true
+	for i := 0; i < 8; i++ {
+		u := float64(i) / 8
+		if a.Sample(u, u, Nearest) != c.Sample(u, u, Nearest) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different textures")
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	orig := Checkerboard("rt", 16, 2, colorspace.Opaque(1, 0, 0), colorspace.Opaque(0, 0, 1))
+	orig.ID = 3
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got Texture
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.ID != 3 || got.Name != "rt" || got.Width() != 16 || got.Levels() != orig.Levels() {
+		t.Fatalf("round trip = %+v", got)
+	}
+	for _, uv := range [][2]float64{{0.1, 0.1}, {0.6, 0.3}, {0.9, 0.9}} {
+		if got.Sample(uv[0], uv[1], Bilinear) != orig.Sample(uv[0], uv[1], Bilinear) {
+			t.Fatalf("sample mismatch at %v", uv)
+		}
+	}
+}
+
+func TestGobDecodeRejectsCorrupt(t *testing.T) {
+	var tex Texture
+	if err := tex.GobDecode([]byte("garbage")); err == nil {
+		t.Error("expected decode error")
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"chopin/internal/primitive"
+)
+
+// fileHeader guards against loading unrelated gob streams.
+const fileHeader = "chopin-trace-v1"
+
+// Save writes a frame to w in the binary trace format.
+func Save(w io.Writer, f *primitive.Frame) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(fileHeader); err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("trace: encoding frame: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a frame previously written by Save.
+func Load(r io.Reader) (*primitive.Frame, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var header string
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if header != fileHeader {
+		return nil, fmt.Errorf("trace: bad header %q", header)
+	}
+	var f primitive.Frame
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: decoding frame: %w", err)
+	}
+	return &f, nil
+}
+
+// SaveFile writes a frame to the named file.
+func SaveFile(path string, f *primitive.Frame) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	if err := Save(fd, f); err != nil {
+		return err
+	}
+	return fd.Close()
+}
+
+// LoadFile reads a frame from the named file.
+func LoadFile(path string) (*primitive.Frame, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	return Load(fd)
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"chopin/internal/colorspace"
+	"chopin/internal/primitive"
+)
+
+func TestBenchmarkTableMatchesPaper(t *testing.T) {
+	// Table III values.
+	want := map[string]struct {
+		w, h, draws, tris int
+	}{
+		"cod2":   {640, 480, 1005, 219950},
+		"cry":    {800, 600, 1427, 800948},
+		"grid":   {1280, 1024, 2623, 466806},
+		"mirror": {1280, 1024, 1257, 381422},
+		"nfs":    {1280, 1024, 1858, 534121},
+		"stal":   {1280, 1024, 1086, 546733},
+		"ut3":    {1280, 1024, 1944, 630302},
+		"wolf":   {640, 480, 1697, 243052},
+	}
+	if len(Benchmarks) != len(want) {
+		t.Fatalf("benchmark count = %d, want %d", len(Benchmarks), len(want))
+	}
+	for _, b := range Benchmarks {
+		w, ok := want[b.Name]
+		if !ok {
+			t.Errorf("unexpected benchmark %q", b.Name)
+			continue
+		}
+		if b.Width != w.w || b.Height != w.h || b.Draws != w.draws || b.Triangles != w.tris {
+			t.Errorf("%s: %dx%d %d draws %d tris, want %dx%d %d %d",
+				b.Name, b.Width, b.Height, b.Draws, b.Triangles, w.w, w.h, w.draws, w.tris)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("grid")
+	if err != nil || b.Name != "grid" {
+		t.Errorf("ByName(grid) = %+v, %v", b, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	if len(Names()) != 8 {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestGenerateMatchesBudgets(t *testing.T) {
+	for _, b := range Benchmarks {
+		fr := Generate(b, 0.05)
+		draws := len(fr.Draws)
+		tris := fr.TriangleCount()
+		wantDraws := int(float64(b.Draws) * 0.05)
+		wantTris := int(float64(b.Triangles) * 0.05)
+		if math.Abs(float64(draws-wantDraws)) > 0.1*float64(wantDraws)+4 {
+			t.Errorf("%s: draws = %d, want ≈%d", b.Name, draws, wantDraws)
+		}
+		if math.Abs(float64(tris-wantTris)) > 0.05*float64(wantTris)+50 {
+			t.Errorf("%s: tris = %d, want ≈%d", b.Name, tris, wantTris)
+		}
+	}
+}
+
+func TestGenerateFullScaleCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	b, _ := ByName("cod2")
+	fr := Generate(b, 1)
+	if got := len(fr.Draws); math.Abs(float64(got-b.Draws)) > 0.02*float64(b.Draws) {
+		t.Errorf("draws = %d, want ≈%d", got, b.Draws)
+	}
+	if got := fr.TriangleCount(); math.Abs(float64(got-b.Triangles)) > 0.02*float64(b.Triangles) {
+		t.Errorf("tris = %d, want ≈%d", got, b.Triangles)
+	}
+	if fr.Width != 640 || fr.Height != 480 {
+		t.Errorf("resolution = %dx%d", fr.Width, fr.Height)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	b, _ := ByName("wolf")
+	a := Generate(b, 0.05)
+	c := Generate(b, 0.05)
+	if len(a.Draws) != len(c.Draws) || a.TriangleCount() != c.TriangleCount() {
+		t.Fatal("generation is not deterministic in counts")
+	}
+	for i := range a.Draws {
+		if a.Draws[i].State != c.Draws[i].State ||
+			a.Draws[i].TriangleCount() != c.Draws[i].TriangleCount() {
+			t.Fatalf("draw %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateGroupStructure(t *testing.T) {
+	for _, b := range Benchmarks {
+		fr := Generate(b, 0.05)
+		groups := primitive.BuildGroups(fr.Draws)
+		if len(groups) < b.Groups {
+			t.Errorf("%s: %d groups, want >= %d", b.Name, len(groups), b.Groups)
+		}
+		var nTrans, nOpaque int
+		for _, g := range groups {
+			if g.Transparent {
+				nTrans++
+			} else {
+				nOpaque++
+			}
+		}
+		if nTrans < 1 {
+			t.Errorf("%s: no transparent groups", b.Name)
+		}
+		if nOpaque < 3 {
+			t.Errorf("%s: only %d opaque groups", b.Name, nOpaque)
+		}
+		// The stream must exercise both blend operators (Event 5 boundary).
+		ops := map[colorspace.BlendOp]bool{}
+		for _, d := range fr.Draws {
+			if d.Transparent() {
+				ops[d.State.BlendOp] = true
+			}
+		}
+		if !ops[colorspace.BlendOver] || !ops[colorspace.BlendAdd] {
+			t.Errorf("%s: blend ops = %v, want over and add", b.Name, ops)
+		}
+	}
+}
+
+func TestTransparentDrawsBackToFrontAndLast(t *testing.T) {
+	b, _ := ByName("ut3")
+	fr := Generate(b, 0.05)
+	// All transparent draws must come after every opaque draw.
+	firstTrans := -1
+	for i, d := range fr.Draws {
+		if d.Transparent() && firstTrans == -1 {
+			firstTrans = i
+		}
+		if !d.Transparent() && firstTrans != -1 {
+			t.Fatalf("opaque draw %d after transparent draw %d", i, firstTrans)
+		}
+	}
+	if firstTrans == -1 {
+		t.Fatal("no transparent draws generated")
+	}
+	// Transparent draws must not write depth.
+	for i := firstTrans; i < len(fr.Draws); i++ {
+		if fr.Draws[i].State.DepthWrite {
+			t.Fatalf("transparent draw %d writes depth", i)
+		}
+	}
+}
+
+func TestGenerateBimodalSizes(t *testing.T) {
+	b, _ := ByName("cry")
+	fr := Generate(b, 0.1)
+	mean := float64(fr.TriangleCount()) / float64(len(fr.Draws))
+	var small, large int
+	for _, d := range fr.Draws {
+		if float64(d.TriangleCount()) < mean/3 {
+			small++
+		}
+		if float64(d.TriangleCount()) > 2*mean {
+			large++
+		}
+	}
+	if small < len(fr.Draws)/4 {
+		t.Errorf("draws below mean/3 = %d of %d; distribution not bimodal", small, len(fr.Draws))
+	}
+	if large == 0 {
+		t.Error("no draws above 2× mean; distribution not bimodal")
+	}
+}
+
+func TestGenerateIDsSequential(t *testing.T) {
+	fr := Generate(Benchmarks[0], 0.05)
+	for i, d := range fr.Draws {
+		if d.ID != i {
+			t.Fatalf("draw %d has ID %d", i, d.ID)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fr := Generate(Benchmarks[0], 0.02)
+	var buf bytes.Buffer
+	if err := Save(&buf, fr); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got.Draws) != len(fr.Draws) || got.TriangleCount() != fr.TriangleCount() {
+		t.Fatal("round-trip changed counts")
+	}
+	if got.Width != fr.Width || got.Height != fr.Height {
+		t.Fatal("round-trip changed resolution")
+	}
+	if got.Draws[3].State != fr.Draws[3].State {
+		t.Fatal("round-trip changed state")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("expected error for garbage input")
+	}
+}

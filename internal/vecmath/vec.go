@@ -1,0 +1,129 @@
+// Package vecmath provides the small linear-algebra substrate used by the
+// graphics pipeline: 2-, 3- and 4-component float vectors, 4×4 matrices in
+// column-vector convention, and the standard model/view/projection and
+// viewport transforms.
+//
+// The package is deliberately minimal and allocation-free: all types are
+// plain value types, and all operations return new values rather than
+// mutating their receivers.
+package vecmath
+
+import "math"
+
+// Vec2 is a 2-component vector, used for screen-space positions and texture
+// coordinates.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + u.
+func (v Vec2) Add(u Vec2) Vec2 { return Vec2{v.X + u.X, v.Y + u.Y} }
+
+// Sub returns v - u.
+func (v Vec2) Sub(u Vec2) Vec2 { return Vec2{v.X - u.X, v.Y - u.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product of v and u.
+func (v Vec2) Dot(u Vec2) float64 { return v.X*u.X + v.Y*u.Y }
+
+// Cross returns the scalar (z-component) cross product of v and u. Its sign
+// gives the winding of the triangle (v, u) spans, which the rasterizer uses
+// for back-face culling and edge functions.
+func (v Vec2) Cross(u Vec2) float64 { return v.X*u.Y - v.Y*u.X }
+
+// Len returns the Euclidean length of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Vec3 is a 3-component vector, used for object-space positions, normals and
+// RGB colours.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + u.
+func (v Vec3) Add(u Vec3) Vec3 { return Vec3{v.X + u.X, v.Y + u.Y, v.Z + u.Z} }
+
+// Sub returns v - u.
+func (v Vec3) Sub(u Vec3) Vec3 { return Vec3{v.X - u.X, v.Y - u.Y, v.Z - u.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Mul returns the component-wise product of v and u.
+func (v Vec3) Mul(u Vec3) Vec3 { return Vec3{v.X * u.X, v.Y * u.Y, v.Z * u.Z} }
+
+// Dot returns the dot product of v and u.
+func (v Vec3) Dot(u Vec3) float64 { return v.X*u.X + v.Y*u.Y + v.Z*u.Z }
+
+// Cross returns the cross product of v and u.
+func (v Vec3) Cross(u Vec3) Vec3 {
+	return Vec3{
+		v.Y*u.Z - v.Z*u.Y,
+		v.Z*u.X - v.X*u.Z,
+		v.X*u.Y - v.Y*u.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Lerp returns the linear interpolation between v (t=0) and u (t=1).
+func (v Vec3) Lerp(u Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + (u.X-v.X)*t,
+		v.Y + (u.Y-v.Y)*t,
+		v.Z + (u.Z-v.Z)*t,
+	}
+}
+
+// Vec4 is a 4-component homogeneous vector, used for clip-space positions.
+type Vec4 struct {
+	X, Y, Z, W float64
+}
+
+// FromVec3 returns the homogeneous point (v, w).
+func FromVec3(v Vec3, w float64) Vec4 { return Vec4{v.X, v.Y, v.Z, w} }
+
+// Vec3 drops the W component without dividing.
+func (v Vec4) Vec3() Vec3 { return Vec3{v.X, v.Y, v.Z} }
+
+// Add returns v + u.
+func (v Vec4) Add(u Vec4) Vec4 { return Vec4{v.X + u.X, v.Y + u.Y, v.Z + u.Z, v.W + u.W} }
+
+// Sub returns v - u.
+func (v Vec4) Sub(u Vec4) Vec4 { return Vec4{v.X - u.X, v.Y - u.Y, v.Z - u.Z, v.W - u.W} }
+
+// Scale returns v scaled by s.
+func (v Vec4) Scale(s float64) Vec4 { return Vec4{v.X * s, v.Y * s, v.Z * s, v.W * s} }
+
+// Dot returns the dot product of v and u.
+func (v Vec4) Dot(u Vec4) float64 { return v.X*u.X + v.Y*u.Y + v.Z*u.Z + v.W*u.W }
+
+// Lerp returns the linear interpolation between v (t=0) and u (t=1).
+func (v Vec4) Lerp(u Vec4, t float64) Vec4 {
+	return Vec4{
+		v.X + (u.X-v.X)*t,
+		v.Y + (u.Y-v.Y)*t,
+		v.Z + (u.Z-v.Z)*t,
+		v.W + (u.W-v.W)*t,
+	}
+}
+
+// PerspectiveDivide returns the normalized-device-coordinate point v/w.
+// W must be non-zero.
+func (v Vec4) PerspectiveDivide() Vec3 {
+	inv := 1 / v.W
+	return Vec3{v.X * inv, v.Y * inv, v.Z * inv}
+}
