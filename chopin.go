@@ -96,6 +96,15 @@ type Config struct {
 	// CustomScheduler plugs a user-defined draw-command scheduler into the
 	// CHOPIN schemes (see package documentation for the interface).
 	CustomScheduler DrawScheduler
+	// Verify runs the simulation with the runtime invariant checker
+	// attached: composition order-independence (the distributed image must
+	// equal the sequential single-GPU reference pixel-by-pixel), fragment
+	// conservation across the inter-GPU fabric, per-pixel depth-test
+	// monotonicity at every composition merge, and event-time monotonicity
+	// in the discrete-event engine. Violations are reported through
+	// Report.Violations and as an error from Simulate. Verified runs are
+	// slower (the reference image is re-rendered and merges are snapshotted).
+	Verify bool
 }
 
 // DrawScheduler decides which GPU executes each draw command; implement it
@@ -160,6 +169,7 @@ func systemConfig(cfg Config) (multigpu.Config, sfr.Scheme, error) {
 	if cfg.UpdateInterval > 0 {
 		mc.SchedulerQuantum = cfg.UpdateInterval
 	}
+	mc.Verify = cfg.Verify
 	var s sfr.Scheme
 	switch cfg.Scheme {
 	case SchemeDuplication:
@@ -184,6 +194,10 @@ func systemConfig(cfg Config) (multigpu.Config, sfr.Scheme, error) {
 
 // Simulate runs one frame under the configured scheme and returns its
 // report. The frame is not modified and may be shared across simulations.
+//
+// With Config.Verify set, the run is validated by the invariant checker;
+// if any invariant is violated the report is still returned (so the
+// violations and statistics can be inspected) together with a non-nil error.
 func Simulate(cfg Config, fr *Frame) (*Report, error) {
 	mc, scheme, err := systemConfig(cfg)
 	if err != nil {
@@ -191,14 +205,23 @@ func Simulate(cfg Config, fr *Frame) (*Report, error) {
 	}
 	sys := multigpu.New(mc, fr.Width, fr.Height)
 	st := scheme.Run(sys, fr)
-	return &Report{
+	rep := &Report{
 		Scheme: cfg.Scheme,
 		GPUs:   mc.NumGPUs,
 		Cycles: int64(st.TotalCycles),
 		Stats:  st,
 		sys:    sys,
-	}, nil
+	}
+	if len(st.Violations) > 0 {
+		return rep, fmt.Errorf("chopin: %d invariant violation(s) in verified %s run: %s",
+			len(st.Violations), scheme.Name(), st.Violations[0])
+	}
+	return rep, nil
 }
+
+// Violations returns the invariant violations detected when the run was
+// verified (Config.Verify). It is empty for unverified and clean runs.
+func (r *Report) Violations() []string { return r.Stats.Violations }
 
 // ReferenceImage renders the frame functionally on a single GPU — the
 // golden image every distributed scheme must reproduce.

@@ -90,3 +90,28 @@ func TestScaledThreshold(t *testing.T) {
 		t.Errorf("floor = %d", got)
 	}
 }
+
+func TestSimulateVerified(t *testing.T) {
+	fr, err := GenerateTrace("cod2", 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := ScaledThreshold(4096, 0.04)
+	for _, s := range []Scheme{SchemeDuplication, SchemeGPUpd, SchemeCHOPIN, SchemeSortMiddle} {
+		rep, err := Simulate(Config{Scheme: s, GPUs: 4, GroupThreshold: th, Verify: true}, fr)
+		if err != nil {
+			t.Fatalf("%s verified run: %v", s, err)
+		}
+		if len(rep.Violations()) != 0 {
+			t.Errorf("%s: violations %v", s, rep.Violations())
+		}
+	}
+	// Unverified runs must not pay for, or report, verification.
+	rep, err := Simulate(Config{Scheme: SchemeCHOPIN, GPUs: 4, GroupThreshold: th}, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations() != nil {
+		t.Errorf("unverified run reported violations %v", rep.Violations())
+	}
+}

@@ -7,6 +7,9 @@
 //	chopinsim -exp fig13 [-scale 0.25]      reproduce a paper figure/table
 //	chopinsim -exp all                      run every experiment
 //	chopinsim -bench cry -scheme chopin     simulate one scheme on one trace
+//	chopinsim -verify -bench cry -scheme chopin   run with invariant checks
+//	chopinsim -selfcheck                    determinism self-check
+//	chopinsim -update-golden                re-record golden experiment outputs
 //
 // Trace scale 1.0 reproduces the paper's Table III workload sizes; smaller
 // scales shrink everything proportionally for quick runs.
@@ -36,11 +39,39 @@ func main() {
 		gpus    = flag.Int("gpus", 8, "single run: GPU count")
 		ideal   = flag.Bool("ideal", false, "single run: idealized inter-GPU links")
 		pngOut  = flag.String("png", "", "single run: write the rendered frame to this PNG file")
+		verify  = flag.Bool("verify", false, "attach the runtime invariant checker to every simulation")
+		update  = flag.Bool("update-golden", false, "re-record the golden experiment outputs and exit")
+		gdir    = flag.String("golden-dir", "internal/experiments/testdata/golden", "golden output directory (with -update-golden)")
+		self    = flag.Bool("selfcheck", false, "run the determinism self-check (sequential vs parallel) and exit")
 		verbose = flag.Bool("v", false, "stream per-simulation progress")
 	)
 	flag.Parse()
 
 	switch {
+	case *update:
+		opt := experiments.GoldenOptions()
+		opt.Verbose = *verbose
+		opt.Out = os.Stderr
+		if err := experiments.UpdateGolden(*gdir, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("re-recorded %d golden files in %s\n", len(experiments.IDs()), *gdir)
+	case *self:
+		opt := experiments.Options{Scale: *scale, Verify: *verify, Verbose: *verbose, Out: os.Stderr}
+		if *benches != "" {
+			opt.Benchmarks = strings.Split(*benches, ",")
+		}
+		digests, err := experiments.CheckDeterminism(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, d := range digests {
+			fmt.Printf("%-12s %-6s n=%-2d %12d cycles  image %016x\n",
+				d.Scheme, d.Bench, d.GPUs, d.Cycles, d.Image)
+		}
+		fmt.Printf("determinism self-check passed: %d simulations identical sequentially and in parallel\n", len(digests))
 	case *list:
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
@@ -48,6 +79,7 @@ func main() {
 	case *exp != "":
 		opt := experiments.Options{
 			Scale:   *scale,
+			Verify:  *verify,
 			Verbose: *verbose,
 			Out:     os.Stderr,
 		}
@@ -67,7 +99,7 @@ func main() {
 			fmt.Println(res)
 		}
 	case *scheme != "":
-		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *pngOut); err != nil {
+		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *verify, *pngOut); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -100,7 +132,7 @@ func schemeByName(name string, cfg *multigpu.Config) (sfr.Scheme, error) {
 	}
 }
 
-func runSingle(scheme, bench string, gpus int, scale float64, ideal bool, pngOut string) error {
+func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool, pngOut string) error {
 	b, err := trace.ByName(bench)
 	if err != nil {
 		return err
@@ -109,6 +141,7 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal bool, pngOut
 	cfg := multigpu.DefaultConfig()
 	cfg.NumGPUs = gpus
 	cfg.Link.Ideal = ideal
+	cfg.Verify = verify
 	cfg.GroupThreshold = max(16, int(float64(cfg.GroupThreshold)*scale))
 	s, err := schemeByName(scheme, &cfg)
 	if err != nil {
@@ -116,6 +149,15 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal bool, pngOut
 	}
 	sys := multigpu.New(cfg, fr.Width, fr.Height)
 	st := s.Run(sys, fr)
+	if verify {
+		if len(st.Violations) > 0 {
+			for _, v := range st.Violations {
+				fmt.Fprintln(os.Stderr, "VIOLATION:", v)
+			}
+			return fmt.Errorf("%d invariant violation(s)", len(st.Violations))
+		}
+		fmt.Println("verification: all invariants held")
+	}
 
 	fmt.Printf("%s on %s (%d GPUs, scale %.2f, %d draws, %d triangles)\n",
 		st.Scheme, bench, gpus, scale, len(fr.Draws), fr.TriangleCount())

@@ -8,18 +8,31 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"chopin/internal/multigpu"
 	"chopin/internal/sfr"
 	"chopin/internal/trace"
 )
 
+// exampleScale returns the workload scale: def by default, overridable via
+// the CHOPIN_EXAMPLE_SCALE environment variable (the repository's smoke
+// test uses a tiny scale to run every example quickly).
+func exampleScale(def float64) float64 {
+	if s := os.Getenv("CHOPIN_EXAMPLE_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return def
+}
+
 func main() {
 	const (
 		benchName = "cod2"
-		scale     = 0.1
 		frames    = 6
 	)
+	scale := exampleScale(0.1)
 	b, err := trace.ByName(benchName)
 	if err != nil {
 		log.Fatal(err)

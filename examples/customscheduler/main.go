@@ -12,9 +12,23 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"chopin"
 )
+
+// exampleScale returns the workload scale: def by default, overridable via
+// the CHOPIN_EXAMPLE_SCALE environment variable (the repository's smoke
+// test uses a tiny scale to run every example quickly).
+func exampleScale(def float64) float64 {
+	if s := os.Getenv("CHOPIN_EXAMPLE_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return def
+}
 
 // estimatedTimeScheduler assigns each draw to the GPU with the least
 // estimated outstanding work, predicting a draw's cost purely from its
@@ -47,7 +61,7 @@ func (s *estimatedTimeScheduler) Assign(tris int, now int64) int {
 func (s *estimatedTimeScheduler) Name() string { return "estimated-time" }
 
 func main() {
-	const scale = 0.25
+	scale := exampleScale(0.25)
 	fr, err := chopin.GenerateTrace("nfs", scale)
 	if err != nil {
 		log.Fatal(err)

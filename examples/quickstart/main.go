@@ -6,12 +6,26 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"chopin"
 )
 
+// exampleScale returns the workload scale: def by default, overridable via
+// the CHOPIN_EXAMPLE_SCALE environment variable (the repository's smoke
+// test uses a tiny scale to run every example quickly).
+func exampleScale(def float64) float64 {
+	if s := os.Getenv("CHOPIN_EXAMPLE_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return def
+}
+
 func main() {
-	const scale = 0.25 // quarter-size workload for a quick run; 1.0 = paper size
+	scale := exampleScale(0.25) // quarter-size workload for a quick run; 1.0 = paper size
 
 	fr, err := chopin.GenerateTrace("cry", scale)
 	if err != nil {

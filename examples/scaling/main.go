@@ -7,15 +7,27 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"chopin"
 )
 
+// exampleScale returns the workload scale: def by default, overridable via
+// the CHOPIN_EXAMPLE_SCALE environment variable (the repository's smoke
+// test uses a tiny scale to run every example quickly).
+func exampleScale(def float64) float64 {
+	if s := os.Getenv("CHOPIN_EXAMPLE_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return def
+}
+
 func main() {
-	const (
-		bench = "ut3"
-		scale = 0.25
-	)
+	const bench = "ut3"
+	scale := exampleScale(0.25)
 	fr, err := chopin.GenerateTrace(bench, scale)
 	if err != nil {
 		log.Fatal(err)

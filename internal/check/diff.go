@@ -1,0 +1,116 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// maxDiffLines bounds a diff report so a wholly regenerated table does not
+// drown the interesting first divergence.
+const maxDiffLines = 24
+
+// cells splits one rendered table line into its column cells. The table
+// writer separates columns with at least two spaces and pads with spaces,
+// while cell contents only ever contain single spaces ("every 1 tris"), so
+// splitting on runs of two or more spaces recovers the cells.
+func cells(line string) []string {
+	var out []string
+	for _, f := range strings.Split(strings.TrimRight(line, " "), "  ") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// isRule reports whether the line is a table header underline (dashes only).
+func isRule(line string) bool {
+	t := strings.TrimSpace(line)
+	if t == "" {
+		return false
+	}
+	for _, r := range t {
+		if r != '-' && r != ' ' {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffTables compares two rendered experiment outputs (as produced by
+// experiments.Result.String) and returns human-readable differences, one per
+// changed cell, naming the row label and column header of each drifted
+// value. It returns nil when the outputs are identical.
+func DiffTables(want, got string) []string {
+	if want == got {
+		return nil
+	}
+	wl := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gl := strings.Split(strings.TrimRight(got, "\n"), "\n")
+
+	var diffs []string
+	add := func(format string, args ...any) {
+		if len(diffs) == maxDiffLines {
+			diffs = append(diffs, "... further differences truncated")
+		}
+		if len(diffs) > maxDiffLines {
+			return
+		}
+		diffs = append(diffs, fmt.Sprintf(format, args...))
+	}
+
+	// Track the active table's column headers: the line preceding a dash
+	// rule is a header row. Headers come from the golden side, which defines
+	// the expected shape.
+	var header []string
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i+1 < len(wl) && isRule(wl[i+1]) {
+			header = cells(w)
+		}
+		if w == g {
+			continue
+		}
+		switch {
+		case i >= len(wl):
+			add("line %d: unexpected extra line %q", i+1, g)
+		case i >= len(gl):
+			add("line %d: missing line %q", i+1, w)
+		default:
+			diffCells(add, header, w, g, i+1)
+		}
+	}
+	return diffs
+}
+
+// diffCells reports the individual cells that differ between one golden line
+// and its regenerated counterpart.
+func diffCells(add func(string, ...any), header []string, w, g string, lineNo int) {
+	cw, cg := cells(w), cells(g)
+	if len(cw) != len(cg) || len(cw) == 0 || isRule(w) != isRule(g) {
+		add("line %d: %q != %q", lineNo, w, g)
+		return
+	}
+	row := cw[0]
+	for j := range cw {
+		if cw[j] == cg[j] {
+			continue
+		}
+		col := fmt.Sprintf("column %d", j+1)
+		if j < len(header) {
+			col = fmt.Sprintf("column %q", header[j])
+		}
+		add("row %q %s: golden %q, got %q", row, col, cw[j], cg[j])
+	}
+}

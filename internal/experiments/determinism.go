@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"chopin/internal/sfr"
+	"chopin/internal/stats"
+)
+
+// Digest is the observable outcome of one simulation, used to check that
+// runs are reproducible: the same (scheme, benchmark, configuration, trace)
+// must always yield the same cycle count and the same final image.
+type Digest struct {
+	Scheme string
+	Bench  string
+	GPUs   int
+	Cycles int64
+	Image  uint64
+}
+
+func (d Digest) key() string {
+	return fmt.Sprintf("%s/%s/n=%d", d.Scheme, d.Bench, d.GPUs)
+}
+
+// determinismMatrix is the scheme × GPU-count grid the self-check runs over
+// every benchmark in the options.
+func determinismMatrix() []struct {
+	scheme sfr.Scheme
+	gpus   int
+} {
+	return []struct {
+		scheme sfr.Scheme
+		gpus   int
+	}{
+		{sfr.Duplication{}, 2},
+		{sfr.GPUpd{}, 2},
+		{sfr.CHOPIN{}, 2},
+		{sfr.SortMiddle{}, 2},
+		{sfr.Duplication{}, 8},
+		{sfr.GPUpd{}, 8},
+		{sfr.CHOPIN{}, 8},
+		{sfr.SortMiddle{}, 8},
+	}
+}
+
+// runDigests executes the determinism matrix with the given worker count and
+// returns one digest per simulation, in matrix order.
+func runDigests(opt Options, workers int) ([]Digest, error) {
+	opt.Workers = workers
+	opt.normalize()
+	matrix := determinismMatrix()
+	n := len(matrix) * len(opt.Benchmarks)
+	outs := make([]*stats.FrameStats, n)
+	imgs := make([]uint64, n)
+	var jobs []job
+	i := 0
+	for _, bench := range opt.Benchmarks {
+		for _, m := range matrix {
+			cfg := opt.baseConfig()
+			cfg.NumGPUs = m.gpus
+			jobs = append(jobs, job{bench: bench, scheme: m.scheme, cfg: cfg, out: &outs[i], img: &imgs[i]})
+			i++
+		}
+	}
+	if err := runJobs(&opt, jobs); err != nil {
+		return nil, err
+	}
+	digests := make([]Digest, n)
+	for i, st := range outs {
+		digests[i] = Digest{
+			Scheme: jobs[i].scheme.Name(),
+			Bench:  jobs[i].bench,
+			GPUs:   jobs[i].cfg.NumGPUs,
+			Cycles: int64(st.TotalCycles),
+			Image:  imgs[i],
+		}
+	}
+	return digests, nil
+}
+
+// CheckDeterminism runs the same simulation matrix twice — once strictly
+// sequentially (Workers=1) and once with the options' full parallelism — and
+// compares cycle counts and image checksums run-by-run. Any difference means
+// a simulation's outcome depends on unrelated concurrent work (shared
+// mutable state, map-iteration order leaking into event order, ...), which
+// would silently invalidate every experiment table. It returns the digests
+// of the sequential pass and an error describing each mismatch.
+func CheckDeterminism(opt Options) ([]Digest, error) {
+	opt.normalize()
+	seq, err := runDigests(opt, 1)
+	if err != nil {
+		return nil, fmt.Errorf("sequential pass: %w", err)
+	}
+	par, err := runDigests(opt, opt.Workers)
+	if err != nil {
+		return seq, fmt.Errorf("parallel pass: %w", err)
+	}
+	var diffs []string
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Cycles != p.Cycles {
+			diffs = append(diffs, fmt.Sprintf("%s: cycles %d (sequential) vs %d (parallel)", s.key(), s.Cycles, p.Cycles))
+		}
+		if s.Image != p.Image {
+			diffs = append(diffs, fmt.Sprintf("%s: image %016x (sequential) vs %016x (parallel)", s.key(), s.Image, p.Image))
+		}
+	}
+	if len(diffs) > 0 {
+		return seq, fmt.Errorf("experiments: %d determinism violation(s):\n  %s",
+			len(diffs), strings.Join(diffs, "\n  "))
+	}
+	return seq, nil
+}

@@ -32,6 +32,10 @@ type Options struct {
 	Benchmarks []string
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
 	Workers int
+	// Verify attaches the runtime invariant checker to every simulation the
+	// experiment runs (multigpu.Config.Verify); any violation aborts the
+	// experiment with an error naming the offending run.
+	Verify bool
 	// Verbose, when set, streams progress lines to Out.
 	Verbose bool
 	// Out receives progress output (may be nil).
@@ -72,6 +76,7 @@ func (o *Options) baseConfig() multigpu.Config {
 	// so keeping the byte-per-batch granularity fixed preserves the
 	// distribution-to-rendering ratio across scales.
 	cfg.GroupThreshold = o.scaled(cfg.GroupThreshold)
+	cfg.Verify = o.Verify
 	return cfg
 }
 
@@ -156,6 +161,9 @@ type job struct {
 	scheme sfr.Scheme
 	cfg    multigpu.Config
 	out    **stats.FrameStats
+	// img, when non-nil, receives the checksum of the assembled display
+	// image (used by the determinism harness).
+	img *uint64
 }
 
 // runJobs executes jobs with bounded parallelism, preserving determinism
@@ -189,6 +197,17 @@ func runJobs(opt *Options, jobs []job) error {
 			st := j.scheme.Run(sys, fr)
 			st.Bench = j.bench
 			*j.out = st
+			if j.img != nil {
+				*j.img = sys.AssembleImage(0).Checksum()
+			}
+			if len(st.Violations) > 0 {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s on %s: %d invariant violation(s): %s",
+						j.scheme.Name(), j.bench, len(st.Violations), st.Violations[0])
+				}
+				mu.Unlock()
+			}
 			if opt.Verbose {
 				mu.Lock()
 				fmt.Fprintf(opt.Out, "  %-20s %-8s n=%-2d  %12d cycles\n",
@@ -238,11 +257,11 @@ func speedupMatrix(opt *Options, vars []variant, gpus int, mutateAll func(*multi
 		if mutateAll != nil {
 			mutateAll(&cfg)
 		}
-		jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &base[bi]})
+		jobs = append(jobs, job{bench: bench, scheme: sfr.Duplication{}, cfg: cfg, out: &base[bi]})
 		for vi, v := range vars {
 			vcfg := cfg
 			v.mutate(&vcfg)
-			jobs = append(jobs, job{bench, v.scheme, vcfg, &results[vi][bi]})
+			jobs = append(jobs, job{bench: bench, scheme: v.scheme, cfg: vcfg, out: &results[vi][bi]})
 		}
 	}
 	if err := runJobs(opt, jobs); err != nil {

@@ -64,9 +64,9 @@ func extReorder(opt *Options) (*Result, error) {
 
 		var base, ch, chR *stats.FrameStats
 		jobs := []job{
-			{name, sfr.Duplication{}, cfg, &base},
-			{name, sfr.CHOPIN{}, cfg, &ch},
-			{name, sfr.CHOPIN{Reorder: true}, cfg, &chR},
+			{bench: name, scheme: sfr.Duplication{}, cfg: cfg, out: &base},
+			{bench: name, scheme: sfr.CHOPIN{}, cfg: cfg, out: &ch},
+			{bench: name, scheme: sfr.CHOPIN{Reorder: true}, cfg: cfg, out: &chR},
 		}
 		if err := runJobs(opt, jobs); err != nil {
 			return nil, err
@@ -96,10 +96,10 @@ func extTaxonomy(opt *Options) (*Result, error) {
 		cfg := opt.baseConfig()
 		var base, a, b, c *stats.FrameStats
 		jobs := []job{
-			{name, sfr.Duplication{}, cfg, &base},
-			{name, sfr.GPUpd{}, cfg, &a},
-			{name, sfr.SortMiddle{}, cfg, &b},
-			{name, sfr.CHOPIN{}, cfg, &c},
+			{bench: name, scheme: sfr.Duplication{}, cfg: cfg, out: &base},
+			{bench: name, scheme: sfr.GPUpd{}, cfg: cfg, out: &a},
+			{bench: name, scheme: sfr.SortMiddle{}, cfg: cfg, out: &b},
+			{bench: name, scheme: sfr.CHOPIN{}, cfg: cfg, out: &c},
 		}
 		if err := runJobs(opt, jobs); err != nil {
 			return nil, err

@@ -27,8 +27,8 @@ func fig15(opt *Options) (*Result, error) {
 		for bi, bench := range opt.Benchmarks {
 			cfg := opt.baseConfig()
 			cfg.NumGPUs = n
-			jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &dup[ci][bi]})
-			jobs = append(jobs, job{bench, sfr.CHOPIN{}, cfg, &ch[ci][bi]})
+			jobs = append(jobs, job{bench: bench, scheme: sfr.Duplication{}, cfg: cfg, out: &dup[ci][bi]})
+			jobs = append(jobs, job{bench: bench, scheme: sfr.CHOPIN{}, cfg: cfg, out: &ch[ci][bi]})
 		}
 	}
 	if err := runJobs(opt, jobs); err != nil {
@@ -63,12 +63,12 @@ func fig16(opt *Options) (*Result, error) {
 	runs := make([]*stats.FrameStats, len(fractions))
 	var jobs []job
 	cfg := opt.baseConfig()
-	jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &base[0]})
+	jobs = append(jobs, job{bench: bench, scheme: sfr.Duplication{}, cfg: cfg, out: &base[0]})
 	for fi, f := range fractions {
 		c := cfg
 		c.Raster.RetainCulledFraction = f
 		c.Raster.RetainSeed = 42
-		jobs = append(jobs, job{bench, sfr.CHOPIN{}, c, &runs[fi]})
+		jobs = append(jobs, job{bench: bench, scheme: sfr.CHOPIN{}, cfg: c, out: &runs[fi]})
 	}
 	if err := runJobs(opt, jobs); err != nil {
 		return nil, err

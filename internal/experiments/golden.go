@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chopin/internal/check"
+)
+
+// GoldenOptions is the canonical configuration golden experiment outputs
+// are recorded at: one small benchmark at a small scale, so the full
+// registry re-runs in seconds while still exercising every scheme,
+// scheduler, and sweep. Simulations are deterministic, so these outputs
+// are bit-stable across machines and worker counts — any drift is a
+// behaviour change in the simulator.
+func GoldenOptions() Options {
+	return Options{Scale: 0.03, Benchmarks: []string{"cod2"}}
+}
+
+// GoldenFile returns experiment id's golden file path under dir.
+func GoldenFile(dir, id string) string { return filepath.Join(dir, id+".txt") }
+
+// GoldenSnapshot runs experiment id under opt and renders its canonical
+// textual output (the same text `chopinsim -exp <id>` prints).
+func GoldenSnapshot(id string, opt Options) (string, error) {
+	res, err := Run(id, opt)
+	if err != nil {
+		return "", err
+	}
+	return res.String(), nil
+}
+
+// UpdateGolden re-records every registered experiment's golden file in dir.
+func UpdateGolden(dir string, opt Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, id := range IDs() {
+		s, err := GoldenSnapshot(id, opt)
+		if err != nil {
+			return fmt.Errorf("golden %s: %w", id, err)
+		}
+		if err := os.WriteFile(GoldenFile(dir, id), []byte(s), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompareGolden re-runs experiment id under opt and diffs its output
+// against the recorded golden file. It returns per-cell human-readable
+// differences (empty means the output matches). A missing golden file is
+// returned as the underlying *os.PathError so callers can suggest
+// recording one.
+func CompareGolden(dir, id string, opt Options) ([]string, error) {
+	want, err := os.ReadFile(GoldenFile(dir, id))
+	if err != nil {
+		return nil, err
+	}
+	got, err := GoldenSnapshot(id, opt)
+	if err != nil {
+		return nil, err
+	}
+	return check.DiffTables(string(want), got), nil
+}

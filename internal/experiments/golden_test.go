@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "re-record golden experiment outputs")
+
+// goldenDir holds the recorded outputs of every registered experiment at
+// GoldenOptions. Regenerate with
+//
+//	go test ./internal/experiments -run Golden -update
+//
+// or `go run ./cmd/chopinsim -update-golden` from the repository root.
+const goldenDir = "testdata/golden"
+
+// TestGolden re-runs every registered experiment at the canonical golden
+// configuration and fails with per-cell diffs if any output drifted from
+// its recorded snapshot. This catches unintended behaviour changes anywhere
+// in the simulator: cost models, schedulers, the fabric, the rasterizer,
+// and the table formatting itself all feed these outputs.
+func TestGolden(t *testing.T) {
+	opt := GoldenOptions()
+	if *updateGolden {
+		if err := UpdateGolden(goldenDir, opt); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("re-recorded %d golden files in %s", len(IDs()), goldenDir)
+		return
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			diffs, err := CompareGolden(goldenDir, id, opt)
+			if err != nil {
+				if os.IsNotExist(err) {
+					t.Fatalf("no golden file for %s — record with `go test ./internal/experiments -run Golden -update`", id)
+				}
+				t.Fatal(err)
+			}
+			if len(diffs) > 0 {
+				t.Errorf("%s drifted from its golden output (re-record with -update if intended):\n  %s",
+					id, strings.Join(diffs, "\n  "))
+			}
+		})
+	}
+}
+
+// TestGoldenFilesHaveNoStrays ensures every file in the golden directory
+// corresponds to a registered experiment, so deleted experiments cannot
+// leave stale snapshots that silently stop being checked.
+func TestGoldenFilesHaveNoStrays(t *testing.T) {
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Skipf("golden dir unreadable: %v", err)
+	}
+	known := map[string]bool{}
+	for _, id := range IDs() {
+		known[id+".txt"] = true
+	}
+	for _, e := range entries {
+		if !known[e.Name()] {
+			t.Errorf("stray golden file %s has no registered experiment", e.Name())
+		}
+	}
+}

@@ -33,7 +33,7 @@ func fig9(opt *Options) (*Result, error) {
 	cfg.NumGPUs = 1
 	cfg.RecordPerDraw = true
 	out := make([]*stats.FrameStats, 1)
-	if err := runJobs(opt, []job{{bench, sfr.Duplication{}, cfg, &out[0]}}); err != nil {
+	if err := runJobs(opt, []job{{bench: bench, scheme: sfr.Duplication{}, cfg: cfg, out: &out[0]}}); err != nil {
 		return nil, err
 	}
 	tbl := stats.NewTable("draw", "triangles", "geom cyc/tri", "pipeline cyc/tri")
@@ -104,7 +104,7 @@ func fig17(opt *Options) (*Result, error) {
 	runs := make([]*stats.FrameStats, len(opt.Benchmarks))
 	var jobs []job
 	for bi, bench := range opt.Benchmarks {
-		jobs = append(jobs, job{bench, sfr.CHOPIN{}, opt.baseConfig(), &runs[bi]})
+		jobs = append(jobs, job{bench: bench, scheme: sfr.CHOPIN{}, cfg: opt.baseConfig(), out: &runs[bi]})
 	}
 	if err := runJobs(opt, jobs); err != nil {
 		return nil, err

@@ -29,7 +29,7 @@ func fig2(opt *Options) (*Result, error) {
 		for bi, bench := range opt.Benchmarks {
 			cfg := opt.baseConfig()
 			cfg.NumGPUs = n
-			jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &shares[ci][bi]})
+			jobs = append(jobs, job{bench: bench, scheme: sfr.Duplication{}, cfg: cfg, out: &shares[ci][bi]})
 		}
 	}
 	if err := runJobs(opt, jobs); err != nil {
@@ -64,7 +64,7 @@ func fig4(opt *Options) (*Result, error) {
 		for bi, bench := range opt.Benchmarks {
 			cfg := opt.baseConfig()
 			cfg.NumGPUs = n
-			jobs = append(jobs, job{bench, sfr.GPUpd{}, cfg, &res[ci][bi]})
+			jobs = append(jobs, job{bench: bench, scheme: sfr.GPUpd{}, cfg: cfg, out: &res[ci][bi]})
 		}
 	}
 	if err := runJobs(opt, jobs); err != nil {
@@ -157,11 +157,11 @@ func fig14(opt *Options) (*Result, error) {
 	var jobs []job
 	for bi, bench := range opt.Benchmarks {
 		cfg := opt.baseConfig()
-		jobs = append(jobs, job{bench, sfr.Duplication{}, cfg, &base[bi]})
+		jobs = append(jobs, job{bench: bench, scheme: sfr.Duplication{}, cfg: cfg, out: &base[bi]})
 		for vi, v := range vars {
 			vcfg := cfg
 			v.mutate(&vcfg)
-			jobs = append(jobs, job{bench, v.scheme, vcfg, &results[vi][bi]})
+			jobs = append(jobs, job{bench: bench, scheme: v.scheme, cfg: vcfg, out: &results[vi][bi]})
 		}
 	}
 	if err := runJobs(opt, jobs); err != nil {

@@ -103,6 +103,18 @@ type message struct {
 	onDelivered func()
 }
 
+// Observer receives a callback for every transfer accepted by the fabric and
+// for every completed delivery. Verification harnesses use the pair to prove
+// conservation: everything sent is delivered exactly once, nothing is lost in
+// a blocked egress queue and nothing is duplicated.
+type Observer interface {
+	// Sent fires when a transfer (bulk or control) is accepted for delivery.
+	Sent(src, dst int, bytes int64, class Class)
+	// Delivered fires when the transfer's last byte drains at the
+	// destination, immediately before the sender's onDelivered callback.
+	Delivered(src, dst int, bytes int64, class Class)
+}
+
 // Fabric is the inter-GPU network.
 type Fabric struct {
 	eng *sim.Engine
@@ -113,6 +125,7 @@ type Fabric struct {
 	egressQueue [][]message
 	ingressFree []sim.Cycle
 	accept      []bool
+	obs         Observer
 
 	stats Stats
 }
@@ -144,6 +157,11 @@ func New(eng *sim.Engine, n int, cfg Config) *Fabric {
 // Stats returns the accumulated traffic statistics.
 func (f *Fabric) Stats() *Stats { return &f.stats }
 
+// SetObserver installs an observer notified of every send and delivery
+// (nil removes it). Intended for the verification subsystem; the observer
+// must not mutate the fabric.
+func (f *Fabric) SetObserver(o Observer) { f.obs = o }
+
 // SetAccept marks whether gpu is accepting bulk data transfers. Flipping a
 // GPU to accepting retries any egress heads blocked on it.
 func (f *Fabric) SetAccept(gpu int, ok bool) {
@@ -165,8 +183,14 @@ func (f *Fabric) Send(src, dst int, bytes int64, class Class, onDelivered func()
 	}
 	f.stats.Bytes[class] += bytes
 	f.stats.Messages[class]++
+	if f.obs != nil {
+		f.obs.Sent(src, dst, bytes, class)
+	}
 	if f.cfg.Ideal {
 		f.eng.After(0, func() {
+			if f.obs != nil {
+				f.obs.Delivered(src, dst, bytes, class)
+			}
 			if onDelivered != nil {
 				onDelivered()
 			}
@@ -182,11 +206,17 @@ func (f *Fabric) Send(src, dst int, bytes int64, class Class, onDelivered func()
 func (f *Fabric) SendControl(src, dst int, bytes int64, fn func()) {
 	f.stats.Bytes[ClassControl] += bytes
 	f.stats.Messages[ClassControl]++
+	if f.obs != nil {
+		f.obs.Sent(src, dst, bytes, ClassControl)
+	}
 	lat := f.cfg.LatencyCycles
 	if f.cfg.Ideal {
 		lat = 0
 	}
 	f.eng.After(lat, func() {
+		if f.obs != nil {
+			f.obs.Delivered(src, dst, bytes, ClassControl)
+		}
 		if fn != nil {
 			fn()
 		}
@@ -224,6 +254,9 @@ func (f *Fabric) tryStart(src int) {
 	}
 	f.ingressFree[m.dst] = recvDone
 	f.eng.At(recvDone, func() {
+		if f.obs != nil {
+			f.obs.Delivered(m.src, m.dst, m.bytes, m.class)
+		}
 		if m.onDelivered != nil {
 			m.onDelivered()
 		}

@@ -10,6 +10,7 @@ package multigpu
 import (
 	"fmt"
 
+	"chopin/internal/check"
 	"chopin/internal/framebuffer"
 	"chopin/internal/gpu"
 	"chopin/internal/interconnect"
@@ -49,6 +50,13 @@ type Config struct {
 	BatchSize int
 	// RecordPerDraw enables per-draw timing capture (Fig. 9).
 	RecordPerDraw bool
+	// Verify attaches the runtime invariant checker (package check) to the
+	// system: fabric conservation, event-time monotonicity, depth-merge
+	// monotonicity, and final-image order-independence are validated during
+	// the run and reported in FrameStats.Violations. Verified runs are
+	// slower — the checker snapshots merge inputs and re-renders the
+	// sequential reference image.
+	Verify bool
 }
 
 // DefaultConfig returns the paper's Table II system.
@@ -72,6 +80,10 @@ type System struct {
 	Eng    *sim.Engine
 	Fabric *interconnect.Fabric
 	GPUs   []*gpu.GPU
+	// Check is the runtime invariant checker, non-nil when Cfg.Verify is
+	// set. Schemes route depth merges through it and the end-of-run capture
+	// asks it to validate conservation and the final image.
+	Check *check.Checker
 
 	width, height int
 	tileCount     int
@@ -90,6 +102,11 @@ func New(cfg Config, width, height int) *System {
 		Fabric: interconnect.New(eng, cfg.NumGPUs, cfg.Link),
 		width:  width,
 		height: height,
+	}
+	if cfg.Verify {
+		s.Check = check.New()
+		s.Fabric.SetObserver(s.Check)
+		eng.SetWatcher(s.Check.EventWatcher())
 	}
 	for i := 0; i < cfg.NumGPUs; i++ {
 		s.GPUs = append(s.GPUs, gpu.New(i, eng, cfg.Costs, width, height, cfg.Raster))

@@ -126,7 +126,7 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats
 
 	sys.Eng.After(0, r.nextStep)
 	sys.Eng.Run()
-	finishStats(r.st, sys)
+	finishStats(r.st, sys, fr)
 	// Draw-scheduler status updates (Section VI-D), accounted analytically.
 	if r.ll != nil {
 		r.st.ControlBytes += core.UpdateTrafficBytes(r.st.Triangles, sys.Cfg.SchedulerQuantum)
@@ -287,10 +287,14 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 	}
 	applyMerge := func(sender, receiver int, tiles []int) func() {
 		return func() {
-			composite.DepthMerge(
-				r.sys.GPUs[receiver].Target(rt),
-				r.sys.GPUs[sender].Target(rt),
-				mergeCmp, tiles)
+			dst := r.sys.GPUs[receiver].Target(rt)
+			src := r.sys.GPUs[sender].Target(rt)
+			if ck := r.sys.Check; ck != nil {
+				// Verified runs assert depth-test monotonicity per pixel.
+				ck.DepthMerge(dst, src, mergeCmp, tiles)
+				return
+			}
+			composite.DepthMerge(dst, src, mergeCmp, tiles)
 		}
 	}
 

@@ -80,6 +80,6 @@ func (Duplication) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSt
 	}
 	eng.After(0, runSeg)
 	eng.Run()
-	finishStats(st, sys)
+	finishStats(st, sys, fr)
 	return st
 }

@@ -326,6 +326,6 @@ func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
 	}
 	eng.After(0, runSeg)
 	eng.Run()
-	finishStats(st, sys)
+	finishStats(st, sys, fr)
 	return st
 }

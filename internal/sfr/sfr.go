@@ -20,6 +20,9 @@
 package sfr
 
 import (
+	"fmt"
+
+	"chopin/internal/check"
 	"chopin/internal/framebuffer"
 	"chopin/internal/interconnect"
 	"chopin/internal/multigpu"
@@ -64,8 +67,10 @@ func ReferenceImages(fr *primitive.Frame, cfg raster.Config) map[int]*framebuffe
 }
 
 // finishStats captures per-GPU summaries and traffic into st at the end of
-// a run.
-func finishStats(st *stats.FrameStats, sys *multigpu.System) {
+// a run. On verified systems it additionally closes out the invariant
+// checker: fabric conservation, and composition order-independence of every
+// render target against the sequential single-GPU reference.
+func finishStats(st *stats.FrameStats, sys *multigpu.System, fr *primitive.Frame) {
 	for _, g := range sys.GPUs {
 		st.CaptureGPU(g)
 	}
@@ -74,6 +79,17 @@ func finishStats(st *stats.FrameStats, sys *multigpu.System) {
 	st.PrimDistBytes = fs.BytesFor(interconnect.ClassPrimDist)
 	st.SyncBytes = fs.BytesFor(interconnect.ClassSync)
 	st.ControlBytes = fs.BytesFor(interconnect.ClassControl)
+
+	if ck := sys.Check; ck != nil {
+		ck.VerifyConservation()
+		if fr != nil {
+			for rt, ref := range ReferenceImages(fr, sys.Cfg.Raster) {
+				name := fmt.Sprintf("%s rt%d", st.Scheme, rt)
+				ck.VerifyImage(name, sys.AssembleImage(rt), ref, check.DefaultImageEps)
+			}
+		}
+		st.Violations = ck.Violations()
+	}
 }
 
 // segment is a contiguous run of draws sharing a render target, the unit

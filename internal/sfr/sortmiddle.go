@@ -188,6 +188,6 @@ func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSta
 	}
 	eng.After(0, runSeg)
 	eng.Run()
-	finishStats(st, sys)
+	finishStats(st, sys, fr)
 	return st
 }

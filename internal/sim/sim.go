@@ -35,15 +35,19 @@ func (q *eventQueue) Pop() interface{} {
 	old := *q
 	n := len(old)
 	e := old[n-1]
+	// Zero the vacated slot so the backing array does not retain the popped
+	// event's closure (and everything it captures) for the rest of the run.
+	old[n-1] = event{}
 	*q = old[:n-1]
 	return e
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now Cycle
-	seq int64
-	pq  eventQueue
+	now   Cycle
+	seq   int64
+	pq    eventQueue
+	watch func(at Cycle)
 }
 
 // New returns a fresh engine at cycle 0.
@@ -51,6 +55,11 @@ func New() *Engine { return &Engine{} }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Cycle { return e.now }
+
+// SetWatcher installs a hook invoked with each event's timestamp immediately
+// before the event fires, in firing order. Verification harnesses use it to
+// assert event-time monotonicity; a nil fn removes the hook.
+func (e *Engine) SetWatcher(fn func(at Cycle)) { e.watch = fn }
 
 // At schedules fn to run at the given cycle, which must not be in the past.
 func (e *Engine) At(t Cycle, fn func()) {
@@ -77,6 +86,9 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.pq).(event)
 	e.now = ev.at
+	if e.watch != nil {
+		e.watch(ev.at)
+	}
 	ev.fn()
 	return true
 }

@@ -126,6 +126,81 @@ func TestRunUntilAdvancesIdleClock(t *testing.T) {
 	}
 }
 
+func TestPendingDrainsToZero(t *testing.T) {
+	e := New()
+	const n = 10_000
+	fired := 0
+	for i := 0; i < n; i++ {
+		e.At(Cycle(i%97), func() { fired++ })
+	}
+	if e.Pending() != n {
+		t.Fatalf("pending = %d, want %d", e.Pending(), n)
+	}
+	e.Run()
+	if fired != n {
+		t.Errorf("fired = %d, want %d", fired, n)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+// TestPopReleasesEvents checks that draining the queue zeroes the backing
+// array's slots, so popped closures (and their captures) become collectable
+// even while the Engine itself stays alive.
+func TestPopReleasesEvents(t *testing.T) {
+	e := New()
+	for i := 0; i < 64; i++ {
+		e.At(Cycle(i), func() {})
+	}
+	e.Run()
+	// After Run the queue's length is 0 but its backing array survives;
+	// every retained slot must have been zeroed by Pop.
+	for i := range e.pq[:cap(e.pq)] {
+		s := e.pq[:cap(e.pq)][i]
+		if s.fn != nil || s.at != 0 || s.seq != 0 {
+			t.Fatalf("slot %d not zeroed after pop: %+v", i, s)
+		}
+	}
+}
+
+func TestWatcherSeesMonotonicTimes(t *testing.T) {
+	e := New()
+	var seen []Cycle
+	e.SetWatcher(func(at Cycle) { seen = append(seen, at) })
+	for _, c := range []Cycle{30, 10, 20, 10} {
+		e.At(c, func() {})
+	}
+	e.Run()
+	if len(seen) != 4 {
+		t.Fatalf("watcher saw %d events, want 4", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("watcher times not monotonic: %v", seen)
+		}
+	}
+	e.SetWatcher(nil)
+	e.At(e.Now(), func() {})
+	e.Run()
+	if len(seen) != 4 {
+		t.Errorf("watcher fired after removal")
+	}
+}
+
+// BenchmarkSteadyState measures the allocation behaviour of a steady
+// schedule/fire loop. With Pop zeroing the vacated slot, the queue's backing
+// array is reused and the loop settles to a constant small allocation rate
+// (the interface boxing in container/heap), independent of run length.
+func BenchmarkSteadyState(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.Step()
+	}
+}
+
 // TestDeterminism runs a randomized workload twice and checks identical
 // firing order — the property every experiment depends on.
 func TestDeterminism(t *testing.T) {

@@ -89,6 +89,11 @@ type FrameStats struct {
 	TrianglesAccelerated int
 	// Triangles is the frame's total triangle count.
 	Triangles int
+
+	// Violations holds the invariant violations detected by the verification
+	// subsystem when the run was verified (multigpu.Config.Verify). Empty on
+	// unverified runs and on verified runs where every invariant held.
+	Violations []string
 }
 
 // GPUSummary is one GPU's activity during the frame.

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chopin/internal/primitive"
+)
+
+// smallTraceBytes encodes a tiny but real benchmark trace.
+func smallTraceBytes(t testing.TB) []byte {
+	t.Helper()
+	b, err := ByName("cod2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, Generate(b, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad feeds arbitrary bytes to Load. Whatever the input — valid
+// traces, truncations, bit flips, hostile length prefixes — Load must
+// either succeed with a structurally valid frame or return an error; it
+// must never panic, and the framing validation must keep it from
+// allocating buffers sized by corrupted length claims.
+func FuzzLoad(f *testing.F) {
+	valid := smallTraceBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                         // truncated mid-stream
+	f.Add(valid[:3])                                                    // truncated inside the header framing
+	f.Add([]byte{})                                                     // empty
+	f.Add([]byte("chopin-trace-v1"))                                    // header text without gob framing
+	f.Add([]byte{0xf8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // 8-byte length claiming ~2^64
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+	if seeds, err := os.ReadDir("testdata"); err == nil {
+		for _, e := range seeds {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".trace") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A frame that decodes cleanly must satisfy the same structural
+		// guarantees Load promises its callers.
+		if fr.Width <= 0 || fr.Height <= 0 {
+			t.Fatalf("accepted frame with resolution %dx%d", fr.Width, fr.Height)
+		}
+		for i, d := range fr.Draws {
+			if d.TextureID < 0 || d.TextureID > len(fr.Textures) {
+				t.Fatalf("accepted draw %d with texture %d of %d", i, d.TextureID, len(fr.Textures))
+			}
+		}
+		// And it must survive a save/load round trip.
+		var buf bytes.Buffer
+		if err := Save(&buf, fr); err != nil {
+			t.Fatalf("re-saving accepted frame: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("re-loading accepted frame: %v", err)
+		}
+	})
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	valid := smallTraceBytes(t)
+	for _, n := range []int{0, 1, 3, 7, len(valid) / 4, len(valid) / 2, len(valid) - 1} {
+		if _, err := Load(bytes.NewReader(valid[:n])); err == nil {
+			t.Errorf("truncation to %d bytes loaded without error", n)
+		}
+	}
+}
+
+func TestLoadRejectsOversizedLengthClaim(t *testing.T) {
+	// A framing prefix claiming far more payload than the stream holds must
+	// be rejected by validation, not handed to the gob decoder's allocator.
+	hostile := []byte{0xfc, 0x7f, 0xff, 0xff, 0xff, 0x00, 0x01, 0x02}
+	if _, err := Load(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("oversized length claim loaded without error")
+	}
+	// Same for a claim that overflows the 8-byte encoding entirely.
+	hostile = []byte{0xf7}
+	if _, err := Load(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("truncated length encoding loaded without error")
+	}
+}
+
+func TestLoadRejectsImplausibleFrame(t *testing.T) {
+	b, err := ByName("cod2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := Generate(b, 0.01)
+	bad := *fr
+	bad.Width = 1 << 20
+	var buf bytes.Buffer
+	if err := Save(&buf, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("implausible resolution loaded without error")
+	}
+
+	bad = *fr
+	bad.Draws = append([]primitive.DrawCommand(nil), fr.Draws...)
+	bad.Draws[0].TextureID = 99
+	buf.Reset()
+	if err := Save(&buf, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("dangling texture reference loaded without error")
+	}
+}
+
+func TestSeedCorpusCommitted(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("seed corpus directory missing: %v", err)
+	}
+	traces := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".trace") {
+			traces++
+		}
+	}
+	if traces == 0 {
+		t.Error("no .trace seed files committed under testdata")
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -12,6 +13,16 @@ import (
 
 // fileHeader guards against loading unrelated gob streams.
 const fileHeader = "chopin-trace-v1"
+
+// MaxTraceBytes bounds the size of a trace stream Load will read. Full-scale
+// Table III traces are tens of megabytes; anything near this limit is not a
+// trace this package wrote.
+const MaxTraceBytes = 1 << 30
+
+// maxDimension bounds the decoded screen resolution. The paper's system
+// renders at 1920×1080; 16384 is far beyond any plausible trace and small
+// enough that width*height buffer allocations stay sane.
+const maxDimension = 16384
 
 // Save writes a frame to w in the binary trace format.
 func Save(w io.Writer, f *primitive.Frame) error {
@@ -27,8 +38,25 @@ func Save(w io.Writer, f *primitive.Frame) error {
 }
 
 // Load reads a frame previously written by Save.
+//
+// The stream is read fully (capped at MaxTraceBytes) and its gob message
+// framing is validated before any decoding: every message's claimed length
+// must fit within the bytes actually present. Corrupted or truncated input
+// therefore fails with an error instead of panicking or allocating buffers
+// sized by an attacker-controlled length prefix. The decoded frame is also
+// sanity-checked (resolution bounds, texture references).
 func Load(r io.Reader) (*primitive.Frame, error) {
-	dec := gob.NewDecoder(bufio.NewReader(r))
+	data, err := io.ReadAll(io.LimitReader(r, MaxTraceBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading stream: %w", err)
+	}
+	if len(data) > MaxTraceBytes {
+		return nil, fmt.Errorf("trace: stream exceeds %d-byte limit", int64(MaxTraceBytes))
+	}
+	if err := validateFraming(data); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(data))
 	var header string
 	if err := dec.Decode(&header); err != nil {
 		return nil, fmt.Errorf("trace: decoding header: %w", err)
@@ -40,7 +68,80 @@ func Load(r io.Reader) (*primitive.Frame, error) {
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("trace: decoding frame: %w", err)
 	}
+	if err := validateFrame(&f); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
 	return &f, nil
+}
+
+// validateFraming walks the gob wire format's message framing. Every gob
+// message is an unsigned length prefix followed by that many payload bytes;
+// a decoder trusts the prefix and allocates the payload buffer up front, so
+// a handful of corrupted bytes can claim a gigabyte-sized message. Checking
+// each claimed length against the bytes actually remaining rejects such
+// input before any allocation happens.
+func validateFraming(data []byte) error {
+	rest := data
+	for msg := 0; len(rest) > 0; msg++ {
+		length, n, err := decodeUint(rest)
+		if err != nil {
+			return fmt.Errorf("message %d framing: %w", msg, err)
+		}
+		rest = rest[n:]
+		if length == 0 {
+			return fmt.Errorf("message %d framing: zero-length message", msg)
+		}
+		if length > uint64(len(rest)) {
+			return fmt.Errorf("message %d framing: claims %d bytes but only %d remain", msg, length, len(rest))
+		}
+		rest = rest[length:]
+	}
+	return nil
+}
+
+// decodeUint reads one gob-encoded unsigned integer from the front of b and
+// returns the value and the number of bytes consumed. The encoding (see
+// encoding/gob): a value below 128 is a single byte holding the value;
+// otherwise a byte holding the negated big-endian byte count, then the bytes.
+func decodeUint(b []byte) (uint64, int, error) {
+	if len(b) == 0 {
+		return 0, 0, fmt.Errorf("truncated uint")
+	}
+	if b[0] < 0x80 {
+		return uint64(b[0]), 1, nil
+	}
+	count := int(-int8(b[0]))
+	if count < 1 || count > 8 {
+		return 0, 0, fmt.Errorf("invalid uint byte count %d", count)
+	}
+	if len(b) < 1+count {
+		return 0, 0, fmt.Errorf("truncated %d-byte uint", count)
+	}
+	var v uint64
+	for _, x := range b[1 : 1+count] {
+		v = v<<8 | uint64(x)
+	}
+	return v, 1 + count, nil
+}
+
+// validateFrame rejects decoded frames whose fields are structurally
+// impossible for a trace this package wrote, so downstream buffer
+// allocations and texture lookups stay bounded.
+func validateFrame(f *primitive.Frame) error {
+	if f.Width <= 0 || f.Height <= 0 || f.Width > maxDimension || f.Height > maxDimension {
+		return fmt.Errorf("implausible resolution %dx%d", f.Width, f.Height)
+	}
+	for i, d := range f.Draws {
+		if d.TextureID < 0 || d.TextureID > len(f.Textures) {
+			return fmt.Errorf("draw %d references texture %d of %d", i, d.TextureID, len(f.Textures))
+		}
+	}
+	for i, tex := range f.Textures {
+		if tex == nil {
+			return fmt.Errorf("texture %d is nil", i)
+		}
+	}
+	return nil
 }
 
 // SaveFile writes a frame to the named file.
