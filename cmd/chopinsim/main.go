@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"chopin/internal/experiments"
@@ -44,21 +46,53 @@ func main() {
 		gdir    = flag.String("golden-dir", "internal/experiments/testdata/golden", "golden output directory (with -update-golden)")
 		self    = flag.Bool("selfcheck", false, "run the determinism self-check (sequential vs parallel) and exit")
 		verbose = flag.Bool("v", false, "stream per-simulation progress")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}()
+	}
 
 	switch {
 	case *update:
 		opt := experiments.GoldenOptions()
 		opt.Verbose = *verbose
 		opt.Out = os.Stderr
+		opt.Workers = *workers
 		if err := experiments.UpdateGolden(*gdir, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("re-recorded %d golden files in %s\n", len(experiments.IDs()), *gdir)
 	case *self:
-		opt := experiments.Options{Scale: *scale, Verify: *verify, Verbose: *verbose, Out: os.Stderr}
+		opt := experiments.Options{Scale: *scale, Verify: *verify, Verbose: *verbose, Out: os.Stderr, Workers: *workers}
 		if *benches != "" {
 			opt.Benchmarks = strings.Split(*benches, ",")
 		}
@@ -82,6 +116,7 @@ func main() {
 			Verify:  *verify,
 			Verbose: *verbose,
 			Out:     os.Stderr,
+			Workers: *workers,
 		}
 		if *benches != "" {
 			opt.Benchmarks = strings.Split(*benches, ",")

@@ -1,0 +1,274 @@
+// Package exec is the frame-execution runtime shared by every SFR scheme:
+// a declarative phase engine over the discrete-event simulator.
+//
+// A scheme's frame simulation decomposes into the same orchestration
+// skeleton — a sequence of steps (render-target segments or composition
+// groups), draw fan-out at the command-processor rate inside each step,
+// completion barriers, wall-clock attribution to stats phases, and a
+// render-target broadcast whenever the application switches targets. exec
+// owns that skeleton; a scheme contributes only its genuinely novel logic
+// (GPUpd's ordered ID exchange, CHOPIN's two schedulers, sort-middle's
+// attribute redistribution) inside the step bodies.
+//
+// The building blocks:
+//
+//   - [Runtime] carries the system, the frame, and the accumulating
+//     FrameStats for one simulated frame;
+//   - [Runtime.Sequence] drives an ordered walk of steps without hand-rolled
+//     recursive continuation closures;
+//   - [Runtime.RunSegments] is Sequence over the frame's render-target
+//     segments with the consistency broadcast (paper Section V) built in
+//     between segments;
+//   - [Barrier] counts outstanding completions and releases a continuation;
+//   - [PhaseTimer] and [Runtime.AttributePhases] attribute wall-clock time
+//     to stats phases, either as a single interval or split across
+//     overlapping-phase checkpoints;
+//   - [Runtime.IssueDraws] fans draw submissions out at the driver rate;
+//   - [Runtime.SyncTarget] is the render-target broadcast itself, also
+//     invocable mid-step (CHOPIN's transparent groups).
+//
+// Everything runs on the single-threaded deterministic event engine of
+// package sim; none of these types are safe for concurrent use.
+package exec
+
+import (
+	"chopin/internal/multigpu"
+	"chopin/internal/primitive"
+	"chopin/internal/sim"
+	"chopin/internal/stats"
+)
+
+// Runtime orchestrates one frame's simulation for one scheme.
+type Runtime struct {
+	// Sys is the simulated system the frame runs on.
+	Sys *multigpu.System
+	// Fr is the frame being rendered.
+	Fr *primitive.Frame
+	// St accumulates the frame's statistics.
+	St *stats.FrameStats
+}
+
+// New returns a runtime for one frame with an initialized FrameStats.
+func New(scheme string, sys *multigpu.System, fr *primitive.Frame) *Runtime {
+	return &Runtime{
+		Sys: sys,
+		Fr:  fr,
+		St: &stats.FrameStats{
+			Scheme:    scheme,
+			NumGPUs:   sys.Cfg.NumGPUs,
+			Triangles: fr.TriangleCount(),
+		},
+	}
+}
+
+// NewSequence returns a runtime bound to a system only, for multi-frame
+// drivers (AFR) that keep their own per-frame state and statistics; Fr and
+// St are nil.
+func NewSequence(sys *multigpu.System) *Runtime { return &Runtime{Sys: sys} }
+
+// Eng returns the system's event engine.
+func (r *Runtime) Eng() *sim.Engine { return r.Sys.Eng }
+
+// Run drains the event engine: everything scheduled (and everything those
+// events schedule) executes to completion.
+func (r *Runtime) Run() { r.Sys.Eng.Run() }
+
+// SetTextures installs the frame's texture table on every GPU.
+func (r *Runtime) SetTextures() {
+	for _, gp := range r.Sys.GPUs {
+		gp.SetTextures(r.Fr.Textures)
+	}
+}
+
+// OwnTiles gives every GPU its round-robin tile-ownership mask and the
+// frame's textures — the standard sort-first setup.
+func (r *Runtime) OwnTiles() {
+	for g, gp := range r.Sys.GPUs {
+		gp.SetOwnership(r.Sys.Mask(g))
+	}
+	r.SetTextures()
+}
+
+// Sequence drives body over steps 0..n-1, beginning with a fresh engine
+// event at the current cycle. body must arrange for next() to be invoked
+// exactly once when step i is complete; invoking it advances the walk (the
+// final step's next is a no-op, and the frame finishes when the engine
+// drains). This replaces the hand-rolled recursive continuation loops the
+// schemes used to carry.
+func (r *Runtime) Sequence(n int, body func(i int, next func())) {
+	i := 0
+	var step func()
+	step = func() {
+		if i == n {
+			return
+		}
+		cur := i
+		i++
+		body(cur, step)
+	}
+	r.Sys.Eng.After(0, step)
+}
+
+// IssueDraws schedules submit(i) for every draw index in [start, end) at
+// the command-processor rate: draw i issues DriverCyclesPerDraw cycles
+// after draw i-1, starting at the current cycle.
+func (r *Runtime) IssueDraws(start, end int, submit func(i int)) {
+	driver := sim.Cycle(r.Sys.Cfg.DriverCyclesPerDraw)
+	for i := start; i < end; i++ {
+		i := i
+		r.Sys.Eng.After(sim.Cycle(i-start)*driver, func() { submit(i) })
+	}
+}
+
+// Barrier counts outstanding completions and invokes a continuation when
+// every registered completion has retired and the barrier is sealed.
+// Registration (Add) and retirement (Done) may interleave arbitrarily; the
+// seal marks the point after which no further completions will be
+// registered, so a drained barrier may release.
+type Barrier struct {
+	pending int
+	sealed  bool
+	fn      func()
+}
+
+// NewBarrier returns an unsealed barrier releasing into fn.
+func NewBarrier(fn func()) *Barrier { return &Barrier{fn: fn} }
+
+// Add registers n outstanding completions.
+func (b *Barrier) Add(n int) { b.pending += n }
+
+// Done retires one completion, invoking the continuation if the barrier is
+// sealed and nothing remains outstanding.
+func (b *Barrier) Done() {
+	b.pending--
+	if b.pending == 0 && b.sealed {
+		b.fn()
+	}
+}
+
+// Seal marks registration complete. If nothing is outstanding the
+// continuation runs synchronously.
+func (b *Barrier) Seal() {
+	b.sealed = true
+	if b.pending == 0 {
+		b.fn()
+	}
+}
+
+// SealDeferred marks registration complete like Seal, but if nothing is
+// outstanding the continuation runs on a fresh engine event at the current
+// cycle instead of synchronously — for callers whose completion path must
+// always execute from the event loop.
+func (b *Barrier) SealDeferred(eng *sim.Engine) {
+	b.sealed = true
+	if b.pending == 0 {
+		eng.After(0, b.fn)
+	}
+}
+
+// Pending returns the number of outstanding completions.
+func (b *Barrier) Pending() int { return b.pending }
+
+// PhaseTimer attributes a wall-clock interval to one stats phase.
+type PhaseTimer struct {
+	r     *Runtime
+	tag   stats.Phase
+	start sim.Cycle
+}
+
+// StartPhase begins timing a phase at the current cycle.
+func (r *Runtime) StartPhase(tag stats.Phase) PhaseTimer {
+	return PhaseTimer{r: r, tag: tag, start: r.Sys.Eng.Now()}
+}
+
+// Stop attributes the cycles elapsed since StartPhase to the timer's phase.
+func (t PhaseTimer) Stop() { t.r.St.AddPhase(t.tag, t.r.Sys.Eng.Now()-t.start) }
+
+// Start returns the cycle the timer started at.
+func (t PhaseTimer) Start() sim.Cycle { return t.start }
+
+// Mark is a phase checkpoint for AttributePhases: Tag's phase ran from the
+// previous checkpoint (or the interval start) until At.
+type Mark struct {
+	Tag stats.Phase
+	At  sim.Cycle
+}
+
+// AttributePhases splits the wall clock from start to the current cycle
+// across ordered checkpoints, attributing each inter-checkpoint interval to
+// its mark's phase and the remainder to finalTag. Checkpoints are clamped
+// monotonically: a mark earlier than its predecessor contributes zero
+// cycles (phases that completely overlap a predecessor are charged to the
+// predecessor, the convention of paper Fig. 14's stacks).
+func (r *Runtime) AttributePhases(start sim.Cycle, marks []Mark, finalTag stats.Phase) {
+	t := start
+	for _, m := range marks {
+		at := max(m.At, t)
+		r.St.AddPhase(m.Tag, at-t)
+		t = at
+	}
+	r.St.AddPhase(finalTag, r.Sys.Eng.Now()-t)
+}
+
+// Segment is a contiguous run of draws sharing a render target, the unit
+// between consistency synchronizations (paper Section V: "every time the
+// application switches to a new render target or depth buffer ... each GPU
+// broadcasts the latest content of its current render targets and depth
+// buffers").
+type Segment struct {
+	// Start and End delimit the draw range [Start, End).
+	Start, End int
+	// RT is the render target the segment draws into.
+	RT int
+}
+
+// SplitSegments cuts the draw stream at render-target or depth-buffer
+// switches.
+func SplitSegments(draws []primitive.DrawCommand) []Segment {
+	if len(draws) == 0 {
+		return nil
+	}
+	var segs []Segment
+	cur := Segment{Start: 0, RT: draws[0].State.RenderTarget}
+	for i := 1; i < len(draws); i++ {
+		if draws[i].State.RenderTarget != cur.RT || draws[i].State.DepthBuffer != draws[i-1].State.DepthBuffer {
+			cur.End = i
+			segs = append(segs, cur)
+			cur = Segment{Start: i, RT: draws[i].State.RenderTarget}
+		}
+	}
+	cur.End = len(draws)
+	return append(segs, cur)
+}
+
+// RunSegments drives body over the frame's render-target segments. A
+// segment body renders its draw range and calls done() when the segment has
+// drained; between consecutive segments the runtime broadcasts the finished
+// render target to every GPU, clears its dirty flags, and attributes the
+// wait to PhaseSync — the render-target-switch step every scheme shares.
+func (r *Runtime) RunSegments(body func(seg Segment, done func())) {
+	segs := SplitSegments(r.Fr.Draws)
+	r.Sequence(len(segs), func(i int, next func()) {
+		seg := segs[i]
+		body(seg, func() {
+			if i+1 == len(segs) {
+				return
+			}
+			t := r.StartPhase(stats.PhaseSync)
+			r.SyncTarget(seg.RT, nil, func() {
+				r.ClearDirty(seg.RT)
+				t.Stop()
+				next()
+			})
+		})
+	})
+}
+
+// ClearDirty resets render target rt's dirty flags on every GPU, so the
+// next consistency sync broadcasts only content rendered after this point
+// (delta synchronization).
+func (r *Runtime) ClearDirty(rt int) {
+	for _, g := range r.Sys.GPUs {
+		g.Target(rt).ClearDirty()
+	}
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"chopin/internal/framebuffer"
+	"chopin/internal/interconnect"
+)
+
+// SyncTarget broadcasts each GPU's owned authoritative region of render
+// target rt to all other GPUs (colour + depth), functionally copying owner
+// tiles into each peer's buffer. ownedTiles(src) selects the tiles GPU src
+// broadcasts (nil provider = src's currently dirty owned tiles). done fires
+// when the last transfer has drained.
+//
+// This is the memory-consistency synchronization of paper Section V. It
+// runs automatically between segments under RunSegments; CHOPIN additionally
+// invokes it when entering a transparent composition group so that every
+// GPU holds the true opaque depth buffer (see DESIGN.md §4.3).
+func (r *Runtime) SyncTarget(rt int, ownedTiles func(src int) []int, done func()) {
+	sys := r.Sys
+	n := sys.Cfg.NumGPUs
+	if n == 1 {
+		sys.Eng.After(0, done)
+		return
+	}
+	pending := 0
+	finished := false
+	complete := func() {
+		pending--
+		if pending == 0 && finished {
+			done()
+		}
+	}
+	for src := 0; src < n; src++ {
+		var tiles []int
+		if ownedTiles != nil {
+			tiles = ownedTiles(src)
+		} else {
+			srcFB := sys.GPUs[src].Target(rt)
+			for t := src; t < sys.TileCount(); t += n {
+				if srcFB.Dirty(t) {
+					tiles = append(tiles, t)
+				}
+			}
+		}
+		px := sys.PixelCount(tiles)
+		if px == 0 {
+			continue
+		}
+		bytes := int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			pending++
+			src, dst, tiles := src, dst, tiles
+			sys.Fabric.Send(src, dst, bytes, interconnect.ClassSync, func() {
+				dstFB := sys.GPUs[dst].Target(rt)
+				for _, t := range tiles {
+					dstFB.CopyTileFrom(sys.GPUs[src].Target(rt), t)
+				}
+				complete()
+			})
+		}
+	}
+	finished = true
+	if pending == 0 {
+		sys.Eng.After(0, done)
+	}
+}

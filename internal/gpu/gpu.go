@@ -188,6 +188,29 @@ type DrawOpts struct {
 	GeomFree bool
 }
 
+// drawEvent carries one submitted draw's functional result to its completion
+// callbacks. A single allocation per draw backs the returned
+// *raster.DrawResult and both scheduled events: geomFire and doneFire are
+// conversion views of the same struct, so scheduling them through
+// sim.Engine.AtCall allocates nothing further.
+type drawEvent struct {
+	res    raster.DrawResult
+	onGeom func(res *raster.DrawResult)
+	onDone func(res *raster.DrawResult)
+}
+
+// geomFire fires the geometry-stage completion callback.
+type geomFire drawEvent
+
+// Fire implements sim.Callback.
+func (e *geomFire) Fire() { e.onGeom(&e.res) }
+
+// doneFire fires the pipeline-drain completion callback.
+type doneFire drawEvent
+
+// Fire implements sim.Callback.
+func (e *doneFire) Fire() { e.onDone(&e.res) }
+
 // GPU models one GPU's pipeline timing and functional state.
 type GPU struct {
 	// ID is the GPU's index in the system.
@@ -292,7 +315,7 @@ func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts 
 	fragCycles := sim.Cycle(g.costs.FragCycles(&res, d.PixelCost))
 
 	now := g.eng.Now()
-	geomStart := maxCycle(now, g.geomFree)
+	geomStart := max(now, g.geomFree)
 	// Backpressure: geometry may run at most PipelineDepth draws ahead of
 	// the fragment stage.
 	if depth := g.costs.PipelineDepth; depth > 0 && len(g.fragStarts) >= depth {
@@ -301,7 +324,7 @@ func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts 
 		}
 	}
 	geomEnd := geomStart + geomCycles
-	fragStart := maxCycle(geomEnd, g.fragFree)
+	fragStart := max(geomEnd, g.fragFree)
 	fragEnd := fragStart + fragCycles
 
 	g.geomFree = geomEnd
@@ -326,14 +349,14 @@ func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts 
 		})
 	}
 
-	resCopy := res
+	ev := &drawEvent{res: res, onGeom: opts.OnGeomDone, onDone: opts.OnDone}
 	if opts.OnGeomDone != nil {
-		g.eng.At(geomEnd, func() { opts.OnGeomDone(&resCopy) })
+		g.eng.AtCall(geomEnd, (*geomFire)(ev))
 	}
 	if opts.OnDone != nil {
-		g.eng.At(fragEnd, func() { opts.OnDone(&resCopy) })
+		g.eng.AtCall(fragEnd, (*doneFire)(ev))
 	}
-	return &resCopy
+	return &ev.res
 }
 
 // SubmitGeometry schedules geometry-only processing of a draw (vertex
@@ -342,7 +365,7 @@ func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts 
 // toward the GPU's processed-triangle progress.
 func (g *GPU) SubmitGeometry(verts, tris int, vertexCost float64, onDone func()) {
 	cycles := sim.Cycle(g.costs.GeomCycles(verts, tris, vertexCost))
-	start := maxCycle(g.eng.Now(), g.geomFree)
+	start := max(g.eng.Now(), g.geomFree)
 	end := start + cycles
 	g.geomFree = end
 	g.stats.GeomBusy += cycles
@@ -351,7 +374,7 @@ func (g *GPU) SubmitGeometry(verts, tris int, vertexCost float64, onDone func())
 	})
 	g.trisDone += tris
 	if onDone != nil {
-		g.eng.At(end, func() { onDone() })
+		g.eng.At(end, onDone)
 	}
 }
 
@@ -359,12 +382,12 @@ func (g *GPU) SubmitGeometry(verts, tris int, vertexCost float64, onDone func())
 // (sort-first phase 1). It occupies the geometry stage.
 func (g *GPU) SubmitProjection(tris int, onDone func()) {
 	cycles := sim.Cycle(float64(tris) * g.costs.ProjCyclesPerTriangle)
-	start := maxCycle(g.eng.Now(), g.geomFree)
+	start := max(g.eng.Now(), g.geomFree)
 	end := start + cycles
 	g.geomFree = end
 	g.stats.ProjBusy += cycles
 	if onDone != nil {
-		g.eng.At(end, func() { onDone() })
+		g.eng.At(end, onDone)
 	}
 }
 
@@ -377,12 +400,12 @@ func (g *GPU) SubmitMerge(pixels int, apply func(), onDone func()) {
 		apply()
 	}
 	cycles := sim.Cycle(float64(pixels) * g.costs.CyclesPerMergePixel)
-	start := maxCycle(g.eng.Now(), g.fragFree)
+	start := max(g.eng.Now(), g.fragFree)
 	end := start + cycles
 	g.fragFree = end
 	g.stats.MergeBusy += cycles
 	if onDone != nil {
-		g.eng.At(end, func() { onDone() })
+		g.eng.At(end, onDone)
 	}
 }
 
@@ -423,11 +446,4 @@ func (g *GPU) ResetPipeline() {
 	}
 	g.fragStarts = g.fragStarts[:0]
 	g.segments = g.segments[:0]
-}
-
-func maxCycle(a, b sim.Cycle) sim.Cycle {
-	if a > b {
-		return a
-	}
-	return b
 }

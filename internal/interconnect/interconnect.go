@@ -103,6 +103,45 @@ type message struct {
 	onDelivered func()
 }
 
+// delivery is a scheduled message arrival. Deliveries are recycled through
+// the fabric's free list (the engine is single-threaded, so no locking), so
+// steady-state transfers do not allocate per event.
+type delivery struct {
+	f    *Fabric
+	m    message
+	next *delivery // free-list link
+}
+
+// Fire implements sim.Callback: the message's last byte has drained at the
+// destination.
+func (d *delivery) Fire() {
+	f, m := d.f, d.m
+	// Recycle before running the callback: the callback may Send again and
+	// immediately reuse this slot.
+	d.f, d.m = nil, message{}
+	d.next = f.free
+	f.free = d
+	if f.obs != nil {
+		f.obs.Delivered(m.src, m.dst, m.bytes, m.class)
+	}
+	if m.onDelivered != nil {
+		m.onDelivered()
+	}
+}
+
+// egressPort is the reusable "egress port frees" event of one source GPU.
+type egressPort struct {
+	f   *Fabric
+	src int
+}
+
+// Fire implements sim.Callback: the in-flight transfer's last byte has left
+// the source, so the next queued transfer may start.
+func (p *egressPort) Fire() {
+	p.f.sending[p.src] = false
+	p.f.tryStart(p.src)
+}
+
 // Observer receives a callback for every transfer accepted by the fabric and
 // for every completed delivery. Verification harnesses use the pair to prove
 // conservation: everything sent is delivered exactly once, nothing is lost in
@@ -126,6 +165,9 @@ type Fabric struct {
 	ingressFree []sim.Cycle
 	accept      []bool
 	obs         Observer
+
+	ports []egressPort // one reusable egress-free event per GPU
+	free  *delivery    // recycled delivery events
 
 	stats Stats
 }
@@ -151,7 +193,26 @@ func New(eng *sim.Engine, n int, cfg Config) *Fabric {
 	for i := range f.accept {
 		f.accept[i] = true
 	}
+	f.ports = make([]egressPort, n)
+	for i := range f.ports {
+		f.ports[i] = egressPort{f: f, src: i}
+	}
 	return f
+}
+
+// newDelivery takes a delivery event off the free list (or allocates the
+// first few) and arms it with m.
+func (f *Fabric) newDelivery(m message) *delivery {
+	d := f.free
+	if d == nil {
+		d = &delivery{}
+	} else {
+		f.free = d.next
+		d.next = nil
+	}
+	d.f = f
+	d.m = m
+	return d
 }
 
 // Stats returns the accumulated traffic statistics.
@@ -187,14 +248,7 @@ func (f *Fabric) Send(src, dst int, bytes int64, class Class, onDelivered func()
 		f.obs.Sent(src, dst, bytes, class)
 	}
 	if f.cfg.Ideal {
-		f.eng.After(0, func() {
-			if f.obs != nil {
-				f.obs.Delivered(src, dst, bytes, class)
-			}
-			if onDelivered != nil {
-				onDelivered()
-			}
-		})
+		f.eng.AfterCall(0, f.newDelivery(message{src, dst, bytes, class, onDelivered}))
 		return
 	}
 	f.egressQueue[src] = append(f.egressQueue[src], message{src, dst, bytes, class, onDelivered})
@@ -213,14 +267,7 @@ func (f *Fabric) SendControl(src, dst int, bytes int64, fn func()) {
 	if f.cfg.Ideal {
 		lat = 0
 	}
-	f.eng.After(lat, func() {
-		if f.obs != nil {
-			f.obs.Delivered(src, dst, bytes, ClassControl)
-		}
-		if fn != nil {
-			fn()
-		}
-	})
+	f.eng.AfterCall(lat, f.newDelivery(message{src, dst, bytes, ClassControl, fn}))
 }
 
 // tryStart begins transmitting the head of src's egress queue if the egress
@@ -241,26 +288,13 @@ func (f *Fabric) tryStart(src int) {
 		tx = 1
 	}
 	// Egress port frees when the last byte leaves.
-	f.eng.After(tx, func() {
-		f.sending[src] = false
-		f.tryStart(src)
-	})
+	f.eng.AfterCall(tx, &f.ports[src])
 	// Cut-through delivery: last byte arrives latency cycles after it was
 	// sent; the ingress port serializes concurrent arrivals.
 	arrive := f.eng.Now() + tx + f.cfg.LatencyCycles
-	recvDone := arrive
-	if drainFree := f.ingressFree[m.dst] + tx; drainFree > recvDone {
-		recvDone = drainFree
-	}
+	recvDone := max(arrive, f.ingressFree[m.dst]+tx)
 	f.ingressFree[m.dst] = recvDone
-	f.eng.At(recvDone, func() {
-		if f.obs != nil {
-			f.obs.Delivered(m.src, m.dst, m.bytes, m.class)
-		}
-		if m.onDelivered != nil {
-			m.onDelivered()
-		}
-	})
+	f.eng.AtCall(recvDone, f.newDelivery(m))
 }
 
 // QueuedAt returns the number of bulk transfers waiting at src's egress port

@@ -2,6 +2,7 @@ package sfr
 
 import (
 	"chopin/internal/colorspace"
+	"chopin/internal/exec"
 	"chopin/internal/framebuffer"
 	"chopin/internal/gpu"
 	"chopin/internal/multigpu"
@@ -80,6 +81,7 @@ func RunAFR(sys *multigpu.System, frames []*primitive.Frame) *SequenceStats {
 	if len(frames) == 0 {
 		return st
 	}
+	ex := exec.NewSequence(sys)
 	eng := sys.Eng
 	n := sys.Cfg.NumGPUs
 	driver := sim.Cycle(sys.Cfg.DriverCyclesPerDraw)
@@ -93,23 +95,20 @@ func RunAFR(sys *multigpu.System, frames []*primitive.Frame) *SequenceStats {
 		fi, fr := fi, fr
 		g := sys.GPUs[fi%n]
 		st.IssueStart[fi] = issue
-		outstanding := len(fr.Draws)
+		bar := exec.NewBarrier(func() { st.Complete[fi] = eng.Now() })
+		bar.Add(len(fr.Draws))
+		if len(fr.Draws) > 0 {
+			// An empty frame stays unsealed so Complete keeps its zero value.
+			bar.Seal()
+		}
 		eng.At(issue, func() {
 			// A new frame on this GPU starts from a cleared framebuffer.
 			g.Target(0).Clear(colorspace.Transparent, framebuffer.ClearDepth)
-			for i := range fr.Draws {
-				d := fr.Draws[i]
-				eng.After(sim.Cycle(i)*driver, func() {
-					g.SubmitDraw(d, fr.View, fr.Proj, gpu.DrawOpts{
-						OnDone: func(*raster.DrawResult) {
-							outstanding--
-							if outstanding == 0 {
-								st.Complete[fi] = eng.Now()
-							}
-						},
-					})
+			ex.IssueDraws(0, len(fr.Draws), func(i int) {
+				g.SubmitDraw(fr.Draws[i], fr.View, fr.Proj, gpu.DrawOpts{
+					OnDone: func(*raster.DrawResult) { bar.Done() },
 				})
-			}
+			})
 		})
 		// The CPU can begin submitting the next frame once this frame's
 		// command stream has been issued.

@@ -6,6 +6,7 @@ import (
 	"chopin/internal/colorspace"
 	"chopin/internal/composite"
 	"chopin/internal/core"
+	"chopin/internal/exec"
 	"chopin/internal/framebuffer"
 	"chopin/internal/gpu"
 	"chopin/internal/interconnect"
@@ -58,16 +59,17 @@ func (c CHOPIN) Name() string {
 
 // chopinRun carries the per-frame state of one CHOPIN simulation.
 type chopinRun struct {
+	ex  *exec.Runtime
 	sys *multigpu.System
 	fr  *primitive.Frame
-	st  *stats.FrameStats
 	n   int
 
 	sched core.DrawScheduler
 	ll    *core.LeastLoadedScheduler // non-nil when the Fig. 10 scheduler is used
 
 	steps   []core.Step
-	stepIdx int
+	stepIdx int    // 1-based index of the executing step (scheduler epoch)
+	next    func() // advances the step sequence
 	prevRT  int
 
 	// cumDirty[g][rt] records owned tiles of g ever dirtied, surviving the
@@ -83,14 +85,10 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats
 		fr = &reordered
 	}
 	r := &chopinRun{
+		ex:  exec.New(c.Name(), sys, fr),
 		sys: sys,
 		fr:  fr,
 		n:   sys.Cfg.NumGPUs,
-		st: &stats.FrameStats{
-			Scheme:    c.Name(),
-			NumGPUs:   sys.Cfg.NumGPUs,
-			Triangles: fr.TriangleCount(),
-		},
 	}
 	switch {
 	case c.Scheduler != nil:
@@ -110,12 +108,11 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats
 		}
 	}
 	plan := core.Summarize(r.steps)
-	r.st.GroupsTotal = plan.Groups
-	r.st.GroupsAccelerated = plan.Accelerated
-	r.st.TrianglesAccelerated = plan.TrianglesAccel
-	for _, gp := range sys.GPUs {
-		gp.SetTextures(fr.Textures)
-	}
+	st := r.ex.St
+	st.GroupsTotal = plan.Groups
+	st.GroupsAccelerated = plan.Accelerated
+	st.TrianglesAccelerated = plan.TrianglesAccel
+	r.ex.SetTextures()
 	r.cumDirty = make([]map[int]map[int]bool, r.n)
 	for g := range r.cumDirty {
 		r.cumDirty[g] = map[int]map[int]bool{}
@@ -124,14 +121,14 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats
 		r.prevRT = fr.Draws[0].State.RenderTarget
 	}
 
-	sys.Eng.After(0, r.nextStep)
-	sys.Eng.Run()
-	finishStats(r.st, sys, fr)
+	r.ex.Sequence(len(r.steps), r.step)
+	r.ex.Run()
+	finishStats(st, sys, fr)
 	// Draw-scheduler status updates (Section VI-D), accounted analytically.
 	if r.ll != nil {
-		r.st.ControlBytes += core.UpdateTrafficBytes(r.st.Triangles, sys.Cfg.SchedulerQuantum)
+		st.ControlBytes += core.UpdateTrafficBytes(st.Triangles, sys.Cfg.SchedulerQuantum)
 	}
-	return r.st
+	return st
 }
 
 // foldDirty accumulates g's currently dirty owned tiles of rt into the
@@ -169,14 +166,13 @@ func (r *chopinRun) clearSync(rt int) {
 	}
 }
 
-// nextStep advances to the next composition group, inserting a consistency
-// sync at render-target switches (paper Section V).
-func (r *chopinRun) nextStep() {
-	if r.stepIdx == len(r.steps) {
-		return
-	}
-	step := r.steps[r.stepIdx]
-	r.stepIdx++
+// step executes composition group i, inserting a consistency sync at
+// render-target switches (paper Section V). It is the body of the runtime's
+// step sequence; the group's completion path invokes r.next.
+func (r *chopinRun) step(i int, next func()) {
+	r.next = next
+	r.stepIdx = i + 1
+	step := r.steps[i]
 	rt := r.fr.Draws[step.Group.Start].State.RenderTarget
 
 	execute := func() {
@@ -192,10 +188,10 @@ func (r *chopinRun) nextStep() {
 	if rt != r.prevRT {
 		old := r.prevRT
 		r.prevRT = rt
-		syncStart := r.sys.Eng.Now()
-		consistencySync(r.sys, old, func(src int) []int { return r.syncTiles(src, old) }, func() {
+		t := r.ex.StartPhase(stats.PhaseSync)
+		r.ex.SyncTarget(old, func(src int) []int { return r.syncTiles(src, old) }, func() {
 			r.clearSync(old)
-			r.st.AddPhase(stats.PhaseSync, r.sys.Eng.Now()-syncStart)
+			t.Stop()
 			execute()
 		})
 		return
@@ -206,34 +202,28 @@ func (r *chopinRun) nextStep() {
 // duplicateGroup runs a below-threshold group the conventional way: every
 // GPU executes every draw with its tile-ownership mask (Fig. 7 step Ë).
 func (r *chopinRun) duplicateGroup(grp primitive.Group, rt int) {
-	eng := r.sys.Eng
-	phaseStart := eng.Now()
+	phase := r.ex.StartPhase(stats.PhaseNormal)
 	for g, gp := range r.sys.GPUs {
 		gp.SetOwnership(r.sys.Mask(g))
 	}
 	if r.ll != nil {
 		r.ll.NoteDuplicated(grp.Triangles)
 	}
-	total := grp.Len() * r.n
-	done := 0
-	driver := sim.Cycle(r.sys.Cfg.DriverCyclesPerDraw)
-	for i := grp.Start; i < grp.End; i++ {
+	bar := exec.NewBarrier(func() {
+		phase.Stop()
+		r.next()
+	})
+	bar.Add(grp.Len() * r.n)
+	bar.Seal()
+	r.ex.IssueDraws(grp.Start, grp.End, func(i int) {
 		d := r.fr.Draws[i]
-		eng.After(sim.Cycle(i-grp.Start)*driver, func() {
-			for g := 0; g < r.n; g++ {
-				r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
-					RecordTiming: r.sys.Cfg.RecordPerDraw && g == 0,
-					OnDone: func(*raster.DrawResult) {
-						done++
-						if done == total {
-							r.st.AddPhase(stats.PhaseNormal, eng.Now()-phaseStart)
-							r.nextStep()
-						}
-					},
-				})
-			}
-		})
-	}
+		for g := 0; g < r.n; g++ {
+			r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
+				RecordTiming: r.sys.Cfg.RecordPerDraw && g == 0,
+				OnDone:       func(*raster.DrawResult) { bar.Done() },
+			})
+		}
+	})
 }
 
 // opaqueGroup distributes draws across GPUs and composes the sub-images
@@ -271,12 +261,13 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 	naiveRemaining := r.n * (r.n - 1)
 
 	groupEnd := func() {
-		r.st.AddPhase(stats.PhaseNormal, tAllReady-phaseStart)
-		r.st.AddPhase(stats.PhaseComposition, eng.Now()-tAllReady)
+		r.ex.AttributePhases(phaseStart, []exec.Mark{
+			{Tag: stats.PhaseNormal, At: tAllReady},
+		}, stats.PhaseComposition)
 		for g := range r.cumDirty {
 			r.foldDirty(g, rt)
 		}
-		r.nextStep()
+		r.next()
 	}
 
 	// region computes the transfer payload sender→receiver: sender's tiles
@@ -372,28 +363,24 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 		}
 	}
 
-	driver := sim.Cycle(r.sys.Cfg.DriverCyclesPerDraw)
-	for i := grp.Start; i < grp.End; i++ {
+	r.ex.IssueDraws(grp.Start, grp.End, func(i int) {
 		d := r.fr.Draws[i]
-		last := i == grp.End-1
-		eng.After(sim.Cycle(i-grp.Start)*driver, func() {
-			g := r.sched.Assign(d.TriangleCount(), eng.Now())
-			outstanding[g]++
-			r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
-				RecordTiming: r.sys.Cfg.RecordPerDraw && g == 0,
-				OnDone: func(*raster.DrawResult) {
-					outstanding[g]--
-					maybeReady(g)
-				},
-			})
-			if last {
-				driverDone = true
-				for g := 0; g < r.n; g++ {
-					maybeReady(g)
-				}
-			}
+		g := r.sched.Assign(d.TriangleCount(), eng.Now())
+		outstanding[g]++
+		r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
+			RecordTiming: r.sys.Cfg.RecordPerDraw && g == 0,
+			OnDone: func(*raster.DrawResult) {
+				outstanding[g]--
+				maybeReady(g)
+			},
 		})
-	}
+		if i == grp.End-1 {
+			driverDone = true
+			for g := 0; g < r.n; g++ {
+				maybeReady(g)
+			}
+		}
+	})
 }
 
 // transparentGroup distributes contiguous draw ranges, renders them into
@@ -401,16 +388,15 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 // blends the final layer over the background at each tile owner
 // (Fig. 7 steps Ì–Î).
 func (r *chopinRun) transparentGroup(grp primitive.Group, rt int) {
-	eng := r.sys.Eng
 	op := grp.BlendOp
 
 	// Every GPU first needs the true composed framebuffer (colour for the
 	// final blend, depth for occlusion of transparent fragments): a
 	// consistency sync on the current target (see DESIGN.md §4.3).
-	syncStart := eng.Now()
-	consistencySync(r.sys, rt, func(src int) []int { return r.syncTiles(src, rt) }, func() {
+	t := r.ex.StartPhase(stats.PhaseSync)
+	r.ex.SyncTarget(rt, func(src int) []int { return r.syncTiles(src, rt) }, func() {
 		r.clearSync(rt)
-		r.st.AddPhase(stats.PhaseSync, eng.Now()-syncStart)
+		t.Stop()
 		r.transparentBody(grp, rt, op)
 	})
 }
@@ -455,23 +441,17 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 			gp.SetTarget(rt, saved[g])
 			r.foldDirty(g, rt)
 		}
-		r.st.AddPhase(stats.PhaseNormal, tAllReady-phaseStart)
-		r.st.AddPhase(stats.PhaseComposition, eng.Now()-tAllReady)
-		r.nextStep()
+		r.ex.AttributePhases(phaseStart, []exec.Mark{
+			{Tag: stats.PhaseNormal, At: tAllReady},
+		}, stats.PhaseComposition)
+		r.next()
 	}
 
 	// backgroundMerge distributes the final layer to tile owners, who blend
 	// it over their authoritative framebuffer region.
 	backgroundMerge := func(holder int) {
 		layer := layers[holder]
-		pending := 0
-		started := false
-		finish := func() {
-			pending--
-			if pending == 0 && started {
-				groupEnd()
-			}
-		}
+		bar := exec.NewBarrier(groupEnd)
 		for owner := 0; owner < r.n; owner++ {
 			var tiles []int
 			for t := owner; t < r.sys.TileCount(); t += r.n {
@@ -483,7 +463,7 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 			if px == 0 {
 				continue
 			}
-			pending++
+			bar.Add(1)
 			owner, tiles := owner, tiles
 			apply := func() {
 				// The GPU's target slot still points at the layer; blend
@@ -491,18 +471,15 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 				composite.BlendMerge(saved[owner], layer, op, tiles)
 			}
 			if owner == holder {
-				r.sys.GPUs[owner].SubmitMerge(px, apply, finish)
+				r.sys.GPUs[owner].SubmitMerge(px, apply, bar.Done)
 				continue
 			}
 			bytes := int64(px) * framebuffer.TransparentCompositionBytesPerPixel
 			r.sys.Fabric.Send(holder, owner, bytes, interconnect.ClassComposition, func() {
-				r.sys.GPUs[owner].SubmitMerge(px, apply, finish)
+				r.sys.GPUs[owner].SubmitMerge(px, apply, bar.Done)
 			})
 		}
-		started = true
-		if pending == 0 {
-			eng.After(0, groupEnd)
-		}
+		bar.SealDeferred(eng)
 	}
 
 	var pump func()
@@ -560,7 +537,6 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 		pump()
 	}
 
-	driver := sim.Cycle(r.sys.Cfg.DriverCyclesPerDraw)
 	for g := 0; g < r.n; g++ {
 		r.sys.Fabric.SetAccept(g, false)
 		c := chunks[g]
@@ -572,23 +548,21 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 			})
 			continue
 		}
-		for i := c[0]; i < c[1]; i++ {
+		g := g
+		last := c[1] - 1
+		r.ex.IssueDraws(c[0], c[1], func(i int) {
 			d := r.fr.Draws[i]
-			g := g
-			last := i == c[1]-1
-			eng.After(sim.Cycle(i-c[0])*driver, func() {
-				outstanding[g]++
-				r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
-					OnDone: func(*raster.DrawResult) {
-						outstanding[g]--
-						maybeReady(g)
-					},
-				})
-				if last {
-					issued[g] = true
+			outstanding[g]++
+			r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
+				OnDone: func(*raster.DrawResult) {
+					outstanding[g]--
 					maybeReady(g)
-				}
+				},
 			})
-		}
+			if i == last {
+				issued[g] = true
+				maybeReady(g)
+			}
+		})
 	}
 }

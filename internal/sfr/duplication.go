@@ -1,11 +1,11 @@
 package sfr
 
 import (
+	"chopin/internal/exec"
 	"chopin/internal/gpu"
 	"chopin/internal/multigpu"
 	"chopin/internal/primitive"
 	"chopin/internal/raster"
-	"chopin/internal/sim"
 	"chopin/internal/stats"
 )
 
@@ -22,64 +22,29 @@ func (Duplication) Name() string { return "Duplication" }
 
 // Run implements Scheme.
 func (Duplication) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
-	st := &stats.FrameStats{
-		Scheme:    "Duplication",
-		NumGPUs:   sys.Cfg.NumGPUs,
-		Triangles: fr.TriangleCount(),
-	}
-	eng := sys.Eng
+	r := exec.New("Duplication", sys, fr)
+	r.OwnTiles()
 	n := sys.Cfg.NumGPUs
-	for g, gp := range sys.GPUs {
-		gp.SetOwnership(sys.Mask(g))
-	}
-	for _, gp := range sys.GPUs {
-		gp.SetTextures(fr.Textures)
-	}
-	segs := splitSegments(fr.Draws)
-	segIdx := 0
 
-	var runSeg func()
-	runSeg = func() {
-		if segIdx == len(segs) {
-			return
-		}
-		seg := segs[segIdx]
-		segIdx++
-		phaseStart := eng.Now()
-
-		total := (seg.end - seg.start) * n
-		done := 0
-		onDone := func() {
-			done++
-			if done < total {
-				return
-			}
-			st.AddPhase(stats.PhaseNormal, eng.Now()-phaseStart)
-			if segIdx < len(segs) {
-				// Render-target switch: broadcast the finished target.
-				syncStart := eng.Now()
-				consistencySync(sys, seg.rt, nil, func() {
-					clearDirtyAll(sys, seg.rt)
-					st.AddPhase(stats.PhaseSync, eng.Now()-syncStart)
-					runSeg()
+	r.RunSegments(func(seg exec.Segment, done func()) {
+		phase := r.StartPhase(stats.PhaseNormal)
+		bar := exec.NewBarrier(func() {
+			phase.Stop()
+			done()
+		})
+		bar.Add((seg.End - seg.Start) * n)
+		bar.Seal()
+		r.IssueDraws(seg.Start, seg.End, func(i int) {
+			d := fr.Draws[i]
+			for g := 0; g < n; g++ {
+				sys.GPUs[g].SubmitDraw(d, fr.View, fr.Proj, gpu.DrawOpts{
+					RecordTiming: sys.Cfg.RecordPerDraw && g == 0,
+					OnDone:       func(*raster.DrawResult) { bar.Done() },
 				})
 			}
-		}
-		driver := sim.Cycle(sys.Cfg.DriverCyclesPerDraw)
-		for i := seg.start; i < seg.end; i++ {
-			d := fr.Draws[i]
-			eng.After(sim.Cycle(i-seg.start)*driver, func() {
-				for g := 0; g < n; g++ {
-					sys.GPUs[g].SubmitDraw(d, fr.View, fr.Proj, gpu.DrawOpts{
-						RecordTiming: sys.Cfg.RecordPerDraw && g == 0,
-						OnDone:       func(*raster.DrawResult) { onDone() },
-					})
-				}
-			})
-		}
-	}
-	eng.After(0, runSeg)
-	eng.Run()
-	finishStats(st, sys, fr)
-	return st
+		})
+	})
+	r.Run()
+	finishStats(r.St, sys, fr)
+	return r.St
 }

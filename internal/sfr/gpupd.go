@@ -1,6 +1,7 @@
 package sfr
 
 import (
+	"chopin/internal/exec"
 	"chopin/internal/gpu"
 	"chopin/internal/interconnect"
 	"chopin/internal/multigpu"
@@ -76,21 +77,10 @@ func makeBatches(draws []primitive.DrawCommand, start, end, batchSize int) []bat
 
 // Run implements Scheme.
 func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
-	st := &stats.FrameStats{
-		Scheme:    "GPUpd",
-		NumGPUs:   sys.Cfg.NumGPUs,
-		Triangles: fr.TriangleCount(),
-	}
+	r := exec.New("GPUpd", sys, fr)
+	r.OwnTiles()
 	eng := sys.Eng
 	n := sys.Cfg.NumGPUs
-	for g, gp := range sys.GPUs {
-		gp.SetOwnership(sys.Mask(g))
-	}
-	for _, gp := range sys.GPUs {
-		gp.SetTextures(fr.Textures)
-	}
-	segs := splitSegments(fr.Draws)
-	segIdx := 0
 
 	// dests caches, per draw, the destination-GPU bitmask of each triangle.
 	dests := make([][]uint64, len(fr.Draws))
@@ -111,48 +101,26 @@ func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
 		return dests[di][ti]
 	}
 
-	var runSeg func()
-	runSeg = func() {
-		if segIdx == len(segs) {
-			return
-		}
-		seg := segs[segIdx]
-		segIdx++
+	r.RunSegments(func(seg exec.Segment, done func()) {
 		segStart := eng.Now()
-		batches := makeBatches(fr.Draws, seg.start, seg.end, sys.Cfg.BatchSize)
+		batches := makeBatches(fr.Draws, seg.Start, seg.End, sys.Cfg.BatchSize)
 
 		var projAllDone, distAllDone sim.Cycle
 		projected := 0   // batches fully projected
 		distributed := 0 // batches fully distributed
-		outstanding := 0 // sub-draws in flight
-		allDelivered := false
 
-		segEnd := func() {
+		// bar retires the segment's sub-draws; it seals once the last batch
+		// has been fully distributed.
+		bar := exec.NewBarrier(func() {
 			// Attribute the wall clock: projection up to projAllDone,
 			// distribution up to distAllDone (overlapped projection charged
 			// to projection), the rest to the normal pipeline.
-			if distAllDone < projAllDone {
-				distAllDone = projAllDone
-			}
-			st.AddPhase(stats.PhaseProjection, projAllDone-segStart)
-			st.AddPhase(stats.PhaseDistribution, distAllDone-projAllDone)
-			st.AddPhase(stats.PhaseNormal, eng.Now()-distAllDone)
-			if segIdx < len(segs) {
-				syncStart := eng.Now()
-				consistencySync(sys, seg.rt, nil, func() {
-					clearDirtyAll(sys, seg.rt)
-					st.AddPhase(stats.PhaseSync, eng.Now()-syncStart)
-					runSeg()
-				})
-				return
-			}
-		}
-		drawDone := func() {
-			outstanding--
-			if outstanding == 0 && allDelivered {
-				segEnd()
-			}
-		}
+			r.AttributePhases(segStart, []exec.Mark{
+				{Tag: stats.PhaseProjection, At: projAllDone},
+				{Tag: stats.PhaseDistribution, At: distAllDone},
+			}, stats.PhaseNormal)
+			done()
+		})
 
 		// submitBatch runs the normal pipeline on dst's share of batch b
 		// (runahead execution: called as soon as the batch is delivered).
@@ -164,9 +132,9 @@ func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
 					cur = nil
 					return
 				}
-				outstanding++
+				bar.Add(1)
 				sys.GPUs[dst].SubmitDraw(sub, fr.View, fr.Proj, gpu.DrawOpts{
-					OnDone: func(*raster.DrawResult) { drawDone() },
+					OnDone: func(*raster.DrawResult) { bar.Done() },
 				})
 				cur = nil
 			}
@@ -235,9 +203,7 @@ func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
 			var sendFrom func()
 			finishBatch := func() {
 				distributed++
-				if distAllDone < eng.Now() {
-					distAllDone = eng.Now()
-				}
+				distAllDone = max(distAllDone, eng.Now())
 				for dst := 0; dst < n; dst++ {
 					submitBatch(b, dst)
 				}
@@ -251,10 +217,7 @@ func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
 					}
 					return
 				}
-				allDelivered = true
-				if outstanding == 0 {
-					segEnd()
-				}
+				bar.Seal()
 			}
 			msgDone := func() {
 				pendingMsgs--
@@ -308,9 +271,7 @@ func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
 						return
 					}
 					projected++
-					if projAllDone < eng.Now() {
-						projAllDone = eng.Now()
-					}
+					projAllDone = max(projAllDone, eng.Now())
 					// Start distribution if it is this batch's turn.
 					if bi == distributed && !distStarted[bi] {
 						distStarted[bi] = true
@@ -320,12 +281,10 @@ func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
 			}
 		}
 		if len(batches) == 0 {
-			allDelivered = true
-			segEnd()
+			bar.Seal()
 		}
-	}
-	eng.After(0, runSeg)
-	eng.Run()
-	finishStats(st, sys, fr)
-	return st
+	})
+	r.Run()
+	finishStats(r.St, sys, fr)
+	return r.St
 }

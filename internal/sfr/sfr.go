@@ -17,6 +17,11 @@
 // and inter-GPU traffic modelled by packages gpu and interconnect. A
 // scheme's final image (System.AssembleImage) can therefore be compared
 // pixel-by-pixel against the single-GPU reference.
+//
+// Schemes run on the shared frame-execution runtime of package exec: the
+// segment walk, completion barriers, phase accounting, and render-target
+// broadcasts are declared through exec, so each scheme's file contains only
+// its distinctive pipeline orchestration.
 package sfr
 
 import (
@@ -89,103 +94,5 @@ func finishStats(st *stats.FrameStats, sys *multigpu.System, fr *primitive.Frame
 			}
 		}
 		st.Violations = ck.Violations()
-	}
-}
-
-// segment is a contiguous run of draws sharing a render target, the unit
-// between consistency synchronizations (paper Section V: "every time the
-// application switches to a new render target or depth buffer ... each GPU
-// broadcasts the latest content of its current render targets and depth
-// buffers").
-type segment struct {
-	start, end int // draw range [start, end)
-	rt         int // render target the segment draws into
-}
-
-// splitSegments cuts the draw stream at render-target switches.
-func splitSegments(draws []primitive.DrawCommand) []segment {
-	if len(draws) == 0 {
-		return nil
-	}
-	var segs []segment
-	cur := segment{start: 0, rt: draws[0].State.RenderTarget}
-	for i := 1; i < len(draws); i++ {
-		if draws[i].State.RenderTarget != cur.rt || draws[i].State.DepthBuffer != draws[i-1].State.DepthBuffer {
-			cur.end = i
-			segs = append(segs, cur)
-			cur = segment{start: i, rt: draws[i].State.RenderTarget}
-		}
-	}
-	cur.end = len(draws)
-	return append(segs, cur)
-}
-
-// consistencySync broadcasts each GPU's owned authoritative region of
-// render target rt to all other GPUs (colour + depth), functionally copying
-// owner tiles into each peer's buffer. ownedTiles(src) selects the tiles
-// GPU src broadcasts (nil provider = src's currently dirty owned tiles).
-// done fires when the last transfer has drained.
-//
-// This is the memory-consistency synchronization of paper Section V; CHOPIN
-// additionally invokes it when entering a transparent composition group so
-// that every GPU holds the true opaque depth buffer (see DESIGN.md §4.3).
-func consistencySync(sys *multigpu.System, rt int, ownedTiles func(src int) []int, done func()) {
-	n := sys.Cfg.NumGPUs
-	if n == 1 {
-		sys.Eng.After(0, done)
-		return
-	}
-	pending := 0
-	finished := false
-	complete := func() {
-		pending--
-		if pending == 0 && finished {
-			done()
-		}
-	}
-	for src := 0; src < n; src++ {
-		var tiles []int
-		if ownedTiles != nil {
-			tiles = ownedTiles(src)
-		} else {
-			srcFB := sys.GPUs[src].Target(rt)
-			for t := src; t < sys.TileCount(); t += n {
-				if srcFB.Dirty(t) {
-					tiles = append(tiles, t)
-				}
-			}
-		}
-		px := sys.PixelCount(tiles)
-		if px == 0 {
-			continue
-		}
-		bytes := int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
-		for dst := 0; dst < n; dst++ {
-			if dst == src {
-				continue
-			}
-			pending++
-			src, dst, tiles := src, dst, tiles
-			sys.Fabric.Send(src, dst, bytes, interconnect.ClassSync, func() {
-				dstFB := sys.GPUs[dst].Target(rt)
-				for _, t := range tiles {
-					dstFB.CopyTileFrom(sys.GPUs[src].Target(rt), t)
-				}
-				complete()
-			})
-		}
-	}
-	finished = true
-	if pending == 0 {
-		sys.Eng.After(0, done)
-	}
-}
-
-// clearDirtyAll resets render target rt's dirty flags on every GPU, so the
-// next consistency sync broadcasts only content rendered after this point
-// (delta synchronization).
-func clearDirtyAll(sys *multigpu.System, rt int) {
-	for _, g := range sys.GPUs {
-		g.Target(rt).ClearDirty()
 	}
 }

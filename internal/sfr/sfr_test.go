@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"chopin/internal/exec"
 	"chopin/internal/multigpu"
 	"chopin/internal/primitive"
 	"chopin/internal/stats"
@@ -103,16 +104,46 @@ func TestSchemesMatchReferenceAcrossBenchmarks(t *testing.T) {
 	}
 }
 
+// TestPhasesSumToTotal is the phase-accounting invariant of the exec
+// runtime: for every scheme on every trace, the per-phase cycles must
+// partition the frame's wall clock exactly, and a scheme may only report
+// phases its pipeline actually has.
 func TestPhasesSumToTotal(t *testing.T) {
-	fr := testFrame(t, "cod2", 0.04)
-	for _, s := range []Scheme{Duplication{}, GPUpd{}, CHOPIN{}} {
-		_, st := runScheme(t, s, testConfig(4), fr)
-		var sum int64
-		for _, p := range stats.Phases() {
-			sum += int64(st.Phase(p))
-		}
-		if sum != int64(st.TotalCycles) {
-			t.Errorf("%s: phases sum to %d, total %d", s.Name(), sum, st.TotalCycles)
+	valid := map[string]map[stats.Phase]bool{
+		"Duplication": {stats.PhaseNormal: true, stats.PhaseSync: true},
+		"GPUpd": {stats.PhaseNormal: true, stats.PhaseProjection: true,
+			stats.PhaseDistribution: true, stats.PhaseSync: true},
+		"SortMiddle": {stats.PhaseNormal: true, stats.PhaseProjection: true,
+			stats.PhaseDistribution: true, stats.PhaseSync: true},
+		"CHOPIN": {stats.PhaseNormal: true, stats.PhaseComposition: true,
+			stats.PhaseSync: true},
+	}
+	valid["CHOPIN_Round_Robin"] = valid["CHOPIN"]
+	valid["CHOPIN_Reorder"] = valid["CHOPIN"]
+
+	frames := map[string]*primitive.Frame{
+		"cod2": testFrame(t, "cod2", 0.04),
+		"wolf": testFrame(t, "wolf", 0.03),
+		"grid": testFrame(t, "grid", 0.02),
+	}
+	schemes := []Scheme{
+		Duplication{}, GPUpd{}, SortMiddle{},
+		CHOPIN{}, CHOPIN{RoundRobin: true}, CHOPIN{Reorder: true},
+	}
+	for bench, fr := range frames {
+		for _, s := range schemes {
+			_, st := runScheme(t, s, testConfig(4), fr)
+			var sum int64
+			for _, p := range stats.Phases() {
+				sum += int64(st.Phase(p))
+				if st.Phase(p) > 0 && !valid[s.Name()][p] {
+					t.Errorf("%s/%s: reports %d cycles in invalid phase %s",
+						s.Name(), bench, st.Phase(p), p)
+				}
+			}
+			if sum != int64(st.TotalCycles) {
+				t.Errorf("%s/%s: phases sum to %d, total %d", s.Name(), bench, sum, st.TotalCycles)
+			}
 		}
 	}
 }
@@ -324,14 +355,14 @@ func TestSplitSegments(t *testing.T) {
 		return d
 	}
 	draws := []primitive.DrawCommand{mk(0), mk(0), mk(1), mk(0)}
-	segs := splitSegments(draws)
+	segs := exec.SplitSegments(draws)
 	if len(segs) != 3 {
 		t.Fatalf("segments = %+v", segs)
 	}
-	if segs[0].end != 2 || segs[1].rt != 1 || segs[2].start != 3 {
+	if segs[0].End != 2 || segs[1].RT != 1 || segs[2].Start != 3 {
 		t.Errorf("segments = %+v", segs)
 	}
-	if splitSegments(nil) != nil {
+	if exec.SplitSegments(nil) != nil {
 		t.Error("empty input should give nil")
 	}
 }

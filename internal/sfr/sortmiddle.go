@@ -1,6 +1,7 @@
 package sfr
 
 import (
+	"chopin/internal/exec"
 	"chopin/internal/gpu"
 	"chopin/internal/interconnect"
 	"chopin/internal/multigpu"
@@ -33,19 +34,10 @@ func (SortMiddle) Name() string { return "SortMiddle" }
 
 // Run implements Scheme.
 func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
-	st := &stats.FrameStats{
-		Scheme:    "SortMiddle",
-		NumGPUs:   sys.Cfg.NumGPUs,
-		Triangles: fr.TriangleCount(),
-	}
+	r := exec.New("SortMiddle", sys, fr)
+	r.OwnTiles()
 	eng := sys.Eng
 	n := sys.Cfg.NumGPUs
-	for g, gp := range sys.GPUs {
-		gp.SetOwnership(sys.Mask(g))
-		gp.SetTextures(fr.Textures)
-	}
-	segs := splitSegments(fr.Draws)
-	segIdx := 0
 
 	// Destination owners per triangle, shared with the GPUpd approach.
 	dests := make([][]uint64, len(fr.Draws))
@@ -66,13 +58,7 @@ func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSta
 		return dests[di][ti]
 	}
 
-	var runSeg func()
-	runSeg = func() {
-		if segIdx == len(segs) {
-			return
-		}
-		seg := segs[segIdx]
-		segIdx++
+	r.RunSegments(func(seg exec.Segment, done func()) {
 		segStart := eng.Now()
 
 		var tGeomDone, tExchangeDone sim.Cycle
@@ -83,25 +69,15 @@ func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSta
 
 		// Phase 2: rasterize received primitives, in original draw order,
 		// each GPU restricted to its owned tiles.
-		outstanding := 0
-		segEnd := func() {
-			st.AddPhase(stats.PhaseProjection, tGeomDone-segStart)
-			if tExchangeDone < tGeomDone {
-				tExchangeDone = tGeomDone
-			}
-			st.AddPhase(stats.PhaseDistribution, tExchangeDone-tGeomDone)
-			st.AddPhase(stats.PhaseNormal, eng.Now()-tExchangeDone)
-			if segIdx < len(segs) {
-				syncStart := eng.Now()
-				consistencySync(sys, seg.rt, nil, func() {
-					clearDirtyAll(sys, seg.rt)
-					st.AddPhase(stats.PhaseSync, eng.Now()-syncStart)
-					runSeg()
-				})
-			}
-		}
+		bar := exec.NewBarrier(func() {
+			r.AttributePhases(segStart, []exec.Mark{
+				{Tag: stats.PhaseProjection, At: tGeomDone},
+				{Tag: stats.PhaseDistribution, At: tExchangeDone},
+			}, stats.PhaseNormal)
+			done()
+		})
 		rasterize := func() {
-			for i := seg.start; i < seg.end; i++ {
+			for i := seg.Start; i < seg.End; i++ {
 				d := fr.Draws[i]
 				for dst := 0; dst < n; dst++ {
 					sub := primitive.DrawCommand{
@@ -120,22 +96,16 @@ func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSta
 					if len(sub.Tris) == 0 {
 						continue
 					}
-					outstanding++
+					bar.Add(1)
 					sys.GPUs[dst].SubmitDraw(sub, fr.View, fr.Proj, gpu.DrawOpts{
 						GeomFree: true, // vertices arrive already transformed
-						OnDone: func(*raster.DrawResult) {
-							outstanding--
-							if outstanding == 0 {
-								segEnd()
-							}
-						},
+						OnDone:   func(*raster.DrawResult) { bar.Done() },
 					})
 				}
 			}
-			if outstanding == 0 {
-				// Everything in the segment was clipped away.
-				eng.After(0, segEnd)
-			}
+			// If everything in the segment was clipped away the barrier is
+			// already drained; finish from a fresh event.
+			bar.SealDeferred(eng)
 		}
 
 		maybePhase2 := func() {
@@ -147,9 +117,9 @@ func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSta
 
 		// Phase 1: each draw is transformed by one GPU (round-robin), and
 		// the transformed primitives ship to their tile owners.
-		for i := seg.start; i < seg.end; i++ {
+		for i := seg.Start; i < seg.End; i++ {
 			d := &fr.Draws[i]
-			src := (i - seg.start) % n
+			src := (i - seg.Start) % n
 			counts := make([]int64, n)
 			for ti := range d.Tris {
 				m := destMask(i, ti)
@@ -185,9 +155,8 @@ func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSta
 			tGeomDone = eng.Now()
 			maybePhase2()
 		}
-	}
-	eng.After(0, runSeg)
-	eng.Run()
-	finishStats(st, sys, fr)
-	return st
+	})
+	r.Run()
+	finishStats(r.St, sys, fr)
+	return r.St
 }

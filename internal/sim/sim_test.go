@@ -156,9 +156,9 @@ func TestPopReleasesEvents(t *testing.T) {
 	e.Run()
 	// After Run the queue's length is 0 but its backing array survives;
 	// every retained slot must have been zeroed by Pop.
-	for i := range e.pq[:cap(e.pq)] {
-		s := e.pq[:cap(e.pq)][i]
-		if s.fn != nil || s.at != 0 || s.seq != 0 {
+	for i := range e.q[:cap(e.q)] {
+		s := e.q[:cap(e.q)][i]
+		if s.fn != nil || s.cb != nil || s.at != 0 || s.seq != 0 {
 			t.Fatalf("slot %d not zeroed after pop: %+v", i, s)
 		}
 	}
@@ -189,9 +189,9 @@ func TestWatcherSeesMonotonicTimes(t *testing.T) {
 }
 
 // BenchmarkSteadyState measures the allocation behaviour of a steady
-// schedule/fire loop. With Pop zeroing the vacated slot, the queue's backing
-// array is reused and the loop settles to a constant small allocation rate
-// (the interface boxing in container/heap), independent of run length.
+// schedule/fire loop. With pop zeroing the vacated slot, the queue's backing
+// array is reused and the loop settles to zero steady-state allocations,
+// independent of run length.
 func BenchmarkSteadyState(b *testing.B) {
 	e := New()
 	b.ReportAllocs()
@@ -199,6 +199,65 @@ func BenchmarkSteadyState(b *testing.B) {
 		e.After(1, func() {})
 		e.Step()
 	}
+}
+
+// countCB is a reusable Callback that counts its firings.
+type countCB struct {
+	e     *Engine
+	fired int
+	times []Cycle
+}
+
+func (c *countCB) Fire() {
+	c.fired++
+	c.times = append(c.times, c.e.Now())
+}
+
+func TestCallbackInterleavesWithClosures(t *testing.T) {
+	e := New()
+	cb := &countCB{e: e}
+	var order []string
+	e.At(5, func() { order = append(order, "fn1") })
+	e.AtCall(5, cb)
+	e.At(5, func() { order = append(order, "fn2") })
+	e.AfterCall(5, cb)
+	e.Run()
+	if cb.fired != 2 {
+		t.Fatalf("callback fired %d times, want 2", cb.fired)
+	}
+	if len(cb.times) != 2 || cb.times[0] != 5 || cb.times[1] != 5 {
+		t.Errorf("callback times = %v, want [5 5]", cb.times)
+	}
+	if len(order) != 2 || order[0] != "fn1" || order[1] != "fn2" {
+		t.Errorf("closure order = %v", order)
+	}
+}
+
+func TestAtCallPastPanics(t *testing.T) {
+	e := New()
+	cb := &countCB{e: e}
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling callback in the past")
+			}
+		}()
+		e.AtCall(50, cb)
+	})
+	e.Run()
+	if cb.fired != 0 {
+		t.Errorf("callback fired %d times, want 0", cb.fired)
+	}
+}
+
+func TestAfterCallNegativePanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative callback delay")
+		}
+	}()
+	e.AfterCall(-1, &countCB{e: e})
 }
 
 // TestDeterminism runs a randomized workload twice and checks identical

@@ -21,6 +21,8 @@ var smokePrograms = []struct {
 	{pkg: "./cmd/chopinsim", args: []string{"-bench", "cod2", "-scheme", "chopin", "-scale", "0.02", "-gpus", "2", "-verify"}},
 	{pkg: "./cmd/chopinsim", args: []string{"-exp", "tab3", "-scale", "0.02", "-benches", "cod2"}},
 	{pkg: "./cmd/tracegen", args: []string{"-bench", "cod2", "-scale", "0.02", "-info"}},
+	{pkg: "./cmd/benchjson", args: nil}, // empty stdin → empty JSON report
+
 	{pkg: "./examples/quickstart", env: []string{"CHOPIN_EXAMPLE_SCALE=0.02"}},
 	{pkg: "./examples/customscheduler", env: []string{"CHOPIN_EXAMPLE_SCALE=0.02"}},
 	{pkg: "./examples/scaling", env: []string{"CHOPIN_EXAMPLE_SCALE=0.02"}},
