@@ -8,6 +8,8 @@
 //	chopinsim -exp all                      run every experiment
 //	chopinsim -bench cry -scheme chopin     simulate one scheme on one trace
 //	chopinsim -verify -bench cry -scheme chopin   run with invariant checks
+//	chopinsim -scheme chopin -timeline t.json -metrics m.csv   capture a timeline
+//	chopinsim -scheme chopin -timeline t.json -trace-frame 2   trace the 3rd repeat
 //	chopinsim -selfcheck                    determinism self-check
 //	chopinsim -update-golden                re-record golden experiment outputs
 //
@@ -25,6 +27,7 @@ import (
 
 	"chopin/internal/experiments"
 	"chopin/internal/multigpu"
+	"chopin/internal/obs"
 	"chopin/internal/sfr"
 	"chopin/internal/stats"
 	"chopin/internal/trace"
@@ -49,6 +52,11 @@ func main() {
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS)")
+
+		timeline = flag.String("timeline", "", "single run: write a Perfetto/Chrome trace-event timeline (JSON) to this file")
+		metrics  = flag.String("metrics", "", "single run: write sampled counters (CSV) to this file")
+		mInterv  = flag.Int64("metrics-interval", obs.DefaultSampleInterval, "single run: counter sampling interval in cycles")
+		trFrame  = flag.Int("trace-frame", 0, "single run: repeat the frame N+1 times on fresh systems and trace only repeat N (steady-state capture)")
 	)
 	flag.Parse()
 
@@ -134,7 +142,13 @@ func main() {
 			fmt.Println(res)
 		}
 	case *scheme != "":
-		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *verify, *pngOut); err != nil {
+		to := traceOpts{
+			timeline: *timeline,
+			metrics:  *metrics,
+			interval: *mInterv,
+			frame:    *trFrame,
+		}
+		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *verify, *pngOut, to); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -167,7 +181,17 @@ func schemeByName(name string, cfg *multigpu.Config) (sfr.Scheme, error) {
 	}
 }
 
-func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool, pngOut string) error {
+// traceOpts carries the single-run observability flags.
+type traceOpts struct {
+	timeline string // Perfetto/Chrome trace-event JSON output path
+	metrics  string // sampled-counter CSV output path
+	interval int64  // counter sampling interval in cycles
+	frame    int    // which frame repeat to trace (steady-state capture)
+}
+
+func (t traceOpts) enabled() bool { return t.timeline != "" || t.metrics != "" }
+
+func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool, pngOut string, to traceOpts) error {
 	b, err := trace.ByName(bench)
 	if err != nil {
 		return err
@@ -181,6 +205,22 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 	s, err := schemeByName(scheme, &cfg)
 	if err != nil {
 		return err
+	}
+	var tr *obs.Tracer
+	if to.enabled() {
+		// A single run simulates one frame; -trace-frame N repeats it N+1
+		// times on fresh systems and attaches the tracer only to repeat N.
+		// The simulator is deterministic, so earlier repeats exist purely to
+		// mirror a "skip warm-up frames" capture workflow.
+		for i := 0; i < to.frame; i++ {
+			warm := multigpu.New(cfg, fr.Width, fr.Height)
+			s.Run(warm, fr)
+		}
+		tr = obs.New()
+		if to.interval > 0 {
+			tr.SetSampleInterval(to.interval)
+		}
+		cfg.Tracer = tr
 	}
 	sys := multigpu.New(cfg, fr.Width, fr.Height)
 	st := s.Run(sys, fr)
@@ -224,6 +264,61 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 			return err
 		}
 		fmt.Printf("wrote %s\n", pngOut)
+	}
+	if tr != nil {
+		if err := writeTrace(tr, st, to); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace exports the captured timeline/metrics and prints the
+// phase-reconciliation check: the span totals on the sim/phases track must
+// equal the per-phase cycle attribution in FrameStats.
+func writeTrace(tr *obs.Tracer, st *stats.FrameStats, to traceOpts) error {
+	if to.timeline != "" {
+		f, err := os.Create(to.timeline)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote timeline %s (%d events; load in https://ui.perfetto.dev)\n",
+			to.timeline, len(tr.Events()))
+	}
+	if to.metrics != "" {
+		f, err := os.Create(to.metrics)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics %s\n", to.metrics)
+	}
+	totals := tr.SpanTotals(obs.SimProcName, "phases")
+	ok := true
+	for _, p := range stats.Phases() {
+		if got, want := totals[p.String()], st.Phase(p); got != want {
+			fmt.Printf("phase reconciliation MISMATCH: %s spans %d cycles, stats %d cycles\n", p, got, want)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Println("phase reconciliation: span totals match stats.FrameStats phase cycles")
+	}
+	if to.frame > 0 {
+		fmt.Printf("traced frame repeat %d (after %d untraced warm-up repeats)\n", to.frame, to.frame)
 	}
 	return nil
 }

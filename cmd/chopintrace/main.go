@@ -1,0 +1,93 @@
+// Command chopintrace summarizes and validates timeline files produced by
+// chopinsim -timeline (Chrome trace-event JSON, loadable in Perfetto).
+//
+// Usage:
+//
+//	chopintrace trace.json             print the trace digest
+//	chopintrace -top 20 trace.json     show the 20 longest spans
+//	chopintrace -check trace.json      validate structural invariants only
+//
+// The digest shows the k longest spans, per-track busy utilization, and a
+// critical-path lower bound (the union of busy intervals across tracks).
+// -check exits non-zero if any exporter invariant is violated: negative
+// durations, non-monotone span starts per track, out-of-order counter
+// samples, or unpaired flow arrows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopin/internal/obs"
+)
+
+func main() {
+	var (
+		top   = flag.Int("top", 10, "number of longest spans to show")
+		check = flag.Bool("check", false, "validate trace invariants and exit (non-zero on violation)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chopintrace [-top k] [-check] trace.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *top, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, top int, check bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tf, err := obs.Load(f)
+	if err != nil {
+		return err
+	}
+
+	problems := tf.Validate()
+	if check {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "INVALID:", p)
+		}
+		if len(problems) > 0 {
+			return fmt.Errorf("%d invariant violation(s) in %s", len(problems), path)
+		}
+		fmt.Printf("%s: %d events, all trace invariants hold\n", path, len(tf.Events))
+		return nil
+	}
+
+	s := tf.Summarize(top)
+	fmt.Printf("%s: %d events over cycles [%d, %d] (%d cycles)\n",
+		path, len(tf.Events), s.Start, s.End, s.End-s.Start)
+	fmt.Printf("counters: %d series\n", s.Counters)
+	fmt.Printf("busy coverage: %d cycles (%.1f%% of interval); critical-path lower bound: %d cycles\n",
+		s.BusyCoverage, pct(s.BusyCoverage, s.End-s.Start), s.CriticalPath)
+
+	fmt.Printf("\ntop %d spans by duration:\n", len(s.TopSpans))
+	for _, e := range s.TopSpans {
+		fmt.Printf("  %12d cycles  @%-12d %-24s %s\n", e.Dur, e.Ts, tf.TrackName(e.Pid, e.Tid), e.Name)
+	}
+
+	fmt.Printf("\nper-track utilization (busiest first):\n")
+	for _, t := range s.Tracks {
+		fmt.Printf("  %-24s %6.1f%%  busy %12d cycles  %6d spans\n",
+			t.Name, 100*t.Utilization, t.Busy, t.Spans)
+	}
+
+	if len(problems) > 0 {
+		fmt.Printf("\nWARNING: %d invariant violation(s); rerun with -check for details\n", len(problems))
+	}
+	return nil
+}
+
+func pct(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

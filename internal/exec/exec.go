@@ -33,6 +33,7 @@ package exec
 
 import (
 	"chopin/internal/multigpu"
+	"chopin/internal/obs"
 	"chopin/internal/primitive"
 	"chopin/internal/sim"
 	"chopin/internal/stats"
@@ -46,11 +47,16 @@ type Runtime struct {
 	Fr *primitive.Frame
 	// St accumulates the frame's statistics.
 	St *stats.FrameStats
+
+	// tr mirrors Sys.Tracer; nil disables tracing. trPhases and trBarriers
+	// are the simulator-process tracks phase and barrier spans land on.
+	tr                   *obs.Tracer
+	trPhases, trBarriers obs.Track
 }
 
 // New returns a runtime for one frame with an initialized FrameStats.
 func New(scheme string, sys *multigpu.System, fr *primitive.Frame) *Runtime {
-	return &Runtime{
+	r := &Runtime{
 		Sys: sys,
 		Fr:  fr,
 		St: &stats.FrameStats{
@@ -59,12 +65,30 @@ func New(scheme string, sys *multigpu.System, fr *primitive.Frame) *Runtime {
 			Triangles: fr.TriangleCount(),
 		},
 	}
+	r.initTrace()
+	return r
 }
 
 // NewSequence returns a runtime bound to a system only, for multi-frame
 // drivers (AFR) that keep their own per-frame state and statistics; Fr and
 // St are nil.
-func NewSequence(sys *multigpu.System) *Runtime { return &Runtime{Sys: sys} }
+func NewSequence(sys *multigpu.System) *Runtime {
+	r := &Runtime{Sys: sys}
+	r.initTrace()
+	return r
+}
+
+func (r *Runtime) initTrace() {
+	r.tr = r.Sys.Tracer
+	if r.tr == nil {
+		return
+	}
+	r.trPhases = r.tr.Track(obs.PidSim, obs.SimProcName, obs.TidPhases, "phases")
+	r.trBarriers = r.tr.Track(obs.PidSim, obs.SimProcName, obs.TidBarriers, "barriers")
+}
+
+// Tracer returns the runtime's tracer (nil when tracing is disabled).
+func (r *Runtime) Tracer() *obs.Tracer { return r.tr }
 
 // Eng returns the system's event engine.
 func (r *Runtime) Eng() *sim.Engine { return r.Sys.Eng }
@@ -129,10 +153,43 @@ type Barrier struct {
 	pending int
 	sealed  bool
 	fn      func()
+
+	// Tracing state (armed by Trace): the seal→release wait is recorded as
+	// a span on a barrier track.
+	eng    *sim.Engine
+	tr     *obs.Tracer
+	track  obs.Track
+	name   string
+	sealAt sim.Cycle
 }
 
 // NewBarrier returns an unsealed barrier releasing into fn.
 func NewBarrier(fn func()) *Barrier { return &Barrier{fn: fn} }
+
+// TracedBarrier returns a barrier whose seal-to-release wait is recorded as
+// a span named name on the simulator barrier track. With tracing disabled it
+// is exactly NewBarrier.
+func (r *Runtime) TracedBarrier(name string, fn func()) *Barrier {
+	b := NewBarrier(fn)
+	if r.tr != nil {
+		b.Trace(r.Sys.Eng, r.tr, r.trBarriers, name)
+	}
+	return b
+}
+
+// Trace arms wait-span recording: when the barrier releases, the interval
+// from its seal to its release is recorded as a span named name on track tk.
+func (b *Barrier) Trace(eng *sim.Engine, tr *obs.Tracer, tk obs.Track, name string) {
+	b.eng, b.tr, b.track, b.name = eng, tr, tk, name
+}
+
+// release emits the wait span (if armed) and runs the continuation.
+func (b *Barrier) release() {
+	if b.tr != nil {
+		b.tr.Span(b.track, b.name, b.sealAt, b.eng.Now()-b.sealAt)
+	}
+	b.fn()
+}
 
 // Add registers n outstanding completions.
 func (b *Barrier) Add(n int) { b.pending += n }
@@ -142,7 +199,7 @@ func (b *Barrier) Add(n int) { b.pending += n }
 func (b *Barrier) Done() {
 	b.pending--
 	if b.pending == 0 && b.sealed {
-		b.fn()
+		b.release()
 	}
 }
 
@@ -150,8 +207,11 @@ func (b *Barrier) Done() {
 // continuation runs synchronously.
 func (b *Barrier) Seal() {
 	b.sealed = true
+	if b.eng != nil {
+		b.sealAt = b.eng.Now()
+	}
 	if b.pending == 0 {
-		b.fn()
+		b.release()
 	}
 }
 
@@ -161,19 +221,26 @@ func (b *Barrier) Seal() {
 // always execute from the event loop.
 func (b *Barrier) SealDeferred(eng *sim.Engine) {
 	b.sealed = true
+	if b.eng != nil {
+		b.sealAt = b.eng.Now()
+	}
 	if b.pending == 0 {
-		eng.After(0, b.fn)
+		eng.After(0, b.release)
 	}
 }
 
 // Pending returns the number of outstanding completions.
 func (b *Barrier) Pending() int { return b.pending }
 
-// PhaseTimer attributes a wall-clock interval to one stats phase.
+// PhaseTimer attributes a wall-clock interval to one stats phase. Stop is
+// idempotent: the first Stop attributes the elapsed cycles, later Stops are
+// no-ops, and a Stop at the start cycle attributes nothing — so a timer
+// reached through two completion paths cannot double-count phase time.
 type PhaseTimer struct {
-	r     *Runtime
-	tag   stats.Phase
-	start sim.Cycle
+	r       *Runtime
+	tag     stats.Phase
+	start   sim.Cycle
+	stopped bool
 }
 
 // StartPhase begins timing a phase at the current cycle.
@@ -182,10 +249,40 @@ func (r *Runtime) StartPhase(tag stats.Phase) PhaseTimer {
 }
 
 // Stop attributes the cycles elapsed since StartPhase to the timer's phase.
-func (t PhaseTimer) Stop() { t.r.St.AddPhase(t.tag, t.r.Sys.Eng.Now()-t.start) }
+// Only the first Stop on a timer has effect; stopping a copy of a stopped
+// timer still double-counts, so share one timer variable across completion
+// paths.
+func (t *PhaseTimer) Stop() {
+	if t.r == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	t.r.addPhase(t.tag, t.start, t.r.Sys.Eng.Now())
+}
 
 // Start returns the cycle the timer started at.
 func (t PhaseTimer) Start() sim.Cycle { return t.start }
+
+// addPhase attributes [start, end) to tag in the frame stats and mirrors the
+// interval as a span on the phase track when tracing. Phase spans therefore
+// reconcile exactly with stats.FrameStats.PhaseCycles: both are fed by the
+// same clamped intervals.
+func (r *Runtime) addPhase(tag stats.Phase, start, end sim.Cycle) {
+	r.St.AddPhase(tag, end-start)
+	if r.tr != nil {
+		r.tr.Span(r.trPhases, tag.String(), start, end-start)
+	}
+}
+
+// MarkStep records an instant on the phase track at the current cycle —
+// step and group boundaries in the timeline. No-op when tracing is off, but
+// callers formatting a name should guard on Tracer() != nil to avoid the
+// formatting work.
+func (r *Runtime) MarkStep(name string) {
+	if r.tr != nil {
+		r.tr.Instant(r.trPhases, name, r.Sys.Eng.Now())
+	}
+}
 
 // Mark is a phase checkpoint for AttributePhases: Tag's phase ran from the
 // previous checkpoint (or the interval start) until At.
@@ -204,10 +301,10 @@ func (r *Runtime) AttributePhases(start sim.Cycle, marks []Mark, finalTag stats.
 	t := start
 	for _, m := range marks {
 		at := max(m.At, t)
-		r.St.AddPhase(m.Tag, at-t)
+		r.addPhase(m.Tag, t, at)
 		t = at
 	}
-	r.St.AddPhase(finalTag, r.Sys.Eng.Now()-t)
+	r.addPhase(finalTag, t, r.Sys.Eng.Now())
 }
 
 // Segment is a contiguous run of draws sharing a render target, the unit

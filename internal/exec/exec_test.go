@@ -136,6 +136,44 @@ func TestPhaseTimer(t *testing.T) {
 	}
 }
 
+func TestPhaseTimerDoubleStop(t *testing.T) {
+	// Stop is idempotent: a second Stop (from, say, two completion paths
+	// racing to close the same phase) must not double-count the interval.
+	r := testRuntime(1)
+	r.Eng().After(0, func() {
+		pt := r.StartPhase(stats.PhaseComposition)
+		r.Eng().After(10, func() { pt.Stop() })
+		r.Eng().After(25, func() { pt.Stop() })
+	})
+	r.Run()
+	if got := r.St.PhaseCycles[stats.PhaseComposition]; got != 10 {
+		t.Fatalf("PhaseComposition = %d after double Stop, want 10", got)
+	}
+}
+
+func TestPhaseTimerZeroLengthStop(t *testing.T) {
+	// Stopping at the start cycle attributes zero cycles and emits nothing.
+	r := testRuntime(1)
+	r.Eng().After(0, func() {
+		pt := r.StartPhase(stats.PhaseProjection)
+		pt.Stop()
+	})
+	r.Run()
+	if got := r.St.PhaseCycles[stats.PhaseProjection]; got != 0 {
+		t.Fatalf("PhaseProjection = %d after zero-length Stop, want 0", got)
+	}
+	if got := r.St.TotalCycles; got != 0 {
+		t.Fatalf("TotalCycles = %d after zero-length Stop, want 0", got)
+	}
+}
+
+func TestPhaseTimerZeroValueStop(t *testing.T) {
+	// The zero-value timer (no runtime attached) must be a safe no-op.
+	var pt PhaseTimer
+	pt.Stop()
+	pt.Stop()
+}
+
 func TestAttributePhases(t *testing.T) {
 	r := testRuntime(1)
 	r.Eng().After(100, func() {})

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"chopin/internal/multigpu"
+	"chopin/internal/obs"
 	"chopin/internal/primitive"
 	"chopin/internal/sfr"
 	"chopin/internal/stats"
@@ -40,6 +41,12 @@ type Options struct {
 	Verbose bool
 	// Out receives progress output (may be nil).
 	Out io.Writer
+	// Trace, when non-nil, is consulted for every simulation the experiment
+	// runs: returning a non-nil tracer attaches the observability layer
+	// (multigpu.Config.Tracer) to that scheme×benchmark cell. The caller
+	// owns the returned tracers and exports them after Run returns. Trace
+	// must be safe for concurrent calls when Workers > 1.
+	Trace func(scheme, bench string, gpus int) *obs.Tracer
 }
 
 func (o *Options) normalize() {
@@ -178,6 +185,9 @@ func runJobs(opt *Options, jobs []job) error {
 		fr, err := frameFor(j.bench, opt.Scale)
 		if err != nil {
 			return err
+		}
+		if opt.Trace != nil {
+			j.cfg.Tracer = opt.Trace(j.scheme.Name(), j.bench, j.cfg.NumGPUs)
 		}
 		wg.Add(1)
 		sem <- struct{}{}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"chopin/internal/framebuffer"
+	"chopin/internal/obs"
 	"chopin/internal/primitive"
 	"chopin/internal/raster"
 	"chopin/internal/sim"
@@ -231,7 +232,12 @@ type GPU struct {
 	segments   []geomSegment
 	trisDone   int // cumulative triangles through geometry (scheduled)
 
-	stats Stats
+	// tr is the optional timeline tracer; nil (the default) disables
+	// tracing, and every submission hot path guards on that nil.
+	tr             *obs.Tracer
+	trGeom, trFrag obs.Track
+	cumFragsGen    int64 // cumulative generated fragments, for the probe
+	stats          Stats
 }
 
 // New returns a GPU with a cleared framebuffer for render target 0.
@@ -256,6 +262,34 @@ func New(id int, eng *sim.Engine, costs CostConfig, width, height int, rcfg rast
 
 // Stats returns the GPU's accumulated statistics.
 func (g *GPU) Stats() *Stats { return &g.stats }
+
+// SetTracer attaches a timeline tracer (nil disables tracing): draws emit
+// geometry- and fragment-stage spans on this GPU's tracks, early-Z culling
+// emits instants, and the stage backlogs plus cumulative fragment output are
+// registered as sampled counters.
+func (g *GPU) SetTracer(tr *obs.Tracer) {
+	g.tr = tr
+	if tr == nil {
+		return
+	}
+	pid := obs.PidGPU(g.ID)
+	proc := obs.GPUProcName(g.ID)
+	g.trGeom = tr.Track(pid, proc, obs.TidGeometry, "geometry")
+	g.trFrag = tr.Track(pid, proc, obs.TidFragment, "fragment/ROP")
+	tr.Probe(pid, "geom_backlog_cycles", func() int64 {
+		if b := g.geomFree - g.eng.Now(); b > 0 {
+			return b
+		}
+		return 0
+	})
+	tr.Probe(pid, "frag_backlog_cycles", func() int64 {
+		if b := g.fragFree - g.eng.Now(); b > 0 {
+			return b
+		}
+		return 0
+	})
+	tr.Probe(pid, "frags_generated", func() int64 { return g.cumFragsGen })
+}
 
 // Costs returns the GPU's cost configuration.
 func (g *GPU) Costs() *CostConfig { return &g.costs }
@@ -349,6 +383,21 @@ func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts 
 		})
 	}
 
+	if g.tr != nil {
+		g.cumFragsGen += int64(res.FragsGenerated)
+		name := fmt.Sprintf("draw %d", d.ID)
+		g.tr.Span(g.trGeom, name, geomStart, geomCycles,
+			obs.Arg{Key: "triangles", Val: int64(res.TrianglesIn)},
+			obs.Arg{Key: "vertices", Val: int64(res.VerticesShaded)})
+		g.tr.Span(g.trFrag, name, fragStart, fragCycles,
+			obs.Arg{Key: "frags_generated", Val: int64(res.FragsGenerated)},
+			obs.Arg{Key: "frags_shaded", Val: int64(res.FragsShaded)})
+		if culled := res.FragsEarlyTested - res.FragsEarlyPassed; culled > 0 {
+			g.tr.Instant(g.trFrag, "early-z cull", fragStart,
+				obs.Arg{Key: "culled", Val: int64(culled)})
+		}
+	}
+
 	ev := &drawEvent{res: res, onGeom: opts.OnGeomDone, onDone: opts.OnDone}
 	if opts.OnGeomDone != nil {
 		g.eng.AtCall(geomEnd, (*geomFire)(ev))
@@ -373,6 +422,10 @@ func (g *GPU) SubmitGeometry(verts, tris int, vertexCost float64, onDone func())
 		start: start, end: end, tris: tris, cumBefore: g.trisDone,
 	})
 	g.trisDone += tris
+	if g.tr != nil {
+		g.tr.Span(g.trGeom, "geometry", start, cycles,
+			obs.Arg{Key: "triangles", Val: int64(tris)})
+	}
 	if onDone != nil {
 		g.eng.At(end, onDone)
 	}
@@ -386,6 +439,10 @@ func (g *GPU) SubmitProjection(tris int, onDone func()) {
 	end := start + cycles
 	g.geomFree = end
 	g.stats.ProjBusy += cycles
+	if g.tr != nil {
+		g.tr.Span(g.trGeom, "projection", start, cycles,
+			obs.Arg{Key: "triangles", Val: int64(tris)})
+	}
 	if onDone != nil {
 		g.eng.At(end, onDone)
 	}
@@ -404,6 +461,10 @@ func (g *GPU) SubmitMerge(pixels int, apply func(), onDone func()) {
 	end := start + cycles
 	g.fragFree = end
 	g.stats.MergeBusy += cycles
+	if g.tr != nil {
+		g.tr.Span(g.trFrag, "merge", start, cycles,
+			obs.Arg{Key: "pixels", Val: int64(pixels)})
+	}
 	if onDone != nil {
 		g.eng.At(end, onDone)
 	}

@@ -20,6 +20,7 @@ package interconnect
 import (
 	"fmt"
 
+	"chopin/internal/obs"
 	"chopin/internal/sim"
 )
 
@@ -121,6 +122,7 @@ func (d *delivery) Fire() {
 	d.f, d.m = nil, message{}
 	d.next = f.free
 	f.free = d
+	f.wireBytes[m.class] -= m.bytes
 	if f.obs != nil {
 		f.obs.Delivered(m.src, m.dst, m.bytes, m.class)
 	}
@@ -154,20 +156,50 @@ type Observer interface {
 	Delivered(src, dst int, bytes int64, class Class)
 }
 
+// StartObserver is an optional extension of Observer. Sent fires when a
+// bulk transfer is queued, which can be long before any byte moves (a
+// blocked egress head parks everything behind it); implementations that also
+// satisfy StartObserver are additionally told when each bulk transfer
+// actually begins transmitting, with its computed timing, so a timeline can
+// draw the true occupancy span rather than the queued interval. end is the
+// cycle the last byte drains at the destination — the same instant the
+// matching Delivered fires.
+//
+// Plain Observer implementations keep working unchanged; the fabric detects
+// the extension with a type assertion at SetObserver time.
+type StartObserver interface {
+	Observer
+	// Started fires when a bulk transfer leaves the egress queue and begins
+	// transmitting.
+	Started(src, dst int, bytes int64, class Class, start, end sim.Cycle)
+}
+
 // Fabric is the inter-GPU network.
 type Fabric struct {
 	eng *sim.Engine
 	cfg Config
 	n   int
 
-	sending     []bool
+	sending []bool
+	// egressQueue[src] is a FIFO consumed from egressHead[src]: popping
+	// advances the head index and the slice is reset (retaining capacity)
+	// when it drains, so steady-state queuing does not allocate.
 	egressQueue [][]message
+	egressHead  []int
 	ingressFree []sim.Cycle
 	accept      []bool
 	obs         Observer
+	obsStart    StartObserver // non-nil iff obs implements StartObserver
 
 	ports []egressPort // one reusable egress-free event per GPU
 	free  *delivery    // recycled delivery events
+
+	// tr is the optional timeline tracer (nil = disabled, a bare nil check
+	// on the Send/tryStart/delivery hot paths).
+	tr        *obs.Tracer
+	trEgress  []obs.Track
+	trIngress []obs.Track
+	wireBytes [numClasses]int64 // bytes currently in flight, per class
 
 	stats Stats
 }
@@ -187,6 +219,7 @@ func New(eng *sim.Engine, n int, cfg Config) *Fabric {
 		n:           n,
 		sending:     make([]bool, n),
 		egressQueue: make([][]message, n),
+		egressHead:  make([]int, n),
 		ingressFree: make([]sim.Cycle, n),
 		accept:      make([]bool, n),
 	}
@@ -220,8 +253,39 @@ func (f *Fabric) Stats() *Stats { return &f.stats }
 
 // SetObserver installs an observer notified of every send and delivery
 // (nil removes it). Intended for the verification subsystem; the observer
-// must not mutate the fabric.
-func (f *Fabric) SetObserver(o Observer) { f.obs = o }
+// must not mutate the fabric. Observers that additionally implement
+// StartObserver are also notified when bulk transfers begin transmitting.
+func (f *Fabric) SetObserver(o Observer) {
+	f.obs = o
+	f.obsStart, _ = o.(StartObserver)
+}
+
+// SetTracer attaches a timeline tracer (nil disables tracing): every bulk
+// transfer emits an egress span on the source GPU's egress track and an
+// ingress span on the destination's ingress track, linked by a flow arrow;
+// control messages emit instants; and per-GPU egress queue depth plus
+// per-class bytes-on-wire are registered as sampled counters.
+func (f *Fabric) SetTracer(tr *obs.Tracer) {
+	f.tr = tr
+	if tr == nil {
+		f.trEgress, f.trIngress = nil, nil
+		return
+	}
+	f.trEgress = make([]obs.Track, f.n)
+	f.trIngress = make([]obs.Track, f.n)
+	for g := 0; g < f.n; g++ {
+		pid := obs.PidGPU(g)
+		proc := obs.GPUProcName(g)
+		f.trEgress[g] = tr.Track(pid, proc, obs.TidEgress, "link egress")
+		f.trIngress[g] = tr.Track(pid, proc, obs.TidIngress, "link ingress")
+		g := g
+		tr.Probe(pid, "egress_queue_depth", func() int64 { return int64(f.QueuedAt(g)) })
+	}
+	for c := Class(0); c < numClasses; c++ {
+		c := c
+		tr.Probe(obs.PidSim, "wire_bytes."+c.String(), func() int64 { return f.wireBytes[c] })
+	}
+}
 
 // SetAccept marks whether gpu is accepting bulk data transfers. Flipping a
 // GPU to accepting retries any egress heads blocked on it.
@@ -248,6 +312,11 @@ func (f *Fabric) Send(src, dst int, bytes int64, class Class, onDelivered func()
 		f.obs.Sent(src, dst, bytes, class)
 	}
 	if f.cfg.Ideal {
+		f.wireBytes[class] += bytes
+		if f.tr != nil {
+			f.tr.Instant(f.trEgress[src], class.String(), f.eng.Now(),
+				obs.Arg{Key: "bytes", Val: bytes}, obs.Arg{Key: "dst", Val: int64(dst)})
+		}
 		f.eng.AfterCall(0, f.newDelivery(message{src, dst, bytes, class, onDelivered}))
 		return
 	}
@@ -267,20 +336,31 @@ func (f *Fabric) SendControl(src, dst int, bytes int64, fn func()) {
 	if f.cfg.Ideal {
 		lat = 0
 	}
+	f.wireBytes[ClassControl] += bytes
+	if f.tr != nil {
+		f.tr.Instant(f.trEgress[src], "control", f.eng.Now(),
+			obs.Arg{Key: "bytes", Val: bytes}, obs.Arg{Key: "dst", Val: int64(dst)})
+	}
 	f.eng.AfterCall(lat, f.newDelivery(message{src, dst, bytes, ClassControl, fn}))
 }
 
 // tryStart begins transmitting the head of src's egress queue if the egress
 // port is free and the destination is accepting.
 func (f *Fabric) tryStart(src int) {
-	if f.sending[src] || len(f.egressQueue[src]) == 0 {
+	if f.sending[src] || f.egressHead[src] >= len(f.egressQueue[src]) {
 		return
 	}
-	m := f.egressQueue[src][0]
+	m := f.egressQueue[src][f.egressHead[src]]
 	if !f.accept[m.dst] {
 		return // head-of-line blocked until the destination accepts
 	}
-	f.egressQueue[src] = f.egressQueue[src][1:]
+	f.egressHead[src]++
+	if f.egressHead[src] == len(f.egressQueue[src]) {
+		// Drained: reset to the front of the backing array, keeping its
+		// capacity, so steady-state queuing never reallocates.
+		f.egressQueue[src] = f.egressQueue[src][:0]
+		f.egressHead[src] = 0
+	}
 	f.sending[src] = true
 
 	tx := sim.Cycle(float64(m.bytes)/f.cfg.BytesPerCycle + 0.999999)
@@ -291,12 +371,28 @@ func (f *Fabric) tryStart(src int) {
 	f.eng.AfterCall(tx, &f.ports[src])
 	// Cut-through delivery: last byte arrives latency cycles after it was
 	// sent; the ingress port serializes concurrent arrivals.
-	arrive := f.eng.Now() + tx + f.cfg.LatencyCycles
+	now := f.eng.Now()
+	arrive := now + tx + f.cfg.LatencyCycles
 	recvDone := max(arrive, f.ingressFree[m.dst]+tx)
 	f.ingressFree[m.dst] = recvDone
+	f.wireBytes[m.class] += m.bytes
+	if f.obsStart != nil {
+		f.obsStart.Started(m.src, m.dst, m.bytes, m.class, now, recvDone)
+	}
+	if f.tr != nil {
+		name := m.class.String()
+		id := f.tr.FlowStart(f.trEgress[src], name, now)
+		f.tr.Span(f.trEgress[src], name, now, tx,
+			obs.Arg{Key: "bytes", Val: m.bytes}, obs.Arg{Key: "dst", Val: int64(m.dst)})
+		f.tr.Span(f.trIngress[m.dst], name, recvDone-tx, tx,
+			obs.Arg{Key: "bytes", Val: m.bytes}, obs.Arg{Key: "src", Val: int64(m.src)})
+		f.tr.FlowEnd(f.trIngress[m.dst], name, recvDone-tx, id)
+	}
 	f.eng.AtCall(recvDone, f.newDelivery(m))
 }
 
 // QueuedAt returns the number of bulk transfers waiting at src's egress port
 // (excluding one in flight), for tests and diagnostics.
-func (f *Fabric) QueuedAt(src int) int { return len(f.egressQueue[src]) }
+func (f *Fabric) QueuedAt(src int) int {
+	return len(f.egressQueue[src]) - f.egressHead[src]
+}

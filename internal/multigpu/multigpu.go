@@ -14,6 +14,7 @@ import (
 	"chopin/internal/framebuffer"
 	"chopin/internal/gpu"
 	"chopin/internal/interconnect"
+	"chopin/internal/obs"
 	"chopin/internal/raster"
 	"chopin/internal/sim"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	// slower — the checker snapshots merge inputs and re-renders the
 	// sequential reference image.
 	Verify bool
+	// Tracer, when non-nil, threads the observability layer through the
+	// system: the engine, the fabric, every GPU, and the exec runtime record
+	// timeline spans and counter samples into it (see package obs and
+	// DESIGN.md §6). Export what it gathered after the run with
+	// Tracer.WriteJSON / Tracer.WriteCSV. A nil Tracer (the default) keeps
+	// every hot path on a bare nil-check with zero allocations.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the paper's Table II system.
@@ -84,6 +92,10 @@ type System struct {
 	// set. Schemes route depth merges through it and the end-of-run capture
 	// asks it to validate conservation and the final image.
 	Check *check.Checker
+	// Tracer is the observability layer, non-nil when Cfg.Tracer was set.
+	Tracer *obs.Tracer
+
+	engProbe *obs.EngineProbe
 
 	width, height int
 	tileCount     int
@@ -106,10 +118,40 @@ func New(cfg Config, width, height int) *System {
 	if cfg.Verify {
 		s.Check = check.New()
 		s.Fabric.SetObserver(s.Check)
-		eng.SetWatcher(s.Check.EventWatcher())
+	}
+	if cfg.Tracer != nil {
+		s.Tracer = cfg.Tracer
+		s.engProbe = obs.NewEngineProbe(cfg.Tracer)
+		eng.SetProbe(s.engProbe)
+		s.Fabric.SetTracer(cfg.Tracer)
+	}
+	// Compose the engine watcher: the invariant checker's event-time
+	// monotonicity watch and the tracer's periodic counter sampling both
+	// ride the same hook.
+	var watchers []func(at sim.Cycle)
+	if s.Check != nil {
+		watchers = append(watchers, s.Check.EventWatcher())
+	}
+	if s.Tracer != nil {
+		tr := s.Tracer
+		watchers = append(watchers, func(at sim.Cycle) { tr.Tick(at) })
+	}
+	switch len(watchers) {
+	case 0:
+	case 1:
+		eng.SetWatcher(watchers[0])
+	default:
+		ws := watchers
+		eng.SetWatcher(func(at sim.Cycle) {
+			for _, w := range ws {
+				w(at)
+			}
+		})
 	}
 	for i := 0; i < cfg.NumGPUs; i++ {
-		s.GPUs = append(s.GPUs, gpu.New(i, eng, cfg.Costs, width, height, cfg.Raster))
+		g := gpu.New(i, eng, cfg.Costs, width, height, cfg.Raster)
+		g.SetTracer(cfg.Tracer)
+		s.GPUs = append(s.GPUs, g)
 	}
 	s.tileCount = s.GPUs[0].Target(0).TileCount()
 	s.masks = make([][]bool, cfg.NumGPUs)
@@ -121,6 +163,20 @@ func New(cfg Config, width, height int) *System {
 		s.masks[g] = mask
 	}
 	return s
+}
+
+// FinishTrace closes out the observability layer at the end of a run: the
+// engine probe flushes its last activity span and the counter registry takes
+// a final sample at the current cycle. Safe to call repeatedly and on
+// untraced systems.
+func (s *System) FinishTrace() {
+	if s.Tracer == nil {
+		return
+	}
+	if s.engProbe != nil {
+		s.engProbe.Finish()
+	}
+	s.Tracer.Flush(s.Eng.Now())
 }
 
 // Width and Height return the screen dimensions.

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonEvent is the Chrome trace-event wire form. Field order is fixed by the
+// struct, and encoding/json sorts the Args map keys, so exports are
+// byte-stable for identical tracers.
+type jsonEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`
+	Dur  *int64           `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	ID   string           `json:"id,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+	// SArgs carries string-valued args (metadata names).
+	SArgs map[string]string `json:"sargs,omitempty"`
+}
+
+// metaEvent is a Chrome metadata record (process_name / thread_name).
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteJSON exports the trace in Chrome trace-event JSON object format:
+// metadata first, then spans/instants/flows ordered by (track, timestamp),
+// then counter samples ordered by (counter, timestamp). One cycle is encoded
+// as one microsecond of trace time (Perfetto has no "cycles" unit; the
+// semantic timestamps are simulated cycles throughout).
+//
+// The output loads directly in https://ui.perfetto.dev or chrome://tracing.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(v any) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := io.WriteString(bw, "\n"); err != nil {
+			return err
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Metadata: name every process and thread once, in registration order.
+	seenProc := map[int]bool{}
+	for _, tr := range t.tracks {
+		if !seenProc[tr.Pid] {
+			seenProc[tr.Pid] = true
+			if err := emit(metaEvent{Name: "process_name", Ph: "M", Pid: tr.Pid,
+				Args: map[string]string{"name": tr.Proc}}); err != nil {
+				return err
+			}
+		}
+		if err := emit(metaEvent{Name: "thread_name", Ph: "M", Pid: tr.Pid, Tid: tr.Tid,
+			Args: map[string]string{"name": tr.Thread}}); err != nil {
+			return err
+		}
+	}
+
+	for _, i := range t.sortedTrackOrder() {
+		e := &t.events[i]
+		tr := t.tracks[e.Track]
+		je := jsonEvent{Name: e.Name, Ph: string(e.Kind), Ts: e.Ts, Pid: tr.Pid, Tid: tr.Tid}
+		if e.Kind == KindSpan {
+			d := e.Dur
+			je.Dur = &d
+		}
+		if e.Kind == KindFlowStart || e.Kind == KindFlowEnd {
+			je.ID = strconv.FormatInt(e.Flow, 10)
+		}
+		if len(e.Args) > 0 {
+			je.Args = make(map[string]int64, len(e.Args))
+			for _, a := range e.Args {
+				je.Args[a.Key] = a.Val
+			}
+		}
+		if err := emit(je); err != nil {
+			return err
+		}
+	}
+
+	for ci, c := range t.counters {
+		for _, s := range t.samples[ci] {
+			if err := emit(jsonEvent{Name: c.Name, Ph: "C", Ts: s.Ts, Pid: c.Pid,
+				Args: map[string]int64{"value": s.Val}}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteCSV exports the periodic counter samples as one row per probe sweep:
+// a "cycle" column followed by one column per registered counter, in
+// registration order. Counter columns are named "<proc-pid>/<name>".
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "cycle"); err != nil {
+		return err
+	}
+	if t != nil {
+		for _, c := range t.counters {
+			if _, err := fmt.Fprintf(bw, ",%d/%s", c.Pid, c.Name); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	if t != nil {
+		for row, ts := range t.ticks {
+			if _, err := fmt.Fprintf(bw, "%d", ts); err != nil {
+				return err
+			}
+			for ci := range t.counters {
+				if _, err := fmt.Fprintf(bw, ",%d", t.grid[ci][row]); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

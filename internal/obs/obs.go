@@ -1,0 +1,321 @@
+// Package obs is the simulator's opt-in observability layer: a timeline
+// tracer and counter registry threaded through the timing model, exported as
+// Chrome trace-event JSON (loadable in Perfetto or chrome://tracing) and as
+// compact CSV time series.
+//
+// Everything is keyed to simulated cycles, not host time: a span covers the
+// simulated interval a unit of work occupied a hardware resource, so the
+// timeline reads like the paper's Fig. 9/14 drill-downs — per-draw pipeline
+// occupancy per GPU, per-class transfers on the link fabric, frame phases,
+// barrier waits — with counter tracks for queue depths and bytes on wire.
+//
+// The overhead contract: tracing is off unless a *Tracer is installed, and
+// the disabled path in every instrumented hot loop (sim event dispatch,
+// fabric sends, draw submission) is a single nil check with zero
+// allocations. Call sites therefore guard with `if tr != nil { ... }` before
+// constructing span arguments. An enabled tracer is free to allocate.
+//
+// Track model (see DESIGN.md §6): a track is a (pid, tid) pair in the Chrome
+// trace model. Process 0 is the simulator itself (phase, barrier, and engine
+// tracks); process g+1 is GPU g (geometry, fragment/ROP, egress, and ingress
+// tracks). Counters attach to a process.
+package obs
+
+import "sort"
+
+// Event kinds, matching the Chrome trace-event "ph" values the exporter
+// emits.
+const (
+	KindSpan      = 'X' // complete event: Ts + Dur
+	KindInstant   = 'i' // instant event at Ts
+	KindFlowStart = 's' // flow arrow origin, binds to the enclosing span
+	KindFlowEnd   = 'f' // flow arrow target
+)
+
+// Track identifies a registered (pid, tid) timeline row.
+type Track int
+
+// CounterID identifies a registered counter time series.
+type CounterID int
+
+// Arg is one key/value annotation on an event.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one recorded timeline event.
+type Event struct {
+	Track Track
+	Name  string
+	Kind  byte
+	// Ts is the event timestamp in simulated cycles; for spans, Dur is the
+	// span length in cycles.
+	Ts, Dur int64
+	// Flow is the flow-arrow id linking a KindFlowStart to its KindFlowEnd.
+	Flow int64
+	Args []Arg
+}
+
+// End returns the end timestamp of a span (Ts for non-spans).
+func (e *Event) End() int64 { return e.Ts + e.Dur }
+
+type trackInfo struct {
+	Pid, Tid     int
+	Proc, Thread string
+}
+
+type counterInfo struct {
+	Pid   int
+	Name  string
+	probe func() int64 // nil for manually sampled counters
+}
+
+// Sample is one counter observation.
+type Sample struct {
+	Ts, Val int64
+}
+
+// Tracer records typed timeline events and counter samples for one
+// simulation. The zero value is not useful; create one with New. A nil
+// *Tracer is the disabled tracer: every method is a safe no-op, so model
+// code may hold a possibly-nil tracer and guard hot paths with one nil
+// check.
+//
+// Tracer is not safe for concurrent use; like the event engine it serves,
+// one tracer belongs to one single-threaded simulation.
+type Tracer struct {
+	tracks   []trackInfo
+	events   []Event
+	counters []counterInfo
+	samples  [][]Sample // per counter, appended in sampling order
+
+	interval int64 // probe sampling interval in cycles
+	nextTick int64
+	lastTick int64
+	ticks    []int64 // cycle of each probe sweep, for CSV rows
+	grid     [][]int64
+
+	flowSeq int64
+}
+
+// DefaultSampleInterval is the probe sampling period in cycles used when
+// SetSampleInterval is never called.
+const DefaultSampleInterval = 1000
+
+// New returns an empty tracer sampling probes every DefaultSampleInterval
+// cycles.
+func New() *Tracer {
+	return &Tracer{interval: DefaultSampleInterval, nextTick: -1}
+}
+
+// SetSampleInterval sets the probe sampling period in cycles (minimum 1).
+func (t *Tracer) SetSampleInterval(d int64) {
+	if t == nil {
+		return
+	}
+	if d < 1 {
+		d = 1
+	}
+	t.interval = d
+}
+
+// Track registers (or reuses) the timeline row (pid, tid), naming its
+// process and thread, and returns its handle. Registration is idempotent:
+// the first registration of a (pid, tid) pair fixes the names.
+func (t *Tracer) Track(pid int, proc string, tid int, thread string) Track {
+	if t == nil {
+		return -1
+	}
+	for i, tr := range t.tracks {
+		if tr.Pid == pid && tr.Tid == tid {
+			return Track(i)
+		}
+	}
+	t.tracks = append(t.tracks, trackInfo{Pid: pid, Tid: tid, Proc: proc, Thread: thread})
+	return Track(len(t.tracks) - 1)
+}
+
+// Span records a complete event covering [start, start+dur) on the track.
+// Zero- and negative-length spans are dropped: instantaneous work is not a
+// span (record an Instant if it matters).
+func (t *Tracer) Span(tk Track, name string, start, dur int64, args ...Arg) {
+	if t == nil || tk < 0 || dur <= 0 {
+		return
+	}
+	t.events = append(t.events, Event{Track: tk, Name: name, Kind: KindSpan, Ts: start, Dur: dur, Args: args})
+}
+
+// Instant records a point event at ts on the track.
+func (t *Tracer) Instant(tk Track, name string, ts int64, args ...Arg) {
+	if t == nil || tk < 0 {
+		return
+	}
+	t.events = append(t.events, Event{Track: tk, Name: name, Kind: KindInstant, Ts: ts, Args: args})
+}
+
+// FlowStart records the origin of a flow arrow at ts on the track (it binds
+// to the span enclosing ts) and returns the flow id to pass to FlowEnd.
+func (t *Tracer) FlowStart(tk Track, name string, ts int64) int64 {
+	if t == nil || tk < 0 {
+		return 0
+	}
+	t.flowSeq++
+	t.events = append(t.events, Event{Track: tk, Name: name, Kind: KindFlowStart, Ts: ts, Flow: t.flowSeq})
+	return t.flowSeq
+}
+
+// FlowEnd records the target of flow id at ts on the track.
+func (t *Tracer) FlowEnd(tk Track, name string, ts int64, id int64) {
+	if t == nil || tk < 0 || id == 0 {
+		return
+	}
+	t.events = append(t.events, Event{Track: tk, Name: name, Kind: KindFlowEnd, Ts: ts, Flow: id})
+}
+
+// Counter registers (or reuses) a manually sampled counter on process pid.
+func (t *Tracer) Counter(pid int, name string) CounterID {
+	return t.counter(pid, name, nil)
+}
+
+// Probe registers a counter on process pid whose value is read by fn at
+// every periodic sampling sweep (Tick/Flush). fn must be cheap and
+// side-effect free.
+func (t *Tracer) Probe(pid int, name string, fn func() int64) {
+	t.counter(pid, name, fn)
+}
+
+func (t *Tracer) counter(pid int, name string, probe func() int64) CounterID {
+	if t == nil {
+		return -1
+	}
+	for i, c := range t.counters {
+		if c.Pid == pid && c.Name == name {
+			if probe != nil {
+				t.counters[i].probe = probe
+			}
+			return CounterID(i)
+		}
+	}
+	t.counters = append(t.counters, counterInfo{Pid: pid, Name: name, probe: probe})
+	t.samples = append(t.samples, nil)
+	t.grid = append(t.grid, nil)
+	return CounterID(len(t.counters) - 1)
+}
+
+// Sample records one observation of a manually sampled counter. Successive
+// samples of one counter must not go backwards in time.
+func (t *Tracer) Sample(c CounterID, ts, val int64) {
+	if t == nil || c < 0 {
+		return
+	}
+	t.samples[c] = append(t.samples[c], Sample{Ts: ts, Val: val})
+}
+
+// Tick drives periodic probe sampling: models call it with the advancing
+// simulation clock (typically from sim.Engine.SetWatcher), and every time
+// the clock crosses a sampling-interval boundary all registered probes are
+// read once. Multiple Ticks within one interval are a cheap comparison.
+func (t *Tracer) Tick(at int64) {
+	if t == nil || at < t.nextTick {
+		return
+	}
+	t.sweep(at)
+	t.nextTick = at + t.interval
+}
+
+// Flush forces a final probe sweep at cycle at (if later than the last
+// sweep), so the exported series covers the end of the run.
+func (t *Tracer) Flush(at int64) {
+	if t == nil || (len(t.ticks) > 0 && at <= t.lastTick) {
+		return
+	}
+	t.sweep(at)
+	t.nextTick = at + t.interval
+}
+
+func (t *Tracer) sweep(at int64) {
+	t.ticks = append(t.ticks, at)
+	t.lastTick = at
+	for i := range t.counters {
+		if p := t.counters[i].probe; p != nil {
+			v := p()
+			t.samples[i] = append(t.samples[i], Sample{Ts: at, Val: v})
+			t.grid[i] = append(t.grid[i], v)
+		} else {
+			// Manually sampled counters keep their own timeline; pad the CSV
+			// grid with the latest known value (or zero).
+			v := int64(0)
+			if n := len(t.samples[i]); n > 0 {
+				v = t.samples[i][n-1].Val
+			}
+			t.grid[i] = append(t.grid[i], v)
+		}
+	}
+}
+
+// Events returns the recorded events in recording order (shared slice; do
+// not mutate).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Samples returns the recorded samples of counter c (shared slice).
+func (t *Tracer) Samples(c CounterID) []Sample {
+	if t == nil || c < 0 {
+		return nil
+	}
+	return t.samples[c]
+}
+
+// SpanTotals sums span durations by event name over the given track,
+// resolving the track by its process/thread names. It returns nil if the
+// track was never registered. Tests use it to reconcile phase spans against
+// stats.FrameStats.
+func (t *Tracer) SpanTotals(proc, thread string) map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	tk := Track(-1)
+	for i, tr := range t.tracks {
+		if tr.Proc == proc && tr.Thread == thread {
+			tk = Track(i)
+			break
+		}
+	}
+	if tk < 0 {
+		return nil
+	}
+	totals := map[string]int64{}
+	for i := range t.events {
+		e := &t.events[i]
+		if e.Track == tk && e.Kind == KindSpan {
+			totals[e.Name] += e.Dur
+		}
+	}
+	return totals
+}
+
+// sortedTrackOrder returns event indices ordered by (track, Ts, recording
+// order) — the exporter's deterministic emission order.
+func (t *Tracer) sortedTrackOrder() []int {
+	order := make([]int, len(t.events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := &t.events[order[a]], &t.events[order[b]]
+		ta, tb := t.tracks[ea.Track], t.tracks[eb.Track]
+		if ta.Pid != tb.Pid {
+			return ta.Pid < tb.Pid
+		}
+		if ta.Tid != tb.Tid {
+			return ta.Tid < tb.Tid
+		}
+		return ea.Ts < eb.Ts
+	})
+	return order
+}

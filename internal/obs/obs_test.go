@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateObsGolden = flag.Bool("update-obs-golden", false, "re-record the golden trace export fixture")
+
+// goldenTracer builds the small deterministic trace behind the golden
+// fixture: two processes, spans, an instant, a flow arrow, one probe counter
+// and one manual counter.
+func goldenTracer() *Tracer {
+	tr := New()
+	tr.SetSampleInterval(100)
+	phases := tr.Track(PidSim, SimProcName, TidPhases, "phases")
+	geom := tr.Track(PidGPU(0), GPUProcName(0), TidGeometry, "geometry")
+	egress := tr.Track(PidGPU(0), GPUProcName(0), TidEgress, "link egress")
+	ingress := tr.Track(PidGPU(1), GPUProcName(1), TidIngress, "link ingress")
+
+	depth := int64(0)
+	tr.Probe(PidGPU(0), "queue_depth", func() int64 { return depth })
+	manual := tr.Counter(PidSim, "groups_done")
+
+	tr.Span(phases, "normal", 0, 400)
+	tr.Span(geom, "draw 0", 10, 90, Arg{Key: "tris", Val: 128})
+	tr.Instant(geom, "early-z cull", 60, Arg{Key: "culled", Val: 32})
+	id := tr.FlowStart(egress, "composition", 100)
+	tr.Span(egress, "composition", 100, 50, Arg{Key: "bytes", Val: 3200}, Arg{Key: "dst", Val: 1})
+	tr.Span(ingress, "composition", 300, 50, Arg{Key: "bytes", Val: 3200}, Arg{Key: "src", Val: 0})
+	tr.FlowEnd(ingress, "composition", 300, id)
+	tr.Span(phases, "composition", 400, 100)
+
+	depth = 2
+	tr.Tick(0)
+	tr.Sample(manual, 120, 1)
+	depth = 5
+	tr.Tick(250)
+	tr.Sample(manual, 420, 3)
+	depth = 0
+	tr.Flush(500)
+	return tr
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := goldenTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := tf.Validate(); len(problems) > 0 {
+		t.Fatalf("round-tripped trace invalid: %v", problems)
+	}
+	// Every recorded event plus counter samples survives; metadata is
+	// filtered into track names.
+	var spans, instants, flows, counters int
+	for _, e := range tf.Events {
+		switch e.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		case "s", "f":
+			flows++
+		case "C":
+			counters++
+		}
+	}
+	if spans != 5 {
+		t.Errorf("spans = %d, want 5", spans)
+	}
+	if instants != 1 {
+		t.Errorf("instants = %d, want 1", instants)
+	}
+	if flows != 2 {
+		t.Errorf("flow events = %d, want 2", flows)
+	}
+	// queue_depth sweeps at 0, 250, 500 plus two manual groups_done samples.
+	if counters != 5 {
+		t.Errorf("counter samples = %d, want 5", counters)
+	}
+	if got := tf.TrackName(PidGPU(0), TidGeometry); got != "GPU 0/geometry" {
+		t.Errorf("TrackName = %q", got)
+	}
+	// Args survive the trip.
+	for _, e := range tf.Events {
+		if e.Ph == "X" && e.Name == "draw 0" {
+			if e.Args["tris"] != 128 {
+				t.Errorf("draw 0 args = %v", e.Args)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	bad := `[
+{"name":"a","ph":"X","ts":100,"dur":50,"pid":1,"tid":1},
+{"name":"b","ph":"X","ts":40,"dur":-5,"pid":1,"tid":1},
+{"name":"c","ph":"C","ts":90,"pid":1,"args":{"value":3}},
+{"name":"c","ph":"C","ts":80,"pid":1,"args":{"value":4}},
+{"name":"fl","ph":"s","ts":10,"pid":1,"tid":1,"id":"7"}
+]`
+	tf, err := Load(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := tf.Validate()
+	if len(problems) != 4 {
+		t.Fatalf("Validate found %d problems, want 4 (non-monotone span, negative dur, counter regression, dangling flow):\n%s",
+			len(problems), strings.Join(problems, "\n"))
+	}
+}
+
+func TestCounterSamplesSorted(t *testing.T) {
+	tr := goldenTracer()
+	for c := CounterID(0); int(c) < 2; c++ {
+		s := tr.Samples(c)
+		if len(s) == 0 {
+			t.Fatalf("counter %d has no samples", c)
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i].Ts < s[i-1].Ts {
+				t.Errorf("counter %d sample %d at %d precedes %d", c, i, s[i].Ts, s[i-1].Ts)
+			}
+		}
+	}
+	// The probe saw the value current at each sweep.
+	qd := tr.Samples(0)
+	want := []Sample{{0, 2}, {250, 5}, {500, 0}}
+	if len(qd) != len(want) {
+		t.Fatalf("queue_depth samples = %v", qd)
+	}
+	for i := range want {
+		if qd[i] != want[i] {
+			t.Errorf("queue_depth[%d] = %+v, want %+v", i, qd[i], want[i])
+		}
+	}
+}
+
+func TestTickIntervalCrossings(t *testing.T) {
+	tr := New()
+	tr.SetSampleInterval(10)
+	tr.Probe(0, "x", func() int64 { return 1 })
+	// Many ticks within one interval collapse to one sweep per crossing.
+	for at := int64(0); at <= 35; at++ {
+		tr.Tick(at)
+	}
+	if got := len(tr.Samples(0)); got != 4 { // 0, 10, 20, 30
+		t.Fatalf("sweeps = %d, want 4", got)
+	}
+	tr.Flush(35)
+	if got := len(tr.Samples(0)); got != 5 {
+		t.Fatalf("sweeps after Flush = %d, want 5", got)
+	}
+	tr.Flush(35) // idempotent at the same cycle
+	if got := len(tr.Samples(0)); got != 5 {
+		t.Fatalf("Flush re-swept: %d", got)
+	}
+}
+
+func TestSpanTotals(t *testing.T) {
+	tr := goldenTracer()
+	totals := tr.SpanTotals(SimProcName, "phases")
+	if totals["normal"] != 400 || totals["composition"] != 100 {
+		t.Fatalf("totals = %v", totals)
+	}
+	if tr.SpanTotals("sim", "no-such-thread") != nil {
+		t.Fatal("unknown track should return nil")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track(0, "p", 0, "t")
+	tr.Span(tk, "s", 0, 10)
+	tr.Instant(tk, "i", 0)
+	tr.FlowEnd(tk, "f", 0, tr.FlowStart(tk, "f", 0))
+	tr.Sample(tr.Counter(0, "c"), 0, 1)
+	tr.Probe(0, "p", func() int64 { return 0 })
+	tr.Tick(100)
+	tr.Flush(200)
+	tr.SetSampleInterval(5)
+	if tr.Events() != nil || tr.Samples(0) != nil || tr.SpanTotals("p", "t") != nil {
+		t.Fatal("nil tracer returned data")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err != nil {
+		t.Fatalf("nil tracer export does not load: %v", err)
+	}
+	buf.Reset()
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "cycle" {
+		t.Fatalf("nil tracer CSV = %q", buf.String())
+	}
+}
+
+func TestZeroLengthSpansDropped(t *testing.T) {
+	tr := New()
+	tk := tr.Track(0, "p", 0, "t")
+	tr.Span(tk, "zero", 10, 0)
+	tr.Span(tk, "neg", 10, -5)
+	if len(tr.Events()) != 0 {
+		t.Fatalf("events = %v", tr.Events())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := goldenTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "cycle,1/queue_depth,0/groups_done" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Rows at each sweep; manual counter padded with its last known value.
+	want := []string{"0,2,0", "250,5,1", "500,0,3"}
+	if len(lines)-1 != len(want) {
+		t.Fatalf("rows = %v", lines[1:])
+	}
+	for i, w := range want {
+		if lines[i+1] != w {
+			t.Errorf("row %d = %q, want %q", i, lines[i+1], w)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := goldenTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tf.Summarize(3)
+	if s.Start != 0 || s.End != 500 {
+		t.Fatalf("interval = [%d, %d]", s.Start, s.End)
+	}
+	if len(s.TopSpans) != 3 || s.TopSpans[0].Name != "normal" || s.TopSpans[0].Dur != 400 {
+		t.Fatalf("top spans = %v", s.TopSpans)
+	}
+	if s.Tracks[0].Name != "sim/phases" || s.Tracks[0].Busy != 500 {
+		t.Fatalf("busiest track = %+v", s.Tracks[0])
+	}
+	// Spans cover [0,500) on phases alone, so the union equals the interval.
+	if s.BusyCoverage != 500 || s.CriticalPath != 500 {
+		t.Fatalf("coverage = %d, critical path = %d", s.BusyCoverage, s.CriticalPath)
+	}
+	if s.Counters != 2 {
+		t.Fatalf("counters = %d", s.Counters)
+	}
+}
+
+// TestGoldenExport pins the exporter's byte-exact output format. Regenerate
+// the fixture with -update-obs-golden after an intentional format change.
+func TestGoldenExport(t *testing.T) {
+	tr := goldenTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_small.json")
+	if *updateObsGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-obs-golden to record)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export differs from golden fixture %s:\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+	// Byte stability: a second export of an identical tracer is identical.
+	var buf2 bytes.Buffer
+	if err := goldenTracer().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("repeated exports differ byte-for-byte")
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import "fmt"
+
+// Standard track layout: process 0 is the simulator itself, process g+1 is
+// GPU g. Thread ids within a process are fixed so traces from different
+// runs line up in Perfetto and tooling can address tracks structurally.
+const (
+	// PidSim is the simulator process: frame phases, barrier waits, and
+	// engine dispatch.
+	PidSim = 0
+
+	// Simulator-process thread ids.
+	TidPhases   = 1
+	TidBarriers = 2
+	TidEngine   = 3
+
+	// Per-GPU thread ids (under PidGPU(g)).
+	TidGeometry = 1
+	TidFragment = 2
+	TidEgress   = 3
+	TidIngress  = 4
+)
+
+// PidGPU returns the trace process id of GPU g.
+func PidGPU(g int) int { return g + 1 }
+
+// GPUProcName returns the trace process name of GPU g.
+func GPUProcName(g int) string { return fmt.Sprintf("GPU %d", g) }
+
+// SimProcName is the trace process name of the simulator process.
+const SimProcName = "sim"
+
+// EngineProbe adapts a Tracer to the event engine's dispatch hook
+// (sim.Engine.SetProbe): it aggregates event fires into one span per active
+// simulated cycle on the engine track — a one-cycle slice named "fire"
+// carrying the number of events dispatched at that cycle — and exposes the
+// engine's pending-queue depth as a sampled counter.
+type EngineProbe struct {
+	tr      *Tracer
+	track   Track
+	cur     int64
+	fired   int64
+	pending int
+	active  bool
+}
+
+// NewEngineProbe returns a probe recording into tr and registers the
+// "engine.pending_events" counter probe.
+func NewEngineProbe(tr *Tracer) *EngineProbe {
+	p := &EngineProbe{tr: tr}
+	p.track = tr.Track(PidSim, SimProcName, TidEngine, "engine")
+	tr.Probe(PidSim, "engine.pending_events", func() int64 { return int64(p.pending) })
+	return p
+}
+
+// EventFired implements the engine dispatch hook.
+func (p *EngineProbe) EventFired(at int64, pending int) {
+	p.pending = pending
+	if p.active && at == p.cur {
+		p.fired++
+		return
+	}
+	p.flush()
+	p.cur, p.fired, p.active = at, 1, true
+}
+
+// Finish flushes the span for the last active cycle; call it once when the
+// simulation has drained.
+func (p *EngineProbe) Finish() { p.flush() }
+
+func (p *EngineProbe) flush() {
+	if p.active && p.fired > 0 {
+		p.tr.Span(p.track, "fire", p.cur, 1, Arg{Key: "events", Val: p.fired})
+	}
+	p.fired = 0
+}

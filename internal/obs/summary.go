@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LoadedEvent is one event parsed back from an exported trace file.
+type LoadedEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`
+	Dur  int64            `json:"dur"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	ID   string           `json:"id"`
+	Args map[string]int64 `json:"args"`
+}
+
+// TraceFile is a parsed Chrome trace-event file.
+type TraceFile struct {
+	Events []LoadedEvent
+
+	procNames   map[int]string
+	threadNames map[[2]int]string
+}
+
+// traceObject is the JSON-object trace container form.
+type traceObject struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// Load parses a Chrome trace-event file in either the JSON-object form
+// ({"traceEvents": [...]}) or the bare-array form ([...]).
+func Load(r io.Reader) (*TraceFile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var raws []json.RawMessage
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(data, &raws); err != nil {
+			return nil, fmt.Errorf("obs: parsing trace array: %w", err)
+		}
+	} else {
+		var obj traceObject
+		if err := json.Unmarshal(data, &obj); err != nil {
+			return nil, fmt.Errorf("obs: parsing trace object: %w", err)
+		}
+		raws = obj.TraceEvents
+	}
+	tf := &TraceFile{
+		procNames:   map[int]string{},
+		threadNames: map[[2]int]string{},
+	}
+	for i, raw := range raws {
+		// Metadata events carry string args, so sniff the phase before
+		// committing to the typed event shape.
+		var ph struct {
+			Ph string `json:"ph"`
+		}
+		if err := json.Unmarshal(raw, &ph); err != nil {
+			return nil, fmt.Errorf("obs: parsing trace event %d: %w", i, err)
+		}
+		if ph.Ph == "M" {
+			var m metaEvent
+			if err := json.Unmarshal(raw, &m); err == nil {
+				switch m.Name {
+				case "process_name":
+					tf.procNames[m.Pid] = m.Args["name"]
+				case "thread_name":
+					tf.threadNames[[2]int{m.Pid, m.Tid}] = m.Args["name"]
+				}
+			}
+			continue
+		}
+		var e LoadedEvent
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: parsing trace event %d: %w", i, err)
+		}
+		tf.Events = append(tf.Events, e)
+	}
+	return tf, nil
+}
+
+// TrackName renders a human-readable name for the (pid, tid) track.
+func (tf *TraceFile) TrackName(pid, tid int) string {
+	proc := tf.procNames[pid]
+	if proc == "" {
+		proc = fmt.Sprintf("pid%d", pid)
+	}
+	th := tf.threadNames[[2]int{pid, tid}]
+	if th == "" {
+		th = fmt.Sprintf("tid%d", tid)
+	}
+	return proc + "/" + th
+}
+
+// Validate checks the structural invariants the exporter promises and
+// returns a description of every violation found (empty = valid):
+//
+//   - span durations are non-negative;
+//   - span start timestamps are monotone non-decreasing per track;
+//   - counter samples are monotone non-decreasing in time per counter;
+//   - every flow-start id has a matching flow-end and vice versa.
+func (tf *TraceFile) Validate() []string {
+	var problems []string
+	lastSpan := map[[2]int]int64{}
+	lastCounter := map[string]int64{}
+	flowStarts := map[string]int{}
+	flowEnds := map[string]int{}
+	for i, e := range tf.Events {
+		switch e.Ph {
+		case "X":
+			if e.Dur < 0 {
+				problems = append(problems, fmt.Sprintf("event %d (%q): negative duration %d", i, e.Name, e.Dur))
+			}
+			key := [2]int{e.Pid, e.Tid}
+			if prev, ok := lastSpan[key]; ok && e.Ts < prev {
+				problems = append(problems, fmt.Sprintf(
+					"event %d (%q): span start %d precedes previous start %d on track %s",
+					i, e.Name, e.Ts, prev, tf.TrackName(e.Pid, e.Tid)))
+			}
+			lastSpan[key] = e.Ts
+		case "C":
+			key := fmt.Sprintf("%d/%s", e.Pid, e.Name)
+			if prev, ok := lastCounter[key]; ok && e.Ts < prev {
+				problems = append(problems, fmt.Sprintf(
+					"event %d: counter %q sample at %d precedes previous sample at %d", i, key, e.Ts, prev))
+			}
+			lastCounter[key] = e.Ts
+		case "s":
+			flowStarts[e.ID]++
+		case "f":
+			flowEnds[e.ID]++
+		}
+	}
+	for id, n := range flowStarts {
+		if flowEnds[id] != n {
+			problems = append(problems, fmt.Sprintf("flow id %s: %d start(s), %d end(s)", id, n, flowEnds[id]))
+		}
+	}
+	for id, n := range flowEnds {
+		if _, ok := flowStarts[id]; !ok {
+			problems = append(problems, fmt.Sprintf("flow id %s: %d end(s) with no start", id, n))
+		}
+	}
+	return problems
+}
+
+// TrackUtilization is one track's busy summary over the trace interval.
+type TrackUtilization struct {
+	Pid, Tid int
+	Name     string
+	// Busy is the union coverage of the track's spans in cycles (overlap
+	// within a track counted once).
+	Busy int64
+	// Spans is the number of spans on the track.
+	Spans int
+	// Utilization is Busy divided by the whole trace interval.
+	Utilization float64
+}
+
+// Summary is the digest cmd/chopintrace prints.
+type Summary struct {
+	// Start and End bound the trace interval (earliest span start, latest
+	// span end).
+	Start, End int64
+	// TopSpans holds the k longest spans, longest first.
+	TopSpans []LoadedEvent
+	// Tracks holds per-track utilization, busiest first.
+	Tracks []TrackUtilization
+	// BusyCoverage is the union of all span intervals across every track, in
+	// cycles: the portion of the timeline where at least one modelled
+	// resource was busy.
+	BusyCoverage int64
+	// CriticalPath is a lower-bound estimate of the frame's critical path in
+	// cycles: the busy coverage (work that cannot be hidden behind other
+	// work is at least the time some resource is the only busy one, and the
+	// makespan can never beat the union of busy time along any chain).
+	CriticalPath int64
+	// Counters is the number of distinct counter series.
+	Counters int
+}
+
+// interval union helper: sum of merged interval lengths.
+func unionLen(iv [][2]int64) int64 {
+	if len(iv) == 0 {
+		return 0
+	}
+	sort.Slice(iv, func(a, b int) bool { return iv[a][0] < iv[b][0] })
+	var total int64
+	curS, curE := iv[0][0], iv[0][1]
+	for _, x := range iv[1:] {
+		if x[0] > curE {
+			total += curE - curS
+			curS, curE = x[0], x[1]
+			continue
+		}
+		if x[1] > curE {
+			curE = x[1]
+		}
+	}
+	return total + (curE - curS)
+}
+
+// Summarize computes the trace digest with the k longest spans.
+func (tf *TraceFile) Summarize(k int) *Summary {
+	s := &Summary{}
+	var spans []LoadedEvent
+	perTrack := map[[2]int][][2]int64{}
+	var all [][2]int64
+	counters := map[string]bool{}
+	first := true
+	for _, e := range tf.Events {
+		switch e.Ph {
+		case "X":
+			spans = append(spans, e)
+			end := e.Ts + e.Dur
+			if first {
+				s.Start, s.End = e.Ts, end
+				first = false
+			}
+			if e.Ts < s.Start {
+				s.Start = e.Ts
+			}
+			if end > s.End {
+				s.End = end
+			}
+			key := [2]int{e.Pid, e.Tid}
+			perTrack[key] = append(perTrack[key], [2]int64{e.Ts, end})
+			all = append(all, [2]int64{e.Ts, end})
+		case "C":
+			counters[fmt.Sprintf("%d/%s", e.Pid, e.Name)] = true
+		}
+	}
+	s.Counters = len(counters)
+
+	sort.SliceStable(spans, func(a, b int) bool { return spans[a].Dur > spans[b].Dur })
+	if k > len(spans) {
+		k = len(spans)
+	}
+	s.TopSpans = spans[:k]
+
+	span := s.End - s.Start
+	keys := make([][2]int, 0, len(perTrack))
+	for key := range perTrack {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, key := range keys {
+		busy := unionLen(perTrack[key])
+		u := TrackUtilization{Pid: key[0], Tid: key[1], Name: tf.TrackName(key[0], key[1]),
+			Busy: busy, Spans: len(perTrack[key])}
+		if span > 0 {
+			u.Utilization = float64(busy) / float64(span)
+		}
+		s.Tracks = append(s.Tracks, u)
+	}
+	sort.SliceStable(s.Tracks, func(a, b int) bool { return s.Tracks[a].Busy > s.Tracks[b].Busy })
+
+	s.BusyCoverage = unionLen(all)
+	s.CriticalPath = s.BusyCoverage
+	return s
+}

@@ -1,6 +1,7 @@
 package sfr
 
 import (
+	"fmt"
 	"sort"
 
 	"chopin/internal/colorspace"
@@ -174,6 +175,16 @@ func (r *chopinRun) step(i int, next func()) {
 	r.stepIdx = i + 1
 	step := r.steps[i]
 	rt := r.fr.Draws[step.Group.Start].State.RenderTarget
+	if r.ex.Tracer() != nil {
+		kind := "opaque"
+		switch {
+		case step.Duplicate:
+			kind = "duplicate"
+		case step.Group.Transparent:
+			kind = "transparent"
+		}
+		r.ex.MarkStep(fmt.Sprintf("group %d (%s, %d draws)", i, kind, step.Group.Len()))
+	}
 
 	execute := func() {
 		switch {
@@ -209,7 +220,7 @@ func (r *chopinRun) duplicateGroup(grp primitive.Group, rt int) {
 	if r.ll != nil {
 		r.ll.NoteDuplicated(grp.Triangles)
 	}
-	bar := exec.NewBarrier(func() {
+	bar := r.ex.TracedBarrier("duplicate group draws", func() {
 		phase.Stop()
 		r.next()
 	})
@@ -451,7 +462,7 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 	// it over their authoritative framebuffer region.
 	backgroundMerge := func(holder int) {
 		layer := layers[holder]
-		bar := exec.NewBarrier(groupEnd)
+		bar := r.ex.TracedBarrier("background merge", groupEnd)
 		for owner := 0; owner < r.n; owner++ {
 			var tiles []int
 			for t := owner; t < r.sys.TileCount(); t += r.n {

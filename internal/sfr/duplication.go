@@ -28,7 +28,7 @@ func (Duplication) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSt
 
 	r.RunSegments(func(seg exec.Segment, done func()) {
 		phase := r.StartPhase(stats.PhaseNormal)
-		bar := exec.NewBarrier(func() {
+		bar := r.TracedBarrier("segment draws", func() {
 			phase.Stop()
 			done()
 		})

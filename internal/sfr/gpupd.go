@@ -111,7 +111,7 @@ func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
 
 		// bar retires the segment's sub-draws; it seals once the last batch
 		// has been fully distributed.
-		bar := exec.NewBarrier(func() {
+		bar := r.TracedBarrier("segment draws", func() {
 			// Attribute the wall clock: projection up to projAllDone,
 			// distribution up to distAllDone (overlapped projection charged
 			// to projection), the rest to the normal pipeline.

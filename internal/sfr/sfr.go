@@ -76,6 +76,7 @@ func ReferenceImages(fr *primitive.Frame, cfg raster.Config) map[int]*framebuffe
 // checker: fabric conservation, and composition order-independence of every
 // render target against the sequential single-GPU reference.
 func finishStats(st *stats.FrameStats, sys *multigpu.System, fr *primitive.Frame) {
+	sys.FinishTrace()
 	for _, g := range sys.GPUs {
 		st.CaptureGPU(g)
 	}

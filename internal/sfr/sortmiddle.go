@@ -69,7 +69,7 @@ func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSta
 
 		// Phase 2: rasterize received primitives, in original draw order,
 		// each GPU restricted to its owned tiles.
-		bar := exec.NewBarrier(func() {
+		bar := r.TracedBarrier("segment draws", func() {
 			r.AttributePhases(segStart, []exec.Mark{
 				{Tag: stats.PhaseProjection, At: tGeomDone},
 				{Tag: stats.PhaseDistribution, At: tExchangeDone},

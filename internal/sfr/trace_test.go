@@ -1,0 +1,119 @@
+package sfr
+
+import (
+	"bytes"
+	"testing"
+
+	"chopin/internal/multigpu"
+	"chopin/internal/obs"
+	"chopin/internal/stats"
+)
+
+// TestTraceReconcilesWithStats is the tentpole acceptance test for the
+// observability layer: for every scheme, a traced run produces a structurally
+// valid timeline whose per-phase span totals equal the per-phase cycle
+// attribution in stats.FrameStats, and tracing does not perturb the timing
+// model (same cycles, same image as an untraced run).
+func TestTraceReconcilesWithStats(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	for _, s := range []Scheme{Duplication{}, GPUpd{}, SortMiddle{}, CHOPIN{}, CHOPIN{Reorder: true}} {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			cfg := testConfig(4)
+			_, plain := runScheme(t, s, cfg, fr)
+
+			tcfg := cfg
+			tr := obs.New()
+			tcfg.Tracer = tr
+			sys, st := runScheme(t, s, tcfg, fr)
+			sys.FinishTrace()
+
+			if st.TotalCycles != plain.TotalCycles {
+				t.Fatalf("tracing perturbed the model: %d cycles traced vs %d untraced",
+					st.TotalCycles, plain.TotalCycles)
+			}
+
+			totals := tr.SpanTotals(obs.SimProcName, "phases")
+			if totals == nil {
+				t.Fatal("no phase track registered")
+			}
+			var spanSum int64
+			for _, p := range stats.Phases() {
+				if got, want := totals[p.String()], st.Phase(p); got != want {
+					t.Errorf("phase %s: span total %d, stats %d", p, got, want)
+				}
+				spanSum += totals[p.String()]
+			}
+			if spanSum != st.TotalCycles {
+				t.Errorf("phase spans sum to %d, total cycles %d", spanSum, st.TotalCycles)
+			}
+
+			// The exported timeline round-trips and passes every structural
+			// invariant chopintrace -check enforces.
+			var buf bytes.Buffer
+			if err := tr.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			tf, err := obs.Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if problems := tf.Validate(); len(problems) > 0 {
+				t.Fatalf("invalid timeline: %v", problems)
+			}
+			if len(tf.Events) == 0 {
+				t.Fatal("timeline is empty")
+			}
+		})
+	}
+}
+
+// TestTracedRunHasGPUActivity checks the GPU pipeline and fabric tracks are
+// actually populated: a CHOPIN frame must show geometry and fragment spans on
+// every GPU and composition transfers on the link tracks.
+func TestTracedRunHasGPUActivity(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(4)
+	tr := obs.New()
+	cfg.Tracer = tr
+	sys, _ := runScheme(t, CHOPIN{}, cfg, fr)
+	sys.FinishTrace()
+
+	for g := 0; g < cfg.NumGPUs; g++ {
+		if tot := tr.SpanTotals(obs.GPUProcName(g), "fragment/ROP"); len(tot) == 0 {
+			t.Errorf("GPU %d has no fragment/ROP spans", g)
+		}
+	}
+	var egress int64
+	for g := 0; g < cfg.NumGPUs; g++ {
+		for name, d := range tr.SpanTotals(obs.GPUProcName(g), "link egress") {
+			if name == "composition" {
+				egress += d
+			}
+		}
+	}
+	if egress == 0 {
+		t.Error("no composition transfer spans on any egress track")
+	}
+}
+
+// TestFinishTraceIdempotent checks FinishTrace is safe to call repeatedly
+// and on untraced systems (sfr.finishStats calls it unconditionally).
+func TestFinishTraceIdempotent(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(2)
+	sys, _ := runScheme(t, Duplication{}, cfg, fr) // untraced
+	sys.FinishTrace()
+	sys.FinishTrace()
+
+	tr := obs.New()
+	cfg.Tracer = tr
+	tsys := multigpu.New(cfg, fr.Width, fr.Height)
+	Duplication{}.Run(tsys, fr)
+	n := len(tr.Events())
+	tsys.FinishTrace()
+	tsys.FinishTrace()
+	if len(tr.Events()) < n {
+		t.Fatal("FinishTrace dropped events")
+	}
+}

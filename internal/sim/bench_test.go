@@ -71,6 +71,51 @@ func BenchmarkScheduleFireCallback(b *testing.B) {
 	}
 }
 
+// BenchmarkTracerDisabled is the observability overhead contract for the
+// event engine: with no probe attached, the schedule/fire hot path must not
+// allocate. The CI bench job tracks allocs/op; TestTracerDisabledAllocs
+// enforces the zero.
+func BenchmarkTracerDisabled(b *testing.B) {
+	const batch = 1024
+	e := New()
+	cb := &tally{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		for j := 0; j < batch; j++ {
+			e.AtCall(base+Cycle(j%37), cb)
+		}
+		e.Run()
+	}
+	if cb.n != b.N*batch {
+		b.Fatalf("fired %d events, want %d", cb.n, b.N*batch)
+	}
+}
+
+// TestTracerDisabledAllocs pins the disabled-path contract: the probe hook
+// is a nil check, so an untraced engine schedules and fires without
+// allocating.
+func TestTracerDisabledAllocs(t *testing.T) {
+	e := New()
+	cb := &tally{}
+	// Warm the queue's backing array so steady-state growth is excluded.
+	for j := 0; j < 256; j++ {
+		e.AtCall(e.Now()+Cycle(j), cb)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		base := e.Now()
+		for j := 0; j < 256; j++ {
+			e.AtCall(base+Cycle(j%37), cb)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced schedule/fire allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // BenchmarkSelfReschedule measures the ping-pong pattern of pipelined
 // hardware models: each firing schedules the next event, so the queue stays
 // tiny and every iteration exercises one push and one pop.

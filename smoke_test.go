@@ -5,6 +5,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 )
@@ -20,6 +21,10 @@ var smokePrograms = []struct {
 }{
 	{pkg: "./cmd/chopinsim", args: []string{"-bench", "cod2", "-scheme", "chopin", "-scale", "0.02", "-gpus", "2", "-verify"}},
 	{pkg: "./cmd/chopinsim", args: []string{"-exp", "tab3", "-scale", "0.02", "-benches", "cod2"}},
+	{pkg: "./cmd/chopinsim", args: []string{"-bench", "cod2", "-scheme", "chopin", "-scale", "0.02", "-gpus", "2",
+		"-timeline", "timeline.json", "-metrics", "metrics.csv"}},
+	// {repo} expands to the repository root at run time.
+	{pkg: "./cmd/chopintrace", args: []string{"-check", "{repo}/internal/obs/testdata/golden_small.json"}},
 	{pkg: "./cmd/tracegen", args: []string{"-bench", "cod2", "-scale", "0.02", "-info"}},
 	{pkg: "./cmd/benchjson", args: nil}, // empty stdin → empty JSON report
 
@@ -83,18 +88,22 @@ func TestSmokePrograms(t *testing.T) {
 				}
 			}
 			workDir := t.TempDir()
-			run := exec.Command(bin, prog.args...)
+			args := make([]string, len(prog.args))
+			for i, a := range prog.args {
+				args[i] = strings.ReplaceAll(a, "{repo}", repoRoot)
+			}
+			run := exec.Command(bin, args...)
 			run.Dir = workDir
 			run.Env = append(os.Environ(), prog.env...)
 			start := time.Now()
 			out, err := run.CombinedOutput()
 			if err != nil {
-				t.Fatalf("running %s %v: %v\n%s", prog.pkg, prog.args, err, out)
+				t.Fatalf("running %s %v: %v\n%s", prog.pkg, args, err, out)
 			}
 			if len(out) == 0 {
 				t.Errorf("%s produced no output", prog.pkg)
 			}
-			t.Logf("%s %v: ok in %v (%d bytes of output)", prog.pkg, prog.args, time.Since(start).Round(time.Millisecond), len(out))
+			t.Logf("%s %v: ok in %v (%d bytes of output)", prog.pkg, args, time.Since(start).Round(time.Millisecond), len(out))
 		})
 	}
 }
