@@ -203,14 +203,20 @@ func Simulate(cfg Config, fr *Frame) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := multigpu.New(mc, fr.Width, fr.Height)
-	st := scheme.Run(sys, fr)
+	sys, err := multigpu.New(mc, fr.Width, fr.Height)
+	if err != nil {
+		return nil, err
+	}
+	st, err := scheme.Run(sys, fr)
 	rep := &Report{
 		Scheme: cfg.Scheme,
 		GPUs:   mc.NumGPUs,
 		Cycles: int64(st.TotalCycles),
 		Stats:  st,
 		sys:    sys,
+	}
+	if err != nil {
+		return rep, err
 	}
 	if len(st.Violations) > 0 {
 		return rep, fmt.Errorf("chopin: %d invariant violation(s) in verified %s run: %s",

@@ -18,14 +18,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"chopin/internal/experiments"
+	"chopin/internal/fault"
 	"chopin/internal/multigpu"
 	"chopin/internal/obs"
 	"chopin/internal/sfr"
@@ -52,6 +56,10 @@ func main() {
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS)")
+
+		faults    = flag.String("faults", "", "single run: fault-injection spec (drop=P,corrupt=P,dup=P,delay=P:C,degrade=F@A:B,stall=G@A+D,fail=G@A) or 'random'")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan (with -faults)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit; the simulation cancels cleanly when it expires (0 = none)")
 
 		timeline = flag.String("timeline", "", "single run: write a Perfetto/Chrome trace-event timeline (JSON) to this file")
 		metrics  = flag.String("metrics", "", "single run: write sampled counters (CSV) to this file")
@@ -126,6 +134,11 @@ func main() {
 			Out:     os.Stderr,
 			Workers: *workers,
 		}
+		if *timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			defer cancel()
+			opt.Ctx = ctx
+		}
 		if *benches != "" {
 			opt.Benchmarks = strings.Split(*benches, ",")
 		}
@@ -136,7 +149,11 @@ func main() {
 		for _, id := range ids {
 			res, err := experiments.Run(id, opt)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
+				if errors.Is(err, context.DeadlineExceeded) {
+					fmt.Fprintf(os.Stderr, "error: experiment %s exceeded the %s wall-clock limit\n", id, *timeout)
+				} else {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				}
 				os.Exit(1)
 			}
 			fmt.Println(res)
@@ -148,7 +165,8 @@ func main() {
 			interval: *mInterv,
 			frame:    *trFrame,
 		}
-		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *verify, *pngOut, to); err != nil {
+		fo := faultOpts{spec: *faults, seed: *faultSeed, timeout: *timeout}
+		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *verify, *pngOut, to, fo); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -191,7 +209,14 @@ type traceOpts struct {
 
 func (t traceOpts) enabled() bool { return t.timeline != "" || t.metrics != "" }
 
-func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool, pngOut string, to traceOpts) error {
+// faultOpts carries the single-run fault-injection and timeout flags.
+type faultOpts struct {
+	spec    string
+	seed    int64
+	timeout time.Duration
+}
+
+func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool, pngOut string, to traceOpts, fo faultOpts) error {
 	b, err := trace.ByName(bench)
 	if err != nil {
 		return err
@@ -202,6 +227,21 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 	cfg.Link.Ideal = ideal
 	cfg.Verify = verify
 	cfg.GroupThreshold = max(16, int(float64(cfg.GroupThreshold)*scale))
+	if fo.spec != "" {
+		if fo.spec == "random" {
+			cfg.Faults = fault.RandomPlan(fo.seed, gpus)
+		} else {
+			plan, err := fault.ParseSpec(fo.spec, fo.seed)
+			if err != nil {
+				return err
+			}
+			cfg.Faults = plan
+		}
+	}
+	if fo.timeout > 0 {
+		deadline := time.Now().Add(fo.timeout)
+		cfg.Cancel = func() bool { return time.Now().After(deadline) }
+	}
 	s, err := schemeByName(scheme, &cfg)
 	if err != nil {
 		return err
@@ -213,8 +253,13 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 		// The simulator is deterministic, so earlier repeats exist purely to
 		// mirror a "skip warm-up frames" capture workflow.
 		for i := 0; i < to.frame; i++ {
-			warm := multigpu.New(cfg, fr.Width, fr.Height)
-			s.Run(warm, fr)
+			warm, err := multigpu.New(cfg, fr.Width, fr.Height)
+			if err != nil {
+				return err
+			}
+			if _, err := s.Run(warm, fr); err != nil {
+				return fmt.Errorf("warm-up repeat %d: %w", i, err)
+			}
 		}
 		tr = obs.New()
 		if to.interval > 0 {
@@ -222,8 +267,17 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 		}
 		cfg.Tracer = tr
 	}
-	sys := multigpu.New(cfg, fr.Width, fr.Height)
-	st := s.Run(sys, fr)
+	sys, err := multigpu.New(cfg, fr.Width, fr.Height)
+	if err != nil {
+		return err
+	}
+	st, err := s.Run(sys, fr)
+	if err != nil {
+		if st != nil {
+			printFaultSummary(st)
+		}
+		return err
+	}
 	if verify {
 		if len(st.Violations) > 0 {
 			for _, v := range st.Violations {
@@ -252,6 +306,7 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 		fmt.Printf("composition groups: %d total, %d accelerated (%d triangles)\n",
 			st.GroupsTotal, st.GroupsAccelerated, st.TrianglesAccelerated)
 	}
+	printFaultSummary(st)
 	img := sys.AssembleImage(0)
 	fmt.Printf("display image checksum: %016x\n", img.Checksum())
 	if pngOut != "" {
@@ -271,6 +326,21 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 		}
 	}
 	return nil
+}
+
+// printFaultSummary reports injected-fault and recovery activity; silent on
+// fault-free runs.
+func printFaultSummary(st *stats.FrameStats) {
+	f := st.Faults
+	if f.Total()+f.Retries+f.Timeouts+f.Lost == 0 && st.GPUsFailed == 0 {
+		return
+	}
+	fmt.Printf("faults: %d injected (drop %d, corrupt %d, dup %d, delay %d); protocol: %d retries, %d timeouts, %d lost\n",
+		f.Total(), f.Drops, f.Corrupts, f.Duplicates, f.Delays, f.Retries, f.Timeouts, f.Lost)
+	if st.GPUsFailed > 0 {
+		fmt.Printf("recovery: %d GPU(s) failed; degraded-mode recovery took %d cycles\n",
+			st.GPUsFailed, st.RecoveryCycles)
+	}
 }
 
 // writeTrace exports the captured timeline/metrics and prints the

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +47,13 @@ func run(path string, top int, check bool) error {
 	defer f.Close()
 	tf, err := obs.Load(f)
 	if err != nil {
+		var trunc *obs.TruncatedTraceError
+		switch {
+		case errors.Is(err, obs.ErrEmptyTrace):
+			return fmt.Errorf("%s is empty — the simulation may have exited before the timeline was written (%w)", path, err)
+		case errors.As(err, &trunc):
+			return fmt.Errorf("%s is cut off mid-write; re-run the capture (%w)", path, err)
+		}
 		return err
 	}
 

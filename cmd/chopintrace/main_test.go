@@ -1,0 +1,86 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chopin/internal/obs"
+)
+
+// writeTemp writes content to a file in a test temp dir and returns its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	for _, tc := range []struct {
+		name, content string
+	}{
+		{"zero-bytes", ""},
+		{"whitespace-only", "  \n\t\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTemp(t, "trace.json", tc.content)
+			err := run(path, 10, false)
+			if !errors.Is(err, obs.ErrEmptyTrace) {
+				t.Fatalf("run() = %v, want ErrEmptyTrace", err)
+			}
+		})
+	}
+}
+
+func TestRunTruncatedTrace(t *testing.T) {
+	for _, tc := range []struct {
+		name, content string
+	}{
+		{"object-form", `{"traceEvents": [{"name": "raster", "ph": "X", "ts": 0, `},
+		{"array-form", `[{"name": "raster", "ph": "X"`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTemp(t, "trace.json", tc.content)
+			err := run(path, 10, false)
+			var trunc *obs.TruncatedTraceError
+			if !errors.As(err, &trunc) {
+				t.Fatalf("run() = %v, want *TruncatedTraceError", err)
+			}
+		})
+	}
+}
+
+func TestRunMalformedMidFile(t *testing.T) {
+	// Garbage in the middle of an otherwise-complete file is a parse error,
+	// not a truncation.
+	path := writeTemp(t, "trace.json", `{"traceEvents": [}{]}`)
+	err := run(path, 10, false)
+	if err == nil {
+		t.Fatal("run() accepted malformed JSON")
+	}
+	var trunc *obs.TruncatedTraceError
+	if errors.As(err, &trunc) {
+		t.Fatalf("mid-file garbage misclassified as truncation: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), 10, false); err == nil {
+		t.Fatal("run() succeeded on a missing file")
+	}
+}
+
+func TestRunValidTrace(t *testing.T) {
+	path := writeTemp(t, "trace.json",
+		`{"traceEvents": [{"name": "raster", "ph": "X", "ts": 0, "dur": 100, "pid": 0, "tid": 1}]}`)
+	if err := run(path, 10, false); err != nil {
+		t.Fatalf("run() on a valid trace: %v", err)
+	}
+	if err := run(path, 10, true); err != nil {
+		t.Fatalf("run() -check on a valid trace: %v", err)
+	}
+}

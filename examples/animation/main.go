@@ -46,8 +46,13 @@ func main() {
 
 	// Render each frame under CHOPIN and save the display images.
 	for i, fr := range seq {
-		sys := multigpu.New(cfg, fr.Width, fr.Height)
-		sfr.CHOPIN{}.Run(sys, fr)
+		sys, err := multigpu.New(cfg, fr.Width, fr.Height)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := (sfr.CHOPIN{}).Run(sys, fr); err != nil {
+			log.Fatal(err)
+		}
 		img := sys.AssembleImage(0)
 		name := fmt.Sprintf("frame%02d.png", i)
 		f, err := os.Create(name)
@@ -62,9 +67,18 @@ func main() {
 	}
 
 	// Compare the two multi-GPU strategies on the whole sequence.
-	afrSys := multigpu.New(cfg, seq[0].Width, seq[0].Height)
-	afr := sfr.RunAFR(afrSys, seq)
-	chop := sfr.RunSFRSequence(cfg, sfr.CHOPIN{}, seq)
+	afrSys, err := multigpu.New(cfg, seq[0].Width, seq[0].Height)
+	if err != nil {
+		log.Fatal(err)
+	}
+	afr, err := sfr.RunAFR(afrSys, seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chop, err := sfr.RunSFRSequence(cfg, sfr.CHOPIN{}, seq)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("\n%-8s %20s %20s %16s\n", "scheme", "avg frame interval", "max frame interval", "avg latency")
 	for _, s := range []*sfr.SequenceStats{afr, chop} {

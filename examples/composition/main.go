@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"chopin/internal/colorspace"
 	"chopin/internal/composite"
@@ -26,7 +27,7 @@ const (
 // renderSubImage renders GPU g's slab of a randomly scattered particle
 // cloud: opaque splats at depths within the slab.
 func renderSubImage(g int) *framebuffer.Buffer {
-	fb := framebuffer.New(width, height)
+	fb := framebuffer.MustNew(width, height)
 	fb.ClearDirty()
 	rng := rand.New(rand.NewSource(int64(g) + 1))
 	zLo := float64(g) / gpus
@@ -63,22 +64,27 @@ func main() {
 
 	type algo struct {
 		name string
-		run  func() (*framebuffer.Buffer, composite.Traffic)
+		run  func() (*framebuffer.Buffer, composite.Traffic, error)
 	}
 	algos := []algo{
-		{"direct-send", func() (*framebuffer.Buffer, composite.Traffic) {
-			return composite.DirectSend(subs, colorspace.CmpLess)
+		{"direct-send", func() (*framebuffer.Buffer, composite.Traffic, error) {
+			img, tr := composite.DirectSend(subs, colorspace.CmpLess)
+			return img, tr, nil
 		}},
-		{"binary-swap", func() (*framebuffer.Buffer, composite.Traffic) {
+		{"binary-swap", func() (*framebuffer.Buffer, composite.Traffic, error) {
 			return composite.BinarySwap(subs, colorspace.CmpLess)
 		}},
-		{"radix-k (k=4)", func() (*framebuffer.Buffer, composite.Traffic) {
+		{"radix-k (k=4)", func() (*framebuffer.Buffer, composite.Traffic, error) {
 			return composite.RadixK(subs, colorspace.CmpLess, 4)
 		}},
 	}
 	fmt.Printf("%-14s %8s %10s %8s %8s\n", "algorithm", "rounds", "messages", "MB", "correct")
 	for _, a := range algos {
-		img, tr := a.run()
+		img, tr, err := a.run()
+		if err != nil {
+			fmt.Printf("%-14s failed: %v\n", a.name, err)
+			os.Exit(1)
+		}
 		fmt.Printf("%-14s %8d %10d %8.2f %8v\n",
 			a.name, tr.Rounds, tr.Messages, float64(tr.Bytes)/(1<<20), img.Equal(ref, 0))
 	}
@@ -87,7 +93,7 @@ func main() {
 	// any grouping — the property CHOPIN exploits for transparent groups.
 	layers := make([]*framebuffer.Buffer, gpus)
 	for g := range layers {
-		l := framebuffer.New(width, height)
+		l := framebuffer.MustNew(width, height)
 		rng := rand.New(rand.NewSource(int64(100 + g)))
 		for p := 0; p < 2000; p++ {
 			x, y := rng.Intn(width), rng.Intn(height)

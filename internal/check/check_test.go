@@ -37,7 +37,10 @@ func TestViolationCap(t *testing.T) {
 
 func TestConservationThroughFabric(t *testing.T) {
 	eng := sim.New()
-	f := interconnect.New(eng, 3, interconnect.DefaultConfig())
+	f, err := interconnect.New(eng, 3, interconnect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	c := New()
 	f.SetObserver(c)
 	eng.SetWatcher(c.EventWatcher())
@@ -62,7 +65,10 @@ func TestConservationThroughFabric(t *testing.T) {
 
 func TestConservationCatchesStrandedTransfer(t *testing.T) {
 	eng := sim.New()
-	f := interconnect.New(eng, 2, interconnect.DefaultConfig())
+	f, err := interconnect.New(eng, 2, interconnect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	c := New()
 	f.SetObserver(c)
 
@@ -109,8 +115,8 @@ func fill(b *framebuffer.Buffer, seed int) {
 
 func TestCheckedDepthMergeMatchesPlain(t *testing.T) {
 	const w, h = 70, 66 // exercises partial edge tiles
-	dst1, dst2 := framebuffer.New(w, h), framebuffer.New(w, h)
-	src := framebuffer.New(w, h)
+	dst1, dst2 := framebuffer.MustNew(w, h), framebuffer.MustNew(w, h)
+	src := framebuffer.MustNew(w, h)
 	fill(dst1, 1)
 	fill(dst2, 1)
 	fill(src, 2)
@@ -130,7 +136,7 @@ func TestCheckedDepthMergeMatchesPlain(t *testing.T) {
 }
 
 func TestVerifyImage(t *testing.T) {
-	a, b := framebuffer.New(96, 64), framebuffer.New(96, 64)
+	a, b := framebuffer.MustNew(96, 64), framebuffer.MustNew(96, 64)
 	fill(a, 3)
 	fill(b, 3)
 	c := New()
@@ -154,7 +160,7 @@ func TestVerifyImage(t *testing.T) {
 
 func TestVerifyImageDimensionMismatch(t *testing.T) {
 	c := New()
-	c.VerifyImage("rt0", framebuffer.New(8, 8), framebuffer.New(16, 8), 0)
+	c.VerifyImage("rt0", framebuffer.MustNew(8, 8), framebuffer.MustNew(16, 8), 0)
 	if c.Ok() {
 		t.Fatal("dimension mismatch not flagged")
 	}

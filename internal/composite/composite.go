@@ -188,13 +188,13 @@ func DirectSend(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*frameb
 // exchange complementary halves of their current region and compose what
 // they receive, so every GPU ends owning 1/N of the fully composed image,
 // which is then gathered. N must be a power of two.
-func BinarySwap(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*framebuffer.Buffer, Traffic) {
+func BinarySwap(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*framebuffer.Buffer, Traffic, error) {
 	n := len(subs)
 	if n == 0 {
-		return nil, Traffic{}
+		return nil, Traffic{}, nil
 	}
 	if n&(n-1) != 0 {
-		panic(fmt.Sprintf("composite: BinarySwap requires a power-of-two GPU count, got %d", n))
+		return nil, Traffic{}, fmt.Errorf("composite: BinarySwap requires a power-of-two GPU count, got %d", n)
 	}
 	// Work on scanline ranges [lo, hi) per GPU; each buffer accumulates the
 	// composition of its current range.
@@ -238,23 +238,23 @@ func BinarySwap(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*frameb
 		tr.Messages++
 		tr.Bytes += int64(px) * framebuffer.ColorBytesPerPixel
 	}
-	return result, tr
+	return result, tr, nil
 }
 
 // RadixK runs the radix-k schedule: GPUs are grouped into k-sized groups
 // that run direct-send internally over log_k(N) rounds, generalizing
 // binary-swap (k=2) and direct-send (k=N). N must be a power of k.
-func RadixK(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc, k int) (*framebuffer.Buffer, Traffic) {
+func RadixK(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc, k int) (*framebuffer.Buffer, Traffic, error) {
 	n := len(subs)
 	if n == 0 {
-		return nil, Traffic{}
+		return nil, Traffic{}, nil
 	}
 	if k < 2 {
-		panic("composite: RadixK requires k >= 2")
+		return nil, Traffic{}, fmt.Errorf("composite: RadixK requires k >= 2, got %d", k)
 	}
 	for m := n; m > 1; m /= k {
 		if m%k != 0 {
-			panic(fmt.Sprintf("composite: RadixK requires the GPU count (%d) to be a power of k (%d)", n, k))
+			return nil, Traffic{}, fmt.Errorf("composite: RadixK requires the GPU count (%d) to be a power of k (%d)", n, k)
 		}
 	}
 	work := make([]*framebuffer.Buffer, n)
@@ -304,7 +304,7 @@ func RadixK(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc, k int) (*fra
 		tr.Messages++
 		tr.Bytes += int64(px) * framebuffer.ColorBytesPerPixel
 	}
-	return result, tr
+	return result, tr, nil
 }
 
 // MixedRadix runs a multi-round schedule for ARBITRARY GPU counts, in the

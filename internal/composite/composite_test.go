@@ -15,7 +15,7 @@ func randomSubImages(t *testing.T, n, w, h int, seed int64) []*framebuffer.Buffe
 	r := rand.New(rand.NewSource(seed))
 	subs := make([]*framebuffer.Buffer, n)
 	for i := range subs {
-		b := framebuffer.New(w, h)
+		b := framebuffer.MustNew(w, h)
 		b.ClearDirty()
 		// Each sub-image gets a few random rectangles of content.
 		for k := 0; k < 5; k++ {
@@ -43,7 +43,7 @@ func randomLayers(n, w, h int, seed int64) []*framebuffer.Buffer {
 	r := rand.New(rand.NewSource(seed))
 	layers := make([]*framebuffer.Buffer, n)
 	for i := range layers {
-		b := framebuffer.New(w, h)
+		b := framebuffer.MustNew(w, h)
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
 				if r.Float64() < 0.7 {
@@ -57,8 +57,8 @@ func randomLayers(n, w, h int, seed int64) []*framebuffer.Buffer {
 }
 
 func TestDepthMergeKeepsNearer(t *testing.T) {
-	a := framebuffer.New(64, 64)
-	b := framebuffer.New(64, 64)
+	a := framebuffer.MustNew(64, 64)
+	b := framebuffer.MustNew(64, 64)
 	red := colorspace.Opaque(1, 0, 0)
 	green := colorspace.Opaque(0, 1, 0)
 	a.Set(1, 1, red)
@@ -70,7 +70,7 @@ func TestDepthMergeKeepsNearer(t *testing.T) {
 		t.Errorf("merge kept %+v at depth %v", a.At(1, 1), a.DepthAt(1, 1))
 	}
 	// Merging the other direction: red (0.5) loses against green (0.3).
-	b2 := framebuffer.New(64, 64)
+	b2 := framebuffer.MustNew(64, 64)
 	b2.Set(1, 1, red)
 	b2.SetDepth(1, 1, 0.5)
 	DepthMerge(a, b2, colorspace.CmpLess, nil)
@@ -80,8 +80,8 @@ func TestDepthMergeKeepsNearer(t *testing.T) {
 }
 
 func TestDepthMergeSkipsCleanTiles(t *testing.T) {
-	dst := framebuffer.New(128, 128)
-	src := framebuffer.New(128, 128)
+	dst := framebuffer.MustNew(128, 128)
+	src := framebuffer.MustNew(128, 128)
 	src.ClearDirty()
 	src.Set(1, 1, colorspace.Opaque(1, 1, 1)) // dirties tile 0 only
 	src.SetDepth(1, 1, 0.1)
@@ -92,8 +92,8 @@ func TestDepthMergeSkipsCleanTiles(t *testing.T) {
 }
 
 func TestDepthMergeRestrictedTiles(t *testing.T) {
-	dst := framebuffer.New(128, 128) // 2×2 tiles
-	src := framebuffer.New(128, 128)
+	dst := framebuffer.MustNew(128, 128) // 2×2 tiles
+	src := framebuffer.MustNew(128, 128)
 	src.Set(1, 1, colorspace.Opaque(1, 0, 0)) // tile 0
 	src.SetDepth(1, 1, 0.1)
 	src.Set(100, 100, colorspace.Opaque(0, 1, 0)) // tile 3
@@ -125,8 +125,8 @@ func TestDepthMergeOutOfOrder(t *testing.T) {
 }
 
 func TestBlendMergeOverSemantics(t *testing.T) {
-	back := framebuffer.New(64, 64)
-	front := framebuffer.New(64, 64)
+	back := framebuffer.MustNew(64, 64)
+	front := framebuffer.MustNew(64, 64)
 	back.Set(2, 2, colorspace.Opaque(1, 1, 1))             // white background layer
 	front.Set(2, 2, colorspace.FromStraight(0, 0, 0, 0.5)) // 50% black glass
 	BlendMerge(back, front, colorspace.BlendOver, nil)
@@ -202,7 +202,10 @@ func TestBinarySwapMatchesReference(t *testing.T) {
 	for _, n := range []int{2, 4, 8} {
 		subs := randomSubImages(t, n, 64, 64, int64(20+n))
 		ref := DepthReference(subs, colorspace.CmpLess)
-		got, tr := BinarySwap(subs, colorspace.CmpLess)
+		got, tr, err := BinarySwap(subs, colorspace.CmpLess)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !got.Equal(ref, 0) {
 			t.Fatalf("n=%d: binary-swap differs in %d pixels", n, got.DiffCount(ref, 0))
 		}
@@ -217,12 +220,9 @@ func TestBinarySwapMatchesReference(t *testing.T) {
 }
 
 func TestBinarySwapRequiresPowerOfTwo(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for n=3")
-		}
-	}()
-	BinarySwap(randomSubImages(t, 3, 32, 32, 1), colorspace.CmpLess)
+	if _, _, err := BinarySwap(randomSubImages(t, 3, 32, 32, 1), colorspace.CmpLess); err == nil {
+		t.Error("expected error for n=3")
+	}
 }
 
 func TestRadixKMatchesReference(t *testing.T) {
@@ -230,7 +230,10 @@ func TestRadixKMatchesReference(t *testing.T) {
 	for _, c := range cases {
 		subs := randomSubImages(t, c.n, 64, 64, int64(30+c.n*c.k))
 		ref := DepthReference(subs, colorspace.CmpLess)
-		got, _ := RadixK(subs, colorspace.CmpLess, c.k)
+		got, _, err := RadixK(subs, colorspace.CmpLess, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !got.Equal(ref, 0) {
 			t.Fatalf("n=%d k=%d: radix-k differs in %d pixels", c.n, c.k, got.DiffCount(ref, 0))
 		}
@@ -238,19 +241,16 @@ func TestRadixKMatchesReference(t *testing.T) {
 }
 
 func TestRadixKDegenerateCases(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for non-power group size")
-		}
-	}()
-	RadixK(randomSubImages(t, 6, 32, 32, 1), colorspace.CmpLess, 4)
+	if _, _, err := RadixK(randomSubImages(t, 6, 32, 32, 1), colorspace.CmpLess, 4); err == nil {
+		t.Error("expected error for non-power group size")
+	}
 }
 
 func TestRadixKEqualsBinarySwapTraffic(t *testing.T) {
 	// radix-2 is binary-swap: same rounds, same message count.
 	subs := randomSubImages(t, 8, 64, 64, 77)
-	_, bs := BinarySwap(subs, colorspace.CmpLess)
-	_, rk := RadixK(subs, colorspace.CmpLess, 2)
+	_, bs, _ := BinarySwap(subs, colorspace.CmpLess)
+	_, rk, _ := RadixK(subs, colorspace.CmpLess, 2)
 	if bs.Rounds != rk.Rounds {
 		t.Errorf("rounds: binary-swap %d vs radix-2 %d", bs.Rounds, rk.Rounds)
 	}
@@ -270,7 +270,7 @@ func TestScheduleTrafficScaling(t *testing.T) {
 		}
 	}
 	_, ds := DirectSend(subs, colorspace.CmpLess)
-	_, bs := BinarySwap(subs, colorspace.CmpLess)
+	_, bs, _ := BinarySwap(subs, colorspace.CmpLess)
 	if bs.Bytes >= ds.Bytes {
 		t.Errorf("binary-swap bytes (%d) should be below direct-send (%d)", bs.Bytes, ds.Bytes)
 	}
@@ -300,7 +300,7 @@ func TestMixedRadixMatchesReference(t *testing.T) {
 
 func TestMixedRadixEqualsBinarySwapForPowersOfTwo(t *testing.T) {
 	subs := randomSubImages(t, 8, 64, 64, 99)
-	_, bs := BinarySwap(subs, colorspace.CmpLess)
+	_, bs, _ := BinarySwap(subs, colorspace.CmpLess)
 	_, mr := MixedRadix(subs, colorspace.CmpLess)
 	if bs.Rounds != mr.Rounds || bs.Messages != mr.Messages {
 		t.Errorf("mixed-radix(8) should equal binary-swap: %+v vs %+v", mr, bs)

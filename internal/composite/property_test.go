@@ -52,7 +52,7 @@ func TestPropertyParallelSchedulesMatchReference(t *testing.T) {
 			t.Fatalf("trial %d (n=%d %dx%d): MixedRadix differs from reference", trial, n, w, h)
 		}
 		if n&(n-1) == 0 {
-			if got, _ := BinarySwap(subs, cmp); !got.Equal(ref, 0) {
+			if got, _, err := BinarySwap(subs, cmp); err != nil || !got.Equal(ref, 0) {
 				t.Fatalf("trial %d (n=%d %dx%d): BinarySwap differs from reference", trial, n, w, h)
 			}
 		}
@@ -60,7 +60,7 @@ func TestPropertyParallelSchedulesMatchReference(t *testing.T) {
 			if !isPowerOf(n, k) {
 				continue
 			}
-			if got, _ := RadixK(subs, cmp, k); !got.Equal(ref, 0) {
+			if got, _, err := RadixK(subs, cmp, k); err != nil || !got.Equal(ref, 0) {
 				t.Fatalf("trial %d (n=%d %dx%d): RadixK(%d) differs from reference", trial, n, w, h, k)
 			}
 		}

@@ -43,11 +43,11 @@ type CompositionScheduler struct {
 
 // NewCompositionScheduler returns a scheduler for n GPUs (n ≤ 64, the bit
 // vector width).
-func NewCompositionScheduler(n int) *CompositionScheduler {
+func NewCompositionScheduler(n int) (*CompositionScheduler, error) {
 	if n < 1 || n > 64 {
-		panic(fmt.Sprintf("core: composition scheduler supports 1–64 GPUs, got %d", n))
+		return nil, fmt.Errorf("core: composition scheduler supports 1–64 GPUs, got %d", n)
 	}
-	return &CompositionScheduler{n: n, entries: make([]Entry, n)}
+	return &CompositionScheduler{n: n, entries: make([]Entry, n)}, nil
 }
 
 // Entry returns GPU g's table row (a copy).
@@ -101,11 +101,12 @@ func (cs *CompositionScheduler) NextSessions() []Session {
 }
 
 // Complete records that the session finished (Fig. 12 step Î): flags clear,
-// bit vectors update, and fully exchanged entries reset (step Ï).
-func (cs *CompositionScheduler) Complete(s Session) {
+// bit vectors update, and fully exchanged entries reset (step Ï). Completing
+// a session that was never scheduled is a caller bug and returns an error.
+func (cs *CompositionScheduler) Complete(s Session) error {
 	es, er := &cs.entries[s.Sender], &cs.entries[s.Receiver]
 	if !es.Sending || !er.Receiving {
-		panic(fmt.Sprintf("core: completing unscheduled session %+v", s))
+		return fmt.Errorf("core: completing unscheduled session %+v", s)
 	}
 	es.Sending = false
 	er.Receiving = false
@@ -121,6 +122,7 @@ func (cs *CompositionScheduler) Complete(s Session) {
 			cs.done++
 		}
 	}
+	return nil
 }
 
 // Done reports whether every GPU has completed its exchange for the current
@@ -208,16 +210,18 @@ func (tc *TransparentComposer) NextMerges() []Merge {
 }
 
 // Complete records a finished merge: the back holder absorbs the front
-// holder's range; the front holder leaves the composition.
-func (tc *TransparentComposer) Complete(m Merge) {
+// holder's range; the front holder leaves the composition. Completing a
+// merge that was never scheduled is a caller bug and returns an error.
+func (tc *TransparentComposer) Complete(m Merge) error {
 	if !tc.busy[m.From] || !tc.busy[m.To] {
-		panic(fmt.Sprintf("core: completing unscheduled merge %+v", m))
+		return fmt.Errorf("core: completing unscheduled merge %+v", m)
 	}
 	tc.busy[m.From] = false
 	tc.busy[m.To] = false
 	tc.hi[m.To] = tc.hi[m.From]
 	tc.lo[m.From], tc.hi[m.From] = -1, -1
 	tc.ready[m.From] = false
+	return nil
 }
 
 // Done reports whether a single holder owns the full range.

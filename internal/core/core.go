@@ -224,10 +224,10 @@ func Summarize(steps []Step) PlanStats {
 // near-equal triangle counts, preserving order — the transparent-group
 // distribution of Section IV-C ("evenly divide draws, send consecutive
 // draws to the same GPU"). Chunk i may be empty when there are fewer draws
-// than GPUs.
-func DivideRange(draws []primitive.DrawCommand, start, end, n int) [][2]int {
+// than GPUs. An out-of-bounds range is a caller bug and returns an error.
+func DivideRange(draws []primitive.DrawCommand, start, end, n int) ([][2]int, error) {
 	if start < 0 || end > len(draws) || start > end {
-		panic(fmt.Sprintf("core: bad range [%d,%d) of %d draws", start, end, len(draws)))
+		return nil, fmt.Errorf("core: bad range [%d,%d) of %d draws", start, end, len(draws))
 	}
 	total := 0
 	for i := start; i < end; i++ {
@@ -246,5 +246,5 @@ func DivideRange(draws []primitive.DrawCommand, start, end, n int) [][2]int {
 		chunks[c] = [2]int{lo, pos}
 	}
 	chunks[n-1][1] = end
-	return chunks
+	return chunks, nil
 }

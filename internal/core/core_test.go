@@ -42,7 +42,11 @@ func mkGPUs(n int) (*sim.Engine, []*gpu.GPU) {
 	eng := sim.New()
 	gpus := make([]*gpu.GPU, n)
 	for i := range gpus {
-		gpus[i] = gpu.New(i, eng, gpu.DefaultCosts(), 128, 128, raster.DefaultConfig())
+		gp, err := gpu.New(i, eng, gpu.DefaultCosts(), 128, 128, raster.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		gpus[i] = gp
 	}
 	return eng, gpus
 }
@@ -159,7 +163,10 @@ func TestDivideRangePreservesOrderAndBalance(t *testing.T) {
 			draws[i] = draw(1 + r.Intn(50))
 			total += draws[i].TriangleCount()
 		}
-		chunks := DivideRange(draws, 0, count, n)
+		chunks, err := DivideRange(draws, 0, count, n)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(chunks) != n {
 			t.Fatalf("chunks = %d, want %d", len(chunks), n)
 		}
@@ -199,7 +206,7 @@ func TestDivideRangePreservesOrderAndBalance(t *testing.T) {
 
 func TestCompositionSchedulerFullExchange(t *testing.T) {
 	const n = 4
-	cs := NewCompositionScheduler(n)
+	cs, _ := NewCompositionScheduler(n)
 	for g := 0; g < n; g++ {
 		cs.SetReady(g, 1)
 	}
@@ -232,7 +239,7 @@ func TestCompositionSchedulerFullExchange(t *testing.T) {
 }
 
 func TestCompositionSchedulerPortExclusivity(t *testing.T) {
-	cs := NewCompositionScheduler(4)
+	cs, _ := NewCompositionScheduler(4)
 	for g := 0; g < 4; g++ {
 		cs.SetReady(g, 1)
 	}
@@ -255,7 +262,7 @@ func TestCompositionSchedulerPortExclusivity(t *testing.T) {
 }
 
 func TestCompositionSchedulerRespectsReadiness(t *testing.T) {
-	cs := NewCompositionScheduler(3)
+	cs, _ := NewCompositionScheduler(3)
 	cs.SetReady(0, 1)
 	// Only GPU0 ready: nothing can pair.
 	if got := cs.NextSessions(); len(got) != 0 {
@@ -279,7 +286,7 @@ func TestCompositionSchedulerRespectsReadiness(t *testing.T) {
 }
 
 func TestCompositionSchedulerMismatchedCGID(t *testing.T) {
-	cs := NewCompositionScheduler(2)
+	cs, _ := NewCompositionScheduler(2)
 	cs.SetReady(0, 1)
 	cs.SetReady(1, 2) // different group
 	if got := cs.NextSessions(); len(got) != 0 {
@@ -287,18 +294,18 @@ func TestCompositionSchedulerMismatchedCGID(t *testing.T) {
 	}
 }
 
-func TestCompositionSchedulerCompleteUnscheduledPanics(t *testing.T) {
-	cs := NewCompositionScheduler(2)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	cs.Complete(Session{Sender: 0, Receiver: 1})
+func TestCompositionSchedulerCompleteUnscheduledErrors(t *testing.T) {
+	cs, _ := NewCompositionScheduler(2)
+	if err := cs.Complete(Session{Sender: 0, Receiver: 1}); err == nil {
+		t.Error("expected error for unscheduled completion")
+	}
+	if _, err := NewCompositionScheduler(0); err == nil {
+		t.Error("expected error for zero GPUs")
+	}
 }
 
 func TestCompositionSchedulerReset(t *testing.T) {
-	cs := NewCompositionScheduler(2)
+	cs, _ := NewCompositionScheduler(2)
 	cs.SetReady(0, 1)
 	cs.SetReady(1, 1)
 	for !cs.Done() {
@@ -393,12 +400,9 @@ func TestTransparentComposerParallelMerges(t *testing.T) {
 	}
 }
 
-func TestTransparentComposerCompleteUnscheduledPanics(t *testing.T) {
+func TestTransparentComposerCompleteUnscheduledErrors(t *testing.T) {
 	tc := NewTransparentComposer(2)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	tc.Complete(Merge{From: 1, To: 0})
+	if err := tc.Complete(Merge{From: 1, To: 0}); err == nil {
+		t.Error("expected error for unscheduled merge")
+	}
 }

@@ -16,7 +16,7 @@ func TestQuickCompositionSchedulerConverges(t *testing.T) {
 	f := func(nRaw uint8, seed int64) bool {
 		n := 2 + int(nRaw)%15
 		rng := rand.New(rand.NewSource(seed))
-		cs := NewCompositionScheduler(n)
+		cs, _ := NewCompositionScheduler(n)
 
 		readyOrder := rng.Perm(n)
 		readyIdx := 0
@@ -93,7 +93,10 @@ func TestQuickDivideRangeInvariants(t *testing.T) {
 		for i, s := range sizes {
 			draws[i] = primitive.DrawCommand{Tris: make([]primitive.Triangle, 1+int(s)%500)}
 		}
-		chunks := DivideRange(draws, 0, len(draws), n)
+		chunks, err := DivideRange(draws, 0, len(draws), n)
+		if err != nil {
+			return false
+		}
 		pos := 0
 		for _, c := range chunks {
 			if c[0] != pos || c[1] < c[0] {

@@ -52,9 +52,18 @@ type Runtime struct {
 	// are the simulator-process tracks phase and barrier spans land on.
 	tr                   *obs.Tracer
 	trPhases, trBarriers obs.Track
+
+	// err is the frame's first fatal error (watchdog trip, cancellation,
+	// orchestration failure); barriers registers this frame's barriers for
+	// watchdog monitoring and post-run deadlock detection.
+	err      error
+	wd       *Watchdog
+	barriers []*Barrier
 }
 
-// New returns a runtime for one frame with an initialized FrameStats.
+// New returns a runtime for one frame with an initialized FrameStats. A
+// watchdog is started when the system configures one (Config.Watchdog != 0;
+// negative selects the default interval).
 func New(scheme string, sys *multigpu.System, fr *primitive.Frame) *Runtime {
 	r := &Runtime{
 		Sys: sys,
@@ -66,6 +75,9 @@ func New(scheme string, sys *multigpu.System, fr *primitive.Frame) *Runtime {
 		},
 	}
 	r.initTrace()
+	if iv := sys.Cfg.Watchdog; iv != 0 {
+		r.StartWatchdog(iv)
+	}
 	return r
 }
 
@@ -75,6 +87,9 @@ func New(scheme string, sys *multigpu.System, fr *primitive.Frame) *Runtime {
 func NewSequence(sys *multigpu.System) *Runtime {
 	r := &Runtime{Sys: sys}
 	r.initTrace()
+	if iv := sys.Cfg.Watchdog; iv != 0 {
+		r.StartWatchdog(iv)
+	}
 	return r
 }
 
@@ -93,9 +108,35 @@ func (r *Runtime) Tracer() *obs.Tracer { return r.tr }
 // Eng returns the system's event engine.
 func (r *Runtime) Eng() *sim.Engine { return r.Sys.Eng }
 
+// Fail records the frame's first fatal error and halts the engine, so Run
+// returns promptly with partial statistics.
+func (r *Runtime) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.Sys.Eng.Halt()
+}
+
+// Err returns the frame's first fatal error, or nil.
+func (r *Runtime) Err() error { return r.err }
+
 // Run drains the event engine: everything scheduled (and everything those
-// events schedule) executes to completion.
-func (r *Runtime) Run() { r.Sys.Eng.Run() }
+// events schedule) executes to completion. It returns the frame's fatal
+// error, if any: a watchdog trip, a cancellation, or — detected here even
+// without a watchdog — a deadlock where the queue drained with barriers
+// still unreleased.
+func (r *Runtime) Run() error {
+	r.Sys.Eng.Run()
+	if r.err == nil && r.Sys.Eng.Canceled() {
+		r.err = &CanceledError{At: r.Sys.Eng.Now()}
+	}
+	if r.err == nil {
+		if live := r.liveBarriers(); len(live) > 0 {
+			r.err = r.deadlockError(live)
+		}
+	}
+	return r.err
+}
 
 // SetTextures installs the frame's texture table on every GPU.
 func (r *Runtime) SetTextures() {
@@ -104,11 +145,12 @@ func (r *Runtime) SetTextures() {
 	}
 }
 
-// OwnTiles gives every GPU its round-robin tile-ownership mask and the
-// frame's textures — the standard sort-first setup.
+// OwnTiles gives every GPU its current tile-ownership mask and the frame's
+// textures — the standard sort-first setup.
 func (r *Runtime) OwnTiles() {
 	for g, gp := range r.Sys.GPUs {
-		gp.SetOwnership(r.Sys.Mask(g))
+		// System masks are built to the screen tile count; cannot mismatch.
+		_ = gp.SetOwnership(r.Sys.Mask(g))
 	}
 	r.SetTextures()
 }
@@ -150,12 +192,18 @@ func (r *Runtime) IssueDraws(start, end int, submit func(i int)) {
 // seal marks the point after which no further completions will be
 // registered, so a drained barrier may release.
 type Barrier struct {
-	pending int
-	sealed  bool
-	fn      func()
+	pending  int
+	sealed   bool
+	released bool
+	fn       func()
+
+	// wd, when set, receives a progress bump on every Add/Done/Seal so the
+	// watchdog can distinguish a slow frame from a wedged one.
+	wd *Watchdog
 
 	// Tracing state (armed by Trace): the seal→release wait is recorded as
-	// a span on a barrier track.
+	// a span on a barrier track. name also labels the barrier in watchdog
+	// diagnostics, tracing or not.
 	eng    *sim.Engine
 	tr     *obs.Tracer
 	track  obs.Track
@@ -163,16 +211,25 @@ type Barrier struct {
 	sealAt sim.Cycle
 }
 
-// NewBarrier returns an unsealed barrier releasing into fn.
+// NewBarrier returns an unsealed barrier releasing into fn. Barriers made
+// through a Runtime (TracedBarrier) are additionally registered for
+// watchdog monitoring and deadlock detection; bare NewBarrier ones are not.
 func NewBarrier(fn func()) *Barrier { return &Barrier{fn: fn} }
 
-// TracedBarrier returns a barrier whose seal-to-release wait is recorded as
-// a span named name on the simulator barrier track. With tracing disabled it
-// is exactly NewBarrier.
+// TracedBarrier returns a barrier registered with the runtime — it appears
+// in watchdog/deadlock diagnostics under name — whose seal-to-release wait
+// is recorded as a span named name on the simulator barrier track when
+// tracing is enabled.
 func (r *Runtime) TracedBarrier(name string, fn func()) *Barrier {
 	b := NewBarrier(fn)
+	b.name = name
 	if r.tr != nil {
 		b.Trace(r.Sys.Eng, r.tr, r.trBarriers, name)
+	}
+	r.barriers = append(r.barriers, b)
+	if r.wd != nil {
+		b.wd = r.wd
+		r.wd.arm()
 	}
 	return b
 }
@@ -185,6 +242,7 @@ func (b *Barrier) Trace(eng *sim.Engine, tr *obs.Tracer, tk obs.Track, name stri
 
 // release emits the wait span (if armed) and runs the continuation.
 func (b *Barrier) release() {
+	b.released = true
 	if b.tr != nil {
 		b.tr.Span(b.track, b.name, b.sealAt, b.eng.Now()-b.sealAt)
 	}
@@ -192,12 +250,20 @@ func (b *Barrier) release() {
 }
 
 // Add registers n outstanding completions.
-func (b *Barrier) Add(n int) { b.pending += n }
+func (b *Barrier) Add(n int) {
+	b.pending += n
+	if b.wd != nil {
+		b.wd.bump()
+	}
+}
 
 // Done retires one completion, invoking the continuation if the barrier is
 // sealed and nothing remains outstanding.
 func (b *Barrier) Done() {
 	b.pending--
+	if b.wd != nil {
+		b.wd.bump()
+	}
 	if b.pending == 0 && b.sealed {
 		b.release()
 	}
@@ -207,6 +273,9 @@ func (b *Barrier) Done() {
 // continuation runs synchronously.
 func (b *Barrier) Seal() {
 	b.sealed = true
+	if b.wd != nil {
+		b.wd.bump()
+	}
 	if b.eng != nil {
 		b.sealAt = b.eng.Now()
 	}
@@ -221,6 +290,9 @@ func (b *Barrier) Seal() {
 // always execute from the event loop.
 func (b *Barrier) SealDeferred(eng *sim.Engine) {
 	b.sealed = true
+	if b.wd != nil {
+		b.wd.bump()
+	}
 	if b.eng != nil {
 		b.sealAt = b.eng.Now()
 	}

@@ -12,7 +12,10 @@ import (
 func testRuntime(n int) *Runtime {
 	cfg := multigpu.DefaultConfig()
 	cfg.NumGPUs = n
-	sys := multigpu.New(cfg, 64, 64)
+	sys, err := multigpu.New(cfg, 64, 64)
+	if err != nil {
+		panic(err)
+	}
 	fr := &primitive.Frame{Width: 64, Height: 64}
 	return New("Test", sys, fr)
 }

@@ -8,8 +8,9 @@ import (
 // SyncTarget broadcasts each GPU's owned authoritative region of render
 // target rt to all other GPUs (colour + depth), functionally copying owner
 // tiles into each peer's buffer. ownedTiles(src) selects the tiles GPU src
-// broadcasts (nil provider = src's currently dirty owned tiles). done fires
-// when the last transfer has drained.
+// broadcasts (nil provider = src's currently dirty owned tiles, under the
+// system's current — possibly remapped — ownership). done fires when the
+// last transfer has drained. Failed GPUs neither broadcast nor receive.
 //
 // This is the memory-consistency synchronization of paper Section V. It
 // runs automatically between segments under RunSegments; CHOPIN additionally
@@ -18,26 +19,18 @@ import (
 func (r *Runtime) SyncTarget(rt int, ownedTiles func(src int) []int, done func()) {
 	sys := r.Sys
 	n := sys.Cfg.NumGPUs
-	if n == 1 {
-		sys.Eng.After(0, done)
-		return
-	}
-	pending := 0
-	finished := false
-	complete := func() {
-		pending--
-		if pending == 0 && finished {
-			done()
-		}
-	}
+	b := r.TracedBarrier("target sync", done)
 	for src := 0; src < n; src++ {
+		if !sys.Alive(src) {
+			continue
+		}
 		var tiles []int
 		if ownedTiles != nil {
 			tiles = ownedTiles(src)
 		} else {
 			srcFB := sys.GPUs[src].Target(rt)
-			for t := src; t < sys.TileCount(); t += n {
-				if srcFB.Dirty(t) {
+			for t := 0; t < sys.TileCount(); t++ {
+				if sys.Owner(t) == src && srcFB.Dirty(t) {
 					tiles = append(tiles, t)
 				}
 			}
@@ -48,22 +41,21 @@ func (r *Runtime) SyncTarget(rt int, ownedTiles func(src int) []int, done func()
 		}
 		bytes := int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
 		for dst := 0; dst < n; dst++ {
-			if dst == src {
+			if dst == src || !sys.Alive(dst) {
 				continue
 			}
-			pending++
+			b.Add(1)
 			src, dst, tiles := src, dst, tiles
 			sys.Fabric.Send(src, dst, bytes, interconnect.ClassSync, func() {
 				dstFB := sys.GPUs[dst].Target(rt)
 				for _, t := range tiles {
-					dstFB.CopyTileFrom(sys.GPUs[src].Target(rt), t)
+					// Identical dimensions by construction: every target in
+					// the system is built to the configured screen size.
+					_ = dstFB.CopyTileFrom(sys.GPUs[src].Target(rt), t)
 				}
-				complete()
+				b.Done()
 			})
 		}
 	}
-	finished = true
-	if pending == 0 {
-		sys.Eng.After(0, done)
-	}
+	b.SealDeferred(sys.Eng)
 }

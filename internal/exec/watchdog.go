@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"chopin/internal/sim"
+)
+
+// DefaultWatchdogInterval is the progress-check period used when a watchdog
+// is enabled without an explicit interval: generous enough that even the
+// largest single draw or transfer completes well within one tick, so healthy
+// frames never trip it.
+const DefaultWatchdogInterval sim.Cycle = 1 << 21
+
+// stuckTicks is how many consecutive zero-progress watchdog ticks declare
+// the simulation stuck.
+const stuckTicks = 2
+
+// BarrierState is a snapshot of one unreleased barrier for a watchdog
+// diagnostic: the name identifies the blocked phase.
+type BarrierState struct {
+	Name    string
+	Pending int
+	Sealed  bool
+}
+
+func (b BarrierState) String() string {
+	name := b.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	state := "unsealed"
+	if b.Sealed {
+		state = "sealed"
+	}
+	return fmt.Sprintf("%s: %d pending, %s", name, b.Pending, state)
+}
+
+// GPUState is a snapshot of one GPU for a watchdog diagnostic.
+type GPUState struct {
+	ID           int
+	BusyUntil    sim.Cycle
+	EgressQueued int
+	Failed       bool
+}
+
+func (g GPUState) String() string {
+	s := fmt.Sprintf("GPU %d: busy until %d, %d queued", g.ID, g.BusyUntil, g.EgressQueued)
+	if g.Failed {
+		s += ", FAILED"
+	}
+	return s
+}
+
+// A DeadlockError reports that the event queue drained while barriers were
+// still unreleased: some completion that would have retired them was lost
+// (e.g. a transfer abandoned by the retry protocol, wrapped as Cause).
+type DeadlockError struct {
+	At       sim.Cycle
+	Barriers []BarrierState
+	GPUs     []GPUState
+	// Cause is the underlying fault when one was recorded (e.g. an
+	// interconnect.LostTransferError), or nil.
+	Cause error
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec: deadlock at cycle %d: event queue drained with %d unreleased barrier(s)",
+		e.At, len(e.Barriers))
+	for _, bs := range e.Barriers {
+		fmt.Fprintf(&b, "; blocked on [%s]", bs)
+	}
+	for _, gs := range e.GPUs {
+		fmt.Fprintf(&b, "; %s", gs)
+	}
+	if e.Cause != nil {
+		fmt.Fprintf(&b, "; cause: %v", e.Cause)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying fault for errors.Is/As.
+func (e *DeadlockError) Unwrap() error { return e.Cause }
+
+// A StuckError reports that no barrier made progress (no Add, Done, or Seal)
+// for Window cycles while barriers were outstanding — the simulation is
+// spinning or wedged without draining its queue.
+type StuckError struct {
+	At       sim.Cycle
+	Window   sim.Cycle
+	Barriers []BarrierState
+	GPUs     []GPUState
+}
+
+func (e *StuckError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec: no progress for %d cycles at cycle %d with %d unreleased barrier(s)",
+		e.Window, e.At, len(e.Barriers))
+	for _, bs := range e.Barriers {
+		fmt.Fprintf(&b, "; blocked on [%s]", bs)
+	}
+	for _, gs := range e.GPUs {
+		fmt.Fprintf(&b, "; %s", gs)
+	}
+	return b.String()
+}
+
+// A CanceledError reports that the simulation was halted by the cooperative
+// cancellation check (context cancellation or wall-clock timeout). Partial
+// statistics up to At remain valid.
+type CanceledError struct {
+	At sim.Cycle
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("exec: simulation canceled at cycle %d", e.At)
+}
+
+// Watchdog monitors a frame for deadlock and stuck progress. It runs as a
+// periodic engine event while barriers are outstanding: at each tick it
+// checks that the event queue has not drained under an unreleased barrier
+// (deadlock) and that barrier activity advanced since the previous tick
+// (progress). A tripped watchdog halts the engine and records a structured
+// error naming the blocked barriers and each GPU's state.
+//
+// The tick parks itself when no barriers are live, so a finished frame's
+// queue really drains and Run returns; registering a new barrier re-arms it.
+type Watchdog struct {
+	r        *Runtime
+	interval sim.Cycle
+	progress uint64
+	lastSeen uint64
+	idle     int
+	armed    bool
+	stopped  bool
+}
+
+// StartWatchdog enables watchdog monitoring with the given check interval
+// (<= 0 selects DefaultWatchdogInterval). It must be called before the
+// frame's barriers are created.
+func (r *Runtime) StartWatchdog(interval sim.Cycle) *Watchdog {
+	if interval <= 0 {
+		interval = DefaultWatchdogInterval
+	}
+	r.wd = &Watchdog{r: r, interval: interval}
+	return r.wd
+}
+
+// bump records barrier activity.
+func (w *Watchdog) bump() { w.progress++ }
+
+// arm schedules the next tick if one is not already pending.
+func (w *Watchdog) arm() {
+	if w.armed || w.stopped {
+		return
+	}
+	w.armed = true
+	w.lastSeen = w.progress
+	w.idle = 0
+	w.r.Sys.Eng.After(w.interval, w.tick)
+}
+
+// tick is the periodic check.
+func (w *Watchdog) tick() {
+	w.armed = false
+	if w.stopped {
+		return
+	}
+	live := w.r.liveBarriers()
+	if len(live) == 0 {
+		// Nothing outstanding: park. A new barrier re-arms.
+		return
+	}
+	if w.r.Sys.Eng.Pending() == 0 {
+		// This tick was the only scheduled event: the frame's own events
+		// drained with barriers still waiting.
+		w.r.Fail(w.r.deadlockError(live))
+		return
+	}
+	if w.progress == w.lastSeen {
+		w.idle++
+		if w.idle >= stuckTicks {
+			w.r.Fail(&StuckError{
+				At:       w.r.Sys.Eng.Now(),
+				Window:   w.interval * stuckTicks,
+				Barriers: live,
+				GPUs:     w.r.gpuStates(),
+			})
+			return
+		}
+	} else {
+		w.idle = 0
+	}
+	w.lastSeen = w.progress
+	w.armed = true
+	w.r.Sys.Eng.After(w.interval, w.tick)
+}
+
+// liveBarriers snapshots the runtime's unreleased barriers and prunes the
+// released ones from the registry.
+func (r *Runtime) liveBarriers() []BarrierState {
+	var out []BarrierState
+	kept := r.barriers[:0]
+	for _, b := range r.barriers {
+		if b.released {
+			continue
+		}
+		kept = append(kept, b)
+		out = append(out, BarrierState{Name: b.name, Pending: b.pending, Sealed: b.sealed})
+	}
+	r.barriers = kept
+	return out
+}
+
+// gpuStates snapshots every GPU for a diagnostic.
+func (r *Runtime) gpuStates() []GPUState {
+	out := make([]GPUState, len(r.Sys.GPUs))
+	for i, g := range r.Sys.GPUs {
+		out[i] = GPUState{
+			ID:           g.ID,
+			BusyUntil:    g.BusyUntil(),
+			EgressQueued: r.Sys.Fabric.QueuedAt(i),
+			Failed:       g.Failed(),
+		}
+	}
+	return out
+}
+
+// deadlockError builds the structured deadlock diagnostic, wrapping the
+// fabric's recorded fault as the cause when one exists.
+func (r *Runtime) deadlockError(live []BarrierState) *DeadlockError {
+	return &DeadlockError{
+		At:       r.Sys.Eng.Now(),
+		Barriers: live,
+		GPUs:     r.gpuStates(),
+		Cause:    r.Sys.Fabric.Err(),
+	}
+}

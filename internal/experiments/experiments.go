@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -47,6 +48,10 @@ type Options struct {
 	// owns the returned tracers and exports them after Run returns. Trace
 	// must be safe for concurrent calls when Workers > 1.
 	Trace func(scheme, bench string, gpus int) *obs.Tracer
+	// Ctx, when non-nil, cancels the experiment: running simulations halt at
+	// their next cancellation poll and the experiment returns ctx.Err().
+	// Defaults to context.Background().
+	Ctx context.Context
 }
 
 func (o *Options) normalize() {
@@ -61,6 +66,9 @@ func (o *Options) normalize() {
 	}
 	if o.Out == nil {
 		o.Out = io.Discard
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 }
 
@@ -180,14 +188,24 @@ func runJobs(opt *Options, jobs []job) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for i := range jobs {
 		j := &jobs[i]
+		if ctx.Err() != nil {
+			break
+		}
 		fr, err := frameFor(j.bench, opt.Scale)
 		if err != nil {
 			return err
 		}
 		if opt.Trace != nil {
 			j.cfg.Tracer = opt.Trace(j.scheme.Name(), j.bench, j.cfg.NumGPUs)
+		}
+		if j.cfg.Cancel == nil {
+			j.cfg.Cancel = func() bool { return ctx.Err() != nil }
 		}
 		wg.Add(1)
 		sem <- struct{}{}
@@ -203,8 +221,24 @@ func runJobs(opt *Options, jobs []job) error {
 					mu.Unlock()
 				}
 			}()
-			sys := multigpu.New(j.cfg, fr.Width, fr.Height)
-			st := j.scheme.Run(sys, fr)
+			sys, err := multigpu.New(j.cfg, fr.Width, fr.Height)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s on %s: %w", j.scheme.Name(), j.bench, err)
+				}
+				mu.Unlock()
+				return
+			}
+			st, err := j.scheme.Run(sys, fr)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s on %s: %w", j.scheme.Name(), j.bench, err)
+				}
+				mu.Unlock()
+				return
+			}
 			st.Bench = j.bench
 			*j.out = st
 			if j.img != nil {
@@ -227,6 +261,9 @@ func runJobs(opt *Options, jobs []job) error {
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }
 

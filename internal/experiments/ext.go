@@ -31,9 +31,18 @@ func extAFR(opt *Options) (*Result, error) {
 		seq := trace.GenerateSequence(b, opt.Scale, frames)
 		cfg := opt.baseConfig()
 
-		afrSys := multigpu.New(cfg, seq[0].Width, seq[0].Height)
-		afr := sfr.RunAFR(afrSys, seq)
-		chop := sfr.RunSFRSequence(cfg, sfr.CHOPIN{}, seq)
+		afrSys, err := multigpu.New(cfg, seq[0].Width, seq[0].Height)
+		if err != nil {
+			return nil, err
+		}
+		afr, err := sfr.RunAFR(afrSys, seq)
+		if err != nil {
+			return nil, fmt.Errorf("AFR on %s: %w", name, err)
+		}
+		chop, err := sfr.RunSFRSequence(cfg, sfr.CHOPIN{}, seq)
+		if err != nil {
+			return nil, fmt.Errorf("CHOPIN sequence on %s: %w", name, err)
+		}
 
 		for _, s := range []*sfr.SequenceStats{afr, chop} {
 			tbl.AddRow(name, s.Scheme,

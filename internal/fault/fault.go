@@ -1,0 +1,218 @@
+// Package fault is the deterministic, seed-driven fault-injection layer: a
+// declarative Plan of transfer faults, link degradations, and GPU faults,
+// compiled into an interconnect.Injector plus a GPU fault schedule. The same
+// plan and seed always produce the same faults at the same cycles, so every
+// chaos run is bit-reproducible — the property the whole simulator is built
+// around.
+//
+// The plan's probabilities are evaluated once per transmission attempt with
+// a private splitmix64 stream (not math/rand, whose sequence is not
+// guaranteed stable across Go releases). Because the simulation engine is
+// single-threaded and deterministic, the injector's consultation order — and
+// therefore the whole fault schedule — is a pure function of (trace, config,
+// seed).
+package fault
+
+import (
+	"fmt"
+
+	"chopin/internal/interconnect"
+	"chopin/internal/sim"
+)
+
+// Any matches every GPU (or, in TransferRule.Class, every traffic class).
+const Any = -1
+
+// TransferRule injects faults into interconnect transfers. The first rule
+// matching a transmission wins; one uniform draw per consultation is split
+// across the four fault probabilities, so Drop+Corrupt+Duplicate+Delay must
+// not exceed 1.
+type TransferRule struct {
+	// Class restricts the rule to one traffic class (a value of
+	// interconnect.Class); Any matches all classes.
+	Class int
+	// Src and Dst restrict the rule to one link; Any matches all.
+	Src, Dst int
+	// Drop, Corrupt, Duplicate, Delay are per-transmission fault
+	// probabilities in [0, 1].
+	Drop, Corrupt, Duplicate, Delay float64
+	// DelayCycles is the extra transit latency a Delay fault imposes.
+	DelayCycles sim.Cycle
+	// From and Until bound the rule's active window in cycles;
+	// Until == 0 means "forever".
+	From, Until sim.Cycle
+}
+
+// LinkDegrade throttles a source GPU's egress bandwidth over a window.
+type LinkDegrade struct {
+	// Src is the degraded source GPU; Any degrades all.
+	Src int
+	// Factor multiplies the egress bandwidth, in (0, 1].
+	Factor float64
+	// From and Until bound the window; Until == 0 means "forever".
+	From, Until sim.Cycle
+}
+
+// GPUFault stalls or fail-stops one GPU at a chosen cycle.
+type GPUFault struct {
+	// GPU is the target.
+	GPU int
+	// At is the cycle the fault strikes.
+	At sim.Cycle
+	// Stall pushes both pipeline stages back by this many cycles.
+	Stall sim.Cycle
+	// Fail declares the GPU failed (fail-stop). Schemes with degraded-mode
+	// support reassign its work; others surface a typed error.
+	Fail bool
+}
+
+// Plan is a declarative, seeded fault schedule.
+type Plan struct {
+	// Seed drives every probabilistic decision in the plan.
+	Seed int64
+	// Transfers are the interconnect fault rules, first match wins.
+	Transfers []TransferRule
+	// Links are egress bandwidth degradations; overlapping windows multiply.
+	Links []LinkDegrade
+	// GPUs are scheduled GPU stalls and fail-stops.
+	GPUs []GPUFault
+}
+
+// Validate checks the plan's parameters.
+func (p *Plan) Validate() error {
+	for i, r := range p.Transfers {
+		for _, v := range []float64{r.Drop, r.Corrupt, r.Duplicate, r.Delay} {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("fault: transfer rule %d: probability %g outside [0,1]", i, v)
+			}
+		}
+		if sum := r.Drop + r.Corrupt + r.Duplicate + r.Delay; sum > 1 {
+			return fmt.Errorf("fault: transfer rule %d: probabilities sum to %g > 1", i, sum)
+		}
+		if r.DelayCycles < 0 {
+			return fmt.Errorf("fault: transfer rule %d: negative delay %d", i, r.DelayCycles)
+		}
+		if r.Delay > 0 && r.DelayCycles == 0 {
+			return fmt.Errorf("fault: transfer rule %d: Delay probability set but DelayCycles is 0", i)
+		}
+	}
+	for i, l := range p.Links {
+		if l.Factor <= 0 || l.Factor > 1 {
+			return fmt.Errorf("fault: link degrade %d: factor %g outside (0,1]", i, l.Factor)
+		}
+	}
+	for i, g := range p.GPUs {
+		if g.GPU < 0 {
+			return fmt.Errorf("fault: gpu fault %d: negative GPU id", i)
+		}
+		if g.At < 0 {
+			return fmt.Errorf("fault: gpu fault %d: negative cycle %d", i, g.At)
+		}
+		if g.Stall < 0 {
+			return fmt.Errorf("fault: gpu fault %d: negative stall %d", i, g.Stall)
+		}
+		if g.Stall == 0 && !g.Fail {
+			return fmt.Errorf("fault: gpu fault %d: neither stall nor fail", i)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Transfers) == 0 && len(p.Links) == 0 && len(p.GPUs) == 0)
+}
+
+// rng is a splitmix64 stream: tiny, fast, and — unlike math/rand — with a
+// sequence we own, so seeds reproduce across Go releases.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform draw in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Injector compiles a Plan into the interconnect's injection hook.
+type Injector struct {
+	eng   *sim.Engine
+	rules []TransferRule
+	links []LinkDegrade
+	rng   rng
+}
+
+// NewInjector validates p and compiles its transfer and link rules. The
+// engine supplies the current cycle for rule windows.
+func NewInjector(eng *sim.Engine, p *Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		eng:   eng,
+		rules: append([]TransferRule(nil), p.Transfers...),
+		links: append([]LinkDegrade(nil), p.Links...),
+		rng:   rng{state: uint64(p.Seed)*0x9e3779b97f4a7c15 + 1},
+	}, nil
+}
+
+// Transfer implements interconnect.Injector: the first matching active rule
+// rolls one uniform draw split across its fault probabilities.
+func (in *Injector) Transfer(src, dst int, bytes int64, class interconnect.Class, attempt int) interconnect.Fault {
+	now := in.eng.Now()
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Class != Any && interconnect.Class(r.Class) != class {
+			continue
+		}
+		if r.Src != Any && r.Src != src {
+			continue
+		}
+		if r.Dst != Any && r.Dst != dst {
+			continue
+		}
+		if now < r.From || (r.Until != 0 && now >= r.Until) {
+			continue
+		}
+		u := in.rng.float64()
+		switch {
+		case u < r.Drop:
+			return interconnect.Fault{Kind: interconnect.FaultDrop}
+		case u < r.Drop+r.Corrupt:
+			return interconnect.Fault{Kind: interconnect.FaultCorrupt}
+		case u < r.Drop+r.Corrupt+r.Duplicate:
+			return interconnect.Fault{Kind: interconnect.FaultDuplicate}
+		case u < r.Drop+r.Corrupt+r.Duplicate+r.Delay:
+			return interconnect.Fault{Kind: interconnect.FaultDelay, Delay: r.DelayCycles}
+		}
+		return interconnect.Fault{}
+	}
+	return interconnect.Fault{}
+}
+
+// Bandwidth implements interconnect.Injector: active degradations on src
+// multiply together.
+func (in *Injector) Bandwidth(src int, now sim.Cycle) float64 {
+	factor := 1.0
+	for i := range in.links {
+		l := &in.links[i]
+		if l.Src != Any && l.Src != src {
+			continue
+		}
+		if now < l.From || (l.Until != 0 && now >= l.Until) {
+			continue
+		}
+		factor *= l.Factor
+	}
+	return factor
+}

@@ -1,0 +1,316 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"chopin/internal/interconnect"
+	"chopin/internal/sim"
+)
+
+func TestPlanValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		plan    Plan
+		wantErr string // substring; "" = valid
+	}{
+		{"empty plan", Plan{}, ""},
+		{"good transfer rule", Plan{Transfers: []TransferRule{
+			{Class: Any, Src: Any, Dst: Any, Drop: 0.1, Corrupt: 0.1, Delay: 0.1, DelayCycles: 50},
+		}}, ""},
+		{"probability above one", Plan{Transfers: []TransferRule{
+			{Class: Any, Src: Any, Dst: Any, Drop: 1.5},
+		}}, "outside [0,1]"},
+		{"negative probability", Plan{Transfers: []TransferRule{
+			{Class: Any, Src: Any, Dst: Any, Corrupt: -0.1},
+		}}, "outside [0,1]"},
+		{"probabilities sum above one", Plan{Transfers: []TransferRule{
+			{Class: Any, Src: Any, Dst: Any, Drop: 0.6, Corrupt: 0.6},
+		}}, "sum to"},
+		{"negative delay cycles", Plan{Transfers: []TransferRule{
+			{Class: Any, Src: Any, Dst: Any, Delay: 0.1, DelayCycles: -5},
+		}}, "negative delay"},
+		{"delay probability without cycles", Plan{Transfers: []TransferRule{
+			{Class: Any, Src: Any, Dst: Any, Delay: 0.1},
+		}}, "DelayCycles is 0"},
+		{"zero degrade factor", Plan{Links: []LinkDegrade{{Src: Any, Factor: 0}}}, "outside (0,1]"},
+		{"degrade factor above one", Plan{Links: []LinkDegrade{{Src: Any, Factor: 1.5}}}, "outside (0,1]"},
+		{"good degrade", Plan{Links: []LinkDegrade{{Src: 1, Factor: 0.5, From: 100, Until: 200}}}, ""},
+		{"negative gpu id", Plan{GPUs: []GPUFault{{GPU: -1, Fail: true}}}, "negative GPU id"},
+		{"negative fault cycle", Plan{GPUs: []GPUFault{{GPU: 0, At: -1, Fail: true}}}, "negative cycle"},
+		{"negative stall", Plan{GPUs: []GPUFault{{GPU: 0, Stall: -1}}}, "negative stall"},
+		{"no-op gpu fault", Plan{GPUs: []GPUFault{{GPU: 0}}}, "neither stall nor fail"},
+		{"good gpu faults", Plan{GPUs: []GPUFault{
+			{GPU: 0, At: 100, Stall: 500}, {GPU: 1, At: 200, Fail: true},
+		}}, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	if !(*Plan)(nil).Empty() {
+		t.Error("nil plan should be empty")
+	}
+	if !(&Plan{Seed: 7}).Empty() {
+		t.Error("plan with only a seed should be empty")
+	}
+	if (&Plan{GPUs: []GPUFault{{GPU: 0, Fail: true}}}).Empty() {
+		t.Error("plan with a GPU fault is not empty")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("drop=0.01,corrupt=0.005,dup=0.002,delay=0.02:400,degrade=0.5@100:200,stall=2@1000+500,fail=1@50000", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	if len(p.Transfers) != 1 {
+		t.Fatalf("transfers = %+v", p.Transfers)
+	}
+	r := p.Transfers[0]
+	if r.Drop != 0.01 || r.Corrupt != 0.005 || r.Duplicate != 0.002 || r.Delay != 0.02 || r.DelayCycles != 400 {
+		t.Errorf("rule = %+v", r)
+	}
+	if r.Class != Any || r.Src != Any || r.Dst != Any {
+		t.Errorf("spec rule should match everything: %+v", r)
+	}
+	if len(p.Links) != 1 || p.Links[0].Factor != 0.5 || p.Links[0].From != 100 || p.Links[0].Until != 200 {
+		t.Errorf("links = %+v", p.Links)
+	}
+	want := []GPUFault{{GPU: 2, At: 1000, Stall: 500}, {GPU: 1, At: 50000, Fail: true}}
+	if !reflect.DeepEqual(p.GPUs, want) {
+		t.Errorf("gpus = %+v, want %+v", p.GPUs, want)
+	}
+}
+
+func TestParseSpecEmptyAndWhitespace(t *testing.T) {
+	p, err := ParseSpec("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Errorf("empty spec should give empty plan: %+v", p)
+	}
+	if p, err = ParseSpec(" drop=0.1 , ,fail=0@10 ", 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Transfers) != 1 || len(p.GPUs) != 1 {
+		t.Errorf("whitespace spec parsed to %+v", p)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",                // no key=value
+		"explode=0.1",          // unknown key
+		"drop=high",            // bad float
+		"delay=0.1",            // missing cycles
+		"delay=0.1:soon",       // bad cycles
+		"degrade=0.5",          // missing window
+		"degrade=0.5@10",       // bad window
+		"degrade=half@10:20",   // bad factor
+		"stall=1@100",          // missing duration
+		"stall=1@100+long",     // bad duration
+		"stall=one@100+50",     // bad GPU id
+		"fail=1",               // missing cycle
+		"fail=1@never",         // bad cycle
+		"drop=0.9,corrupt=0.9", // fails Validate (sum > 1)
+	} {
+		if _, err := ParseSpec(spec, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestRandomPlanDeterministicAndValid(t *testing.T) {
+	const gpus = 4
+	for seed := int64(0); seed < 50; seed++ {
+		a := RandomPlan(seed, gpus)
+		b := RandomPlan(seed, gpus)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: plans differ:\n%+v\n%+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid plan: %v", seed, err)
+		}
+		for _, gf := range a.GPUs {
+			if gf.GPU < 0 || gf.GPU >= gpus {
+				t.Fatalf("seed %d: fault targets GPU %d of %d", seed, gf.GPU, gpus)
+			}
+		}
+	}
+}
+
+func TestRandomPlanVaries(t *testing.T) {
+	if reflect.DeepEqual(RandomPlan(1, 4), RandomPlan(2, 4)) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+// drive consults the injector n times with a fixed query and returns the
+// fault sequence.
+func drive(in *Injector, n int) []interconnect.Fault {
+	out := make([]interconnect.Fault, n)
+	for i := range out {
+		out[i] = in.Transfer(0, 1, 4096, interconnect.ClassComposition, 1)
+	}
+	return out
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan := &Plan{Seed: 99, Transfers: []TransferRule{
+		{Class: Any, Src: Any, Dst: Any, Drop: 0.2, Corrupt: 0.2, Duplicate: 0.2, Delay: 0.2, DelayCycles: 100},
+	}}
+	a, err := NewInjector(sim.New(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(sim.New(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := drive(a, 1000), drive(b, 1000)
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatal("same plan and seed produced different fault sequences")
+	}
+	kinds := map[interconnect.FaultKind]int{}
+	for _, f := range fa {
+		kinds[f.Kind]++
+	}
+	for _, k := range []interconnect.FaultKind{
+		interconnect.FaultNone, interconnect.FaultDrop, interconnect.FaultCorrupt,
+		interconnect.FaultDuplicate, interconnect.FaultDelay,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("1000 draws at 20%% each never produced %v (got %v)", k, kinds)
+		}
+	}
+}
+
+func TestInjectorSeedChangesSchedule(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		in, err := NewInjector(sim.New(), &Plan{Seed: seed, Transfers: []TransferRule{
+			{Class: Any, Src: Any, Dst: Any, Drop: 0.5},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	if reflect.DeepEqual(drive(mk(1), 200), drive(mk(2), 200)) {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+func TestInjectorRuleMatching(t *testing.T) {
+	in, err := NewInjector(sim.New(), &Plan{Transfers: []TransferRule{
+		{Class: int(interconnect.ClassComposition), Src: 0, Dst: 1, Drop: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := in.Transfer(0, 1, 64, interconnect.ClassComposition, 1); f.Kind != interconnect.FaultDrop {
+		t.Errorf("matching transfer: %v, want drop", f.Kind)
+	}
+	if f := in.Transfer(0, 1, 64, interconnect.ClassSync, 1); f.Kind != interconnect.FaultNone {
+		t.Errorf("other class hit the rule: %v", f.Kind)
+	}
+	if f := in.Transfer(2, 1, 64, interconnect.ClassComposition, 1); f.Kind != interconnect.FaultNone {
+		t.Errorf("other source hit the rule: %v", f.Kind)
+	}
+	if f := in.Transfer(0, 2, 64, interconnect.ClassComposition, 1); f.Kind != interconnect.FaultNone {
+		t.Errorf("other destination hit the rule: %v", f.Kind)
+	}
+}
+
+func TestInjectorFirstMatchWins(t *testing.T) {
+	in, err := NewInjector(sim.New(), &Plan{Transfers: []TransferRule{
+		{Class: Any, Src: 0, Dst: Any, Corrupt: 1},
+		{Class: Any, Src: Any, Dst: Any, Drop: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := in.Transfer(0, 1, 64, interconnect.ClassSync, 1); f.Kind != interconnect.FaultCorrupt {
+		t.Errorf("first rule should win: %v", f.Kind)
+	}
+	if f := in.Transfer(1, 2, 64, interconnect.ClassSync, 1); f.Kind != interconnect.FaultDrop {
+		t.Errorf("fallthrough rule should catch: %v", f.Kind)
+	}
+}
+
+func TestInjectorWindow(t *testing.T) {
+	eng := sim.New()
+	in, err := NewInjector(eng, &Plan{Transfers: []TransferRule{
+		{Class: Any, Src: Any, Dst: Any, Drop: 1, From: 100, Until: 200},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[sim.Cycle]interconnect.FaultKind{}
+	for _, at := range []sim.Cycle{0, 100, 150, 199, 200, 500} {
+		at := at
+		eng.At(at, func() {
+			got[at] = in.Transfer(0, 1, 64, interconnect.ClassComposition, 1).Kind
+		})
+	}
+	eng.Run()
+	want := map[sim.Cycle]interconnect.FaultKind{
+		0:   interconnect.FaultNone,
+		100: interconnect.FaultDrop,
+		150: interconnect.FaultDrop,
+		199: interconnect.FaultDrop,
+		200: interconnect.FaultNone, // Until is exclusive
+		500: interconnect.FaultNone,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("window faults = %v, want %v", got, want)
+	}
+}
+
+func TestInjectorBandwidth(t *testing.T) {
+	in, err := NewInjector(sim.New(), &Plan{Links: []LinkDegrade{
+		{Src: Any, Factor: 0.5, From: 0, Until: 1000},
+		{Src: 2, Factor: 0.5, From: 0, Until: 500},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Bandwidth(0, 100); got != 0.5 {
+		t.Errorf("Bandwidth(0, 100) = %g, want 0.5", got)
+	}
+	// Overlapping degradations multiply.
+	if got := in.Bandwidth(2, 100); got != 0.25 {
+		t.Errorf("Bandwidth(2, 100) = %g, want 0.25", got)
+	}
+	if got := in.Bandwidth(2, 700); got != 0.5 {
+		t.Errorf("Bandwidth(2, 700) = %g, want 0.5 (second window closed)", got)
+	}
+	if got := in.Bandwidth(0, 2000); got != 1 {
+		t.Errorf("Bandwidth(0, 2000) = %g, want 1 (all windows closed)", got)
+	}
+}
+
+func TestNewInjectorRejectsInvalidPlan(t *testing.T) {
+	if _, err := NewInjector(sim.New(), &Plan{Transfers: []TransferRule{
+		{Class: Any, Src: Any, Dst: Any, Drop: 2},
+	}}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}

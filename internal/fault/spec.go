@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"chopin/internal/sim"
+)
+
+// ParseSpec builds a Plan from a compact command-line spec: a comma-
+// separated list of directives, all optional.
+//
+//	drop=P        drop each transmission with probability P (all classes/links)
+//	corrupt=P     corrupt with probability P
+//	dup=P         duplicate with probability P
+//	delay=P:C     delay with probability P by C extra cycles
+//	degrade=F@A:B multiply all egress bandwidth by F in cycles [A, B)
+//	stall=G@A+D   stall GPU G at cycle A for D cycles
+//	fail=G@A      fail-stop GPU G at cycle A
+//
+// Example: "drop=0.01,corrupt=0.005,delay=0.02:400,fail=1@50000".
+// The seed is supplied separately (chopinsim -fault-seed).
+func ParseSpec(spec string, seed int64) (*Plan, error) {
+	p := &Plan{Seed: seed}
+	rule := TransferRule{Class: Any, Src: Any, Dst: Any}
+	haveRule := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad spec element %q: want key=value", part)
+		}
+		switch key {
+		case "drop", "corrupt", "dup":
+			prob, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad %s probability %q: %v", key, val, err)
+			}
+			switch key {
+			case "drop":
+				rule.Drop = prob
+			case "corrupt":
+				rule.Corrupt = prob
+			case "dup":
+				rule.Duplicate = prob
+			}
+			haveRule = true
+		case "delay":
+			probStr, cycStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("fault: bad delay %q: want PROB:CYCLES", val)
+			}
+			prob, err := strconv.ParseFloat(probStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad delay probability %q: %v", probStr, err)
+			}
+			cyc, err := strconv.ParseInt(cycStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad delay cycles %q: %v", cycStr, err)
+			}
+			rule.Delay = prob
+			rule.DelayCycles = sim.Cycle(cyc)
+			haveRule = true
+		case "degrade":
+			factorStr, window, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: bad degrade %q: want FACTOR@FROM:UNTIL", val)
+			}
+			factor, err := strconv.ParseFloat(factorStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad degrade factor %q: %v", factorStr, err)
+			}
+			from, until, err := parseWindow(window)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad degrade window %q: %v", window, err)
+			}
+			p.Links = append(p.Links, LinkDegrade{Src: Any, Factor: factor, From: from, Until: until})
+		case "stall":
+			gpu, rest, err := parseGPUAt(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad stall %q: %v", val, err)
+			}
+			atStr, durStr, ok := strings.Cut(rest, "+")
+			if !ok {
+				return nil, fmt.Errorf("fault: bad stall %q: want GPU@AT+DUR", val)
+			}
+			at, err := strconv.ParseInt(atStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad stall cycle %q: %v", atStr, err)
+			}
+			dur, err := strconv.ParseInt(durStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad stall duration %q: %v", durStr, err)
+			}
+			p.GPUs = append(p.GPUs, GPUFault{GPU: gpu, At: sim.Cycle(at), Stall: sim.Cycle(dur)})
+		case "fail":
+			gpu, atStr, err := parseGPUAt(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad fail %q: %v", val, err)
+			}
+			at, err := strconv.ParseInt(atStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad fail cycle %q: %v", atStr, err)
+			}
+			p.GPUs = append(p.GPUs, GPUFault{GPU: gpu, At: sim.Cycle(at), Fail: true})
+		default:
+			return nil, fmt.Errorf("fault: unknown spec key %q", key)
+		}
+	}
+	if haveRule {
+		p.Transfers = append(p.Transfers, rule)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseGPUAt splits "GPU@rest" and parses the GPU id.
+func parseGPUAt(val string) (gpu int, rest string, err error) {
+	gpuStr, rest, ok := strings.Cut(val, "@")
+	if !ok {
+		return 0, "", fmt.Errorf("want GPU@...")
+	}
+	gpu, err = strconv.Atoi(gpuStr)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad GPU id %q: %v", gpuStr, err)
+	}
+	return gpu, rest, nil
+}
+
+// parseWindow parses "FROM:UNTIL".
+func parseWindow(s string) (from, until sim.Cycle, err error) {
+	fromStr, untilStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want FROM:UNTIL")
+	}
+	f, err := strconv.ParseInt(fromStr, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	u, err := strconv.ParseInt(untilStr, 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sim.Cycle(f), sim.Cycle(u), nil
+}
+
+// RandomPlan derives a randomized fault schedule from a seed: moderate
+// transfer-fault rates that retries can usually mask, an occasional
+// bandwidth degradation or GPU stall, and (on multi-GPU systems) an
+// occasional mid-frame fail-stop. The chaos harness sweeps seeds through
+// this to explore the recovery space; the same seed always yields the same
+// plan.
+func RandomPlan(seed int64, numGPUs int) *Plan {
+	r := rng{state: uint64(seed)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9}
+	p := &Plan{Seed: seed}
+	rule := TransferRule{Class: Any, Src: Any, Dst: Any}
+	rule.Drop = r.float64() * 0.02
+	rule.Corrupt = r.float64() * 0.01
+	rule.Duplicate = r.float64() * 0.01
+	if r.float64() < 0.5 {
+		rule.Delay = r.float64() * 0.05
+		rule.DelayCycles = sim.Cycle(100 + r.intn(900))
+	}
+	p.Transfers = append(p.Transfers, rule)
+	if r.float64() < 0.4 {
+		from := sim.Cycle(r.intn(200_000))
+		p.Links = append(p.Links, LinkDegrade{
+			Src:    Any,
+			Factor: 0.25 + 0.7*r.float64(),
+			From:   from,
+			Until:  from + sim.Cycle(50_000+r.intn(200_000)),
+		})
+	}
+	if r.float64() < 0.4 {
+		p.GPUs = append(p.GPUs, GPUFault{
+			GPU:   r.intn(numGPUs),
+			At:    sim.Cycle(r.intn(300_000)),
+			Stall: sim.Cycle(1_000 + r.intn(50_000)),
+		})
+	}
+	if numGPUs > 1 && r.float64() < 0.35 {
+		p.GPUs = append(p.GPUs, GPUFault{
+			GPU:  r.intn(numGPUs),
+			At:   sim.Cycle(r.intn(400_000)),
+			Fail: true,
+		})
+	}
+	return p
+}

@@ -58,9 +58,9 @@ type Buffer struct {
 
 // New returns a cleared buffer of the given pixel dimensions.
 // Width and height must be positive.
-func New(width, height int) *Buffer {
+func New(width, height int) (*Buffer, error) {
 	if width <= 0 || height <= 0 {
-		panic(fmt.Sprintf("framebuffer: invalid dimensions %d×%d", width, height))
+		return nil, fmt.Errorf("framebuffer: invalid dimensions %d×%d", width, height)
 	}
 	b := &Buffer{
 		width:  width,
@@ -75,6 +75,18 @@ func New(width, height int) *Buffer {
 	b.dirty = make([]bool, b.tilesX*b.tilesY)
 	b.Clear(colorspace.Transparent, ClearDepth)
 	b.ClearDirty()
+	return b, nil
+}
+
+// MustNew is like New but panics on invalid dimensions. It is the sanctioned
+// convenience for tests, examples, and call sites whose dimensions were
+// already validated at a configuration boundary (the regexp.MustCompile
+// idiom); library code handling external input must use New.
+func MustNew(width, height int) *Buffer {
+	b, err := New(width, height)
+	if err != nil {
+		panic(err)
+	}
 	return b
 }
 
@@ -121,6 +133,14 @@ func (b *Buffer) ClearDirty() {
 	for i := range b.dirty {
 		b.dirty[i] = false
 	}
+}
+
+// Reset returns the buffer to its freshly constructed state: transparent
+// colour, far depth, zero stencil, nothing dirty. Degraded-mode recovery uses
+// this to drop a failed GPU's targets so stale content cannot be read back.
+func (b *Buffer) Reset() {
+	b.Clear(colorspace.Transparent, ClearDepth)
+	b.ClearDirty()
 }
 
 // InBounds reports whether pixel (x, y) lies inside the buffer.
@@ -192,9 +212,10 @@ func (b *Buffer) DirtyTiles() []int {
 
 // CopyTileFrom copies tile t (colour, depth and stencil) from src, which must
 // have identical dimensions, and marks it dirty if it was dirty in src.
-func (b *Buffer) CopyTileFrom(src *Buffer, t int) {
+func (b *Buffer) CopyTileFrom(src *Buffer, t int) error {
 	if src.width != b.width || src.height != b.height {
-		panic("framebuffer: CopyTileFrom dimension mismatch")
+		return fmt.Errorf("framebuffer: CopyTileFrom dimension mismatch: %d×%d vs %d×%d",
+			src.width, src.height, b.width, b.height)
 	}
 	x0, y0, x1, y1 := b.TileRect(t)
 	for y := y0; y < y1; y++ {
@@ -207,6 +228,23 @@ func (b *Buffer) CopyTileFrom(src *Buffer, t int) {
 	if src.dirty[t] {
 		b.dirty[t] = true
 	}
+	return nil
+}
+
+// ClearTile resets tile t to the cleared state (transparent colour, far
+// depth, zero stencil) and clears its dirty flag. Degraded-mode recovery
+// uses this before re-rendering a reassigned tile from scratch.
+func (b *Buffer) ClearTile(t int) {
+	x0, y0, x1, y1 := b.TileRect(t)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			i := b.index(x, y)
+			b.color[i] = colorspace.Transparent
+			b.depth[i] = ClearDepth
+			b.stencil[i] = 0
+		}
+	}
+	b.dirty[t] = false
 }
 
 // Clone returns a deep copy of the buffer.
@@ -291,11 +329,12 @@ func (b *Buffer) WritePNG(w io.Writer) error {
 }
 
 // OwnerOf returns the GPU that owns tile t when tiles are interleaved
-// round-robin across numGPUs, the screen split used by all simulated SFR
-// schemes.
+// round-robin across numGPUs, the initial screen split used by all simulated
+// SFR schemes (degraded-mode recovery remaps ownership dynamically). It
+// returns -1 when numGPUs is not positive.
 func OwnerOf(t, numGPUs int) int {
 	if numGPUs <= 0 {
-		panic("framebuffer: OwnerOf requires numGPUs > 0")
+		return -1
 	}
 	return t % numGPUs
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestNewDimensions(t *testing.T) {
-	b := New(1280, 1024)
+	b := MustNew(1280, 1024)
 	if b.Width() != 1280 || b.Height() != 1024 {
 		t.Fatalf("dims = %d×%d", b.Width(), b.Height())
 	}
@@ -19,7 +19,7 @@ func TestNewDimensions(t *testing.T) {
 
 func TestNewPartialTiles(t *testing.T) {
 	// 640×480: 480 is not a multiple of 64 → 10×8 grid with short last row.
-	b := New(640, 480)
+	b := MustNew(640, 480)
 	if b.TilesX() != 10 || b.TilesY() != 8 {
 		t.Fatalf("tiles = %d×%d", b.TilesX(), b.TilesY())
 	}
@@ -43,11 +43,11 @@ func TestNewPanicsOnBadDims(t *testing.T) {
 			t.Error("expected panic for zero width")
 		}
 	}()
-	New(0, 100)
+	MustNew(0, 100)
 }
 
 func TestClearAndPixelAccess(t *testing.T) {
-	b := New(128, 128)
+	b := MustNew(128, 128)
 	red := colorspace.Opaque(1, 0, 0)
 	b.Clear(red, 0.5)
 	if got := b.At(64, 64); got != red {
@@ -66,7 +66,7 @@ func TestClearAndPixelAccess(t *testing.T) {
 }
 
 func TestDirtyTracking(t *testing.T) {
-	b := New(256, 256) // 4×4 tiles
+	b := MustNew(256, 256) // 4×4 tiles
 	b.ClearDirty()
 	if len(b.DirtyTiles()) != 0 {
 		t.Fatal("fresh buffer should have no dirty tiles after ClearDirty")
@@ -91,7 +91,7 @@ func TestDirtyTracking(t *testing.T) {
 }
 
 func TestTileOfAndRectRoundTrip(t *testing.T) {
-	b := New(300, 200)
+	b := MustNew(300, 200)
 	f := func(px, py uint16) bool {
 		x := int(px) % b.Width()
 		y := int(py) % b.Height()
@@ -105,8 +105,8 @@ func TestTileOfAndRectRoundTrip(t *testing.T) {
 }
 
 func TestCopyTileFrom(t *testing.T) {
-	src := New(128, 128)
-	dst := New(128, 128)
+	src := MustNew(128, 128)
+	dst := MustNew(128, 128)
 	green := colorspace.Opaque(0, 1, 0)
 	src.Set(70, 70, green) // tile (1,1) = 3 in a 2×2 grid
 	src.SetDepth(70, 70, 0.3)
@@ -126,17 +126,14 @@ func TestCopyTileFrom(t *testing.T) {
 	}
 }
 
-func TestCopyTileFromMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on dimension mismatch")
-		}
-	}()
-	New(64, 64).CopyTileFrom(New(128, 128), 0)
+func TestCopyTileFromMismatchErrors(t *testing.T) {
+	if err := MustNew(64, 64).CopyTileFrom(MustNew(128, 128), 0); err == nil {
+		t.Error("expected error on dimension mismatch")
+	}
 }
 
 func TestCloneIndependent(t *testing.T) {
-	b := New(64, 64)
+	b := MustNew(64, 64)
 	b.Set(1, 1, colorspace.Opaque(1, 0, 0))
 	c := b.Clone()
 	if !c.Equal(b, 0) {
@@ -149,8 +146,8 @@ func TestCloneIndependent(t *testing.T) {
 }
 
 func TestEqualAndDiffCount(t *testing.T) {
-	a := New(32, 32)
-	b := New(32, 32)
+	a := MustNew(32, 32)
+	b := MustNew(32, 32)
 	if !a.Equal(b, 0) {
 		t.Fatal("fresh buffers should be equal")
 	}
@@ -161,14 +158,14 @@ func TestEqualAndDiffCount(t *testing.T) {
 	if got := a.DiffCount(b, 1e-9); got != 1 {
 		t.Errorf("DiffCount = %d, want 1", got)
 	}
-	if a.Equal(New(64, 64), 0) {
+	if a.Equal(MustNew(64, 64), 0) {
 		t.Error("different dimensions should not be equal")
 	}
 }
 
 func TestChecksumStable(t *testing.T) {
-	a := New(32, 32)
-	b := New(32, 32)
+	a := MustNew(32, 32)
+	b := MustNew(32, 32)
 	if a.Checksum() != b.Checksum() {
 		t.Error("identical buffers should checksum equal")
 	}
@@ -211,11 +208,8 @@ func TestOwnedTilesPartition(t *testing.T) {
 	}
 }
 
-func TestOwnerOfPanicsOnZeroGPUs(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for numGPUs=0")
-		}
-	}()
-	OwnerOf(0, 0)
+func TestOwnerOfZeroGPUs(t *testing.T) {
+	if got := OwnerOf(0, 0); got != -1 {
+		t.Errorf("OwnerOf(0, 0) = %d, want -1", got)
+	}
 }

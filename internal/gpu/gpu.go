@@ -165,6 +165,8 @@ type Stats struct {
 	Raster raster.DrawResult
 	// PerDraw holds per-draw timings when recording is enabled.
 	PerDraw []DrawTiming
+	// StallCycles is injected stall time (fault plans); not counted as busy.
+	StallCycles sim.Cycle
 }
 
 // geomSegment records a completed scheduling decision of the geometry stage,
@@ -237,11 +239,14 @@ type GPU struct {
 	tr             *obs.Tracer
 	trGeom, trFrag obs.Track
 	cumFragsGen    int64 // cumulative generated fragments, for the probe
-	stats          Stats
+
+	failed   bool
+	failedAt sim.Cycle
+	stats    Stats
 }
 
 // New returns a GPU with a cleared framebuffer for render target 0.
-func New(id int, eng *sim.Engine, costs CostConfig, width, height int, rcfg raster.Config) *GPU {
+func New(id int, eng *sim.Engine, costs CostConfig, width, height int, rcfg raster.Config) (*GPU, error) {
 	// Distinct GPUs must make independent retained-fragment choices.
 	rcfg.RetainSeed += int64(id) * 7919
 	g := &GPU{
@@ -253,11 +258,14 @@ func New(id int, eng *sim.Engine, costs CostConfig, width, height int, rcfg rast
 		rasterCfg: rcfg,
 		targets:   map[int]*framebuffer.Buffer{},
 	}
-	fb := framebuffer.New(width, height)
+	fb, err := framebuffer.New(width, height)
+	if err != nil {
+		return nil, fmt.Errorf("gpu %d: %w", id, err)
+	}
 	fb.ClearDirty()
 	g.targets[0] = fb
 	g.rend = raster.New(fb, rcfg)
-	return g
+	return g, nil
 }
 
 // Stats returns the GPU's accumulated statistics.
@@ -299,7 +307,9 @@ func (g *GPU) Costs() *CostConfig { return &g.costs }
 func (g *GPU) Target(rt int) *framebuffer.Buffer {
 	fb, ok := g.targets[rt]
 	if !ok {
-		fb = framebuffer.New(g.width, g.height)
+		// The GPU's dimensions were validated at construction, so this
+		// cannot fail.
+		fb = framebuffer.MustNew(g.width, g.height)
 		fb.ClearDirty()
 		g.targets[rt] = fb
 	}
@@ -307,17 +317,29 @@ func (g *GPU) Target(rt int) *framebuffer.Buffer {
 }
 
 // SetTarget installs an externally created buffer (e.g. a transparent
-// sub-image render target) as render target rt.
-func (g *GPU) SetTarget(rt int, fb *framebuffer.Buffer) { g.targets[rt] = fb }
+// sub-image render target) as render target rt. The buffer's dimensions
+// must match the GPU's.
+func (g *GPU) SetTarget(rt int, fb *framebuffer.Buffer) error {
+	if fb.Width() != g.width || fb.Height() != g.height {
+		return fmt.Errorf("gpu %d: SetTarget rt %d dimension mismatch: %d×%d vs %d×%d",
+			g.ID, rt, fb.Width(), fb.Height(), g.width, g.height)
+	}
+	g.targets[rt] = fb
+	return nil
+}
 
 // SetTextures installs the frame texture table on the GPU's rasterizer.
 func (g *GPU) SetTextures(texs []*texture.Texture) { g.rend.SetTextures(texs) }
 
 // SetOwnership restricts rasterization to the given tile mask (nil = all
-// tiles). The mask applies to every render target.
-func (g *GPU) SetOwnership(mask []bool) {
+// tiles). The mask applies to every render target. The mask length must
+// equal the screen tile count.
+func (g *GPU) SetOwnership(mask []bool) error {
+	if err := g.rend.SetOwnership(mask); err != nil {
+		return err
+	}
 	g.ownership = mask
-	g.rend.SetOwnership(mask)
+	return nil
 }
 
 // Ownership returns the current tile mask (nil = all tiles).
@@ -336,8 +358,9 @@ func (g *GPU) BusyUntil() sim.Cycle {
 // occupies the geometry and fragment stages behind previously submitted
 // work. Completion callbacks fire at the simulated completion times.
 func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts DrawOpts) *raster.DrawResult {
-	// Functional execution against this GPU's current state.
-	g.rend.SetTarget(g.Target(d.State.RenderTarget))
+	// Functional execution against this GPU's current state. Targets are all
+	// built to the GPU's own dimensions, so the switch cannot fail.
+	_ = g.rend.SetTarget(g.Target(d.State.RenderTarget))
 	res := g.rend.Draw(d, view, proj)
 	g.stats.Raster.Add(res)
 	g.stats.DrawsExecuted++
@@ -499,12 +522,65 @@ func (g *GPU) ProcessedTriangles(t sim.Cycle, quantum int) int {
 // geometry stage so far.
 func (g *GPU) ScheduledTriangles() int { return g.trisDone }
 
+// Stall pushes both pipeline stages back by the given cycles, modeling an
+// injected hiccup (thermal throttle, preemption, ECC scrub). Stall time is
+// recorded in Stats.StallCycles, not as busy time. The hook costs nothing
+// when unused: no per-draw state is consulted on the submission hot paths.
+func (g *GPU) Stall(cycles sim.Cycle) {
+	if cycles <= 0 {
+		return
+	}
+	now := g.eng.Now()
+	geomStart := max(now, g.geomFree)
+	fragStart := max(now, g.fragFree)
+	g.geomFree = geomStart + cycles
+	g.fragFree = fragStart + cycles
+	g.stats.StallCycles += cycles
+	if g.tr != nil {
+		g.tr.Span(g.trGeom, "stall", geomStart, cycles)
+		g.tr.Span(g.trFrag, "stall", fragStart, cycles)
+	}
+}
+
+// Fail declares the GPU failed (fail-stop) at the current cycle. The model
+// is detection-at-checkpoint: work already in flight is treated as flushed,
+// and schemes with degraded-mode support reassign the GPU's screen tiles or
+// frames to survivors at their next checkpoint. Fail is idempotent.
+func (g *GPU) Fail() {
+	if g.failed {
+		return
+	}
+	g.failed = true
+	g.failedAt = g.eng.Now()
+	if g.tr != nil {
+		g.tr.Instant(g.trGeom, "gpu failed", g.failedAt)
+	}
+}
+
+// DropTargets resets every render target to the cleared state, modeling the
+// loss of a failed GPU's local memory. Recovery calls this before survivors
+// re-render the reassigned tiles so stale content can never be scanned out.
+func (g *GPU) DropTargets() {
+	for _, fb := range g.targets {
+		fb.Reset()
+	}
+}
+
+// Failed reports whether the GPU has been declared failed.
+func (g *GPU) Failed() bool { return g.failed }
+
+// FailedAt returns the cycle Fail was called (0 if the GPU is healthy).
+func (g *GPU) FailedAt() sim.Cycle { return g.failedAt }
+
 // ResetPipeline clears pipeline bookkeeping between frames while keeping
-// functional state and statistics. It panics if work is still in flight.
-func (g *GPU) ResetPipeline() {
+// functional state and statistics. It returns an error if work is still in
+// flight.
+func (g *GPU) ResetPipeline() error {
 	if g.eng.Now() < g.BusyUntil() {
-		panic(fmt.Sprintf("gpu %d: ResetPipeline with work in flight", g.ID))
+		return fmt.Errorf("gpu %d: ResetPipeline with work in flight (busy until cycle %d, now %d)",
+			g.ID, g.BusyUntil(), g.eng.Now())
 	}
 	g.fragStarts = g.fragStarts[:0]
 	g.segments = g.segments[:0]
+	return nil
 }

@@ -31,6 +31,16 @@ func cams(w, h int) (view, proj vecmath.Mat4) {
 	return vecmath.Identity(), vecmath.Orthographic(0, float64(w), float64(h), 0, 1, 10)
 }
 
+// newTestGPU builds a GPU, failing the test on construction errors.
+func newTestGPU(t *testing.T, eng *sim.Engine, costs CostConfig, w, h int) *GPU {
+	t.Helper()
+	g, err := New(0, eng, costs, w, h, raster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 // quad returns a draw covering [x0,x1)×[y0,y1) at object depth z.
 func quad(id int, z, x0, y0, x1, y1 float64) primitive.DrawCommand {
 	c := colorspace.Opaque(1, 1, 1)
@@ -50,7 +60,7 @@ func quad(id int, z, x0, y0, x1, y1 float64) primitive.DrawCommand {
 
 func TestSubmitDrawTimingAndCallbacks(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
 	view, proj := cams(64, 64)
 
 	var geomDone, done sim.Cycle = -1, -1
@@ -79,7 +89,7 @@ func TestSubmitDrawTimingAndCallbacks(t *testing.T) {
 
 func TestPipelineOverlap(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
 	view, proj := cams(64, 64)
 
 	var done1, done2 sim.Cycle
@@ -105,7 +115,7 @@ func TestPipelineBackpressure(t *testing.T) {
 	eng := sim.New()
 	costs := testCosts()
 	costs.PipelineDepth = 2
-	g := New(0, eng, costs, 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, costs, 64, 64)
 	view, proj := cams(64, 64)
 
 	// Submit 4 heavy-fragment draws; geometry of draw i may start only when
@@ -129,7 +139,7 @@ func TestPipelineBackpressure(t *testing.T) {
 
 func TestProcessedTrianglesInterpolation(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
 	view, proj := cams(64, 64)
 	g.SubmitDraw(quad(0, 5, 0, 0, 64, 64), view, proj, DrawOpts{})
 
@@ -153,7 +163,7 @@ func TestProcessedTrianglesQuantized(t *testing.T) {
 	eng := sim.New()
 	costs := testCosts()
 	costs.PipelineDepth = 0 // no backpressure: geometry free-runs
-	g := New(0, eng, costs, 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, costs, 64, 64)
 	view, proj := cams(64, 64)
 	for i := 0; i < 50; i++ {
 		g.SubmitDraw(quad(i, 5, 0, 0, 8, 8), view, proj, DrawOpts{})
@@ -169,7 +179,7 @@ func TestProcessedTrianglesQuantized(t *testing.T) {
 
 func TestSubmitProjection(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
 	var done sim.Cycle = -1
 	g.SubmitProjection(1000, func() { done = eng.Now() })
 	eng.Run()
@@ -183,7 +193,7 @@ func TestSubmitProjection(t *testing.T) {
 
 func TestSubmitMerge(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
 	applied := false
 	var done sim.Cycle = -1
 	g.SubmitMerge(500, func() { applied = true }, func() { done = eng.Now() })
@@ -201,7 +211,7 @@ func TestSubmitMerge(t *testing.T) {
 
 func TestRenderTargets(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
 	view, proj := cams(64, 64)
 
 	d := quad(0, 5, 0, 0, 64, 64)
@@ -218,7 +228,7 @@ func TestRenderTargets(t *testing.T) {
 
 func TestOwnershipAppliesToDraws(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 128, 128, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 128, 128)
 	view, proj := cams(128, 128)
 	mask := make([]bool, g.Target(0).TileCount())
 	mask[0] = true
@@ -235,7 +245,7 @@ func TestOwnershipAppliesToDraws(t *testing.T) {
 
 func TestPerDrawTimingRecord(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
 	view, proj := cams(64, 64)
 	g.SubmitDraw(quad(7, 5, 0, 0, 64, 64), view, proj, DrawOpts{RecordTiming: true})
 	eng.Run()
@@ -250,27 +260,27 @@ func TestPerDrawTimingRecord(t *testing.T) {
 
 func TestResetPipeline(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
 	view, proj := cams(64, 64)
 	g.SubmitDraw(quad(0, 5, 0, 0, 8, 8), view, proj, DrawOpts{})
 	eng.RunUntil(g.BusyUntil())
-	g.ResetPipeline()
+	if err := g.ResetPipeline(); err != nil {
+		t.Fatalf("idle reset: %v", err)
+	}
 	if g.ScheduledTriangles() != 2 {
 		t.Errorf("scheduled triangles should persist: %d", g.ScheduledTriangles())
 	}
-	// In-flight reset panics.
+	// In-flight reset is refused.
 	g.SubmitDraw(quad(1, 5, 0, 0, 8, 8), view, proj, DrawOpts{})
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic resetting mid-flight")
-		}
-	}()
-	g.ResetPipeline()
+	if err := g.ResetPipeline(); err == nil {
+		t.Error("expected error resetting mid-flight")
+	}
+	eng.Run()
 }
 
 func TestBusyUntil(t *testing.T) {
 	eng := sim.New()
-	g := New(0, eng, testCosts(), 64, 64, raster.DefaultConfig())
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
 	if g.BusyUntil() != 0 {
 		t.Errorf("fresh GPU busy until %d", g.BusyUntil())
 	}

@@ -24,7 +24,7 @@ func benchSend(eng *sim.Engine, f *Fabric, n, transfers int) {
 func BenchmarkTracerDisabled(b *testing.B) {
 	const n, transfers = 4, 256
 	eng := sim.New()
-	f := New(eng, n, DefaultConfig())
+	f := newFabric(b, eng, n, DefaultConfig())
 	benchSend(eng, f, n, transfers) // warm free lists and queue capacity
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -38,7 +38,7 @@ func BenchmarkTracerDisabled(b *testing.B) {
 func TestTracerDisabledAllocs(t *testing.T) {
 	const n, transfers = 4, 64
 	eng := sim.New()
-	f := New(eng, n, DefaultConfig())
+	f := newFabric(t, eng, n, DefaultConfig())
 	benchSend(eng, f, n, transfers)
 	allocs := testing.AllocsPerRun(100, func() {
 		benchSend(eng, f, n, transfers)
@@ -60,7 +60,7 @@ func TestTracerDisabledAllocs(t *testing.T) {
 // plain Observers keep working without it.
 func TestStartObserver(t *testing.T) {
 	eng := sim.New()
-	f := New(eng, 3, Config{BytesPerCycle: 64, LatencyCycles: 200})
+	f := newFabric(t, eng, 3, Config{BytesPerCycle: 64, LatencyCycles: 200})
 	so := &startRecorder{}
 	f.SetObserver(so)
 	f.Send(0, 1, 6400, ClassComposition, nil) // tx 100: starts at 0

@@ -67,8 +67,42 @@ type Config struct {
 	// LatencyCycles is the point-to-point link latency (default 200).
 	LatencyCycles sim.Cycle
 	// Ideal makes every transfer instantaneous and unconstrained, the
-	// idealization used for IdealGPUpd and IdealCHOPIN (Section V).
+	// idealization used for IdealGPUpd and IdealCHOPIN (Section V). Ideal
+	// fabrics bypass fault injection.
 	Ideal bool
+	// Retry configures the ack/timeout/retry recovery protocol. The zero
+	// value (Timeout == 0) disables it, which is the exact legacy delivery
+	// path.
+	Retry RetryConfig
+}
+
+// RetryConfig parameterizes the ack/timeout/retry protocol that recovers
+// dropped and corrupted transfers. The sender expects an acknowledgement one
+// link latency after the transfer's last byte drains at the destination; if
+// the ack has not arrived Timeout cycles after that expectation, the
+// transmission is presumed lost and retransmitted after a capped exponential
+// backoff, up to MaxRetries times, after which the transfer is abandoned and
+// recorded as lost. Ack messages themselves are modeled as free, like the
+// scheduler control traffic the paper calls negligible (Section VI-D).
+type RetryConfig struct {
+	// Timeout is the slack beyond the expected ack arrival before a
+	// transmission is presumed lost. Zero disables the whole protocol.
+	Timeout sim.Cycle
+	// MaxRetries is how many retransmissions are attempted before the
+	// transfer is abandoned as lost.
+	MaxRetries int
+	// Backoff is the delay before the first retransmission; it doubles on
+	// each subsequent retry, capped at BackoffCap (when positive).
+	Backoff sim.Cycle
+	// BackoffCap bounds the exponential backoff.
+	BackoffCap sim.Cycle
+}
+
+// DefaultRetry returns a retry configuration tuned to the default link
+// parameters: the timeout comfortably exceeds one round trip, and the
+// backoff stays well under a typical composition interval.
+func DefaultRetry() RetryConfig {
+	return RetryConfig{Timeout: 512, MaxRetries: 6, Backoff: 64, BackoffCap: 2048}
 }
 
 // DefaultConfig returns the paper's Table II link configuration.
@@ -76,10 +110,94 @@ func DefaultConfig() Config {
 	return Config{BytesPerCycle: 64, LatencyCycles: 200}
 }
 
-// Stats accumulates fabric traffic by class.
+// FaultKind enumerates the transfer faults an Injector can impose.
+type FaultKind uint8
+
+const (
+	// FaultNone lets the transfer proceed unharmed.
+	FaultNone FaultKind = iota
+	// FaultDrop loses the transmission in transit: bytes leave the source
+	// but never arrive.
+	FaultDrop
+	// FaultCorrupt delivers the payload but the receiver discards it as
+	// corrupted; only the sender's timeout can recover it.
+	FaultCorrupt
+	// FaultDuplicate delivers the payload twice; the receiver dedups the
+	// second copy.
+	FaultDuplicate
+	// FaultDelay adds Fault.Delay cycles of extra transit latency.
+	FaultDelay
+)
+
+// String returns the fault kind name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultDelay:
+		return "delay"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is an Injector's verdict for one transmission.
+type Fault struct {
+	Kind FaultKind
+	// Delay is the extra transit latency for FaultDelay.
+	Delay sim.Cycle
+}
+
+// Injector decides the fate of transfers as they begin transmitting. It is
+// consulted once per transmission — retransmissions of the same transfer are
+// consulted again with an incremented attempt — so a probabilistic injector
+// naturally lets retries mask transient faults. The disabled path (no
+// injector installed) is a single nil check, same contract as the tracer.
+type Injector interface {
+	// Transfer returns the fault to impose on this transmission. attempt is
+	// 1 for the first transmission and increments per retransmission.
+	Transfer(src, dst int, bytes int64, class Class, attempt int) Fault
+	// Bandwidth returns a multiplier in (0, 1] applied to src's egress
+	// bandwidth at cycle now, modeling mid-frame link degradation. Values
+	// outside (0, 1) are ignored.
+	Bandwidth(src int, now sim.Cycle) float64
+}
+
+// FaultCounters tallies injected faults and the recovery protocol's
+// responses for one traffic class.
+type FaultCounters struct {
+	// Drops, Corrupts, Duplicates, Delays count injected faults by kind.
+	Drops, Corrupts, Duplicates, Delays int64
+	// Retries counts retransmissions started, Timeouts expired ack
+	// deadlines, and Lost transfers abandoned after the retry budget.
+	Retries, Timeouts, Lost int64
+}
+
+// add accumulates o into c.
+func (c *FaultCounters) add(o FaultCounters) {
+	c.Drops += o.Drops
+	c.Corrupts += o.Corrupts
+	c.Duplicates += o.Duplicates
+	c.Delays += o.Delays
+	c.Retries += o.Retries
+	c.Timeouts += o.Timeouts
+	c.Lost += o.Lost
+}
+
+// Stats accumulates fabric traffic by class. Bytes includes retransmitted
+// bytes (real wire traffic); Messages counts logical sends only.
 type Stats struct {
 	Bytes    [numClasses]int64
 	Messages [numClasses]int64
+	// Faults tallies injected faults and recovery activity per class. All
+	// zero when no injector is installed.
+	Faults [numClasses]FaultCounters
 }
 
 // BytesFor returns the bytes transferred under class c.
@@ -97,11 +215,70 @@ func (s *Stats) TotalBytes() int64 {
 	return t
 }
 
+// FaultsFor returns the fault counters for class c.
+func (s *Stats) FaultsFor(c Class) FaultCounters { return s.Faults[c] }
+
+// TotalFaults sums the fault counters across classes.
+func (s *Stats) TotalFaults() FaultCounters {
+	var t FaultCounters
+	for i := range s.Faults {
+		t.add(s.Faults[i])
+	}
+	return t
+}
+
+// A LostTransferError reports a transfer abandoned after exhausting its
+// retry budget. The frame it belonged to cannot complete normally; the exec
+// watchdog surfaces the resulting stall as a structured deadlock diagnostic
+// wrapping this error.
+type LostTransferError struct {
+	Src, Dst int
+	Bytes    int64
+	Class    Class
+	Attempts int
+	At       sim.Cycle
+}
+
+func (e *LostTransferError) Error() string {
+	return fmt.Sprintf("interconnect: %s transfer of %d bytes from GPU %d to GPU %d lost after %d attempts at cycle %d",
+		e.Class, e.Bytes, e.Src, e.Dst, e.Attempts, e.At)
+}
+
+// A SelfSendError reports a bulk Send with src == dst, which indicates a
+// scheme orchestration bug. The fabric records it and completes the transfer
+// locally at zero cost so the frame still drains.
+type SelfSendError struct {
+	GPU   int
+	Class Class
+	At    sim.Cycle
+}
+
+func (e *SelfSendError) Error() string {
+	return fmt.Sprintf("interconnect: self-send of %s traffic on GPU %d at cycle %d", e.Class, e.GPU, e.At)
+}
+
 type message struct {
 	src, dst    int
 	bytes       int64
 	class       Class
 	onDelivered func()
+	x           *xfer // retry-protocol state; nil on the fault-free fast path
+	corrupt     bool  // this copy arrives corrupted and is discarded
+}
+
+// xfer is the sender-side state of one reliable transfer under the retry
+// protocol: it dedups duplicate deliveries, matches timeouts to the latest
+// transmission, and carries the retry budget. Allocated only when an
+// injector is installed and Retry.Timeout > 0.
+type xfer struct {
+	m            message // canonical payload; m.x points back to this xfer
+	attempts     int     // transmissions started, including the first
+	retries      int     // retransmissions scheduled
+	delivered    bool    // first good copy reached the receiver
+	acked        bool    // sender has learned of the delivery
+	lost         bool    // abandoned after the retry budget
+	retryPending bool    // a retransmission is scheduled but not yet queued
+	control      bool    // control message: retransmits bypass the ports
 }
 
 // delivery is a scheduled message arrival. Deliveries are recycled through
@@ -123,6 +300,26 @@ func (d *delivery) Fire() {
 	d.next = f.free
 	f.free = d
 	f.wireBytes[m.class] -= m.bytes
+	if m.corrupt {
+		// Corrupted payload: the receiver discards it. The sender's timeout
+		// retransmits (or eventually declares the transfer lost).
+		if f.tr != nil {
+			f.tr.Instant(f.trIngress[m.dst], "fault.corrupt", f.eng.Now(),
+				obs.Arg{Key: "bytes", Val: m.bytes}, obs.Arg{Key: "src", Val: int64(m.src)})
+		}
+		return
+	}
+	if x := m.x; x != nil {
+		if x.delivered {
+			// Duplicate or spurious-retransmit copy: dedup'd silently.
+			return
+		}
+		x.delivered = true
+		// The ack reaches the sender one link latency later; it is modeled
+		// as free, like control traffic.
+		lat := f.cfg.LatencyCycles
+		f.eng.After(lat, func() { x.acked = true })
+	}
 	if f.obs != nil {
 		f.obs.Delivered(m.src, m.dst, m.bytes, m.class)
 	}
@@ -201,17 +398,24 @@ type Fabric struct {
 	trIngress []obs.Track
 	wireBytes [numClasses]int64 // bytes currently in flight, per class
 
+	// inj is the optional fault injector (nil = disabled, a bare nil check
+	// on the hot paths — same contract as tr).
+	inj Injector
+
+	err      error // first unrecoverable fault (lost transfer, self-send)
+	errCount int
+
 	stats Stats
 }
 
 // New returns a fabric connecting n GPUs. All GPUs initially accept bulk
 // data.
-func New(eng *sim.Engine, n int, cfg Config) *Fabric {
+func New(eng *sim.Engine, n int, cfg Config) (*Fabric, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("interconnect: invalid GPU count %d", n))
+		return nil, fmt.Errorf("interconnect: invalid GPU count %d", n)
 	}
 	if !cfg.Ideal && cfg.BytesPerCycle <= 0 {
-		panic("interconnect: BytesPerCycle must be positive")
+		return nil, fmt.Errorf("interconnect: BytesPerCycle must be positive, got %g", cfg.BytesPerCycle)
 	}
 	f := &Fabric{
 		eng:         eng,
@@ -230,8 +434,25 @@ func New(eng *sim.Engine, n int, cfg Config) *Fabric {
 	for i := range f.ports {
 		f.ports[i] = egressPort{f: f, src: i}
 	}
-	return f
+	return f, nil
 }
+
+// fail records the fabric's first unrecoverable fault. The fabric keeps
+// operating (degraded) so the frame can drain; schemes surface Err at frame
+// end.
+func (f *Fabric) fail(err error) {
+	if f.err == nil {
+		f.err = err
+	}
+	f.errCount++
+}
+
+// Err returns the first unrecoverable fault recorded during the run (a lost
+// transfer or a self-send), or nil.
+func (f *Fabric) Err() error { return f.err }
+
+// ErrCount returns the number of unrecoverable faults recorded.
+func (f *Fabric) ErrCount() int { return f.errCount }
 
 // newDelivery takes a delivery event off the free list (or allocates the
 // first few) and arms it with m.
@@ -259,6 +480,15 @@ func (f *Fabric) SetObserver(o Observer) {
 	f.obs = o
 	f.obsStart, _ = o.(StartObserver)
 }
+
+// SetInjector installs a fault injector consulted as each transmission
+// starts (nil removes it). With an injector installed and Retry.Timeout > 0,
+// every bulk and control send runs under the ack/timeout/retry protocol.
+// Observer semantics are preserved under injection: Sent fires once per
+// logical send and Delivered once per first good delivery, so conservation
+// checking keeps working — retransmissions and discarded copies are
+// accounted in Stats.Faults instead.
+func (f *Fabric) SetInjector(inj Injector) { f.inj = inj }
 
 // SetTracer attaches a timeline tracer (nil disables tracing): every bulk
 // transfer emits an egress span on the source GPU's egress track and an
@@ -302,14 +532,21 @@ func (f *Fabric) SetAccept(gpu int, ok bool) {
 // Send queues a bulk transfer of the given size from src to dst and invokes
 // onDelivered (which may be nil) when the last byte has drained at the
 // destination. Transfers from the same source are serviced FIFO.
+//
+// A self-send (src == dst) indicates a scheme orchestration bug: it is
+// recorded as a SelfSendError on the fabric and completed locally at zero
+// cost so the frame still drains and the error surfaces at frame end.
 func (f *Fabric) Send(src, dst int, bytes int64, class Class, onDelivered func()) {
-	if src == dst {
-		panic("interconnect: self-send")
-	}
 	f.stats.Bytes[class] += bytes
 	f.stats.Messages[class]++
 	if f.obs != nil {
 		f.obs.Sent(src, dst, bytes, class)
+	}
+	if src == dst {
+		f.fail(&SelfSendError{GPU: src, Class: class, At: f.eng.Now()})
+		f.wireBytes[class] += bytes
+		f.eng.AfterCall(0, f.newDelivery(message{src: src, dst: dst, bytes: bytes, class: class, onDelivered: onDelivered}))
+		return
 	}
 	if f.cfg.Ideal {
 		f.wireBytes[class] += bytes
@@ -317,31 +554,88 @@ func (f *Fabric) Send(src, dst int, bytes int64, class Class, onDelivered func()
 			f.tr.Instant(f.trEgress[src], class.String(), f.eng.Now(),
 				obs.Arg{Key: "bytes", Val: bytes}, obs.Arg{Key: "dst", Val: int64(dst)})
 		}
-		f.eng.AfterCall(0, f.newDelivery(message{src, dst, bytes, class, onDelivered}))
+		f.eng.AfterCall(0, f.newDelivery(message{src: src, dst: dst, bytes: bytes, class: class, onDelivered: onDelivered}))
 		return
 	}
-	f.egressQueue[src] = append(f.egressQueue[src], message{src, dst, bytes, class, onDelivered})
+	m := message{src: src, dst: dst, bytes: bytes, class: class, onDelivered: onDelivered}
+	if f.inj != nil && f.cfg.Retry.Timeout > 0 {
+		x := &xfer{}
+		x.m = m
+		x.m.x = x
+		m.x = x
+	}
+	f.egressQueue[src] = append(f.egressQueue[src], m)
 	f.tryStart(src)
 }
 
 // SendControl delivers a small control message after the link latency,
-// without consuming port bandwidth.
+// without consuming port bandwidth. With an injector installed, control
+// messages are subject to injection and (when Retry.Timeout > 0) protected
+// by the same retry protocol as bulk transfers, with retransmissions
+// bypassing the ports just like the original.
 func (f *Fabric) SendControl(src, dst int, bytes int64, fn func()) {
 	f.stats.Bytes[ClassControl] += bytes
 	f.stats.Messages[ClassControl]++
 	if f.obs != nil {
 		f.obs.Sent(src, dst, bytes, ClassControl)
 	}
+	m := message{src: src, dst: dst, bytes: bytes, class: ClassControl, onDelivered: fn}
+	if f.inj != nil && !f.cfg.Ideal && f.cfg.Retry.Timeout > 0 {
+		x := &xfer{control: true}
+		x.m = m
+		x.m.x = x
+		m.x = x
+	}
+	f.transmitControl(m)
+}
+
+// transmitControl performs one transmission attempt of a control message:
+// the initial send and every retransmission route through here.
+func (f *Fabric) transmitControl(m message) {
 	lat := f.cfg.LatencyCycles
 	if f.cfg.Ideal {
 		lat = 0
 	}
-	f.wireBytes[ClassControl] += bytes
-	if f.tr != nil {
-		f.tr.Instant(f.trEgress[src], "control", f.eng.Now(),
-			obs.Arg{Key: "bytes", Val: bytes}, obs.Arg{Key: "dst", Val: int64(dst)})
+	var flt Fault
+	if f.inj != nil && !f.cfg.Ideal {
+		attempt := 1
+		if m.x != nil {
+			m.x.attempts++
+			attempt = m.x.attempts
+		}
+		flt = f.inj.Transfer(m.src, m.dst, m.bytes, ClassControl, attempt)
+		if m.x == nil && flt.Kind == FaultDuplicate {
+			// Without the retry protocol there is no receiver-side dedup, so
+			// a duplicated copy would complete the caller twice.
+			flt.Kind = FaultNone
+		}
 	}
-	f.eng.AfterCall(lat, f.newDelivery(message{src, dst, bytes, ClassControl, fn}))
+	if f.tr != nil {
+		f.tr.Instant(f.trEgress[m.src], "control", f.eng.Now(),
+			obs.Arg{Key: "bytes", Val: m.bytes}, obs.Arg{Key: "dst", Val: int64(m.dst)})
+	}
+	switch flt.Kind {
+	case FaultDelay:
+		f.stats.Faults[ClassControl].Delays++
+		lat += flt.Delay
+	case FaultDrop:
+		f.stats.Faults[ClassControl].Drops++
+		f.faultInstant("fault.drop", m)
+		f.armTimer(m.x, f.eng.Now()+lat)
+		return
+	case FaultCorrupt:
+		f.stats.Faults[ClassControl].Corrupts++
+		m.corrupt = true
+	case FaultDuplicate:
+		f.stats.Faults[ClassControl].Duplicates++
+		f.faultInstant("fault.duplicate", m)
+		dup := m
+		f.wireBytes[ClassControl] += dup.bytes
+		f.eng.AfterCall(lat+1, f.newDelivery(dup))
+	}
+	f.wireBytes[ClassControl] += m.bytes
+	f.eng.AfterCall(lat, f.newDelivery(m))
+	f.armTimer(m.x, f.eng.Now()+lat)
 }
 
 // tryStart begins transmitting the head of src's egress queue if the egress
@@ -363,7 +657,26 @@ func (f *Fabric) tryStart(src int) {
 	}
 	f.sending[src] = true
 
-	tx := sim.Cycle(float64(m.bytes)/f.cfg.BytesPerCycle + 0.999999)
+	now := f.eng.Now()
+	bw := f.cfg.BytesPerCycle
+	var flt Fault
+	if f.inj != nil {
+		attempt := 1
+		if m.x != nil {
+			m.x.attempts++
+			attempt = m.x.attempts
+		}
+		flt = f.inj.Transfer(m.src, m.dst, m.bytes, m.class, attempt)
+		if m.x == nil && flt.Kind == FaultDuplicate {
+			// No receiver-side dedup without the retry protocol; a second
+			// copy would complete the caller twice.
+			flt.Kind = FaultNone
+		}
+		if mul := f.inj.Bandwidth(src, now); mul > 0 && mul < 1 {
+			bw *= mul
+		}
+	}
+	tx := sim.Cycle(float64(m.bytes)/bw + 0.999999)
 	if tx < 1 {
 		tx = 1
 	}
@@ -371,8 +684,24 @@ func (f *Fabric) tryStart(src int) {
 	f.eng.AfterCall(tx, &f.ports[src])
 	// Cut-through delivery: last byte arrives latency cycles after it was
 	// sent; the ingress port serializes concurrent arrivals.
-	now := f.eng.Now()
 	arrive := now + tx + f.cfg.LatencyCycles
+	switch flt.Kind {
+	case FaultDelay:
+		f.stats.Faults[m.class].Delays++
+		arrive += flt.Delay
+		f.faultInstant("fault.delay", m)
+	case FaultDrop:
+		// The bytes leave the source (the egress port was busy for tx) but
+		// never arrive: no delivery, no ingress occupancy. Recovery, if
+		// configured, comes from the sender's timeout.
+		f.stats.Faults[m.class].Drops++
+		f.faultInstant("fault.drop", m)
+		f.armTimer(m.x, arrive)
+		return
+	case FaultCorrupt:
+		f.stats.Faults[m.class].Corrupts++
+		m.corrupt = true
+	}
 	recvDone := max(arrive, f.ingressFree[m.dst]+tx)
 	f.ingressFree[m.dst] = recvDone
 	f.wireBytes[m.class] += m.bytes
@@ -389,6 +718,92 @@ func (f *Fabric) tryStart(src int) {
 		f.tr.FlowEnd(f.trIngress[m.dst], name, recvDone-tx, id)
 	}
 	f.eng.AtCall(recvDone, f.newDelivery(m))
+	if flt.Kind == FaultDuplicate {
+		// The duplicated copy re-serializes through the ingress port behind
+		// the original.
+		f.stats.Faults[m.class].Duplicates++
+		f.faultInstant("fault.duplicate", m)
+		dupDone := max(arrive+tx, f.ingressFree[m.dst]+tx)
+		f.ingressFree[m.dst] = dupDone
+		f.wireBytes[m.class] += m.bytes
+		f.eng.AtCall(dupDone, f.newDelivery(m))
+	}
+	f.armTimer(m.x, recvDone)
+}
+
+// faultInstant emits a timeline instant for an injected fault or a recovery
+// action on the source's egress track.
+func (f *Fabric) faultInstant(name string, m message) {
+	if f.tr == nil {
+		return
+	}
+	f.tr.Instant(f.trEgress[m.src], name, f.eng.Now(),
+		obs.Arg{Key: "bytes", Val: m.bytes}, obs.Arg{Key: "dst", Val: int64(m.dst)},
+		obs.Arg{Key: "class", Val: int64(m.class)})
+}
+
+// armTimer schedules the ack-timeout check for the transmission that just
+// started. expect is when the payload's last byte would drain at the
+// destination; the ack is expected one latency after that, and Timeout
+// cycles of slack are granted beyond it. Each transmission arms exactly one
+// timer, matched to the transmission by attempt id so stale timers from
+// superseded transmissions are inert.
+func (f *Fabric) armTimer(x *xfer, expect sim.Cycle) {
+	if x == nil {
+		return
+	}
+	deadline := expect + f.cfg.LatencyCycles + f.cfg.Retry.Timeout
+	id := x.attempts
+	f.eng.At(deadline, func() { f.timeout(x, id) })
+}
+
+// timeout handles an expired ack deadline for transmission id of x.
+func (f *Fabric) timeout(x *xfer, id int) {
+	if x.acked || x.lost || x.retryPending || id != x.attempts {
+		return
+	}
+	c := x.m.class
+	f.stats.Faults[c].Timeouts++
+	f.faultInstant("fault.timeout", x.m)
+	if x.retries >= f.cfg.Retry.MaxRetries {
+		x.lost = true
+		f.stats.Faults[c].Lost++
+		f.faultInstant("fault.lost", x.m)
+		f.fail(&LostTransferError{
+			Src: x.m.src, Dst: x.m.dst, Bytes: x.m.bytes, Class: c,
+			Attempts: x.attempts, At: f.eng.Now(),
+		})
+		return
+	}
+	x.retries++
+	f.stats.Faults[c].Retries++
+	backoff := f.cfg.Retry.Backoff << (x.retries - 1)
+	if f.cfg.Retry.BackoffCap > 0 && (backoff > f.cfg.Retry.BackoffCap || backoff < 0) {
+		backoff = f.cfg.Retry.BackoffCap
+	}
+	if backoff < 0 {
+		backoff = 0
+	}
+	x.retryPending = true
+	f.faultInstant("fault.retry", x.m)
+	f.eng.After(backoff, func() { f.retransmit(x) })
+}
+
+// retransmit re-queues x's payload after its backoff. Retransmitted bytes
+// are real wire traffic and are accounted in Stats.Bytes; the logical
+// message count and the Observer's Sent are not repeated.
+func (f *Fabric) retransmit(x *xfer) {
+	x.retryPending = false
+	if x.acked || x.lost {
+		return // the ack raced the backoff window; nothing to resend
+	}
+	f.stats.Bytes[x.m.class] += x.m.bytes
+	if x.control {
+		f.transmitControl(x.m)
+		return
+	}
+	f.egressQueue[x.m.src] = append(f.egressQueue[x.m.src], x.m)
+	f.tryStart(x.m.src)
 }
 
 // QueuedAt returns the number of bulk transfers waiting at src's egress port

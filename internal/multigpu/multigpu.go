@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"chopin/internal/check"
+	"chopin/internal/fault"
 	"chopin/internal/framebuffer"
 	"chopin/internal/gpu"
 	"chopin/internal/interconnect"
@@ -65,6 +66,24 @@ type Config struct {
 	// Tracer.WriteJSON / Tracer.WriteCSV. A nil Tracer (the default) keeps
 	// every hot path on a bare nil-check with zero allocations.
 	Tracer *obs.Tracer
+
+	// Faults, when non-nil and non-empty, installs the deterministic
+	// fault-injection plan (package fault): the fabric gets the compiled
+	// injector and the plan's GPU stalls/fail-stops are scheduled on the
+	// engine. New also enables the exec watchdog (unless Watchdog was set
+	// explicitly) and, when Link.Retry is zero, the default retry protocol.
+	// A nil plan keeps every hot path on a bare nil-check with zero
+	// allocations — the same contract as Tracer.
+	Faults *fault.Plan
+	// Watchdog controls the exec runtime's deadlock/stuck-progress watchdog:
+	// 0 disables it, a negative value enables it with the default check
+	// interval, and a positive value is the interval in cycles.
+	Watchdog sim.Cycle
+	// Cancel, when non-nil, is polled periodically by the engine; returning
+	// true halts the simulation, which surfaces as an exec.CanceledError
+	// with partial statistics. Wire a context through this (see
+	// internal/experiments and chopinsim -timeout).
+	Cancel func() bool
 }
 
 // DefaultConfig returns the paper's Table II system.
@@ -100,18 +119,54 @@ type System struct {
 	width, height int
 	tileCount     int
 	masks         [][]bool
+
+	// owners maps each tile to its owning GPU. It starts as the round-robin
+	// interleave and is remapped by ReassignTiles during degraded-mode
+	// recovery.
+	owners []int
+	// alive tracks fail-stopped GPUs; numAlive counts the survivors.
+	alive    []bool
+	numAlive int
+	// failHandlers are scheme callbacks invoked when a GPU is declared
+	// failed, in registration order.
+	failHandlers []func(g int)
 }
 
 // New builds a system for a width×height screen.
-func New(cfg Config, width, height int) *System {
+func New(cfg Config, width, height int) (*System, error) {
 	if cfg.NumGPUs <= 0 {
-		panic(fmt.Sprintf("multigpu: invalid GPU count %d", cfg.NumGPUs))
+		return nil, fmt.Errorf("multigpu: invalid GPU count %d", cfg.NumGPUs)
+	}
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("multigpu: invalid screen dimensions %d×%d", width, height)
+	}
+	haveFaults := cfg.Faults != nil && !cfg.Faults.Empty()
+	if haveFaults {
+		// Faulted runs get the recovery machinery by default: the retry
+		// protocol masks transfer faults, and the watchdog bounds anything
+		// it cannot mask.
+		if cfg.Link.Retry.Timeout == 0 {
+			cfg.Link.Retry = interconnect.DefaultRetry()
+		}
+		if cfg.Watchdog == 0 {
+			cfg.Watchdog = -1
+		}
+	}
+	if cfg.Link.Retry.Timeout < 0 {
+		// An explicitly negative timeout opts out of the retry protocol
+		// even under a fault plan (chaos runs exercise the unprotected
+		// path this way).
+		cfg.Link.Retry = interconnect.RetryConfig{}
 	}
 	eng := sim.New()
+	fabric, err := interconnect.New(eng, cfg.NumGPUs, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
 		Cfg:    cfg,
 		Eng:    eng,
-		Fabric: interconnect.New(eng, cfg.NumGPUs, cfg.Link),
+		Fabric: fabric,
 		width:  width,
 		height: height,
 	}
@@ -149,20 +204,63 @@ func New(cfg Config, width, height int) *System {
 		})
 	}
 	for i := 0; i < cfg.NumGPUs; i++ {
-		g := gpu.New(i, eng, cfg.Costs, width, height, cfg.Raster)
+		g, err := gpu.New(i, eng, cfg.Costs, width, height, cfg.Raster)
+		if err != nil {
+			return nil, err
+		}
 		g.SetTracer(cfg.Tracer)
 		s.GPUs = append(s.GPUs, g)
 	}
 	s.tileCount = s.GPUs[0].Target(0).TileCount()
-	s.masks = make([][]bool, cfg.NumGPUs)
-	for g := 0; g < cfg.NumGPUs; g++ {
-		mask := make([]bool, s.tileCount)
-		for t := g; t < s.tileCount; t += cfg.NumGPUs {
-			mask[t] = true
-		}
-		s.masks[g] = mask
+	s.owners = make([]int, s.tileCount)
+	for t := range s.owners {
+		s.owners[t] = framebuffer.OwnerOf(t, cfg.NumGPUs)
 	}
-	return s
+	s.alive = make([]bool, cfg.NumGPUs)
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	s.numAlive = cfg.NumGPUs
+	s.rebuildMasks()
+	if haveFaults {
+		inj, err := fault.NewInjector(eng, cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.Fabric.SetInjector(inj)
+		for _, gf := range cfg.Faults.GPUs {
+			if gf.GPU >= cfg.NumGPUs {
+				return nil, fmt.Errorf("multigpu: fault plan targets GPU %d of %d", gf.GPU, cfg.NumGPUs)
+			}
+			gf := gf
+			if gf.Fail {
+				eng.At(gf.At, func() { s.markFailed(gf.GPU) })
+			} else {
+				eng.At(gf.At, func() { s.GPUs[gf.GPU].Stall(gf.Stall) })
+			}
+		}
+	}
+	if cfg.Cancel != nil {
+		eng.SetCancel(cfg.Cancel)
+	}
+	return s, nil
+}
+
+// rebuildMasks recomputes every GPU's tile-ownership mask from the owner
+// table.
+func (s *System) rebuildMasks() {
+	if s.masks == nil {
+		s.masks = make([][]bool, s.Cfg.NumGPUs)
+		for g := range s.masks {
+			s.masks[g] = make([]bool, s.tileCount)
+		}
+	}
+	for g := range s.masks {
+		mask := s.masks[g]
+		for t := 0; t < s.tileCount; t++ {
+			mask[t] = s.owners[t] == g
+		}
+	}
 }
 
 // FinishTrace closes out the observability layer at the end of a run: the
@@ -188,8 +286,9 @@ func (s *System) Height() int { return s.height }
 // TileCount returns the number of screen tiles.
 func (s *System) TileCount() int { return s.tileCount }
 
-// Owner returns the GPU owning tile t under the round-robin interleave.
-func (s *System) Owner(t int) int { return framebuffer.OwnerOf(t, s.Cfg.NumGPUs) }
+// Owner returns the GPU currently owning tile t. Ownership starts as the
+// round-robin interleave and is remapped by ReassignTiles when a GPU fails.
+func (s *System) Owner(t int) int { return s.owners[t] }
 
 // Mask returns gpu g's tile-ownership mask (shared; do not mutate).
 func (s *System) Mask(g int) []bool { return s.masks[g] }
@@ -199,8 +298,8 @@ func (s *System) Mask(g int) []bool { return s.masks[g] }
 func (s *System) OwnedDirtyTiles(src *gpu.GPU, rt, owner int) []int {
 	fb := src.Target(rt)
 	var tiles []int
-	for t := owner; t < s.tileCount; t += s.Cfg.NumGPUs {
-		if fb.Dirty(t) {
+	for t := 0; t < s.tileCount; t++ {
+		if s.owners[t] == owner && fb.Dirty(t) {
 			tiles = append(tiles, t)
 		}
 	}
@@ -220,9 +319,81 @@ func (s *System) PixelCount(tiles []int) int {
 // AssembleImage gathers every GPU's owned tiles of render target rt into a
 // single display image — what the display engine would scan out.
 func (s *System) AssembleImage(rt int) *framebuffer.Buffer {
-	out := framebuffer.New(s.width, s.height)
+	// Dimensions were validated in New, so construction cannot fail; tile
+	// copies between same-sized buffers likewise.
+	out := framebuffer.MustNew(s.width, s.height)
 	for t := 0; t < s.tileCount; t++ {
-		out.CopyTileFrom(s.GPUs[s.Owner(t)].Target(rt), t)
+		_ = out.CopyTileFrom(s.GPUs[s.Owner(t)].Target(rt), t)
 	}
 	return out
+}
+
+// markFailed declares GPU g fail-stopped: the GPU model stops accepting work,
+// the alive set shrinks, and registered fail handlers run (in registration
+// order) so the active scheme can start recovery. Idempotent.
+func (s *System) markFailed(g int) {
+	if !s.alive[g] {
+		return
+	}
+	s.alive[g] = false
+	s.numAlive--
+	s.GPUs[g].Fail()
+	for _, h := range s.failHandlers {
+		h(g)
+	}
+}
+
+// OnGPUFail registers a handler invoked when a GPU is declared failed.
+// Schemes use this to trigger degraded-mode recovery.
+func (s *System) OnGPUFail(h func(g int)) {
+	s.failHandlers = append(s.failHandlers, h)
+}
+
+// Alive reports whether GPU g has not fail-stopped.
+func (s *System) Alive(g int) bool { return s.alive[g] }
+
+// NumAlive returns the number of GPUs that have not fail-stopped.
+func (s *System) NumAlive() int { return s.numAlive }
+
+// Failed returns the IDs of fail-stopped GPUs, ascending.
+func (s *System) Failed() []int {
+	var out []int
+	for g, ok := range s.alive {
+		if !ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ReassignTiles redistributes the tiles owned by the given failed GPUs
+// round-robin across the surviving GPUs, rebuilds the ownership masks, and
+// returns the adoption map (adopter GPU → tiles it inherited). The failed
+// GPUs' render targets are dropped — their modeled contents are lost with the
+// GPU — so a stale tile can never be scanned out.
+func (s *System) ReassignTiles(failed []int) map[int][]int {
+	if s.numAlive == 0 {
+		return nil
+	}
+	dead := make(map[int]bool, len(failed))
+	for _, g := range failed {
+		dead[g] = true
+		s.GPUs[g].DropTargets()
+	}
+	adopted := make(map[int][]int)
+	next := 0
+	for t := 0; t < s.tileCount; t++ {
+		if !dead[s.owners[t]] {
+			continue
+		}
+		for !s.alive[next%s.Cfg.NumGPUs] {
+			next++
+		}
+		a := next % s.Cfg.NumGPUs
+		next++
+		s.owners[t] = a
+		adopted[a] = append(adopted[a], t)
+	}
+	s.rebuildMasks()
+	return adopted
 }

@@ -6,6 +6,16 @@ import (
 	"chopin/internal/colorspace"
 )
 
+// newSys builds a system, failing the test on config errors.
+func newSys(t *testing.T, cfg Config, w, h int) *System {
+	t.Helper()
+	sys, err := New(cfg, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
 func TestDefaultConfigMatchesTable2(t *testing.T) {
 	cfg := DefaultConfig()
 	if cfg.NumGPUs != 8 {
@@ -23,7 +33,7 @@ func TestDefaultConfigMatchesTable2(t *testing.T) {
 }
 
 func TestNewSystemLayout(t *testing.T) {
-	sys := New(DefaultConfig(), 1280, 1024)
+	sys := newSys(t, DefaultConfig(), 1280, 1024)
 	if len(sys.GPUs) != 8 {
 		t.Fatalf("GPUs = %d", len(sys.GPUs))
 	}
@@ -36,7 +46,7 @@ func TestNewSystemLayout(t *testing.T) {
 }
 
 func TestMasksPartitionScreen(t *testing.T) {
-	sys := New(DefaultConfig(), 640, 480)
+	sys := newSys(t, DefaultConfig(), 640, 480)
 	owned := make([]int, sys.TileCount())
 	for g := 0; g < 8; g++ {
 		mask := sys.Mask(g)
@@ -60,7 +70,7 @@ func TestMasksPartitionScreen(t *testing.T) {
 }
 
 func TestOwnedDirtyTiles(t *testing.T) {
-	sys := New(DefaultConfig(), 640, 480)
+	sys := newSys(t, DefaultConfig(), 640, 480)
 	g := sys.GPUs[0]
 	fb := g.Target(0)
 	fb.ClearDirty()
@@ -78,7 +88,7 @@ func TestOwnedDirtyTiles(t *testing.T) {
 }
 
 func TestPixelCount(t *testing.T) {
-	sys := New(DefaultConfig(), 640, 480)
+	sys := newSys(t, DefaultConfig(), 640, 480)
 	// Tile 0 is full 64x64; the bottom-right tile is 64x(480-7*64)=64x32.
 	if got := sys.PixelCount([]int{0}); got != 64*64 {
 		t.Errorf("PixelCount(0) = %d", got)
@@ -93,7 +103,7 @@ func TestPixelCount(t *testing.T) {
 }
 
 func TestAssembleImagePicksOwners(t *testing.T) {
-	sys := New(DefaultConfig(), 256, 128) // 4x2 tiles, owners 0..7
+	sys := newSys(t, DefaultConfig(), 256, 128) // 4x2 tiles, owners 0..7
 	red := colorspace.Opaque(1, 0, 0)
 	// Each GPU paints a pixel in a tile it owns and one it does not.
 	for g, gp := range sys.GPUs {
@@ -113,13 +123,13 @@ func TestAssembleImagePicksOwners(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnZeroGPUs(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
+func TestNewRejectsBadConfig(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumGPUs = 0
-	New(cfg, 64, 64)
+	if _, err := New(cfg, 64, 64); err == nil {
+		t.Error("expected error for zero GPUs")
+	}
+	if _, err := New(DefaultConfig(), 0, 64); err == nil {
+		t.Error("expected error for zero width")
+	}
 }

@@ -2,11 +2,46 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 )
+
+// ErrEmptyTrace reports a trace file with no content at all (zero bytes or
+// only whitespace) — typically a capture that was interrupted before the
+// exporter wrote anything.
+var ErrEmptyTrace = errors.New("obs: empty trace file")
+
+// TruncatedTraceError reports a trace file that ends mid-JSON — a capture
+// cut off while the exporter was writing (crashed run, full disk).
+type TruncatedTraceError struct {
+	// Offset is the byte offset where the input gave out.
+	Offset int64
+	// Err is the underlying JSON error.
+	Err error
+}
+
+func (e *TruncatedTraceError) Error() string {
+	return fmt.Sprintf("obs: trace file truncated at byte %d: %v", e.Offset, e.Err)
+}
+
+// Unwrap returns the underlying JSON error.
+func (e *TruncatedTraceError) Unwrap() error { return e.Err }
+
+// classifyParseError wraps a JSON error, detecting truncation: a syntax
+// error at (or past) the end of input means the file ended mid-value.
+func classifyParseError(context string, size int, err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) && int(syn.Offset) >= size {
+		return &TruncatedTraceError{Offset: syn.Offset, Err: err}
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return &TruncatedTraceError{Offset: int64(size), Err: err}
+	}
+	return fmt.Errorf("obs: parsing %s: %w", context, err)
+}
 
 // LoadedEvent is one event parsed back from an exported trace file.
 type LoadedEvent struct {
@@ -42,14 +77,17 @@ func Load(r io.Reader) (*TraceFile, error) {
 	}
 	var raws []json.RawMessage
 	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" {
+		return nil, ErrEmptyTrace
+	}
 	if strings.HasPrefix(trimmed, "[") {
 		if err := json.Unmarshal(data, &raws); err != nil {
-			return nil, fmt.Errorf("obs: parsing trace array: %w", err)
+			return nil, classifyParseError("trace array", len(data), err)
 		}
 	} else {
 		var obj traceObject
 		if err := json.Unmarshal(data, &obj); err != nil {
-			return nil, fmt.Errorf("obs: parsing trace object: %w", err)
+			return nil, classifyParseError("trace object", len(data), err)
 		}
 		raws = obj.TraceEvents
 	}

@@ -13,6 +13,7 @@
 package raster
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -138,11 +139,13 @@ func (r *Renderer) Target() *framebuffer.Buffer { return r.fb }
 // SetTarget redirects subsequent draws into fb, which must have the same
 // dimensions as the current target (render-target switches preserve screen
 // geometry in this model).
-func (r *Renderer) SetTarget(fb *framebuffer.Buffer) {
+func (r *Renderer) SetTarget(fb *framebuffer.Buffer) error {
 	if fb.Width() != r.fb.Width() || fb.Height() != r.fb.Height() {
-		panic("raster: SetTarget dimension mismatch")
+		return fmt.Errorf("raster: SetTarget dimension mismatch: %d×%d vs %d×%d",
+			fb.Width(), fb.Height(), r.fb.Width(), r.fb.Height())
 	}
 	r.fb = fb
+	return nil
 }
 
 // SetProgram binds the shader program used by subsequent draws.
@@ -155,11 +158,13 @@ func (r *Renderer) SetTextures(texs []*texture.Texture) { r.texs = texs }
 // SetOwnership restricts rasterization to tiles t with own[t] true; nil
 // removes the restriction. The slice length must equal the target's tile
 // count.
-func (r *Renderer) SetOwnership(own []bool) {
+func (r *Renderer) SetOwnership(own []bool) error {
 	if own != nil && len(own) != r.tileCnt {
-		panic("raster: ownership length mismatch")
+		return fmt.Errorf("raster: ownership length mismatch: %d masks for %d tiles",
+			len(own), r.tileCnt)
 	}
 	r.own = own
+	return nil
 }
 
 // clipVert is a clip-space vertex with attributes, used during clipping.

@@ -47,7 +47,7 @@ func quadDraw(id int, c colorspace.RGBA, z float64, x0, y0, x1, y1 float64) prim
 
 func TestFullScreenQuadCoversEveryPixelOnce(t *testing.T) {
 	const w, h = 64, 64
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view, proj := orthoCams(w, h)
 
@@ -75,7 +75,7 @@ func TestSharedHorizontalEdgeNoDoubleCover(t *testing.T) {
 	// Two triangles sharing an exactly horizontal edge: additive blending
 	// would reveal double coverage as a brighter seam.
 	const w, h = 32, 32
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view, proj := orthoCams(w, h)
 
@@ -105,7 +105,7 @@ func TestSharedHorizontalEdgeNoDoubleCover(t *testing.T) {
 
 func TestDepthTestOcclusion(t *testing.T) {
 	const w, h = 16, 16
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view, proj := orthoCams(w, h)
 
@@ -128,7 +128,7 @@ func TestDepthTestOcclusion(t *testing.T) {
 
 func TestDepthTestBackToFront(t *testing.T) {
 	const w, h = 16, 16
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view, proj := orthoCams(w, h)
 
@@ -145,7 +145,7 @@ func TestDepthTestBackToFront(t *testing.T) {
 
 func TestLateZWhenEarlyDisabled(t *testing.T) {
 	const w, h = 8, 8
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	cfg := Config{EarlyZ: false}
 	r := New(fb, cfg)
 	view, proj := orthoCams(w, h)
@@ -166,7 +166,7 @@ func TestLateZWhenEarlyDisabled(t *testing.T) {
 
 func TestTransparentBlendOver(t *testing.T) {
 	const w, h = 8, 8
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view, proj := orthoCams(w, h)
 
@@ -194,7 +194,7 @@ func depthFor(z float64) float64 { return (z - 1) / 9 }
 
 func TestNearPlaneClipping(t *testing.T) {
 	const w, h = 16, 16
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view := vecmath.Identity()
 	proj := vecmath.Perspective(math.Pi/2, 1, 1, 100)
@@ -228,7 +228,7 @@ func TestNearPlaneClipping(t *testing.T) {
 
 func TestOwnershipRestrictsFragments(t *testing.T) {
 	const w, h = 128, 128 // 2×2 tiles
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view, proj := orthoCams(w, h)
 
@@ -253,7 +253,7 @@ func TestOwnershipRestrictsFragments(t *testing.T) {
 
 func TestTileFragsMatchTotal(t *testing.T) {
 	const w, h = 192, 128
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view, proj := orthoCams(w, h)
 	res := r.Draw(quadDraw(0, colorspace.Opaque(1, 1, 1), 3, 10, 10, 150, 100), view, proj)
@@ -271,7 +271,7 @@ func TestTileFragsMatchTotal(t *testing.T) {
 
 func TestRetainCulledFraction(t *testing.T) {
 	const w, h = 32, 32
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	cfg := DefaultConfig()
 	cfg.RetainCulledFraction = 1.0 // retain every culled fragment
 	r := New(fb, cfg)
@@ -312,7 +312,7 @@ func TestDrawResultAdd(t *testing.T) {
 
 func TestCustomPixelShader(t *testing.T) {
 	const w, h = 8, 8
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	r.SetProgram(shade.Program{
 		Vertex: shade.TransformVertex,
@@ -326,30 +326,26 @@ func TestCustomPixelShader(t *testing.T) {
 	}
 }
 
-func TestSetTargetAndMismatchPanics(t *testing.T) {
-	fb := framebuffer.New(8, 8)
+func TestSetTargetAndMismatchErrors(t *testing.T) {
+	fb := framebuffer.MustNew(8, 8)
 	r := New(fb, DefaultConfig())
-	fb2 := framebuffer.New(8, 8)
-	r.SetTarget(fb2)
+	fb2 := framebuffer.MustNew(8, 8)
+	if err := r.SetTarget(fb2); err != nil {
+		t.Fatalf("SetTarget same dims: %v", err)
+	}
 	if r.Target() != fb2 {
 		t.Error("SetTarget did not switch")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for mismatched target")
-		}
-	}()
-	r.SetTarget(framebuffer.New(16, 16))
+	if err := r.SetTarget(framebuffer.MustNew(16, 16)); err == nil {
+		t.Error("expected error for mismatched target")
+	}
 }
 
-func TestSetOwnershipLengthPanics(t *testing.T) {
-	r := New(framebuffer.New(128, 128), DefaultConfig())
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for wrong ownership length")
-		}
-	}()
-	r.SetOwnership(make([]bool, 3))
+func TestSetOwnershipLengthErrors(t *testing.T) {
+	r := New(framebuffer.MustNew(128, 128), DefaultConfig())
+	if err := r.SetOwnership(make([]bool, 3)); err == nil {
+		t.Error("expected error for wrong ownership length")
+	}
 }
 
 func TestProjectBounds(t *testing.T) {
@@ -398,7 +394,7 @@ func TestCoveredTiles(t *testing.T) {
 
 func TestDegenerateTriangleSkipped(t *testing.T) {
 	const w, h = 16, 16
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view, proj := orthoCams(w, h)
 	d := primitive.DrawCommand{
@@ -419,7 +415,7 @@ func TestPerspectiveCorrectDepthOrdering(t *testing.T) {
 	// A perspective camera looking at two quads: the nearer one must win
 	// regardless of draw order, exercising the depth interpolation path.
 	const w, h = 32, 32
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view := vecmath.LookAt(vecmath.Vec3{Z: 10}, vecmath.Vec3{}, vecmath.Vec3{Y: 1})
 	proj := vecmath.Perspective(math.Pi/3, 1, 1, 100)

@@ -34,14 +34,14 @@ func texturedQuad(texID int, w, h float64) primitive.DrawCommand {
 
 func TestTexturedDrawModulates(t *testing.T) {
 	const w, h = 64, 64
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	// A texture that is solid green: modulating white vertices gives green.
 	texels := make([]colorspace.RGBA, 16*16)
 	for i := range texels {
 		texels[i] = colorspace.Opaque(0, 1, 0)
 	}
-	r.SetTextures([]*texture.Texture{texture.New("green", 16, 16, texels)})
+	r.SetTextures([]*texture.Texture{texture.MustNew("green", 16, 16, texels)})
 
 	view := vecmath.Identity()
 	proj := vecmath.Orthographic(0, w, h, 0, 1, 10)
@@ -57,7 +57,7 @@ func TestTexturedDrawModulates(t *testing.T) {
 
 func TestUntexturedDrawNoSamples(t *testing.T) {
 	const w, h = 16, 16
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	view := vecmath.Identity()
 	proj := vecmath.Orthographic(0, w, h, 0, 1, 10)
@@ -74,7 +74,7 @@ func TestUntexturedDrawNoSamples(t *testing.T) {
 
 func TestTextureUVInterpolation(t *testing.T) {
 	const w, h = 64, 64
-	fb := framebuffer.New(w, h)
+	fb := framebuffer.MustNew(w, h)
 	r := New(fb, DefaultConfig())
 	// Half red, half blue vertically split texture.
 	texels := make([]colorspace.RGBA, 8*8)
@@ -87,7 +87,7 @@ func TestTextureUVInterpolation(t *testing.T) {
 			}
 		}
 	}
-	r.SetTextures([]*texture.Texture{texture.New("split", 8, 8, texels)})
+	r.SetTextures([]*texture.Texture{texture.MustNew("split", 8, 8, texels)})
 	view := vecmath.Identity()
 	proj := vecmath.Orthographic(0, w, h, 0, 1, 10)
 	r.Draw(texturedQuad(1, w, h), view, proj)

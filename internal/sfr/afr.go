@@ -1,6 +1,8 @@
 package sfr
 
 import (
+	"fmt"
+
 	"chopin/internal/colorspace"
 	"chopin/internal/exec"
 	"chopin/internal/framebuffer"
@@ -26,6 +28,14 @@ type SequenceStats struct {
 	Display []sim.Cycle
 	// TotalCycles is when the last frame displayed.
 	TotalCycles sim.Cycle
+	// FrameGPU[i] is the GPU that rendered frame i — after failover, the
+	// surviving GPU that re-rendered it (AFR only; nil for SFR sequences).
+	FrameGPU []int
+	// GPUsFailed counts GPUs that fail-stopped during the run;
+	// FramesReissued counts frames re-rendered on a survivor because their
+	// renderer failed mid-frame.
+	GPUsFailed     int
+	FramesReissued int
 }
 
 // Frames returns the sequence length.
@@ -71,44 +81,114 @@ func (s *SequenceStats) AvgLatency() float64 {
 // frame's latency is always a full single-GPU render, and display intervals
 // bunch up: better average frame rate, no better instantaneous frame rate
 // (paper Section I).
-func RunAFR(sys *multigpu.System, frames []*primitive.Frame) *SequenceStats {
+//
+// AFR recovers from GPU fail-stop naturally: frames not yet issued route to
+// a surviving GPU at issue time, and a frame in flight on the failed GPU is
+// re-rendered from scratch on a survivor (the frame's state is just its own
+// command stream). SequenceStats records the failover activity.
+func RunAFR(sys *multigpu.System, frames []*primitive.Frame) (*SequenceStats, error) {
 	st := &SequenceStats{
 		Scheme:     "AFR",
 		IssueStart: make([]sim.Cycle, len(frames)),
 		Complete:   make([]sim.Cycle, len(frames)),
 		Display:    make([]sim.Cycle, len(frames)),
+		FrameGPU:   make([]int, len(frames)),
 	}
 	if len(frames) == 0 {
-		return st
+		return st, nil
 	}
 	ex := exec.NewSequence(sys)
 	eng := sys.Eng
 	n := sys.Cfg.NumGPUs
 	driver := sim.Cycle(sys.Cfg.DriverCyclesPerDraw)
 	for _, gp := range sys.GPUs {
-		gp.SetOwnership(nil) // AFR renders whole frames per GPU
+		_ = gp.SetOwnership(nil) // AFR renders whole frames per GPU
 		gp.SetTextures(frames[0].Textures)
 	}
 
+	var failErr error
+	done := make([]bool, len(frames))
+	issued := make([]bool, len(frames))
+	gen := make([]int, len(frames)) // reissue generation; stale completions are ignored
+
+	pickAlive := func(prefer int) int {
+		for off := 0; off < n; off++ {
+			if g := (prefer + off) % n; sys.Alive(g) {
+				return g
+			}
+		}
+		return -1
+	}
+
+	// render issues frame fi's full command stream on GPU g, starting from a
+	// cleared framebuffer (also the re-render path after a failover).
+	render := func(fi, g int) {
+		fr := frames[fi]
+		st.FrameGPU[fi] = g
+		issued[fi] = true
+		if len(fr.Draws) == 0 {
+			// Nothing to render: Complete keeps its zero value.
+			done[fi] = true
+			return
+		}
+		myGen := gen[fi]
+		gp := sys.GPUs[g]
+		bar := exec.NewBarrier(func() {
+			if gen[fi] != myGen {
+				return // superseded by a failover re-render
+			}
+			done[fi] = true
+			st.Complete[fi] = eng.Now()
+		})
+		bar.Add(len(fr.Draws))
+		bar.Seal()
+		gp.Target(0).Clear(colorspace.Transparent, framebuffer.ClearDepth)
+		ex.IssueDraws(0, len(fr.Draws), func(i int) {
+			gp.SubmitDraw(fr.Draws[i], fr.View, fr.Proj, gpu.DrawOpts{
+				OnDone: func(*raster.DrawResult) { bar.Done() },
+			})
+		})
+	}
+
+	sys.OnGPUFail(func(g int) {
+		st.GPUsFailed++
+		for fi := range frames {
+			if !issued[fi] || done[fi] || st.FrameGPU[fi] != g {
+				continue
+			}
+			// The frame in flight on the failed GPU is lost; re-render it on
+			// a survivor.
+			target := pickAlive((g + 1) % n)
+			if target < 0 {
+				if failErr == nil {
+					failErr = fmt.Errorf("sfr: all %d GPUs failed; cannot re-render frame %d", n, fi)
+				}
+				eng.Halt()
+				return
+			}
+			gen[fi]++
+			st.FramesReissued++
+			fi := fi
+			eng.After(0, func() { render(fi, target) })
+		}
+	})
+
 	issue := sim.Cycle(0)
 	for fi, fr := range frames {
-		fi, fr := fi, fr
-		g := sys.GPUs[fi%n]
+		fi := fi
 		st.IssueStart[fi] = issue
-		bar := exec.NewBarrier(func() { st.Complete[fi] = eng.Now() })
-		bar.Add(len(fr.Draws))
-		if len(fr.Draws) > 0 {
-			// An empty frame stays unsealed so Complete keeps its zero value.
-			bar.Seal()
-		}
 		eng.At(issue, func() {
-			// A new frame on this GPU starts from a cleared framebuffer.
-			g.Target(0).Clear(colorspace.Transparent, framebuffer.ClearDepth)
-			ex.IssueDraws(0, len(fr.Draws), func(i int) {
-				g.SubmitDraw(fr.Draws[i], fr.View, fr.Proj, gpu.DrawOpts{
-					OnDone: func(*raster.DrawResult) { bar.Done() },
-				})
-			})
+			// Route to a live GPU at issue time: the preferred round-robin
+			// GPU may have failed since the schedule was laid out.
+			g := pickAlive(fi % n)
+			if g < 0 {
+				if failErr == nil {
+					failErr = fmt.Errorf("sfr: all %d GPUs failed; cannot issue frame %d", n, fi)
+				}
+				eng.Halt()
+				return
+			}
+			render(fi, g)
 		})
 		// The CPU can begin submitting the next frame once this frame's
 		// command stream has been issued.
@@ -127,14 +207,21 @@ func RunAFR(sys *multigpu.System, frames []*primitive.Frame) *SequenceStats {
 		prev = d
 	}
 	st.TotalCycles = prev
-	return st
+	if failErr == nil && eng.Canceled() {
+		failErr = &exec.CanceledError{At: eng.Now()}
+	}
+	if failErr == nil {
+		failErr = sys.Fabric.Err()
+	}
+	return st, failErr
 }
 
 // RunSFRSequence renders the frames one after another under any
 // single-frame SFR scheme, accumulating the per-frame times: SFR's frame
 // latency equals its frame interval, so instantaneous and average frame
-// rates coincide.
-func RunSFRSequence(cfg multigpu.Config, scheme Scheme, frames []*primitive.Frame) *SequenceStats {
+// rates coincide. It stops at the first frame whose simulation fails,
+// returning the partial sequence alongside the error.
+func RunSFRSequence(cfg multigpu.Config, scheme Scheme, frames []*primitive.Frame) (*SequenceStats, error) {
 	st := &SequenceStats{
 		Scheme:     scheme.Name(),
 		IssueStart: make([]sim.Cycle, len(frames)),
@@ -143,13 +230,19 @@ func RunSFRSequence(cfg multigpu.Config, scheme Scheme, frames []*primitive.Fram
 	}
 	var clock sim.Cycle
 	for i, fr := range frames {
-		sys := multigpu.New(cfg, fr.Width, fr.Height)
-		fs := scheme.Run(sys, fr)
+		sys, err := multigpu.New(cfg, fr.Width, fr.Height)
+		if err != nil {
+			return st, err
+		}
+		fs, err := scheme.Run(sys, fr)
+		if err != nil {
+			return st, fmt.Errorf("frame %d: %w", i, err)
+		}
 		st.IssueStart[i] = clock
 		clock += fs.TotalCycles
 		st.Complete[i] = clock
 		st.Display[i] = clock
 	}
 	st.TotalCycles = clock
-	return st
+	return st, nil
 }

@@ -28,8 +28,11 @@ func TestAFRBasicProperties(t *testing.T) {
 	b, _ := trace.ByName("cod2")
 	seq := trace.GenerateSequence(b, 0.03, 6)
 	cfg := testConfig(4)
-	sys := newSysFor(cfg, seq)
-	st := RunAFR(sys, seq)
+	sys := newSysFor(t, cfg, seq)
+	st, err := RunAFR(sys, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if st.Frames() != 6 {
 		t.Fatalf("frames = %d", st.Frames())
@@ -55,8 +58,13 @@ func TestAFRBasicProperties(t *testing.T) {
 }
 
 // newSysFor builds a system sized for the sequence's resolution.
-func newSysFor(cfg multigpu.Config, seq []*primitive.Frame) *multigpu.System {
-	return multigpu.New(cfg, seq[0].Width, seq[0].Height)
+func newSysFor(t *testing.T, cfg multigpu.Config, seq []*primitive.Frame) *multigpu.System {
+	t.Helper()
+	sys, err := multigpu.New(cfg, seq[0].Width, seq[0].Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
 }
 
 // TestAFRVsSFRTradeoffs checks the paper's Section I claims: AFR has a
@@ -67,9 +75,15 @@ func TestAFRVsSFRTradeoffs(t *testing.T) {
 	seq := trace.GenerateSequence(b, 0.05, 8)
 	cfg := testConfig(4)
 
-	sys := newSysFor(cfg, seq)
-	afr := RunAFR(sys, seq)
-	chop := RunSFRSequence(cfg, CHOPIN{}, seq)
+	sys := newSysFor(t, cfg, seq)
+	afr, err := RunAFR(sys, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chop, err := RunSFRSequence(cfg, CHOPIN{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if afr.AvgFrameInterval() >= chop.AvgFrameInterval() {
 		t.Errorf("AFR avg interval (%v) should beat sequential SFR (%v)",
@@ -84,7 +98,10 @@ func TestAFRVsSFRTradeoffs(t *testing.T) {
 func TestSFRSequenceUniformIntervals(t *testing.T) {
 	b, _ := trace.ByName("cod2")
 	seq := trace.GenerateSequence(b, 0.03, 3)
-	st := RunSFRSequence(testConfig(2), Duplication{}, seq)
+	st, err := RunSFRSequence(testConfig(2), Duplication{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// For SFR, latency equals the frame interval (no overlap): display gaps
 	// equal per-frame durations exactly.
 	for i := range st.Complete {

@@ -67,6 +67,7 @@ type chopinRun struct {
 
 	sched core.DrawScheduler
 	ll    *core.LeastLoadedScheduler // non-nil when the Fig. 10 scheduler is used
+	cs    *core.CompositionScheduler // non-nil when the Fig. 11 scheduler is used
 
 	steps   []core.Step
 	stepIdx int    // 1-based index of the executing step (scheduler epoch)
@@ -76,10 +77,16 @@ type chopinRun struct {
 	// cumDirty[g][rt] records owned tiles of g ever dirtied, surviving the
 	// per-group ClearDirty, for consistency-sync payloads.
 	cumDirty []map[int]map[int]bool
+
+	// failedPending holds GPUs declared failed since the last recovery
+	// checkpoint; touchedRTs tracks the render targets the frame has drawn
+	// into, so recovery knows what to repair.
+	failedPending []int
+	touchedRTs    map[int]bool
 }
 
 // Run implements Scheme.
-func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
+func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStats, error) {
 	if c.Reorder {
 		reordered := *fr
 		reordered.Draws = core.Reorder(fr.Draws)
@@ -100,6 +107,13 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats
 		r.ll = core.NewLeastLoaded(sys.GPUs, sys.Cfg.SchedulerQuantum, sys.Cfg.Link.LatencyCycles)
 		r.sched = r.ll
 	}
+	if sys.Cfg.UseCompScheduler {
+		cs, err := core.NewCompositionScheduler(r.n)
+		if err != nil {
+			return nil, err
+		}
+		r.cs = cs
+	}
 	r.steps = core.Plan(fr.Draws, sys.Cfg.GroupThreshold)
 	if r.n == 1 {
 		// A 1-GPU system has nothing to compose: every group renders
@@ -118,22 +132,116 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats
 	for g := range r.cumDirty {
 		r.cumDirty[g] = map[int]map[int]bool{}
 	}
+	r.touchedRTs = map[int]bool{}
 	if len(fr.Draws) > 0 {
 		r.prevRT = fr.Draws[0].State.RenderTarget
 	}
+	sys.OnGPUFail(func(g int) { r.failedPending = append(r.failedPending, g) })
 
-	r.ex.Sequence(len(r.steps), r.step)
-	r.ex.Run()
+	// One virtual step past the last group gives failures after the final
+	// group a recovery checkpoint before the image is assembled.
+	r.ex.Sequence(len(r.steps)+1, r.step)
+	err := r.ex.Run()
 	finishStats(st, sys, fr)
 	// Draw-scheduler status updates (Section VI-D), accounted analytically.
 	if r.ll != nil {
 		st.ControlBytes += core.UpdateTrafficBytes(st.Triangles, sys.Cfg.SchedulerQuantum)
 	}
-	return st
+	if err == nil {
+		err = sys.Fabric.Err()
+	}
+	return st, err
+}
+
+// nextAlive returns the first alive GPU at or after g (wrapping), for
+// remapping scheduler assignments away from failed GPUs.
+func (r *chopinRun) nextAlive(g int) int {
+	for off := 0; off < r.n; off++ {
+		if cand := (g + off) % r.n; r.sys.Alive(cand) {
+			return cand
+		}
+	}
+	return g
+}
+
+// recoverFailed is the degraded-mode checkpoint run at each step boundary
+// (paper-model extension; see DESIGN.md §7): if GPUs failed since the last
+// checkpoint, their screen tiles are reassigned round-robin to survivors,
+// the adopted tiles are cleared, and each adopter re-renders the frame's
+// draws [0, boundary) restricted to its adopted tiles — reproducing exactly
+// the sequential reference pixels for those tiles. then runs once recovery
+// (if any) completes.
+func (r *chopinRun) recoverFailed(boundary int, then func()) {
+	if len(r.failedPending) == 0 {
+		then()
+		return
+	}
+	failed := r.failedPending
+	r.failedPending = nil
+	if r.sys.NumAlive() == 0 {
+		r.ex.Fail(fmt.Errorf("sfr: all %d GPUs failed; cannot recover frame", r.n))
+		return
+	}
+	t := r.ex.StartPhase(stats.PhaseRecovery)
+	adopted := r.sys.ReassignTiles(failed)
+	for _, g := range failed {
+		// A dead GPU owns nothing: its pending sync payloads vanish with it.
+		r.cumDirty[g] = map[int]map[int]bool{}
+	}
+	rts := make([]int, 0, len(r.touchedRTs))
+	for rt := range r.touchedRTs {
+		rts = append(rts, rt)
+	}
+	sort.Ints(rts)
+
+	bar := r.ex.TracedBarrier("degraded re-render", func() {
+		for a := range adopted {
+			for _, rt := range rts {
+				r.foldDirty(a, rt)
+			}
+			// The group body that follows re-establishes ownership.
+			_ = r.sys.GPUs[a].SetOwnership(nil)
+		}
+		t.Stop()
+		then()
+	})
+	reDraws := 0
+	adopters := make([]int, 0, len(adopted))
+	for a := range adopted {
+		adopters = append(adopters, a)
+	}
+	sort.Ints(adopters)
+	for _, a := range adopters {
+		tiles := adopted[a]
+		gp := r.sys.GPUs[a]
+		mask := make([]bool, r.sys.TileCount())
+		for _, tl := range tiles {
+			mask[tl] = true
+			for _, rt := range rts {
+				gp.Target(rt).ClearTile(tl)
+			}
+		}
+		// Masks are built to the tile count; cannot mismatch.
+		_ = gp.SetOwnership(mask)
+		reDraws += boundary
+	}
+	bar.Add(reDraws)
+	for _, a := range adopters {
+		gp := r.sys.GPUs[a]
+		r.ex.IssueDraws(0, boundary, func(i int) {
+			gp.SubmitDraw(r.fr.Draws[i], r.fr.View, r.fr.Proj, gpu.DrawOpts{
+				OnDone: func(*raster.DrawResult) { bar.Done() },
+			})
+		})
+	}
+	// SealDeferred keeps the release on a fresh event even when there was
+	// nothing to re-render (failure before any draws were issued).
+	bar.SealDeferred(r.sys.Eng)
 }
 
 // foldDirty accumulates g's currently dirty owned tiles of rt into the
-// cumulative set.
+// cumulative set, under the system's current — possibly remapped — tile
+// ownership.
 func (r *chopinRun) foldDirty(g, rt int) {
 	fb := r.sys.GPUs[g].Target(rt)
 	set := r.cumDirty[g][rt]
@@ -141,8 +249,8 @@ func (r *chopinRun) foldDirty(g, rt int) {
 		set = map[int]bool{}
 		r.cumDirty[g][rt] = set
 	}
-	for t := g; t < r.sys.TileCount(); t += r.n {
-		if fb.Dirty(t) {
+	for t := 0; t < r.sys.TileCount(); t++ {
+		if r.sys.Owner(t) == g && fb.Dirty(t) {
 			set[t] = true
 		}
 	}
@@ -168,13 +276,20 @@ func (r *chopinRun) clearSync(rt int) {
 }
 
 // step executes composition group i, inserting a consistency sync at
-// render-target switches (paper Section V). It is the body of the runtime's
-// step sequence; the group's completion path invokes r.next.
+// render-target switches (paper Section V) and a degraded-mode recovery
+// checkpoint when GPUs failed since the previous step. It is the body of the
+// runtime's step sequence; the group's completion path invokes r.next. Step
+// len(steps) is virtual: a final recovery checkpoint with no group body.
 func (r *chopinRun) step(i int, next func()) {
 	r.next = next
+	if i == len(r.steps) {
+		r.recoverFailed(len(r.fr.Draws), next)
+		return
+	}
 	r.stepIdx = i + 1
 	step := r.steps[i]
 	rt := r.fr.Draws[step.Group.Start].State.RenderTarget
+	r.touchedRTs[rt] = true
 	if r.ex.Tracer() != nil {
 		kind := "opaque"
 		switch {
@@ -196,26 +311,30 @@ func (r *chopinRun) step(i int, next func()) {
 			r.opaqueGroup(step.Group, rt)
 		}
 	}
-	if rt != r.prevRT {
-		old := r.prevRT
-		r.prevRT = rt
-		t := r.ex.StartPhase(stats.PhaseSync)
-		r.ex.SyncTarget(old, func(src int) []int { return r.syncTiles(src, old) }, func() {
-			r.clearSync(old)
-			t.Stop()
-			execute()
-		})
-		return
+	body := func() {
+		if rt != r.prevRT {
+			old := r.prevRT
+			r.prevRT = rt
+			t := r.ex.StartPhase(stats.PhaseSync)
+			r.ex.SyncTarget(old, func(src int) []int { return r.syncTiles(src, old) }, func() {
+				r.clearSync(old)
+				t.Stop()
+				execute()
+			})
+			return
+		}
+		execute()
 	}
-	execute()
+	r.recoverFailed(step.Group.Start, body)
 }
 
 // duplicateGroup runs a below-threshold group the conventional way: every
-// GPU executes every draw with its tile-ownership mask (Fig. 7 step Ë).
+// live GPU executes every draw with its tile-ownership mask (Fig. 7 step Ë).
 func (r *chopinRun) duplicateGroup(grp primitive.Group, rt int) {
 	phase := r.ex.StartPhase(stats.PhaseNormal)
 	for g, gp := range r.sys.GPUs {
-		gp.SetOwnership(r.sys.Mask(g))
+		// System masks match the tile count by construction.
+		_ = gp.SetOwnership(r.sys.Mask(g))
 	}
 	if r.ll != nil {
 		r.ll.NoteDuplicated(grp.Triangles)
@@ -224,15 +343,23 @@ func (r *chopinRun) duplicateGroup(grp primitive.Group, rt int) {
 		phase.Stop()
 		r.next()
 	})
-	bar.Add(grp.Len() * r.n)
-	bar.Seal()
+	// Registered per submission (not len×N upfront) so a GPU failing between
+	// issues shrinks the expected count instead of wedging the barrier.
+	last := grp.End - 1
 	r.ex.IssueDraws(grp.Start, grp.End, func(i int) {
 		d := r.fr.Draws[i]
 		for g := 0; g < r.n; g++ {
+			if !r.sys.Alive(g) {
+				continue
+			}
+			bar.Add(1)
 			r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
 				RecordTiming: r.sys.Cfg.RecordPerDraw && g == 0,
 				OnDone:       func(*raster.DrawResult) { bar.Done() },
 			})
+		}
+		if i == last {
+			bar.Seal()
 		}
 	})
 }
@@ -253,7 +380,7 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 	}
 
 	for g, gp := range r.sys.GPUs {
-		gp.SetOwnership(nil) // distributed draws render the full screen
+		_ = gp.SetOwnership(nil) // distributed draws render the full screen
 		r.foldDirty(g, rt)
 		gp.Target(rt).ClearDirty()
 		r.sys.Fabric.SetAccept(g, false)
@@ -264,9 +391,9 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 	readyCount := 0
 	driverDone := false
 
-	var cs *core.CompositionScheduler
-	if r.sys.Cfg.UseCompScheduler {
-		cs = core.NewCompositionScheduler(r.n)
+	cs := r.cs
+	if cs != nil {
+		cs.Reset()
 	}
 	// Naive direct-send bookkeeping: total directed transfers required.
 	naiveRemaining := r.n * (r.n - 1)
@@ -316,7 +443,10 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 			tiles, px := region(s.Sender, s.Receiver)
 			if px == 0 {
 				eng.After(0, func() {
-					cs.Complete(s)
+					if err := cs.Complete(s); err != nil {
+						r.ex.Fail(err)
+						return
+					}
 					maybeGroupEnd()
 					pumpScheduled()
 				})
@@ -325,7 +455,10 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 			pendingMerges++
 			bytes := int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
 			r.sys.Fabric.Send(s.Sender, s.Receiver, bytes, interconnect.ClassComposition, func() {
-				cs.Complete(s)
+				if err := cs.Complete(s); err != nil {
+					r.ex.Fail(err)
+					return
+				}
 				r.sys.GPUs[s.Receiver].SubmitMerge(px, applyMerge(s.Sender, s.Receiver, tiles), func() {
 					pendingMerges--
 					maybeGroupEnd()
@@ -377,6 +510,11 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 	r.ex.IssueDraws(grp.Start, grp.End, func(i int) {
 		d := r.fr.Draws[i]
 		g := r.sched.Assign(d.TriangleCount(), eng.Now())
+		if !r.sys.Alive(g) {
+			// Remap assignments away from failed GPUs (the driver stops
+			// dispatching to a dead GPU as soon as failure is detected).
+			g = r.nextAlive(g)
+		}
 		outstanding[g]++
 		r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
 			RecordTiming: r.sys.Cfg.RecordPerDraw && g == 0,
@@ -422,16 +560,36 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 	layers := make([]*framebuffer.Buffer, r.n)
 	saved := make([]*framebuffer.Buffer, r.n)
 	for g, gp := range r.sys.GPUs {
-		gp.SetOwnership(nil)
+		_ = gp.SetOwnership(nil)
 		saved[g] = gp.Target(rt)
 		layer := saved[g].Clone()
 		layer.FillColor(colorspace.Transparent)
 		layer.ClearDirty()
 		layers[g] = layer
-		gp.SetTarget(rt, layer)
+		// The layer is a clone of the GPU's own target: same dimensions.
+		_ = gp.SetTarget(rt, layer)
 	}
 
-	chunks := core.DivideRange(r.fr.Draws, grp.Start, grp.End, r.n)
+	// Distribute the draw range over the live GPUs only; failed GPUs get an
+	// empty chunk (their empty layer merges away logically).
+	aliveList := make([]int, 0, r.n)
+	for g := 0; g < r.n; g++ {
+		if r.sys.Alive(g) {
+			aliveList = append(aliveList, g)
+		}
+	}
+	aliveChunks, err := core.DivideRange(r.fr.Draws, grp.Start, grp.End, max(1, len(aliveList)))
+	if err != nil {
+		r.ex.Fail(err)
+		return
+	}
+	chunks := make([][2]int, r.n)
+	for g := range chunks {
+		chunks[g] = [2]int{grp.Start, grp.Start}
+	}
+	for j, g := range aliveList {
+		chunks[g] = aliveChunks[j]
+	}
 	if r.ll != nil {
 		for g, c := range chunks {
 			tris := 0
@@ -449,7 +607,7 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 
 	groupEnd := func() {
 		for g, gp := range r.sys.GPUs {
-			gp.SetTarget(rt, saved[g])
+			_ = gp.SetTarget(rt, saved[g])
 			r.foldDirty(g, rt)
 		}
 		r.ex.AttributePhases(phaseStart, []exec.Mark{
@@ -465,8 +623,8 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 		bar := r.ex.TracedBarrier("background merge", groupEnd)
 		for owner := 0; owner < r.n; owner++ {
 			var tiles []int
-			for t := owner; t < r.sys.TileCount(); t += r.n {
-				if layer.Dirty(t) {
+			for t := 0; t < r.sys.TileCount(); t++ {
+				if r.sys.Owner(t) == owner && layer.Dirty(t) {
 					tiles = append(tiles, t)
 				}
 			}
@@ -498,7 +656,8 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 		if tc.Done() {
 			holder, ok := tc.FinalHolder()
 			if !ok {
-				panic("sfr: transparent composition lost its holder")
+				r.ex.Fail(fmt.Errorf("sfr: transparent composition lost its holder"))
+				return
 			}
 			backgroundMerge(holder)
 			return
@@ -511,7 +670,10 @@ func (r *chopinRun) transparentBody(grp primitive.Group, rt int, op colorspace.B
 				px += src.TilePixelCount(t)
 			}
 			finish := func() {
-				tc.Complete(m)
+				if err := tc.Complete(m); err != nil {
+					r.ex.Fail(err)
+					return
+				}
 				pump()
 			}
 			apply := func() {

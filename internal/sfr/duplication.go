@@ -21,7 +21,7 @@ type Duplication struct{}
 func (Duplication) Name() string { return "Duplication" }
 
 // Run implements Scheme.
-func (Duplication) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
+func (Duplication) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStats, error) {
 	r := exec.New("Duplication", sys, fr)
 	r.OwnTiles()
 	n := sys.Cfg.NumGPUs
@@ -44,7 +44,5 @@ func (Duplication) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSt
 			}
 		})
 	})
-	r.Run()
-	finishStats(r.St, sys, fr)
-	return r.St
+	return finishRun(r, sys, fr)
 }

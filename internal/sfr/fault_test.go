@@ -1,0 +1,264 @@
+package sfr
+
+import (
+	"errors"
+	"testing"
+
+	"chopin/internal/fault"
+	"chopin/internal/multigpu"
+	"chopin/internal/obs"
+	"chopin/internal/primitive"
+	"chopin/internal/stats"
+)
+
+// failPlanAt returns a plan that fail-stops one GPU at the given cycle.
+func failPlanAt(gpu int, at int64) *fault.Plan {
+	return &fault.Plan{Seed: 1, GPUs: []fault.GPUFault{{GPU: gpu, At: at, Fail: true}}}
+}
+
+// midFrameCycle runs the scheme fault-free and returns the frame midpoint —
+// a cycle guaranteed to land inside the frame's working interval.
+func midFrameCycle(t *testing.T, s Scheme, cfg multigpu.Config, fr *primitive.Frame) int64 {
+	t.Helper()
+	_, st := runScheme(t, s, cfg, fr)
+	return int64(st.TotalCycles / 2)
+}
+
+// TestCHOPINMidFrameGPUFailureGolden is the degraded-mode acceptance test: a
+// GPU fail-stops halfway through a CHOPIN frame, survivors adopt its screen
+// tiles and re-render them, and the assembled image is still pixel-identical
+// to the sequential reference — with the recovery cost visible in the stats.
+func TestCHOPINMidFrameGPUFailureGolden(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(4)
+	ref := ReferenceImages(fr, cfg.Raster)[0]
+	mid := midFrameCycle(t, CHOPIN{}, cfg, fr)
+
+	cfg.Faults = failPlanAt(1, mid)
+	sys, st := runScheme(t, CHOPIN{}, cfg, fr)
+	if st.GPUsFailed != 1 {
+		t.Fatalf("GPUsFailed = %d, want 1", st.GPUsFailed)
+	}
+	if st.RecoveryCycles <= 0 {
+		t.Error("mid-frame failure recovered for free: RecoveryCycles = 0")
+	}
+	if st.RecoveryCycles != st.Phase(stats.PhaseRecovery) {
+		t.Errorf("RecoveryCycles = %d, PhaseRecovery = %d; must agree",
+			st.RecoveryCycles, st.Phase(stats.PhaseRecovery))
+	}
+	img := sys.AssembleImage(0)
+	if !img.Equal(ref, 1e-9) {
+		t.Fatalf("recovered image differs from reference in %d of %d pixels",
+			img.DiffCount(ref, 1e-9), fr.Width*fr.Height)
+	}
+	// The failed GPU's tiles were adopted: no assembled tile may come from it.
+	for tl := 0; tl < sys.TileCount(); tl++ {
+		if sys.Owner(tl) == 1 {
+			t.Fatalf("tile %d still owned by the failed GPU", tl)
+		}
+	}
+	if !sys.Alive(0) || sys.Alive(1) || sys.NumAlive() != 3 {
+		t.Errorf("alive set wrong: NumAlive=%d Failed=%v", sys.NumAlive(), sys.Failed())
+	}
+}
+
+// TestCHOPINEarlyFailureGolden fail-stops a GPU before any draw has been
+// issued: every tile it owned must re-render from the full draw range.
+func TestCHOPINEarlyFailureGolden(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(4)
+	ref := ReferenceImages(fr, cfg.Raster)[0]
+	cfg.Faults = failPlanAt(0, 1)
+	sys, st := runScheme(t, CHOPIN{}, cfg, fr)
+	if st.GPUsFailed != 1 {
+		t.Fatalf("GPUsFailed = %d, want 1", st.GPUsFailed)
+	}
+	if img := sys.AssembleImage(0); !img.Equal(ref, 1e-9) {
+		t.Fatalf("image after early failure differs in %d pixels", img.DiffCount(ref, 1e-9))
+	}
+}
+
+// TestUnsupportedSchemesSurfaceTypedError: schemes without degraded-mode
+// support fail with the typed error naming the scheme and the dead GPUs.
+func TestUnsupportedSchemesSurfaceTypedError(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	for _, s := range []Scheme{Duplication{}, GPUpd{}, SortMiddle{}} {
+		cfg := testConfig(4)
+		mid := midFrameCycle(t, s, cfg, fr)
+		cfg.Faults = failPlanAt(2, mid)
+		sys, err := multigpu.New(cfg, fr.Width, fr.Height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Run(sys, fr)
+		var ud *UnsupportedDegradedError
+		if !errors.As(err, &ud) {
+			t.Errorf("%s: Run() = %v, want *UnsupportedDegradedError", s.Name(), err)
+			continue
+		}
+		if ud.Scheme != s.Name() || len(ud.Failed) != 1 || ud.Failed[0] != 2 {
+			t.Errorf("%s: error detail = %+v", s.Name(), ud)
+		}
+	}
+}
+
+// TestCHOPINRetryMasksTransferFaults: probabilistic drops and corruptions
+// under the retry protocol must be invisible to the rendered image, with the
+// recovery activity accounted in FrameStats.Faults.
+func TestCHOPINRetryMasksTransferFaults(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(4)
+	ref := ReferenceImages(fr, cfg.Raster)[0]
+	cfg.Faults = &fault.Plan{Seed: 5, Transfers: []fault.TransferRule{{
+		Class: fault.Any, Src: fault.Any, Dst: fault.Any,
+		Drop: 0.05, Corrupt: 0.03, Duplicate: 0.02,
+	}}}
+	sys, st := runScheme(t, CHOPIN{}, cfg, fr)
+	if img := sys.AssembleImage(0); !img.Equal(ref, 1e-9) {
+		t.Fatalf("image under transfer faults differs in %d pixels", img.DiffCount(ref, 1e-9))
+	}
+	if st.Faults.Total() == 0 {
+		t.Error("5%/3%/2% fault rates injected nothing")
+	}
+	if st.Faults.Drops > 0 && st.Faults.Retries == 0 {
+		t.Errorf("drops with no retries: %+v", st.Faults)
+	}
+	if st.Faults.Lost != 0 {
+		t.Errorf("transfers lost despite the retry budget: %+v", st.Faults)
+	}
+}
+
+// TestFaultCountersReachFrameStats: the per-class interconnect counters
+// aggregate into the frame's FaultStats.
+func TestFaultCountersReachFrameStats(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(4)
+	cfg.Faults = &fault.Plan{Seed: 11, Transfers: []fault.TransferRule{{
+		Class: fault.Any, Src: fault.Any, Dst: fault.Any, Delay: 0.2, DelayCycles: 300,
+	}}}
+	_, st := runScheme(t, CHOPIN{}, cfg, fr)
+	if st.Faults.Delays == 0 {
+		t.Errorf("20%% delay rate recorded nothing: %+v", st.Faults)
+	}
+	if st.Faults.Total() != st.Faults.Drops+st.Faults.Corrupts+st.Faults.Duplicates+st.Faults.Delays {
+		t.Errorf("Total() inconsistent: %+v", st.Faults)
+	}
+}
+
+// TestAFRFailoverReissuesFrames: a GPU failing mid-sequence loses its
+// in-flight frame; AFR re-renders it on a survivor and later frames route
+// around the dead GPU at issue time.
+func TestAFRFailoverReissuesFrames(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	frames := []*primitive.Frame{fr, fr, fr, fr}
+	cfg := testConfig(2)
+
+	// Baseline to find a cycle where GPU 0 has a frame in flight.
+	sys, err := multigpu.New(cfg, fr.Width, fr.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunAFR(sys, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := int64((base.IssueStart[0] + base.Complete[0]) / 2)
+
+	cfg.Faults = failPlanAt(0, mid)
+	sys, err = multigpu.New(cfg, fr.Width, fr.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunAFR(sys, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GPUsFailed != 1 {
+		t.Fatalf("GPUsFailed = %d, want 1", st.GPUsFailed)
+	}
+	if st.FramesReissued == 0 {
+		t.Error("no frame reissued despite an in-flight failure")
+	}
+	for i, g := range st.FrameGPU {
+		if g == 0 && st.Complete[i] > mid {
+			t.Errorf("frame %d completed on the dead GPU at %d (failed at %d)", i, st.Complete[i], mid)
+		}
+	}
+	if st.TotalCycles <= base.TotalCycles {
+		t.Errorf("failover run (%d cycles) not slower than baseline (%d)", st.TotalCycles, base.TotalCycles)
+	}
+}
+
+// TestAFRAllGPUsFailedErrors: losing every GPU is unrecoverable and must
+// surface as an error, not a hang.
+func TestAFRAllGPUsFailedErrors(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(2)
+	cfg.Faults = &fault.Plan{Seed: 1, GPUs: []fault.GPUFault{
+		{GPU: 0, At: 10, Fail: true}, {GPU: 1, At: 20, Fail: true},
+	}}
+	sys, err := multigpu.New(cfg, fr.Width, fr.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAFR(sys, []*primitive.Frame{fr, fr}); err == nil {
+		t.Fatal("RunAFR succeeded with every GPU dead")
+	}
+}
+
+// TestCHOPINAllGPUsFailedErrors: same for the SFR recovery path.
+func TestCHOPINAllGPUsFailedErrors(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(2)
+	cfg.Faults = &fault.Plan{Seed: 1, GPUs: []fault.GPUFault{
+		{GPU: 0, At: 10, Fail: true}, {GPU: 1, At: 20, Fail: true},
+	}}
+	sys, err := multigpu.New(cfg, fr.Width, fr.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (CHOPIN{}).Run(sys, fr); err == nil {
+		t.Fatal("CHOPIN succeeded with every GPU dead")
+	}
+}
+
+// TestRecoveryVisibleInTimeline: a traced run of a mid-frame failure emits
+// recovery-phase spans whose total matches RecoveryCycles, and fault instants
+// appear on the fabric tracks — the timeline tells the recovery story.
+func TestRecoveryVisibleInTimeline(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(4)
+	mid := midFrameCycle(t, CHOPIN{}, cfg, fr)
+	tr := obs.New()
+	cfg.Tracer = tr
+	cfg.Faults = failPlanAt(1, mid)
+	sys, st := runScheme(t, CHOPIN{}, cfg, fr)
+	sys.FinishTrace()
+	if st.RecoveryCycles <= 0 {
+		t.Fatal("no recovery happened; cannot check its trace")
+	}
+	totals := tr.SpanTotals(obs.SimProcName, "phases")
+	if got := totals[stats.PhaseRecovery.String()]; got != st.RecoveryCycles {
+		t.Errorf("recovery span total = %d, RecoveryCycles = %d", got, st.RecoveryCycles)
+	}
+}
+
+// TestGPUStallOnlyDelays: a stall fault changes timing, never pixels.
+func TestGPUStallOnlyDelays(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(4)
+	ref := ReferenceImages(fr, cfg.Raster)[0]
+	_, base := runScheme(t, CHOPIN{}, cfg, fr)
+
+	stalled := testConfig(4)
+	stalled.Faults = &fault.Plan{Seed: 1, GPUs: []fault.GPUFault{
+		{GPU: 1, At: 100, Stall: 20_000},
+	}}
+	sys, st := runScheme(t, CHOPIN{}, stalled, fr)
+	if img := sys.AssembleImage(0); !img.Equal(ref, 1e-9) {
+		t.Fatalf("stall changed pixels: %d differ", img.DiffCount(ref, 1e-9))
+	}
+	if st.TotalCycles <= base.TotalCycles {
+		t.Errorf("20k-cycle stall did not slow the frame: %d vs %d", st.TotalCycles, base.TotalCycles)
+	}
+}

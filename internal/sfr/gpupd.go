@@ -76,7 +76,7 @@ func makeBatches(draws []primitive.DrawCommand, start, end, batchSize int) []bat
 }
 
 // Run implements Scheme.
-func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
+func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStats, error) {
 	r := exec.New("GPUpd", sys, fr)
 	r.OwnTiles()
 	eng := sys.Eng
@@ -284,7 +284,5 @@ func (GPUpd) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
 			bar.Seal()
 		}
 	})
-	r.Run()
-	finishStats(r.St, sys, fr)
-	return r.St
+	return finishRun(r, sys, fr)
 }

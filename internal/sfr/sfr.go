@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"chopin/internal/check"
+	"chopin/internal/exec"
 	"chopin/internal/framebuffer"
 	"chopin/internal/interconnect"
 	"chopin/internal/multigpu"
@@ -42,7 +43,26 @@ type Scheme interface {
 	Name() string
 	// Run simulates one frame on the system and returns its statistics.
 	// The system must be freshly constructed for the frame's resolution.
-	Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats
+	// On a fatal simulation error (watchdog trip, cancellation, lost
+	// transfer, unsupported degraded mode) the returned statistics are
+	// partial and the error is non-nil.
+	Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStats, error)
+}
+
+// An UnsupportedDegradedError reports that a GPU fail-stopped during a frame
+// under a scheme with no degraded-mode recovery: the frame's image is
+// incomplete and cannot be repaired. CHOPIN and AFR recover instead of
+// returning this.
+type UnsupportedDegradedError struct {
+	// Scheme is the scheme that cannot recover.
+	Scheme string
+	// Failed lists the fail-stopped GPUs, ascending.
+	Failed []int
+}
+
+func (e *UnsupportedDegradedError) Error() string {
+	return fmt.Sprintf("sfr: scheme %s has no degraded-mode recovery for failed GPU(s) %v",
+		e.Scheme, e.Failed)
 }
 
 // ReferenceImages renders the frame functionally on a single GPU and
@@ -50,12 +70,13 @@ type Scheme interface {
 // distributed schemes must reproduce.
 func ReferenceImages(fr *primitive.Frame, cfg raster.Config) map[int]*framebuffer.Buffer {
 	targets := map[int]*framebuffer.Buffer{}
-	rend := raster.New(framebuffer.New(fr.Width, fr.Height), cfg)
+	// Frame dimensions were validated when the system was built.
+	rend := raster.New(framebuffer.MustNew(fr.Width, fr.Height), cfg)
 	rend.SetTextures(fr.Textures)
 	get := func(rt int) *framebuffer.Buffer {
 		fb, ok := targets[rt]
 		if !ok {
-			fb = framebuffer.New(fr.Width, fr.Height)
+			fb = framebuffer.MustNew(fr.Width, fr.Height)
 			fb.ClearDirty()
 			targets[rt] = fb
 		}
@@ -65,7 +86,8 @@ func ReferenceImages(fr *primitive.Frame, cfg raster.Config) map[int]*framebuffe
 	targets[0] = rend.Target()
 	targets[0].ClearDirty()
 	for _, d := range fr.Draws {
-		rend.SetTarget(get(d.State.RenderTarget))
+		// All targets share the frame's dimensions; the switch cannot fail.
+		_ = rend.SetTarget(get(d.State.RenderTarget))
 		rend.Draw(d, fr.View, fr.Proj)
 	}
 	return targets
@@ -85,6 +107,13 @@ func finishStats(st *stats.FrameStats, sys *multigpu.System, fr *primitive.Frame
 	st.PrimDistBytes = fs.BytesFor(interconnect.ClassPrimDist)
 	st.SyncBytes = fs.BytesFor(interconnect.ClassSync)
 	st.ControlBytes = fs.BytesFor(interconnect.ClassControl)
+	fc := fs.TotalFaults()
+	st.Faults = stats.FaultStats{
+		Drops: fc.Drops, Corrupts: fc.Corrupts, Duplicates: fc.Duplicates,
+		Delays: fc.Delays, Retries: fc.Retries, Timeouts: fc.Timeouts, Lost: fc.Lost,
+	}
+	st.GPUsFailed = len(sys.Failed())
+	st.RecoveryCycles = st.Phase(stats.PhaseRecovery)
 
 	if ck := sys.Check; ck != nil {
 		ck.VerifyConservation()
@@ -96,4 +125,21 @@ func finishStats(st *stats.FrameStats, sys *multigpu.System, fr *primitive.Frame
 		}
 		st.Violations = ck.Violations()
 	}
+}
+
+// finishRun is the common tail of a scheme without degraded-mode recovery:
+// drain the engine, capture statistics, and surface the frame's fatal error —
+// from the runtime, the fabric, or a GPU failure the scheme cannot absorb.
+func finishRun(r *exec.Runtime, sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStats, error) {
+	err := r.Run()
+	finishStats(r.St, sys, fr)
+	if err == nil {
+		err = sys.Fabric.Err()
+	}
+	if err == nil {
+		if failed := sys.Failed(); len(failed) > 0 {
+			err = &UnsupportedDegradedError{Scheme: r.St.Scheme, Failed: failed}
+		}
+	}
+	return r.St, err
 }

@@ -41,8 +41,14 @@ func testConfig(n int) multigpu.Config {
 
 func runScheme(t *testing.T, s Scheme, cfg multigpu.Config, fr *primitive.Frame) (*multigpu.System, *stats.FrameStats) {
 	t.Helper()
-	sys := multigpu.New(cfg, fr.Width, fr.Height)
-	st := s.Run(sys, fr)
+	sys, err := multigpu.New(cfg, fr.Width, fr.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Run(sys, fr)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
 	if sys.Eng.Pending() != 0 {
 		t.Fatalf("%s: %d events still pending after run", s.Name(), sys.Eng.Pending())
 	}

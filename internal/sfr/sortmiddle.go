@@ -33,7 +33,7 @@ type SortMiddle struct{}
 func (SortMiddle) Name() string { return "SortMiddle" }
 
 // Run implements Scheme.
-func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameStats {
+func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStats, error) {
 	r := exec.New("SortMiddle", sys, fr)
 	r.OwnTiles()
 	eng := sys.Eng
@@ -156,7 +156,5 @@ func (SortMiddle) Run(sys *multigpu.System, fr *primitive.Frame) *stats.FrameSta
 			maybePhase2()
 		}
 	})
-	r.Run()
-	finishStats(r.St, sys, fr)
-	return r.St
+	return finishRun(r, sys, fr)
 }

@@ -108,8 +108,13 @@ func TestFinishTraceIdempotent(t *testing.T) {
 
 	tr := obs.New()
 	cfg.Tracer = tr
-	tsys := multigpu.New(cfg, fr.Width, fr.Height)
-	Duplication{}.Run(tsys, fr)
+	tsys, err := multigpu.New(cfg, fr.Width, fr.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Duplication{}).Run(tsys, fr); err != nil {
+		t.Fatal(err)
+	}
 	n := len(tr.Events())
 	tsys.FinishTrace()
 	tsys.FinishTrace()

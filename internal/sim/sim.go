@@ -55,6 +55,13 @@ type Probe interface {
 	EventFired(at Cycle, pending int)
 }
 
+// cancelStride is how many events are dispatched between cancellation-check
+// polls: frequent enough to abort a wedged simulation promptly, rare enough
+// that the check never shows up in profiles. Events are coarse — a whole
+// frame can dispatch under a thousand of them — so the stride must stay
+// small for a wall-clock -timeout to bite on short runs.
+const cancelStride = 64
+
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now   Cycle
@@ -62,6 +69,11 @@ type Engine struct {
 	q     []event // four-ary min-heap on (at, seq)
 	watch func(at Cycle)
 	probe Probe
+
+	halted      bool
+	canceled    bool
+	cancel      func() bool
+	cancelCount int
 }
 
 // New returns a fresh engine at cycle 0.
@@ -79,6 +91,36 @@ func (e *Engine) SetWatcher(fn func(at Cycle)) { e.watch = fn }
 // removes it). The disabled path is a single nil check: engines without a
 // probe schedule and fire with zero additional allocations.
 func (e *Engine) SetProbe(p Probe) { e.probe = p }
+
+// SetCancel installs a cooperative cancellation check, polled once every
+// cancelStride dispatched events. When fn reports true the engine halts:
+// Run returns with the remaining events still queued and Canceled reports
+// true. A nil fn removes the check. fn should be cheap (e.g. an atomic
+// load); it is never called concurrently.
+func (e *Engine) SetCancel(fn func() bool) {
+	e.cancel = fn
+	e.cancelCount = 0
+}
+
+// Halt stops the engine: the current event finishes, but no further events
+// are dispatched until Resume. Pending events stay queued. Watchdogs use
+// this to bound wedged simulations.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether the engine has been stopped by Halt or by the
+// cancellation check.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Canceled reports whether the engine was halted by the SetCancel check
+// (as opposed to an explicit Halt call).
+func (e *Engine) Canceled() bool { return e.canceled }
+
+// Resume clears a halt so stepping can continue. It does not clear the
+// cancellation check; a still-firing check will halt the engine again.
+func (e *Engine) Resume() {
+	e.halted = false
+	e.canceled = false
+}
 
 // arity is the heap fan-out. Four keeps the tree half as deep as a binary
 // heap — fewer cache lines touched per sift — while the four-way child scan
@@ -181,10 +223,21 @@ func (e *Engine) AfterCall(d Cycle, cb Callback) {
 }
 
 // Step runs the single earliest pending event and reports whether one
-// existed.
+// existed. A halted engine dispatches nothing and reports false.
 func (e *Engine) Step() bool {
-	if len(e.q) == 0 {
+	if e.halted || len(e.q) == 0 {
 		return false
+	}
+	if e.cancel != nil {
+		e.cancelCount++
+		if e.cancelCount >= cancelStride {
+			e.cancelCount = 0
+			if e.cancel() {
+				e.halted = true
+				e.canceled = true
+				return false
+			}
+		}
 	}
 	ev := e.pop()
 	e.now = ev.at
@@ -202,7 +255,9 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue is empty and returns the final time.
+// Run executes events until the queue is empty or the engine halts, and
+// returns the final time. After a halt, Pending reports how many events
+// were abandoned.
 func (e *Engine) Run() Cycle {
 	for e.Step() {
 	}
@@ -210,9 +265,10 @@ func (e *Engine) Run() Cycle {
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
-// t. Events scheduled beyond t remain pending.
+// t. Events scheduled beyond t remain pending. A halted engine only
+// advances the clock.
 func (e *Engine) RunUntil(t Cycle) {
-	for len(e.q) > 0 && e.q[0].at <= t {
+	for !e.halted && len(e.q) > 0 && e.q[0].at <= t {
 		e.Step()
 	}
 	if e.now < t {

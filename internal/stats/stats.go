@@ -30,6 +30,10 @@ const (
 	PhaseComposition
 	// PhaseSync is render-target/depth consistency synchronization.
 	PhaseSync
+	// PhaseRecovery is degraded-mode work after a GPU failure: reassigning
+	// the failed GPU's screen tiles and re-rendering their contents on the
+	// surviving GPUs. Zero on fault-free runs.
+	PhaseRecovery
 
 	numPhases
 )
@@ -47,6 +51,8 @@ func (p Phase) String() string {
 		return "composition"
 	case PhaseSync:
 		return "sync"
+	case PhaseRecovery:
+		return "recovery"
 	default:
 		return "unknown"
 	}
@@ -54,7 +60,7 @@ func (p Phase) String() string {
 
 // Phases lists all phases in display order.
 func Phases() []Phase {
-	return []Phase{PhaseNormal, PhaseProjection, PhaseDistribution, PhaseComposition, PhaseSync}
+	return []Phase{PhaseNormal, PhaseProjection, PhaseDistribution, PhaseComposition, PhaseSync, PhaseRecovery}
 }
 
 // FrameStats is the result of simulating one frame under one scheme.
@@ -94,6 +100,43 @@ type FrameStats struct {
 	// subsystem when the run was verified (multigpu.Config.Verify). Empty on
 	// unverified runs and on verified runs where every invariant held.
 	Violations []string
+
+	// Faults aggregates injected-fault and recovery-protocol activity on the
+	// interconnect. All zero on fault-free runs.
+	Faults FaultStats
+	// GPUsFailed counts GPUs declared failed during the frame.
+	GPUsFailed int
+	// RecoveryCycles is the wall-clock cost of degraded-mode recovery
+	// (tile reassignment and re-render); it equals Phase(PhaseRecovery).
+	RecoveryCycles sim.Cycle
+}
+
+// FaultStats aggregates injected interconnect faults and the recovery
+// protocol's responses over a frame.
+type FaultStats struct {
+	// Drops, Corrupts, Duplicates, Delays count injected transfer faults.
+	Drops, Corrupts, Duplicates, Delays int64
+	// Retries counts retransmissions started, Timeouts counts ack deadlines
+	// that expired, and Lost counts transfers abandoned after the retry
+	// budget was exhausted.
+	Retries, Timeouts, Lost int64
+}
+
+// Add accumulates o into f.
+func (f *FaultStats) Add(o FaultStats) {
+	f.Drops += o.Drops
+	f.Corrupts += o.Corrupts
+	f.Duplicates += o.Duplicates
+	f.Delays += o.Delays
+	f.Retries += o.Retries
+	f.Timeouts += o.Timeouts
+	f.Lost += o.Lost
+}
+
+// Total returns the total number of injected faults (not counting the
+// protocol's own retries/timeouts).
+func (f *FaultStats) Total() int64 {
+	return f.Drops + f.Corrupts + f.Duplicates + f.Delays
 }
 
 // GPUSummary is one GPU's activity during the frame.
@@ -108,10 +151,15 @@ type GPUSummary struct {
 // Phase returns the wall-clock cycles attributed to p.
 func (f *FrameStats) Phase(p Phase) sim.Cycle { return f.PhaseCycles[p] }
 
-// AddPhase accumulates wall-clock cycles into p and the total.
+// AddPhase accumulates wall-clock cycles into p and the total. A negative
+// duration indicates a phase-accounting bug upstream; rather than panic,
+// the sample is clamped to zero and recorded in Violations so verified
+// runs surface it.
 func (f *FrameStats) AddPhase(p Phase, c sim.Cycle) {
 	if c < 0 {
-		panic(fmt.Sprintf("stats: negative phase time %d for %v", c, p))
+		f.Violations = append(f.Violations,
+			fmt.Sprintf("stats: negative phase time %d for %v (clamped to 0)", c, p))
+		c = 0
 	}
 	f.PhaseCycles[p] += c
 	f.TotalCycles += c

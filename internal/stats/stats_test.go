@@ -12,7 +12,7 @@ func TestPhaseNames(t *testing.T) {
 			t.Errorf("phase %d unnamed", p)
 		}
 	}
-	if len(Phases()) != 5 {
+	if len(Phases()) != 6 {
 		t.Errorf("Phases() = %v", Phases())
 	}
 }
@@ -30,14 +30,15 @@ func TestAddPhaseAccumulates(t *testing.T) {
 	}
 }
 
-func TestAddPhaseNegativePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for negative phase time")
-		}
-	}()
+func TestAddPhaseNegativeClampsAndRecords(t *testing.T) {
 	var f FrameStats
 	f.AddPhase(PhaseSync, -1)
+	if f.Phase(PhaseSync) != 0 || f.TotalCycles != 0 {
+		t.Errorf("negative phase time not clamped: %+v", f)
+	}
+	if len(f.Violations) != 1 {
+		t.Errorf("violation not recorded: %v", f.Violations)
+	}
 }
 
 func TestGeometryShare(t *testing.T) {

@@ -45,7 +45,11 @@ func (t *Texture) GobDecode(data []byte) error {
 	for i := range texels {
 		texels[i] = colorspace.RGBA{R: w.Texels[4*i], G: w.Texels[4*i+1], B: w.Texels[4*i+2], A: w.Texels[4*i+3]}
 	}
-	*t = *New(w.Name, w.W, w.H, texels)
+	nt, err := New(w.Name, w.W, w.H, texels)
+	if err != nil {
+		return err
+	}
+	*t = *nt
 	t.ID = w.ID
 	return nil
 }

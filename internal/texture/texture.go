@@ -45,9 +45,9 @@ type mipLevel struct {
 
 // New builds a texture from row-major texels of the given dimensions and
 // generates its mipmap chain by box filtering. Dimensions must be positive.
-func New(name string, w, h int, texels []colorspace.RGBA) *Texture {
+func New(name string, w, h int, texels []colorspace.RGBA) (*Texture, error) {
 	if w <= 0 || h <= 0 || len(texels) != w*h {
-		panic(fmt.Sprintf("texture: bad dimensions %dx%d for %d texels", w, h, len(texels)))
+		return nil, fmt.Errorf("texture: bad dimensions %dx%d for %d texels", w, h, len(texels))
 	}
 	t := &Texture{Name: name}
 	level := mipLevel{w: w, h: h, texels: texels}
@@ -55,6 +55,17 @@ func New(name string, w, h int, texels []colorspace.RGBA) *Texture {
 	for level.w > 1 || level.h > 1 {
 		level = downsample(level)
 		t.levels = append(t.levels, level)
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on invalid input — for statically known-good
+// textures (test fixtures, procedural scenes), in the spirit of
+// regexp.MustCompile.
+func MustNew(name string, w, h int, texels []colorspace.RGBA) *Texture {
+	t, err := New(name, w, h, texels)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }
@@ -181,7 +192,8 @@ func Checkerboard(name string, size, squares int, a, b colorspace.RGBA) *Texture
 			}
 		}
 	}
-	return New(name, size, size, texels)
+	// size×size texels by construction: cannot fail.
+	return MustNew(name, size, size, texels)
 }
 
 // Gradient returns a size×size horizontal gradient from a to b.
@@ -198,7 +210,7 @@ func Gradient(name string, size int, a, b colorspace.RGBA) *Texture {
 			}
 		}
 	}
-	return New(name, size, size, texels)
+	return MustNew(name, size, size, texels)
 }
 
 // Noise returns a size×size deterministic value-noise texture, the kind of
@@ -217,5 +229,5 @@ func Noise(name string, size int, seed int64) *Texture {
 		v := 0.3 + 0.7*next()
 		texels[i] = colorspace.RGBA{R: v, G: v * 0.9, B: v * 0.8, A: 1}
 	}
-	return New(name, size, size, texels)
+	return MustNew(name, size, size, texels)
 }

@@ -23,13 +23,16 @@ func TestNewAndMipChain(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadInput(t *testing.T) {
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New("bad", 2, 2, make([]colorspace.RGBA, 3)); err == nil {
+		t.Error("expected error for mismatched texel count")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("expected panic")
+			t.Error("expected MustNew to panic")
 		}
 	}()
-	New("bad", 2, 2, make([]colorspace.RGBA, 3))
+	MustNew("bad", 2, 2, make([]colorspace.RGBA, 3))
 }
 
 func TestTopMipIsAverage(t *testing.T) {
@@ -47,7 +50,7 @@ func TestNearestSampling(t *testing.T) {
 		colorspace.Opaque(1, 0, 0), colorspace.Opaque(0, 1, 0),
 		colorspace.Opaque(0, 0, 1), colorspace.Opaque(1, 1, 0),
 	}
-	tex := New("corners", 2, 2, texels)
+	tex := MustNew("corners", 2, 2, texels)
 	cases := []struct {
 		u, v float64
 		want colorspace.RGBA
@@ -69,7 +72,7 @@ func TestBilinearBlends(t *testing.T) {
 		colorspace.Opaque(1, 0, 0), colorspace.Opaque(0, 0, 0),
 		colorspace.Opaque(0, 0, 0), colorspace.Opaque(0, 0, 0),
 	}
-	tex := New("blend", 2, 2, texels)
+	tex := MustNew("blend", 2, 2, texels)
 	// Sampling between texel centers blends; with repeat wrapping the
 	// midpoint mixes all four texels (R contributes 1/4).
 	got := tex.Sample(0.5, 0.5, Bilinear)
