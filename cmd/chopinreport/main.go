@@ -1,0 +1,65 @@
+// Command chopinreport renders a run record (see internal/runrec) as a
+// self-contained HTML report with inline-SVG figures: a speedup-vs-GPU-count
+// curve and a phase breakdown per experiment, plus fault and recovery costs
+// when the record carries them. The output embeds no scripts and fetches no
+// external assets, so it can be archived or attached as a CI artifact as-is.
+//
+// Usage:
+//
+//	chopinreport -o report.html RECORD...
+//
+// Each RECORD is a run-record file or a directory of *.json records; all
+// inputs are merged (duplicate row keys are an error).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopin/internal/runrec"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "report.html", "output HTML file")
+		title = flag.String("title", "CHOPIN run report", "report title")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: chopinreport [-o report.html] [-title t] RECORD...")
+		os.Exit(2)
+	}
+	if err := run(*out, *title, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, title string, paths []string) error {
+	var recs []*runrec.Record
+	for _, p := range paths {
+		rec, err := runrec.LoadPath(p)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+	}
+	rec, err := runrec.Merge(recs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := runrec.WriteReport(f, rec, title); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows, %d experiments)\n", out, len(rec.Rows), len(rec.Meta.Experiments))
+	return nil
+}

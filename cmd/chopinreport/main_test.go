@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/xml"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chopin/internal/runrec"
+)
+
+func TestRunWritesWellFormedReport(t *testing.T) {
+	dir := t.TempDir()
+	rec := runrec.NewRecorder(runrec.Meta{Tool: "test", GitRev: "abc", Scale: 0.03,
+		Experiments: []string{"fig19"}})
+	for _, gpus := range []int{2, 4, 8} {
+		for _, scheme := range []string{"Duplication", "CHOPIN"} {
+			cycles := 1000.0 * float64(gpus)
+			if scheme == "CHOPIN" {
+				cycles *= 0.8
+			}
+			rec.Add(runrec.Row{
+				Key:     runrec.Key{Experiment: "fig19", Scheme: scheme, Bench: "cod2", GPUs: gpus},
+				Config:  "feedfacefeedface",
+				Metrics: runrec.Metrics{"total_cycles": cycles, "phase_normal": cycles / 2},
+			})
+		}
+	}
+	in := filepath.Join(dir, "rec.json")
+	if err := rec.Record().WriteFile(in); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "report.html")
+	if err := run(out, "test report", []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	if !strings.Contains(html, "test report") || !strings.Contains(html, "<polyline") {
+		t.Fatalf("report missing content:\n%s", html[:min(len(html), 400)])
+	}
+	dec := xml.NewDecoder(strings.NewReader(html))
+	dec.Strict = true
+	dec.Entity = xml.HTMLEntity
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("report is not well-formed: %v", err)
+		}
+	}
+}
+
+func TestRunRejectsConflictingRecords(t *testing.T) {
+	dir := t.TempDir()
+	rec := runrec.NewRecorder(runrec.Meta{Tool: "test"})
+	rec.Add(runrec.Row{
+		Key:     runrec.Key{Experiment: "e", Scheme: "s", Bench: "b", GPUs: 1},
+		Metrics: runrec.Metrics{"total_cycles": 1},
+	})
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	for _, p := range []string{a, b} {
+		if err := rec.Record().WriteFile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run(filepath.Join(dir, "out.html"), "", []string{a, b}); err == nil {
+		t.Fatal("duplicate row keys across inputs should fail")
+	}
+}

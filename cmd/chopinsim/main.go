@@ -22,8 +22,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -32,10 +35,49 @@ import (
 	"chopin/internal/fault"
 	"chopin/internal/multigpu"
 	"chopin/internal/obs"
+	"chopin/internal/obs/live"
+	"chopin/internal/runrec"
 	"chopin/internal/sfr"
 	"chopin/internal/stats"
 	"chopin/internal/trace"
 )
+
+// UsageError is a command-line validation failure; main reports it and
+// exits with the flag-usage status (2) instead of the runtime-error
+// status (1).
+type UsageError struct {
+	Flag   string
+	Reason string
+}
+
+func (e *UsageError) Error() string { return fmt.Sprintf("invalid -%s: %s", e.Flag, e.Reason) }
+
+// validateMetricsInterval rejects non-positive counter sampling intervals:
+// zero would silently disable periodic sampling and a negative interval
+// would make every Tick a sweep (an allocation storm), so both are usage
+// errors rather than accepted values.
+func validateMetricsInterval(v int64) error {
+	if v <= 0 {
+		return &UsageError{Flag: "metrics-interval",
+			Reason: fmt.Sprintf("sampling interval must be a positive cycle count, got %d", v)}
+	}
+	return nil
+}
+
+// gitRev reports the VCS revision stamped into the binary, or "unknown"
+// (e.g. under `go run`, which does not stamp VCS info). Run records embed
+// it; it never varies between two runs of the same binary, preserving the
+// byte-identical-records contract.
+func gitRev() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
 
 func main() {
 	var (
@@ -65,8 +107,16 @@ func main() {
 		metrics  = flag.String("metrics", "", "single run: write sampled counters (CSV) to this file")
 		mInterv  = flag.Int64("metrics-interval", obs.DefaultSampleInterval, "single run: counter sampling interval in cycles")
 		trFrame  = flag.Int("trace-frame", 0, "single run: repeat the frame N+1 times on fresh systems and trace only repeat N (steady-state capture)")
+
+		runrecOut = flag.String("runrec", "", "write a structured run record (JSON) of every simulation to this file")
+		listen    = flag.String("listen", "", "serve the live sweep monitor (expvar, pprof, SSE progress) on this address, e.g. :8080")
 	)
 	flag.Parse()
+
+	if err := validateMetricsInterval(*mInterv); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -146,7 +196,35 @@ func main() {
 		if *exp == "all" {
 			ids = experiments.IDs()
 		}
+		var rec *runrec.Recorder
+		if *runrecOut != "" {
+			benchNames := opt.Benchmarks
+			if len(benchNames) == 0 {
+				benchNames = trace.Names()
+			}
+			rec = runrec.NewRecorder(runrec.Meta{
+				Tool: "chopinsim", GitRev: gitRev(), Scale: *scale,
+				Benchmarks: benchNames, Experiments: ids,
+			})
+			opt.Record = rec
+		}
+		var mon *live.Monitor
+		if *listen != "" {
+			m, err := serveMonitor(*listen)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			mon = m
+			opt.Progress = func(e experiments.ProgressEvent) {
+				mon.Observe(fmt.Sprintf("%s/%s/%s/n%d", e.Experiment, e.Scheme, e.Bench, e.GPUs),
+					e.Done, e.Total)
+			}
+		}
 		for _, id := range ids {
+			if mon != nil {
+				mon.SetRun(fmt.Sprintf("%s scale=%.2f", id, *scale))
+			}
 			res, err := experiments.Run(id, opt)
 			if err != nil {
 				if errors.Is(err, context.DeadlineExceeded) {
@@ -158,6 +236,16 @@ func main() {
 			}
 			fmt.Println(res)
 		}
+		if mon != nil {
+			mon.Finish()
+		}
+		if rec != nil {
+			if err := rec.Record().WriteFile(*runrecOut); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote run record %s (%d rows)\n", *runrecOut, rec.Len())
+		}
 	case *scheme != "":
 		to := traceOpts{
 			timeline: *timeline,
@@ -166,7 +254,7 @@ func main() {
 			frame:    *trFrame,
 		}
 		fo := faultOpts{spec: *faults, seed: *faultSeed, timeout: *timeout}
-		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *verify, *pngOut, to, fo); err != nil {
+		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *verify, *pngOut, *runrecOut, to, fo); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -216,7 +304,20 @@ type faultOpts struct {
 	timeout time.Duration
 }
 
-func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool, pngOut string, to traceOpts, fo faultOpts) error {
+// serveMonitor starts the live sweep monitor on addr in the background.
+func serveMonitor(addr string) (*live.Monitor, error) {
+	mon := live.New()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live monitor: %w", err)
+	}
+	srv := &http.Server{Handler: mon.Handler()}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "live monitor listening on http://%s\n", ln.Addr())
+	return mon, nil
+}
+
+func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool, pngOut, recOut string, to traceOpts, fo faultOpts) error {
 	b, err := trace.ByName(bench)
 	if err != nil {
 		return err
@@ -262,9 +363,8 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 			}
 		}
 		tr = obs.New()
-		if to.interval > 0 {
-			tr.SetSampleInterval(to.interval)
-		}
+		// The interval is validated positive at flag-parse time.
+		tr.SetSampleInterval(to.interval)
 		cfg.Tracer = tr
 	}
 	sys, err := multigpu.New(cfg, fr.Width, fr.Height)
@@ -307,6 +407,26 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 			st.GroupsTotal, st.GroupsAccelerated, st.TrianglesAccelerated)
 	}
 	printFaultSummary(st)
+	if recOut != "" {
+		seed := int64(0)
+		if fo.spec != "" {
+			seed = fo.seed
+		}
+		rec := runrec.NewRecorder(runrec.Meta{
+			Tool: "chopinsim", GitRev: gitRev(), Scale: scale, Seed: seed,
+			Benchmarks: []string{bench}, Experiments: []string{"single"},
+		})
+		row := runrec.FromStats(runrec.Key{Experiment: "single", Scheme: st.Scheme,
+			Bench: bench, GPUs: gpus}, cfg.Fingerprint(), st)
+		for _, c := range cfg.Tracer.CounterFinals() {
+			row.Metrics[runrec.CounterMetric(c.Pid, c.Name)] = float64(c.Val)
+		}
+		rec.Add(row)
+		if err := rec.Record().WriteFile(recOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote run record %s (1 row)\n", recOut)
+	}
 	img := sys.AssembleImage(0)
 	fmt.Printf("display image checksum: %016x\n", img.Checksum())
 	if pngOut != "" {

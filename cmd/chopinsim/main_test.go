@@ -1,0 +1,49 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestValidateMetricsInterval pins the -metrics-interval contract: zero and
+// negative intervals are rejected with a typed usage error (exit 2 in
+// main), positive intervals pass.
+func TestValidateMetricsInterval(t *testing.T) {
+	for _, tc := range []struct {
+		v      int64
+		wantOK bool
+	}{
+		{v: 1, wantOK: true},
+		{v: 1000, wantOK: true},
+		{v: 0, wantOK: false},
+		{v: -5, wantOK: false},
+	} {
+		err := validateMetricsInterval(tc.v)
+		if tc.wantOK {
+			if err != nil {
+				t.Errorf("validateMetricsInterval(%d) = %v, want nil", tc.v, err)
+			}
+			continue
+		}
+		var ue *UsageError
+		if !errors.As(err, &ue) {
+			t.Errorf("validateMetricsInterval(%d) = %v, want *UsageError", tc.v, err)
+			continue
+		}
+		if ue.Flag != "metrics-interval" {
+			t.Errorf("UsageError.Flag = %q", ue.Flag)
+		}
+		if !strings.Contains(ue.Error(), "invalid -metrics-interval") {
+			t.Errorf("UsageError message = %q", ue.Error())
+		}
+	}
+}
+
+func TestGitRevNeverEmpty(t *testing.T) {
+	// Test binaries carry no VCS stamp; the fallback must still be a
+	// non-empty, record-stable string.
+	if rev := gitRev(); rev == "" {
+		t.Fatal("gitRev returned an empty revision")
+	}
+}

@@ -1,0 +1,148 @@
+// Command chopinstat diffs two run records (see internal/runrec): it aligns
+// rows by (experiment, cell, scheme, bench, GPU count), reports per-metric
+// deltas, per-experiment geomean cycle ratios, and rows that appeared or
+// vanished, and — with -gate — applies per-metric regression thresholds and
+// exits non-zero when any is crossed.
+//
+// Usage:
+//
+//	chopinstat OLD.json NEW.json              human diff summary
+//	chopinstat -top 30 OLD NEW                show the 30 largest deltas
+//	chopinstat -gate OLD NEW                  gate on the default thresholds
+//	chopinstat -gate -thresholds t.txt OLD NEW  gate on a threshold file
+//
+// OLD and NEW are record files or directories of *.json records (merged).
+// Exit status: 0 clean, 1 gate regression (or runtime error), 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"chopin/internal/runrec"
+	"chopin/internal/stats"
+)
+
+// GateError reports a failed regression gate; it maps to exit status 1.
+type GateError struct {
+	Regressions []runrec.Regression
+}
+
+func (e *GateError) Error() string {
+	return fmt.Sprintf("gate failed: %d regression(s)", len(e.Regressions))
+}
+
+func main() {
+	var (
+		gate    = flag.Bool("gate", false, "apply regression thresholds and exit non-zero on any crossing")
+		thrPath = flag.String("thresholds", "", "threshold file (one \"<metric-pattern> <max-rel-increase>\" per line; default gates total_cycles at 0)")
+		top     = flag.Int("top", 15, "number of largest relative deltas to show")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: chopinstat [-gate] [-thresholds file] [-top k] OLD NEW")
+		os.Exit(2)
+	}
+	err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *thrPath, *gate, *top)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// run loads, diffs, prints, and optionally gates. Split from main so tests
+// can drive both gate outcomes without spawning a process.
+func run(w io.Writer, oldPath, newPath, thrPath string, gate bool, top int) error {
+	oldRec, err := runrec.LoadPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := runrec.LoadPath(newPath)
+	if err != nil {
+		return err
+	}
+	ts := runrec.DefaultThresholds()
+	if thrPath != "" {
+		f, err := os.Open(thrPath)
+		if err != nil {
+			return err
+		}
+		ts, err = runrec.ParseThresholds(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	d := runrec.Compare(oldRec, newRec)
+	printDiff(w, oldRec, newRec, d, top)
+
+	if !gate {
+		return nil
+	}
+	regs := d.Gate(ts)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "\nGATE PASS: %d aligned rows within thresholds\n", d.Aligned)
+		return nil
+	}
+	fmt.Fprintf(w, "\nGATE FAIL: %d regression(s)\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintln(w, "  REGRESSION", r)
+	}
+	return &GateError{Regressions: regs}
+}
+
+func printDiff(w io.Writer, oldRec, newRec *runrec.Record, d *runrec.Diff, top int) {
+	fmt.Fprintf(w, "old: %s %s (scale %.2f, %d rows)\n",
+		oldRec.Meta.Tool, oldRec.Meta.GitRev, oldRec.Meta.Scale, len(oldRec.Rows))
+	fmt.Fprintf(w, "new: %s %s (scale %.2f, %d rows)\n",
+		newRec.Meta.Tool, newRec.Meta.GitRev, newRec.Meta.Scale, len(newRec.Rows))
+	fmt.Fprintf(w, "aligned %d rows; %d added, %d missing, %d with config drift; %d metric deltas\n",
+		d.Aligned, len(d.Added), len(d.Missing), len(d.ConfigChanged), len(d.Deltas))
+	for _, k := range d.Added {
+		fmt.Fprintln(w, "  added  ", k)
+	}
+	for _, k := range d.Missing {
+		fmt.Fprintln(w, "  missing", k)
+	}
+	for _, k := range d.ConfigChanged {
+		fmt.Fprintln(w, "  config drift", k)
+	}
+
+	if len(d.CycleRatio) > 0 {
+		fmt.Fprintln(w, "\ngeomean cycle ratio (old/new; >1 means the new record is faster):")
+		tbl := stats.NewTable("experiment", "ratio")
+		var exps []string
+		for exp := range d.CycleRatio {
+			exps = append(exps, exp)
+		}
+		sort.Strings(exps)
+		for _, exp := range exps {
+			tbl.AddRow(exp, fmt.Sprintf("%.4f", d.CycleRatio[exp]))
+		}
+		fmt.Fprint(w, tbl)
+	}
+
+	if len(d.Deltas) > 0 && top > 0 {
+		deltas := make([]runrec.Delta, len(d.Deltas))
+		copy(deltas, d.Deltas)
+		sort.SliceStable(deltas, func(a, b int) bool {
+			return math.Abs(deltas[a].Rel) > math.Abs(deltas[b].Rel)
+		})
+		if len(deltas) > top {
+			deltas = deltas[:top]
+		}
+		fmt.Fprintf(w, "\ntop %d deltas by relative change:\n", len(deltas))
+		tbl := stats.NewTable("row", "metric", "old", "new", "rel")
+		for _, dl := range deltas {
+			tbl.AddRow(dl.Key.String(), dl.Metric,
+				fmt.Sprintf("%.0f", dl.Old), fmt.Sprintf("%.0f", dl.New),
+				fmt.Sprintf("%+.2f%%", 100*dl.Rel))
+		}
+		fmt.Fprint(w, tbl)
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chopin/internal/runrec"
+)
+
+func writeRecord(t *testing.T, dir, name string, rec *runrec.Record) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testRecord(cycles float64) *runrec.Record {
+	rec := runrec.NewRecorder(runrec.Meta{Tool: "test", GitRev: "abc", Scale: 0.03})
+	rec.Add(runrec.Row{
+		Key:    runrec.Key{Experiment: "fig19", Scheme: "CHOPIN", Bench: "cod2", GPUs: 8},
+		Config: "feedfacefeedface",
+		Metrics: runrec.Metrics{
+			"total_cycles": cycles, "phase_composition": cycles / 10,
+		},
+	})
+	rec.Add(runrec.Row{
+		Key:    runrec.Key{Experiment: "fig19", Scheme: "Duplication", Bench: "cod2", GPUs: 8},
+		Config: "feedfacefeedface",
+		Metrics: runrec.Metrics{
+			"total_cycles": 2000, "phase_composition": 0,
+		},
+	})
+	return rec.Record()
+}
+
+// TestGatePassesOnIdenticalRecords drives the full run() path: two
+// identical records must diff clean and pass the gate (exit 0 in main).
+func TestGatePassesOnIdenticalRecords(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", testRecord(1000))
+	new_ := writeRecord(t, dir, "new.json", testRecord(1000))
+	var out bytes.Buffer
+	if err := run(&out, old, new_, "", true, 10); err != nil {
+		t.Fatalf("run = %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "GATE PASS") {
+		t.Fatalf("output missing GATE PASS:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "aligned 2 rows") {
+		t.Fatalf("output missing alignment summary:\n%s", out.String())
+	}
+}
+
+// TestGateFailsOnInjectedRegression: a cycle increase on an aligned row
+// must surface as a *GateError (exit 1 in main).
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", testRecord(1000))
+	new_ := writeRecord(t, dir, "new.json", testRecord(1100))
+	var out bytes.Buffer
+	err := run(&out, old, new_, "", true, 10)
+	var ge *GateError
+	if !errors.As(err, &ge) {
+		t.Fatalf("run = %v, want *GateError\n%s", err, out.String())
+	}
+	if len(ge.Regressions) == 0 || ge.Regressions[0].Metric != "total_cycles" {
+		t.Fatalf("regressions = %v", ge.Regressions)
+	}
+	if !strings.Contains(out.String(), "GATE FAIL") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("output missing gate verdict:\n%s", out.String())
+	}
+}
+
+// TestThresholdFileLoosensGate: the same regression passes under a
+// threshold file that tolerates it.
+func TestThresholdFileLoosensGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", testRecord(1000))
+	new_ := writeRecord(t, dir, "new.json", testRecord(1100))
+	thr := filepath.Join(dir, "thresholds.txt")
+	if err := os.WriteFile(thr, []byte("total_cycles 0.2\nphase_* 0.2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, old, new_, thr, true, 10); err != nil {
+		t.Fatalf("run with loose thresholds = %v\n%s", err, out.String())
+	}
+
+	// A malformed threshold file is a hard error, not a silent default.
+	if err := os.WriteFile(thr, []byte("total_cycles banana\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&out, old, new_, thr, true, 10); err == nil {
+		t.Fatal("malformed threshold file should fail")
+	}
+}
+
+// TestDiffWithoutGateNeverErrors: without -gate the same regression is
+// reported but the run succeeds.
+func TestDiffWithoutGateNeverErrors(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", testRecord(1000))
+	new_ := writeRecord(t, dir, "new.json", testRecord(1100))
+	var out bytes.Buffer
+	if err := run(&out, old, new_, "", false, 10); err != nil {
+		t.Fatalf("run without gate = %v", err)
+	}
+	if !strings.Contains(out.String(), "total_cycles") || !strings.Contains(out.String(), "geomean cycle ratio") {
+		t.Fatalf("diff output incomplete:\n%s", out.String())
+	}
+}

@@ -21,10 +21,23 @@ import (
 	"chopin/internal/multigpu"
 	"chopin/internal/obs"
 	"chopin/internal/primitive"
+	"chopin/internal/runrec"
 	"chopin/internal/sfr"
 	"chopin/internal/stats"
 	"chopin/internal/trace"
 )
+
+// ProgressEvent reports one completed simulation within an experiment run,
+// for live monitoring of multi-minute sweeps.
+type ProgressEvent struct {
+	// Experiment is the running experiment's ID.
+	Experiment string
+	// Scheme, Bench, and GPUs identify the simulation that just finished.
+	Scheme, Bench string
+	GPUs          int
+	// Done and Total count completed simulations within the current batch.
+	Done, Total int
+}
 
 // Options configures an experiment run.
 type Options struct {
@@ -52,6 +65,19 @@ type Options struct {
 	// their next cancellation poll and the experiment returns ctx.Err().
 	// Defaults to context.Background().
 	Ctx context.Context
+	// Record, when non-nil, receives one run-record row per completed
+	// simulation (keyed by experiment/cell/scheme/bench/GPUs, stamped with
+	// the config fingerprint). The recorder is safe for concurrent use; the
+	// caller snapshots and writes it after the experiments finish.
+	Record *runrec.Recorder
+	// Progress, when non-nil, is called after every completed simulation.
+	// It must be safe for concurrent calls when Workers > 1 and must be
+	// cheap — it runs on the worker goroutine.
+	Progress func(ProgressEvent)
+
+	// expID is the running experiment's registry ID, set by Run so batch
+	// helpers can stamp rows and progress events.
+	expID string
 }
 
 func (o *Options) normalize() {
@@ -145,6 +171,7 @@ func Run(id string, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
 	opt.normalize()
+	opt.expID = id
 	return r.fn(&opt)
 }
 
@@ -179,6 +206,44 @@ type job struct {
 	// img, when non-nil, receives the checksum of the assembled display
 	// image (used by the determinism harness).
 	img *uint64
+	// label is the run-record scheme label; empty means scheme.Name().
+	// Variants of one scheme (e.g. "IdealGPUpd") set it so record rows
+	// stay distinguishable.
+	label string
+	// cell disambiguates sweep points sharing (scheme, bench, GPUs) in the
+	// run-record key, e.g. "bw32" in the bandwidth sweep.
+	cell string
+}
+
+// recordLabel returns the job's run-record scheme label.
+func (j *job) recordLabel() string {
+	if j.label != "" {
+		return j.label
+	}
+	return j.scheme.Name()
+}
+
+// record appends the finished simulation's row to the run recorder and
+// fires the progress callback. done is the completed count within the
+// batch of total jobs.
+func (j *job) record(opt *Options, st *stats.FrameStats, done, total int) {
+	exp := opt.expID
+	if exp == "" {
+		exp = "adhoc"
+	}
+	if opt.Record != nil && st != nil {
+		key := runrec.Key{Experiment: exp, Cell: j.cell, Scheme: j.recordLabel(),
+			Bench: j.bench, GPUs: j.cfg.NumGPUs}
+		row := runrec.FromStats(key, j.cfg.Fingerprint(), st)
+		for _, c := range j.cfg.Tracer.CounterFinals() {
+			row.Metrics[runrec.CounterMetric(c.Pid, c.Name)] = float64(c.Val)
+		}
+		opt.Record.Add(row)
+	}
+	if opt.Progress != nil {
+		opt.Progress(ProgressEvent{Experiment: exp, Scheme: j.recordLabel(),
+			Bench: j.bench, GPUs: j.cfg.NumGPUs, Done: done, Total: total})
+	}
 }
 
 // runJobs executes jobs with bounded parallelism, preserving determinism
@@ -188,6 +253,7 @@ func runJobs(opt *Options, jobs []job) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var done int
 	ctx := opt.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -244,6 +310,11 @@ func runJobs(opt *Options, jobs []job) error {
 			if j.img != nil {
 				*j.img = sys.AssembleImage(0).Checksum()
 			}
+			mu.Lock()
+			done++
+			d := done
+			mu.Unlock()
+			j.record(opt, st, d, len(jobs))
 			if len(st.Violations) > 0 {
 				mu.Lock()
 				if firstErr == nil {
@@ -290,8 +361,9 @@ func fig13Variants() []variant {
 
 // speedupMatrix runs the variants plus the Duplication baseline over the
 // benchmarks at the given GPU count and returns per-benchmark speedups and
-// the variant gmeans.
-func speedupMatrix(opt *Options, vars []variant, gpus int, mutateAll func(*multigpu.Config)) (map[string][]float64, []float64, error) {
+// the variant gmeans. cell labels the sweep point in run-record keys when
+// the same matrix is re-run under mutated configurations ("" otherwise).
+func speedupMatrix(opt *Options, vars []variant, gpus int, cell string, mutateAll func(*multigpu.Config)) (map[string][]float64, []float64, error) {
 	base := make([]*stats.FrameStats, len(opt.Benchmarks))
 	results := make([][]*stats.FrameStats, len(vars))
 	for i := range results {
@@ -304,11 +376,12 @@ func speedupMatrix(opt *Options, vars []variant, gpus int, mutateAll func(*multi
 		if mutateAll != nil {
 			mutateAll(&cfg)
 		}
-		jobs = append(jobs, job{bench: bench, scheme: sfr.Duplication{}, cfg: cfg, out: &base[bi]})
+		jobs = append(jobs, job{bench: bench, scheme: sfr.Duplication{}, cfg: cfg, out: &base[bi], cell: cell})
 		for vi, v := range vars {
 			vcfg := cfg
 			v.mutate(&vcfg)
-			jobs = append(jobs, job{bench: bench, scheme: v.scheme, cfg: vcfg, out: &results[vi][bi]})
+			jobs = append(jobs, job{bench: bench, scheme: v.scheme, cfg: vcfg, out: &results[vi][bi],
+				label: v.name, cell: cell})
 		}
 	}
 	if err := runJobs(opt, jobs); err != nil {

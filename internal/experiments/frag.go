@@ -68,7 +68,8 @@ func fig16(opt *Options) (*Result, error) {
 		c := cfg
 		c.Raster.RetainCulledFraction = f
 		c.Raster.RetainSeed = 42
-		jobs = append(jobs, job{bench: bench, scheme: sfr.CHOPIN{}, cfg: c, out: &runs[fi]})
+		jobs = append(jobs, job{bench: bench, scheme: sfr.CHOPIN{}, cfg: c, out: &runs[fi],
+			cell: fmt.Sprintf("retain%.0f", 100*f)})
 	}
 	if err := runJobs(opt, jobs); err != nil {
 		return nil, err

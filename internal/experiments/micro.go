@@ -136,7 +136,7 @@ func fig18(opt *Options) (*Result, error) {
 	}
 	for _, iv := range intervals {
 		iv := iv
-		_, gmeans, err := speedupMatrix(opt, vars, 8, func(c *multigpu.Config) {
+		_, gmeans, err := speedupMatrix(opt, vars, 8, fmt.Sprintf("q%d", iv), func(c *multigpu.Config) {
 			c.SchedulerQuantum = iv
 		})
 		if err != nil {
@@ -159,7 +159,7 @@ func fig22(opt *Options) (*Result, error) {
 	}
 	for _, th := range thresholds {
 		scaledTh := opt.scaled(th)
-		_, gmeans, err := speedupMatrix(opt, vars, 8, func(c *multigpu.Config) {
+		_, gmeans, err := speedupMatrix(opt, vars, 8, fmt.Sprintf("th%d", th), func(c *multigpu.Config) {
 			c.GroupThreshold = scaledTh
 		})
 		if err != nil {

@@ -91,7 +91,7 @@ func fig5(opt *Options) (*Result, error) {
 		{"IdealGPUpd", sfr.GPUpd{}, func(c *multigpu.Config) { c.Link.Ideal = true }},
 		{"IdealCHOPIN", sfr.CHOPIN{}, func(c *multigpu.Config) { c.Link.Ideal = true }},
 	}
-	perBench, gmeans, err := speedupMatrix(opt, vars, 8, nil)
+	perBench, gmeans, err := speedupMatrix(opt, vars, 8, "", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +109,7 @@ func fig8(opt *Options) (*Result, error) {
 		{"GPUpd", sfr.GPUpd{}, ident},
 		{"CHOPIN_Round_Robin", sfr.CHOPIN{RoundRobin: true}, func(c *multigpu.Config) { c.UseCompScheduler = false }},
 	}
-	perBench, gmeans, err := speedupMatrix(opt, vars, 8, nil)
+	perBench, gmeans, err := speedupMatrix(opt, vars, 8, "", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ func fig8(opt *Options) (*Result, error) {
 
 func fig13(opt *Options) (*Result, error) {
 	vars := fig13Variants()
-	perBench, gmeans, err := speedupMatrix(opt, vars, 8, nil)
+	perBench, gmeans, err := speedupMatrix(opt, vars, 8, "", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +161,7 @@ func fig14(opt *Options) (*Result, error) {
 		for vi, v := range vars {
 			vcfg := cfg
 			v.mutate(&vcfg)
-			jobs = append(jobs, job{bench: bench, scheme: v.scheme, cfg: vcfg, out: &results[vi][bi]})
+			jobs = append(jobs, job{bench: bench, scheme: v.scheme, cfg: vcfg, out: &results[vi][bi], label: v.name})
 		}
 	}
 	if err := runJobs(opt, jobs); err != nil {
@@ -193,7 +193,7 @@ func fig19(opt *Options) (*Result, error) {
 	vars := fig13Variants()
 	tbl := stats.NewTable("GPUs", "GPUpd", "IdealGPUpd", "CHOPIN", "CHOPIN+CompSched", "IdealCHOPIN")
 	for _, n := range counts {
-		_, gmeans, err := speedupMatrix(opt, vars, n, nil)
+		_, gmeans, err := speedupMatrix(opt, vars, n, "", nil)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +213,7 @@ func fig20(opt *Options) (*Result, error) {
 	tbl := stats.NewTable("GB/s", "GPUpd", "IdealGPUpd", "CHOPIN", "CHOPIN+CompSched", "IdealCHOPIN")
 	for _, bw := range bws {
 		bw := bw
-		_, gmeans, err := speedupMatrix(opt, vars, 8, func(c *multigpu.Config) {
+		_, gmeans, err := speedupMatrix(opt, vars, 8, fmt.Sprintf("bw%.0f", bw), func(c *multigpu.Config) {
 			c.Link.BytesPerCycle = bw // GB/s at 1 GHz = bytes/cycle
 		})
 		if err != nil {
@@ -234,7 +234,7 @@ func fig21(opt *Options) (*Result, error) {
 	tbl := stats.NewTable("cycles", "GPUpd", "IdealGPUpd", "CHOPIN", "CHOPIN+CompSched", "IdealCHOPIN")
 	for _, lat := range lats {
 		lat := lat
-		_, gmeans, err := speedupMatrix(opt, vars, 8, func(c *multigpu.Config) {
+		_, gmeans, err := speedupMatrix(opt, vars, 8, fmt.Sprintf("lat%d", lat), func(c *multigpu.Config) {
 			c.Link.LatencyCycles = int64ToCycle(lat)
 		})
 		if err != nil {

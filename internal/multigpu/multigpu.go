@@ -9,6 +9,7 @@ package multigpu
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"chopin/internal/check"
 	"chopin/internal/fault"
@@ -99,6 +100,24 @@ func DefaultConfig() Config {
 		DriverCyclesPerDraw: 50,
 		BatchSize:           192,
 	}
+}
+
+// Fingerprint returns a stable 16-hex-digit digest of the architectural
+// configuration: the fields that determine simulated timing and output
+// (GPU count, cost model, rasterizer knobs, link parameters, scheme
+// thresholds). Attachments that observe or perturb a run from outside the
+// modelled architecture — Tracer, Cancel, Faults, Verify, RecordPerDraw —
+// are excluded, so a traced or verified re-run of the same architecture
+// fingerprints identically. Run records (package runrec) key rows on it.
+func (c Config) Fingerprint() string {
+	c.Tracer = nil
+	c.Cancel = nil
+	c.Faults = nil
+	c.Verify = false
+	c.RecordPerDraw = false
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", c)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // System is an N-GPU rendering system for one simulated frame.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // jsonEvent is the Chrome trace-event wire form. Field order is fixed by the
@@ -117,6 +118,95 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 
 	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
 		return err
+	}
+	return bw.Flush()
+}
+
+// CSVSeries is a parsed metrics CSV (the WriteCSV format): the probe-sweep
+// cycle column plus one column of values per registered counter. Write
+// re-exports it byte-identically, so tooling can round-trip captures.
+type CSVSeries struct {
+	// Columns names the counter columns ("<pid>/<name>"), in file order.
+	Columns []string
+	// Ticks holds the cycle of each probe-sweep row.
+	Ticks []int64
+	// Values holds one row per tick, each with len(Columns) samples.
+	Values [][]int64
+}
+
+// LoadCSV parses a metrics CSV produced by WriteCSV. It validates the
+// header (the first column must be "cycle"), row widths, and that every
+// cell is a decimal integer; violations are reported with their line
+// number.
+func LoadCSV(r io.Reader) (*CSVSeries, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("obs: metrics CSV is empty (no header row)")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if header[0] != "cycle" {
+		return nil, fmt.Errorf("obs: metrics CSV header must start with %q, got %q", "cycle", header[0])
+	}
+	s := &CSVSeries{Columns: header[1:]}
+	line := 1
+	for sc.Scan() {
+		line++
+		cells := strings.Split(sc.Text(), ",")
+		if len(cells) != len(header) {
+			return nil, fmt.Errorf("obs: metrics CSV line %d has %d cells, want %d", line, len(cells), len(header))
+		}
+		ts, err := strconv.ParseInt(cells[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics CSV line %d: bad cycle %q", line, cells[0])
+		}
+		row := make([]int64, len(cells)-1)
+		for i, c := range cells[1:] {
+			v, err := strconv.ParseInt(c, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: metrics CSV line %d, column %q: bad value %q", line, header[i+1], c)
+			}
+			row[i] = v
+		}
+		s.Ticks = append(s.Ticks, ts)
+		s.Values = append(s.Values, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Write re-exports the series in the WriteCSV format. A load/Write
+// round-trip of a WriteCSV export is byte-identical.
+func (s *CSVSeries) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "cycle"); err != nil {
+		return err
+	}
+	for _, c := range s.Columns {
+		if _, err := fmt.Fprintf(bw, ",%s", c); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	for row, ts := range s.Ticks {
+		if _, err := fmt.Fprintf(bw, "%d", ts); err != nil {
+			return err
+		}
+		for _, v := range s.Values[row] {
+			if _, err := fmt.Fprintf(bw, ",%d", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

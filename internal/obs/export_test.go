@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCSVRoundTrip pins the metrics-CSV round-trip contract: export a
+// tracer, parse it back, re-export, and require byte-identical output —
+// counter columns (probe and manual) included.
+func TestCSVRoundTrip(t *testing.T) {
+	tr := goldenTracer()
+	var first bytes.Buffer
+	if err := tr.WriteCSV(&first); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadCSV(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Columns) != 2 || s.Columns[0] != "1/queue_depth" || s.Columns[1] != "0/groups_done" {
+		t.Fatalf("columns = %v", s.Columns)
+	}
+	if len(s.Ticks) != 3 || len(s.Values) != 3 {
+		t.Fatalf("rows = %d ticks, %d value rows", len(s.Ticks), len(s.Values))
+	}
+	var second bytes.Buffer
+	if err := s.Write(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round-trip not byte-stable:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"empty", "", "no header row"},
+		{"bad header", "time,1/q\n0,1\n", `must start with "cycle"`},
+		{"ragged row", "cycle,1/q\n0,1,2\n", "line 2 has 3 cells, want 2"},
+		{"bad cycle", "cycle,1/q\nx,1\n", `line 2: bad cycle "x"`},
+		{"bad value", "cycle,1/q\n0,y\n", `line 2, column "1/q": bad value "y"`},
+	} {
+		_, err := LoadCSV(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: LoadCSV succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %q, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

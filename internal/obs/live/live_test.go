@@ -1,0 +1,195 @@
+package live
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a monitor's notion of time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestMonitor() (*Monitor, *fakeClock) {
+	m := New()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m.now = clk.now
+	return m, clk
+}
+
+func TestETAExtrapolation(t *testing.T) {
+	m, clk := newTestMonitor()
+	m.SetRun("fig19 scale=0.03")
+	clk.advance(10 * time.Second)
+	m.Observe("fig19/CHOPIN/cod2/n8", 2, 8)
+	st := m.State()
+	if st.Done != 2 || st.Total != 8 || !st.Running {
+		t.Fatalf("state = %+v", st)
+	}
+	if st.ElapsedSec != 10 {
+		t.Fatalf("elapsed = %v", st.ElapsedSec)
+	}
+	// 2 done in 10s -> 6 remaining at 5s each.
+	if st.ETASec != 30 {
+		t.Fatalf("eta = %v, want 30", st.ETASec)
+	}
+
+	// Before anything completes the ETA is unknown.
+	m.SetRun("next")
+	clk.advance(time.Second)
+	if eta := m.State().ETASec; eta != -1 {
+		t.Fatalf("eta before first completion = %v, want -1", eta)
+	}
+
+	m.Finish()
+	if m.State().Running {
+		t.Fatal("Finish should clear Running")
+	}
+}
+
+func TestObserveKeepsHighWaterMark(t *testing.T) {
+	m, _ := newTestMonitor()
+	m.SetRun("r")
+	m.Observe("a", 3, 8)
+	m.Observe("b", 2, 8) // out-of-order worker callback
+	st := m.State()
+	if st.Done != 3 {
+		t.Fatalf("done = %d, want high-water mark 3", st.Done)
+	}
+	if st.Sims != 2 {
+		t.Fatalf("sims = %d, want 2", st.Sims)
+	}
+	if st.Cell != "b" {
+		t.Fatalf("cell = %q", st.Cell)
+	}
+}
+
+func TestHTTPSurface(t *testing.T) {
+	m, clk := newTestMonitor()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	m.SetRun("fig13 scale=0.03")
+	clk.advance(4 * time.Second)
+	m.Observe("fig13/CHOPIN/cod2/n8", 1, 4)
+
+	// /progress serves the JSON snapshot.
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Run != "fig13 scale=0.03" || st.Done != 1 || st.Total != 4 {
+		t.Fatalf("progress = %+v", st)
+	}
+
+	// /debug/vars exposes the chopin expvar map.
+	body := get(t, srv.URL+"/debug/vars")
+	if !strings.Contains(body, `"chopin"`) || !strings.Contains(body, "sims_completed") {
+		t.Fatalf("expvar missing chopin map: %s", body)
+	}
+
+	// /debug/pprof/ serves the profile index.
+	if body := get(t, srv.URL+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %q", body)
+	}
+
+	// The status page renders.
+	if body := get(t, srv.URL+"/"); !strings.Contains(body, "chopin sweep monitor") {
+		t.Fatalf("index = %q", body)
+	}
+	// Unknown paths 404 instead of serving the index.
+	if resp, err := http.Get(srv.URL + "/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET /nope = %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestSSEStream(t *testing.T) {
+	m, _ := newTestMonitor()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	m.SetRun("fig19")
+	m.Observe("cell-1", 1, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// The first frame is the current state; a subsequent Observe streams a
+	// second frame.
+	r := bufio.NewReader(resp.Body)
+	first := readFrame(t, r)
+	if first.Cell != "cell-1" || first.Done != 1 {
+		t.Fatalf("first frame = %+v", first)
+	}
+	m.Observe("cell-2", 2, 2)
+	second := readFrame(t, r)
+	if second.Cell != "cell-2" || second.Done != 2 {
+		t.Fatalf("second frame = %+v", second)
+	}
+}
+
+// readFrame reads one "data: {...}" SSE frame.
+func readFrame(t *testing.T, r *bufio.Reader) State {
+	t.Helper()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE frame: %v", err)
+		}
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var st State
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		return st
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

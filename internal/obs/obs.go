@@ -271,6 +271,32 @@ func (t *Tracer) Samples(c CounterID) []Sample {
 	return t.samples[c]
 }
 
+// CounterFinal is the last observed value of one registered counter — the
+// end-of-run snapshot run records embed as metrics.
+type CounterFinal struct {
+	Pid  int
+	Name string
+	Val  int64
+}
+
+// CounterFinals returns the final value of every registered counter, in
+// registration order. Counters that were never sampled report zero. A nil
+// tracer returns nil.
+func (t *Tracer) CounterFinals() []CounterFinal {
+	if t == nil {
+		return nil
+	}
+	finals := make([]CounterFinal, len(t.counters))
+	for i, c := range t.counters {
+		f := CounterFinal{Pid: c.Pid, Name: c.Name}
+		if n := len(t.samples[i]); n > 0 {
+			f.Val = t.samples[i][n-1].Val
+		}
+		finals[i] = f
+	}
+	return finals
+}
+
 // SpanTotals sums span durations by event name over the given track,
 // resolving the track by its process/thread names. It returns nil if the
 // track was never registered. Tests use it to reconcile phase spans against

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSummarizeUtilizationEdges pins the divide-by-zero guard in per-track
+// utilization: degenerate traces (no events, or a single zero-length
+// interval) must report 0, never NaN or Inf.
+func TestSummarizeUtilizationEdges(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		events    []LoadedEvent
+		tracks    int
+		wantUtils []float64
+	}{
+		{
+			name:   "empty trace",
+			events: nil,
+			tracks: 0,
+		},
+		{
+			// One zero-duration span: the trace interval is empty, so
+			// Busy/span would be 0/0.
+			name:      "single zero-duration span",
+			events:    []LoadedEvent{{Name: "s", Ph: "X", Ts: 100, Dur: 0, Pid: 1, Tid: 1}},
+			tracks:    1,
+			wantUtils: []float64{0},
+		},
+		{
+			// Two instantaneous spans at the same cycle on different tracks:
+			// still a zero-length interval, two tracks to guard.
+			name: "instantaneous tracks",
+			events: []LoadedEvent{
+				{Name: "a", Ph: "X", Ts: 50, Dur: 0, Pid: 1, Tid: 1},
+				{Name: "b", Ph: "X", Ts: 50, Dur: 0, Pid: 2, Tid: 1},
+			},
+			tracks:    2,
+			wantUtils: []float64{0, 0},
+		},
+		{
+			// Sanity: a non-degenerate track still gets a real ratio.
+			name: "half busy",
+			events: []LoadedEvent{
+				{Name: "a", Ph: "X", Ts: 0, Dur: 50, Pid: 1, Tid: 1},
+				{Name: "b", Ph: "X", Ts: 50, Dur: 50, Pid: 2, Tid: 1},
+			},
+			tracks:    2,
+			wantUtils: []float64{0.5, 0.5},
+		},
+	} {
+		tf := &TraceFile{Events: tc.events}
+		s := tf.Summarize(5)
+		if len(s.Tracks) != tc.tracks {
+			t.Errorf("%s: %d tracks, want %d", tc.name, len(s.Tracks), tc.tracks)
+			continue
+		}
+		for i, tr := range s.Tracks {
+			if math.IsNaN(tr.Utilization) || math.IsInf(tr.Utilization, 0) {
+				t.Errorf("%s: track %d utilization = %v, want finite", tc.name, i, tr.Utilization)
+			}
+			if tr.Utilization != tc.wantUtils[i] {
+				t.Errorf("%s: track %d utilization = %v, want %v", tc.name, i, tr.Utilization, tc.wantUtils[i])
+			}
+		}
+	}
+}

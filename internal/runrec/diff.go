@@ -1,0 +1,225 @@
+package runrec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Delta is one metric whose value differs between two aligned rows.
+type Delta struct {
+	Key    Key
+	Metric string
+	// Old and New are the metric values in each record.
+	Old, New float64
+	// Abs is New-Old; Rel is Abs relative to |Old| (+Inf when a zero
+	// metric became non-zero).
+	Abs, Rel float64
+}
+
+// Diff is the row-aligned comparison of two records.
+type Diff struct {
+	// Aligned counts rows present in both records.
+	Aligned int
+	// Missing lists keys present only in the old record; Added lists keys
+	// present only in the new one. Both sorted.
+	Missing, Added []Key
+	// ConfigChanged lists aligned rows whose architecture fingerprint
+	// drifted — the same named cell now simulates a different machine.
+	ConfigChanged []Key
+	// Deltas lists every aligned metric whose value changed, sorted by
+	// (key, metric).
+	Deltas []Delta
+	// CycleRatio maps each experiment to the geometric mean, over its
+	// aligned rows, of old total_cycles / new total_cycles — >1 means the
+	// new record simulates the experiment in fewer cycles (a speedup
+	// shift in the paper's headline direction). Experiments with no
+	// usable rows are absent.
+	CycleRatio map[string]float64
+}
+
+// rel computes the relative change of new against old.
+func rel(old, new float64) float64 {
+	if old != 0 {
+		return (new - old) / math.Abs(old)
+	}
+	if new == 0 {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// Compare aligns two records by row key and computes per-metric deltas. A
+// metric present in only one row is treated as "not measured" and skipped
+// (adding a metric to the schema must not read as a regression).
+func Compare(oldRec, newRec *Record) *Diff {
+	d := &Diff{CycleRatio: map[string]float64{}}
+	oldRows := make(map[Key]*Row, len(oldRec.Rows))
+	for i := range oldRec.Rows {
+		oldRows[oldRec.Rows[i].Key] = &oldRec.Rows[i]
+	}
+	newKeys := make(map[Key]bool, len(newRec.Rows))
+	logSum := map[string]float64{}
+	logN := map[string]int{}
+	for i := range newRec.Rows {
+		nr := &newRec.Rows[i]
+		newKeys[nr.Key] = true
+		or, ok := oldRows[nr.Key]
+		if !ok {
+			d.Added = append(d.Added, nr.Key)
+			continue
+		}
+		d.Aligned++
+		if or.Config != nr.Config {
+			d.ConfigChanged = append(d.ConfigChanged, nr.Key)
+		}
+		names := make([]string, 0, len(or.Metrics))
+		for name := range or.Metrics {
+			if _, both := nr.Metrics[name]; both {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ov, nv := or.Metrics[name], nr.Metrics[name]
+			if ov == nv {
+				continue
+			}
+			d.Deltas = append(d.Deltas, Delta{
+				Key: nr.Key, Metric: name,
+				Old: ov, New: nv, Abs: nv - ov, Rel: rel(ov, nv),
+			})
+		}
+		if oc, nc := or.Metrics["total_cycles"], nr.Metrics["total_cycles"]; oc > 0 && nc > 0 {
+			logSum[nr.Experiment] += math.Log(oc / nc)
+			logN[nr.Experiment]++
+		}
+	}
+	for key := range oldRows {
+		if !newKeys[key] {
+			d.Missing = append(d.Missing, key)
+		}
+	}
+	sort.Slice(d.Missing, func(a, b int) bool { return d.Missing[a].less(d.Missing[b]) })
+	sort.Slice(d.Added, func(a, b int) bool { return d.Added[a].less(d.Added[b]) })
+	sort.Slice(d.ConfigChanged, func(a, b int) bool { return d.ConfigChanged[a].less(d.ConfigChanged[b]) })
+	sort.Slice(d.Deltas, func(a, b int) bool {
+		if d.Deltas[a].Key != d.Deltas[b].Key {
+			return d.Deltas[a].Key.less(d.Deltas[b].Key)
+		}
+		return d.Deltas[a].Metric < d.Deltas[b].Metric
+	})
+	for exp, n := range logN {
+		d.CycleRatio[exp] = math.Exp(logSum[exp] / float64(n))
+	}
+	return d
+}
+
+// Threshold is one gate rule: rows whose metric matches Pattern may grow
+// by at most MaxRel (relative increase; 0 means any increase fails).
+// Every tracked metric is lower-is-better (cycles, bytes, faults), so
+// decreases never gate.
+type Threshold struct {
+	// Pattern is a path.Match pattern over metric names ("total_cycles",
+	// "phase_*", "fault_*").
+	Pattern string
+	// MaxRel is the largest tolerated relative increase (0.02 = +2%).
+	MaxRel float64
+}
+
+// Thresholds is an ordered rule list; the first matching pattern wins.
+type Thresholds []Threshold
+
+// DefaultThresholds gates only total frame time, with zero tolerance:
+// any cycle-count increase on any aligned row fails.
+func DefaultThresholds() Thresholds {
+	return Thresholds{{Pattern: "total_cycles", MaxRel: 0}}
+}
+
+// ParseThresholds reads a threshold file: one "<metric-pattern>
+// <max-relative-increase>" pair per line, '#' comments and blank lines
+// ignored.
+func ParseThresholds(r io.Reader) (Thresholds, error) {
+	var ts Thresholds
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("runrec: thresholds line %d: want \"<pattern> <max-rel>\", got %q", line, text)
+		}
+		if _, err := path.Match(fields[0], "probe"); err != nil {
+			return nil, fmt.Errorf("runrec: thresholds line %d: bad pattern %q: %v", line, fields[0], err)
+		}
+		limit, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || limit < 0 {
+			return nil, fmt.Errorf("runrec: thresholds line %d: bad limit %q (want a non-negative number)", line, fields[1])
+		}
+		ts = append(ts, Threshold{Pattern: fields[0], MaxRel: limit})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// Limit returns the first matching rule's limit for the metric.
+func (ts Thresholds) Limit(metric string) (float64, bool) {
+	for _, t := range ts {
+		if ok, _ := path.Match(t.Pattern, metric); ok {
+			return t.MaxRel, true
+		}
+	}
+	return 0, false
+}
+
+// Regression is one gate failure.
+type Regression struct {
+	Key    Key
+	Metric string
+	// Old, New, Rel mirror the offending Delta; Limit is the threshold it
+	// crossed. A missing row reports Metric "" and a Reason instead.
+	Old, New, Rel, Limit float64
+	Reason               string
+}
+
+// String renders the regression for gate output.
+func (r Regression) String() string {
+	if r.Metric == "" {
+		return fmt.Sprintf("%v: %s", r.Key, r.Reason)
+	}
+	return fmt.Sprintf("%v: %s %.0f -> %.0f (%+.2f%%, limit %+.2f%%)",
+		r.Key, r.Metric, r.Old, r.New, 100*r.Rel, 100*r.Limit)
+}
+
+// Gate applies the thresholds to the diff: every tracked metric that grew
+// past its limit is a regression, and every missing row is a regression
+// (a vanished measurement can hide anything). Added rows and improvements
+// pass. The returned slice is empty when the gate holds.
+func (d *Diff) Gate(ts Thresholds) []Regression {
+	var regs []Regression
+	for _, key := range d.Missing {
+		regs = append(regs, Regression{Key: key, Reason: "row missing from new record"})
+	}
+	for _, delta := range d.Deltas {
+		limit, tracked := ts.Limit(delta.Metric)
+		if !tracked || delta.Rel <= limit {
+			continue
+		}
+		regs = append(regs, Regression{
+			Key: delta.Key, Metric: delta.Metric,
+			Old: delta.Old, New: delta.New, Rel: delta.Rel, Limit: limit,
+		})
+	}
+	return regs
+}

@@ -1,0 +1,193 @@
+package runrec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func diffFixtures() (*Record, *Record) {
+	oldRec := &Record{Schema: SchemaVersion, Rows: []Row{
+		sampleRow("fig19", "", "CHOPIN", "cod2", 8, 1000),
+		sampleRow("fig19", "", "Duplication", "cod2", 8, 1500),
+		sampleRow("fig20", "bw64", "CHOPIN", "cod2", 8, 900),
+	}}
+	newRec := &Record{Schema: SchemaVersion, Rows: []Row{
+		sampleRow("fig19", "", "CHOPIN", "cod2", 8, 1100), // 10% slower
+		sampleRow("fig19", "", "Duplication", "cod2", 8, 1500),
+		sampleRow("fig19", "", "GPUpd", "cod2", 8, 1400), // added
+	}}
+	return oldRec, newRec
+}
+
+func TestCompareAlignsAndDeltas(t *testing.T) {
+	oldRec, newRec := diffFixtures()
+	d := Compare(oldRec, newRec)
+	if d.Aligned != 2 {
+		t.Fatalf("aligned = %d", d.Aligned)
+	}
+	if len(d.Added) != 1 || d.Added[0].Scheme != "GPUpd" {
+		t.Fatalf("added = %v", d.Added)
+	}
+	if len(d.Missing) != 1 || d.Missing[0].Cell != "bw64" {
+		t.Fatalf("missing = %v", d.Missing)
+	}
+	// Two metrics changed on the CHOPIN row (total_cycles and the derived
+	// bytes metric in sampleRow).
+	if len(d.Deltas) != 2 {
+		t.Fatalf("deltas = %v", d.Deltas)
+	}
+	var cyc *Delta
+	for i := range d.Deltas {
+		if d.Deltas[i].Metric == "total_cycles" {
+			cyc = &d.Deltas[i]
+		}
+	}
+	if cyc == nil || cyc.Old != 1000 || cyc.New != 1100 || math.Abs(cyc.Rel-0.1) > 1e-12 {
+		t.Fatalf("total_cycles delta = %+v", cyc)
+	}
+	// Geomean over the two aligned fig19 rows: sqrt(1000/1100 * 1) < 1.
+	want := math.Sqrt(1000.0 / 1100.0)
+	if got := d.CycleRatio["fig19"]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cycle ratio = %v, want %v", got, want)
+	}
+}
+
+func TestCompareSkipsUnsharedMetrics(t *testing.T) {
+	oldRec := &Record{Schema: SchemaVersion, Rows: []Row{sampleRow("e", "", "s", "b", 1, 100)}}
+	newRec := &Record{Schema: SchemaVersion, Rows: []Row{sampleRow("e", "", "s", "b", 1, 100)}}
+	newRec.Rows[0].Metrics["brand_new_metric"] = 42
+	d := Compare(oldRec, newRec)
+	if len(d.Deltas) != 0 {
+		t.Fatalf("a metric present in only one record must not delta: %v", d.Deltas)
+	}
+}
+
+func TestCompareReportsConfigDrift(t *testing.T) {
+	oldRec := &Record{Schema: SchemaVersion, Rows: []Row{sampleRow("e", "", "s", "b", 1, 100)}}
+	newRec := &Record{Schema: SchemaVersion, Rows: []Row{sampleRow("e", "", "s", "b", 1, 100)}}
+	newRec.Rows[0].Config = "0000000000000000"
+	d := Compare(oldRec, newRec)
+	if len(d.ConfigChanged) != 1 || len(d.Missing) != 0 {
+		t.Fatalf("drift = %v, missing = %v", d.ConfigChanged, d.Missing)
+	}
+}
+
+func TestGateBothWays(t *testing.T) {
+	// Identical records pass the default gate.
+	rec := sampleRecord()
+	if regs := Compare(rec, rec).Gate(DefaultThresholds()); len(regs) != 0 {
+		t.Fatalf("identical records gated: %v", regs)
+	}
+
+	// An injected cycle regression fails it.
+	oldRec, newRec := diffFixtures()
+	newRec.Rows = newRec.Rows[:2] // drop the added row; keep the regression
+	regs := Compare(oldRec, newRec).Gate(DefaultThresholds())
+	var cycleReg, missingReg bool
+	for _, r := range regs {
+		if r.Metric == "total_cycles" && r.Rel > 0 {
+			cycleReg = true
+		}
+		if r.Metric == "" && strings.Contains(r.Reason, "missing") {
+			missingReg = true
+		}
+	}
+	if !cycleReg {
+		t.Fatalf("regressed cycles not gated: %v", regs)
+	}
+	// The vanished fig20 row is a regression too.
+	if !missingReg {
+		t.Fatalf("missing row not gated: %v", regs)
+	}
+
+	// A loose threshold lets the same 10% regression through.
+	loose := Thresholds{{Pattern: "total_cycles", MaxRel: 0.2}, {Pattern: "bytes_*", MaxRel: 1}}
+	full := Compare(oldRec, diffNoMissing(newRec, oldRec))
+	if regs := full.Gate(loose); len(regs) != 0 {
+		t.Fatalf("loose gate still failed: %v", regs)
+	}
+
+	// Improvements never gate.
+	faster := &Record{Schema: SchemaVersion, Rows: []Row{sampleRow("fig19", "", "CHOPIN", "cod2", 8, 500)}}
+	slower := &Record{Schema: SchemaVersion, Rows: []Row{sampleRow("fig19", "", "CHOPIN", "cod2", 8, 1000)}}
+	if regs := Compare(slower, faster).Gate(DefaultThresholds()); len(regs) != 0 {
+		t.Fatalf("improvement gated: %v", regs)
+	}
+}
+
+// diffNoMissing pads new with old's rows that it lacks, so the gate sees
+// only deltas.
+func diffNoMissing(newRec, oldRec *Record) *Record {
+	have := map[Key]bool{}
+	for _, r := range newRec.Rows {
+		have[r.Key] = true
+	}
+	out := &Record{Schema: SchemaVersion, Meta: newRec.Meta, Rows: newRec.Rows}
+	for _, r := range oldRec.Rows {
+		if !have[r.Key] {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+func TestParseThresholds(t *testing.T) {
+	in := `# comment
+total_cycles 0
+phase_* 0.05
+
+fault_* 0
+`
+	ts, err := ParseThresholds(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("parsed %d thresholds", len(ts))
+	}
+	if lim, ok := ts.Limit("phase_composition"); !ok || lim != 0.05 {
+		t.Fatalf("phase limit = %v, %v", lim, ok)
+	}
+	if lim, ok := ts.Limit("total_cycles"); !ok || lim != 0 {
+		t.Fatalf("cycle limit = %v, %v", lim, ok)
+	}
+	if _, ok := ts.Limit("triangles"); ok {
+		t.Fatal("unmatched metric should be untracked")
+	}
+
+	for _, bad := range []string{
+		"total_cycles",                // missing limit
+		"total_cycles 0 extra",        // too many fields
+		"total_cycles -0.1",           // negative limit
+		"total_cycles x",              // non-numeric limit
+		"[bad-pattern total_cycles 0", // malformed, three fields
+		"[a-b 0",                      // invalid path.Match pattern
+	} {
+		if _, err := ParseThresholds(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseThresholds(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestThresholdFirstMatchWins(t *testing.T) {
+	ts := Thresholds{{Pattern: "phase_sync", MaxRel: 0.5}, {Pattern: "phase_*", MaxRel: 0}}
+	if lim, _ := ts.Limit("phase_sync"); lim != 0.5 {
+		t.Fatalf("first match should win, got %v", lim)
+	}
+	if lim, _ := ts.Limit("phase_normal"); lim != 0 {
+		t.Fatalf("fallback = %v", lim)
+	}
+}
+
+func TestRelZeroToNonzero(t *testing.T) {
+	if r := rel(0, 5); !math.IsInf(r, 1) {
+		t.Fatalf("rel(0, 5) = %v", r)
+	}
+	if r := rel(0, 0); r != 0 {
+		t.Fatalf("rel(0, 0) = %v", r)
+	}
+	if r := rel(100, 90); math.Abs(r+0.1) > 1e-12 {
+		t.Fatalf("rel(100, 90) = %v", r)
+	}
+}

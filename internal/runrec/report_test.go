@@ -1,0 +1,134 @@
+package runrec
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+)
+
+// renderGolden renders the committed fig19 fixture (a real chopinsim sweep
+// at scale 0.03) through WriteReport.
+func renderGolden(t *testing.T) string {
+	t.Helper()
+	rec, err := LoadFile("testdata/golden_fig19.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rec, "fig19 report"); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestReportIsWellFormed validates the report as parseable markup: the
+// renderer emits XHTML on purpose so encoding/xml can walk every element.
+func TestReportIsWellFormed(t *testing.T) {
+	out := renderGolden(t)
+	dec := xml.NewDecoder(strings.NewReader(out))
+	dec.Strict = true
+	dec.Entity = xml.HTMLEntity
+	elements := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("report is not well-formed XML: %v", err)
+		}
+		if _, ok := tok.(xml.StartElement); ok {
+			elements++
+		}
+	}
+	if elements < 20 {
+		t.Fatalf("suspiciously small report: %d elements", elements)
+	}
+}
+
+// TestReportRendersSpeedupCurve pins the Fig13/19-style figure: a polyline
+// per non-baseline scheme over the GPU-count sweep, markers with tooltips,
+// the dashed parity line, and a legend naming each scheme.
+func TestReportRendersSpeedupCurve(t *testing.T) {
+	out := renderGolden(t)
+	if !strings.Contains(out, "speedup vs GPU count") {
+		t.Fatal("missing speedup figure heading")
+	}
+	// fig19 runs 5 schemes against Duplication: 5 polylines.
+	if got := strings.Count(out, "<polyline"); got != 5 {
+		t.Fatalf("%d polylines, want 5", got)
+	}
+	for _, scheme := range []string{"GPUpd", "IdealGPUpd", "CHOPIN", "CHOPIN+CompSched", "IdealCHOPIN"} {
+		if !strings.Contains(out, ">"+scheme+"<") {
+			t.Errorf("legend missing scheme %q", scheme)
+		}
+	}
+	// Markers carry native tooltips against the Duplication baseline.
+	if !strings.Contains(out, "<title>CHOPIN at 8 GPUs:") || !strings.Contains(out, "vs Duplication</title>") {
+		t.Fatal("markers missing tooltips")
+	}
+	if !strings.Contains(out, `stroke-dasharray="6 4"`) {
+		t.Fatal("missing dashed 1.0 baseline")
+	}
+	// The GPU-count sweep appears on the x axis.
+	for _, n := range []string{">2<", ">4<", ">8<", ">16<"} {
+		if !strings.Contains(out, n) {
+			t.Errorf("x axis missing GPU count %s", n)
+		}
+	}
+	// Every figure ships its table view.
+	if !strings.Contains(out, "data table") {
+		t.Fatal("missing table view")
+	}
+}
+
+// TestReportIsSelfContained pins the no-external-assets contract.
+func TestReportIsSelfContained(t *testing.T) {
+	out := renderGolden(t)
+	for _, banned := range []string{"<script", "http://", "https://", "<link", "@import"} {
+		// The xmlns attribute is the one allowed URL.
+		stripped := strings.ReplaceAll(out, `xmlns="http://www.w3.org/1999/xhtml"`, "")
+		if strings.Contains(stripped, banned) {
+			t.Errorf("report references external content: %q", banned)
+		}
+	}
+	// Dark mode ships via CSS custom properties, not an extra stylesheet.
+	if !strings.Contains(out, "prefers-color-scheme: dark") {
+		t.Error("missing dark-mode palette")
+	}
+}
+
+// TestReportPhaseBreakdown checks the stacked-bar figure exists for the
+// max-GPU cut of the sweep.
+func TestReportPhaseBreakdown(t *testing.T) {
+	out := renderGolden(t)
+	if !strings.Contains(out, "cycle breakdown by phase") {
+		t.Fatal("missing phase figure")
+	}
+	if !strings.Contains(out, "<rect") {
+		t.Fatal("phase figure has no bars")
+	}
+}
+
+// TestReportFaultTable: fault-free records omit the fault section; records
+// with fault metrics render it.
+func TestReportFaultTable(t *testing.T) {
+	clean := renderGolden(t)
+	if strings.Contains(clean, "fault and recovery costs") {
+		t.Fatal("fault-free record should omit the fault table")
+	}
+	rec := &Record{Schema: SchemaVersion, Rows: []Row{
+		sampleRow("faults", "", "CHOPIN", "cod2", 8, 1000),
+	}}
+	rec.Rows[0].Metrics["fault_retries"] = 3
+	rec.Rows[0].Metrics["recovery_cycles"] = 420
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rec, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fault and recovery costs") {
+		t.Fatal("faulty record missing the fault table")
+	}
+}

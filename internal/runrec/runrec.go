@@ -1,0 +1,354 @@
+// Package runrec defines the versioned run record: the structured,
+// diffable measurement artifact every figure/table run writes. A record is
+// a JSON manifest (tool, git revision, trace scale, seed) plus one metric
+// row per simulation, keyed by (experiment, cell, scheme, bench, GPU
+// count) and stamped with the architecture fingerprint
+// (multigpu.Config.Fingerprint). Records are the substrate of the
+// regression loop: chopinsim writes them, chopinstat aligns and gates
+// them, chopinreport renders them.
+//
+// Determinism contract: records carry no wall-clock timestamps or host
+// identity, rows are sorted by key on write, and metric maps serialize
+// with sorted keys — two same-seed sweeps of the same binary produce
+// byte-identical records (CI enforces this with a byte compare).
+//
+// Versioning rules: Schema is bumped on any change that alters the meaning
+// of existing fields or the row key; adding a new metric key is NOT a
+// schema bump (diffing treats absent metrics as "not measured", not
+// zero). Load rejects records whose schema differs from SchemaVersion
+// with a *VersionError so tooling never misreads a foreign layout.
+package runrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"chopin/internal/stats"
+)
+
+// SchemaVersion is the record layout version this package reads and
+// writes.
+const SchemaVersion = 1
+
+// Meta is the run manifest: everything needed to know what produced the
+// rows. It deliberately excludes wall-clock time and host identity so
+// records stay deterministic.
+type Meta struct {
+	// Tool names the producer (e.g. "chopinsim").
+	Tool string `json:"tool"`
+	// GitRev is the VCS revision of the producing binary ("unknown" when
+	// the build carries no VCS stamp).
+	GitRev string `json:"git_rev"`
+	// Scale is the trace scale the sweep ran at.
+	Scale float64 `json:"scale"`
+	// Seed is the fault-plan seed (0 when no faults were injected).
+	Seed int64 `json:"seed"`
+	// Benchmarks and Experiments list the sweep's matrix.
+	Benchmarks  []string `json:"benchmarks,omitempty"`
+	Experiments []string `json:"experiments,omitempty"`
+	// Notes carries free-form annotations (JSON sorts the keys).
+	Notes map[string]string `json:"notes,omitempty"`
+}
+
+// Key identifies one row. Two records are aligned row-by-row on this key,
+// so it must be unique within a record and stable across runs.
+type Key struct {
+	// Experiment is the registered experiment ID (e.g. "fig13").
+	Experiment string `json:"experiment"`
+	// Cell disambiguates sweep points that share scheme/bench/GPUs — e.g.
+	// "bw32" in the bandwidth sensitivity sweep. Empty for single-point
+	// experiments.
+	Cell string `json:"cell,omitempty"`
+	// Scheme is the variant label (e.g. "IdealGPUpd" — variants of one
+	// sfr.Scheme get distinct labels).
+	Scheme string `json:"scheme"`
+	// Bench is the trace name.
+	Bench string `json:"bench"`
+	// GPUs is the system size.
+	GPUs int `json:"gpus"`
+}
+
+// String renders the key as a stable path-like label.
+func (k Key) String() string {
+	cell := k.Cell
+	if cell != "" {
+		cell = "[" + cell + "]"
+	}
+	return fmt.Sprintf("%s%s/%s/%s/n%d", k.Experiment, cell, k.Scheme, k.Bench, k.GPUs)
+}
+
+// less orders keys lexicographically by field.
+func (k Key) less(o Key) bool {
+	if k.Experiment != o.Experiment {
+		return k.Experiment < o.Experiment
+	}
+	if k.Cell != o.Cell {
+		return k.Cell < o.Cell
+	}
+	if k.Scheme != o.Scheme {
+		return k.Scheme < o.Scheme
+	}
+	if k.Bench != o.Bench {
+		return k.Bench < o.Bench
+	}
+	return k.GPUs < o.GPUs
+}
+
+// Metrics maps metric names to values. encoding/json sorts the keys, so
+// serialization is deterministic.
+type Metrics map[string]float64
+
+// Row is one simulation's measurements.
+type Row struct {
+	Key
+	// Config is the architecture fingerprint the simulation ran under
+	// (multigpu.Config.Fingerprint). Not part of the alignment key: a
+	// config change shows up as a per-row fingerprint drift note in
+	// chopinstat, not as a missing row.
+	Config string `json:"config"`
+	// Metrics holds the row's measurements (cycles, bytes, fragments,
+	// faults — see FromStats for the canonical names).
+	Metrics Metrics `json:"metrics"`
+}
+
+// Record is a complete run record.
+type Record struct {
+	Schema int   `json:"schema"`
+	Meta   Meta  `json:"meta"`
+	Rows   []Row `json:"rows"`
+}
+
+// VersionError reports a record whose schema does not match this
+// package's SchemaVersion.
+type VersionError struct {
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("runrec: record schema %d, this tool reads schema %d", e.Got, e.Want)
+}
+
+// FromStats derives the canonical metric row from one simulation's frame
+// statistics. Metric names are flat snake_case so threshold files can
+// pattern-match families (phase_*, bytes_*, fault_*).
+func FromStats(key Key, cfgFingerprint string, st *stats.FrameStats) Row {
+	m := Metrics{
+		"total_cycles":          float64(st.TotalCycles),
+		"bytes_composition":     float64(st.CompositionBytes),
+		"bytes_primdist":        float64(st.PrimDistBytes),
+		"bytes_sync":            float64(st.SyncBytes),
+		"bytes_control":         float64(st.ControlBytes),
+		"frags_generated":       float64(st.Raster.FragsGenerated),
+		"frags_depth_passed":    float64(st.Raster.DepthPassed()),
+		"frags_shaded":          float64(st.Raster.FragsShaded),
+		"triangles":             float64(st.Triangles),
+		"groups_total":          float64(st.GroupsTotal),
+		"groups_accelerated":    float64(st.GroupsAccelerated),
+		"triangles_accelerated": float64(st.TrianglesAccelerated),
+		"fault_drops":           float64(st.Faults.Drops),
+		"fault_corrupts":        float64(st.Faults.Corrupts),
+		"fault_duplicates":      float64(st.Faults.Duplicates),
+		"fault_delays":          float64(st.Faults.Delays),
+		"fault_retries":         float64(st.Faults.Retries),
+		"fault_timeouts":        float64(st.Faults.Timeouts),
+		"fault_lost":            float64(st.Faults.Lost),
+		"gpus_failed":           float64(st.GPUsFailed),
+		"recovery_cycles":       float64(st.RecoveryCycles),
+	}
+	for _, p := range stats.Phases() {
+		m["phase_"+p.String()] = float64(st.Phase(p))
+	}
+	return Row{Key: key, Config: cfgFingerprint, Metrics: m}
+}
+
+// CounterMetric names the run-record metric for an obs counter snapshot.
+func CounterMetric(pid int, name string) string {
+	return fmt.Sprintf("counter:%d/%s", pid, name)
+}
+
+// Recorder accumulates rows concurrently (experiment workers append from
+// multiple goroutines) and snapshots them into a sorted Record. A nil
+// Recorder ignores Add, so call sites need only a nil check.
+type Recorder struct {
+	mu   sync.Mutex
+	meta Meta
+	rows []Row
+}
+
+// NewRecorder returns an empty recorder carrying the manifest.
+func NewRecorder(meta Meta) *Recorder {
+	return &Recorder{meta: meta}
+}
+
+// Add appends one row. Safe for concurrent use; no-op on a nil recorder.
+func (r *Recorder) Add(row Row) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rows = append(r.rows, row)
+	r.mu.Unlock()
+}
+
+// Len reports the number of rows recorded so far.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.rows)
+}
+
+// Record snapshots the recorder into a sorted, schema-stamped record.
+func (r *Recorder) Record() *Record {
+	r.mu.Lock()
+	rows := make([]Row, len(r.rows))
+	copy(rows, r.rows)
+	r.mu.Unlock()
+	sortRows(rows)
+	return &Record{Schema: SchemaVersion, Meta: r.meta, Rows: rows}
+}
+
+func sortRows(rows []Row) {
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].Key.less(rows[b].Key) })
+}
+
+// Write serializes the record as indented JSON with a trailing newline.
+// Rows are sorted and map keys serialize sorted, so identical records
+// write identical bytes.
+func (r *Record) Write(w io.Writer) error {
+	rows := make([]Row, len(r.Rows))
+	copy(rows, r.Rows)
+	sortRows(rows)
+	out := Record{Schema: r.Schema, Meta: r.Meta, Rows: rows}
+	b, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile writes the record to path.
+func (r *Record) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Validate checks the structural invariants Load promises: matching
+// schema, complete row keys, and key uniqueness.
+func (r *Record) Validate() error {
+	if r.Schema != SchemaVersion {
+		return &VersionError{Got: r.Schema, Want: SchemaVersion}
+	}
+	seen := make(map[Key]int, len(r.Rows))
+	for i, row := range r.Rows {
+		if row.Experiment == "" || row.Scheme == "" || row.Bench == "" {
+			return fmt.Errorf("runrec: row %d has an incomplete key %v", i, row.Key)
+		}
+		if row.GPUs <= 0 {
+			return fmt.Errorf("runrec: row %d (%v) has non-positive GPU count %d", i, row.Key, row.GPUs)
+		}
+		if row.Metrics == nil {
+			return fmt.Errorf("runrec: row %d (%v) has no metrics", i, row.Key)
+		}
+		if j, dup := seen[row.Key]; dup {
+			return fmt.Errorf("runrec: rows %d and %d share key %v", j, i, row.Key)
+		}
+		seen[row.Key] = i
+	}
+	return nil
+}
+
+// Load parses and validates a record.
+func Load(r io.Reader) (*Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("runrec: parsing record: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// LoadFile loads and validates the record at path.
+func LoadFile(path string) (*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// LoadPath loads a record from a file, or merges every *.json record in a
+// directory (sorted by name; the first file's manifest wins).
+func LoadPath(path string) (*Record, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return LoadFile(path)
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []*Record
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		rec, err := LoadFile(filepath.Join(path, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("runrec: no *.json run records in %s", path)
+	}
+	return Merge(recs)
+}
+
+// Merge combines records into one (the first manifest wins); duplicate
+// row keys across inputs are an error.
+func Merge(recs []*Record) (*Record, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("runrec: nothing to merge")
+	}
+	out := &Record{Schema: SchemaVersion, Meta: recs[0].Meta}
+	for _, rec := range recs {
+		out.Rows = append(out.Rows, rec.Rows...)
+	}
+	sortRows(out.Rows)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("runrec: merging %d records: %w", len(recs), err)
+	}
+	return out, nil
+}

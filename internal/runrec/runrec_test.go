@@ -1,0 +1,178 @@
+package runrec
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chopin/internal/stats"
+)
+
+func sampleRow(exp, cell, scheme, bench string, gpus int, cycles float64) Row {
+	return Row{
+		Key:     Key{Experiment: exp, Cell: cell, Scheme: scheme, Bench: bench, GPUs: gpus},
+		Config:  "cafe0123cafe0123",
+		Metrics: Metrics{"total_cycles": cycles, "bytes_composition": 10 * cycles},
+	}
+}
+
+func sampleRecord() *Record {
+	rec := NewRecorder(Meta{Tool: "test", GitRev: "deadbeef", Scale: 0.03,
+		Benchmarks: []string{"cod2"}, Experiments: []string{"fig19"}})
+	rec.Add(sampleRow("fig19", "", "CHOPIN", "cod2", 8, 1000))
+	rec.Add(sampleRow("fig19", "", "Duplication", "cod2", 8, 1500))
+	rec.Add(sampleRow("fig19", "", "CHOPIN", "cod2", 4, 1200))
+	return rec.Record()
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || got.Meta.Tool != "test" || len(got.Rows) != 3 {
+		t.Fatalf("round-trip = schema %d, tool %q, %d rows", got.Schema, got.Meta.Tool, len(got.Rows))
+	}
+	// Rows come back sorted by key regardless of Add order.
+	if got.Rows[0].GPUs != 4 || got.Rows[1].Scheme != "CHOPIN" || got.Rows[2].Scheme != "Duplication" {
+		t.Fatalf("row order = %v, %v, %v", got.Rows[0].Key, got.Rows[1].Key, got.Rows[2].Key)
+	}
+	// Writing again is byte-identical (determinism contract).
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialized record differs byte-wise")
+	}
+}
+
+func TestValidateRejectsBadRecords(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mod  func(*Record)
+		want string
+	}{
+		{"incomplete key", func(r *Record) { r.Rows[0].Scheme = "" }, "incomplete key"},
+		{"bad gpus", func(r *Record) { r.Rows[0].GPUs = 0 }, "non-positive GPU count"},
+		{"nil metrics", func(r *Record) { r.Rows[0].Metrics = nil }, "no metrics"},
+		{"duplicate key", func(r *Record) { r.Rows[1].Key = r.Rows[0].Key }, "share key"},
+	} {
+		rec := sampleRecord()
+		tc.mod(rec)
+		err := rec.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLoadRejectsForeignSchema(t *testing.T) {
+	rec := sampleRecord()
+	rec.Schema = SchemaVersion + 1
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(bytes.NewReader(buf.Bytes()))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Load = %v, want *VersionError", err)
+	}
+	if ve.Got != SchemaVersion+1 || ve.Want != SchemaVersion {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+}
+
+func TestMergeRejectsDuplicateKeys(t *testing.T) {
+	a := sampleRecord()
+	b := sampleRecord() // same keys on purpose
+	if _, err := Merge([]*Record{a, b}); err == nil {
+		t.Fatal("Merge of overlapping records should fail")
+	}
+	c := &Record{Schema: SchemaVersion, Rows: []Row{sampleRow("fig13", "", "GPUpd", "cod2", 8, 2000)}}
+	m, err := Merge([]*Record{a, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rows) != 4 || m.Meta.Tool != "test" {
+		t.Fatalf("merged = %d rows, meta %+v", len(m.Rows), m.Meta)
+	}
+}
+
+func TestLoadPathDirectory(t *testing.T) {
+	dir := t.TempDir()
+	a := sampleRecord()
+	b := &Record{Schema: SchemaVersion, Meta: Meta{Tool: "other"},
+		Rows: []Row{sampleRow("fig13", "", "GPUpd", "cod2", 8, 2000)}}
+	if err := a.WriteFile(filepath.Join(dir, "a.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile(filepath.Join(dir, "b.json")); err != nil {
+		t.Fatal(err)
+	}
+	// Non-record files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := LoadPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rows) != 4 {
+		t.Fatalf("merged dir = %d rows", len(rec.Rows))
+	}
+	// First file's manifest (sorted by name) wins.
+	if rec.Meta.Tool != "test" {
+		t.Fatalf("meta tool = %q", rec.Meta.Tool)
+	}
+	if _, err := LoadPath(t.TempDir()); err == nil {
+		t.Fatal("empty directory should fail to load")
+	}
+}
+
+func TestFromStatsMetricNames(t *testing.T) {
+	st := &stats.FrameStats{TotalCycles: 123, Triangles: 7}
+	row := FromStats(Key{Experiment: "e", Scheme: "s", Bench: "b", GPUs: 2}, "fp", st)
+	if row.Metrics["total_cycles"] != 123 || row.Metrics["triangles"] != 7 {
+		t.Fatalf("metrics = %v", row.Metrics)
+	}
+	for _, p := range stats.Phases() {
+		if _, ok := row.Metrics["phase_"+p.String()]; !ok {
+			t.Errorf("missing phase metric for %s", p)
+		}
+	}
+	if row.Config != "fp" {
+		t.Errorf("config = %q", row.Config)
+	}
+	if got := CounterMetric(3, "queue_depth"); got != "counter:3/queue_depth" {
+		t.Errorf("CounterMetric = %q", got)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Experiment: "fig20", Cell: "bw64", Scheme: "CHOPIN", Bench: "cod2", GPUs: 8}
+	if got := k.String(); got != "fig20[bw64]/CHOPIN/cod2/n8" {
+		t.Errorf("Key.String = %q", got)
+	}
+	k.Cell = ""
+	if got := k.String(); got != "fig20/CHOPIN/cod2/n8" {
+		t.Errorf("Key.String = %q", got)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(sampleRow("e", "", "s", "b", 1, 1)) // must not panic
+	if r.Len() != 0 {
+		t.Fatal("nil recorder should report zero rows")
+	}
+}

@@ -196,7 +196,10 @@ func (f *FrameStats) GeometryShare() float64 {
 	return float64(geom) / float64(total)
 }
 
-// Speedup returns baseline.TotalCycles / f.TotalCycles.
+// Speedup returns baseline.TotalCycles / f.TotalCycles. A zero-cycle
+// receiver yields 0 rather than dividing by zero; a zero-cycle baseline
+// yields 0 by arithmetic. Speedup therefore never returns NaN or Inf, and
+// 0 uniformly means "no valid comparison".
 func (f *FrameStats) Speedup(baseline *FrameStats) float64 {
 	if f.TotalCycles == 0 {
 		return 0
@@ -204,8 +207,10 @@ func (f *FrameStats) Speedup(baseline *FrameStats) float64 {
 	return float64(baseline.TotalCycles) / float64(f.TotalCycles)
 }
 
-// GeoMean returns the geometric mean of xs (zero for empty or non-positive
-// input).
+// GeoMean returns the geometric mean of xs. The contract for degenerate
+// input is "0, never NaN": an empty slice returns 0, and any zero or
+// negative element returns 0 (the geometric mean is undefined there, and 0
+// propagates visibly through speedup tables instead of poisoning them).
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

@@ -65,17 +65,38 @@ func TestSpeedup(t *testing.T) {
 	if zero.Speedup(base) != 0 {
 		t.Error("zero-cycle stats should report zero speedup")
 	}
+	// A zero-cycle baseline must also degrade to 0, not NaN or Inf.
+	zeroBase := &FrameStats{}
+	if got := fast.Speedup(zeroBase); got != 0 {
+		t.Errorf("zero-cycle baseline: speedup = %v, want 0", got)
+	}
+	if got := zero.Speedup(zeroBase); got != 0 || math.IsNaN(got) {
+		t.Errorf("zero/zero speedup = %v, want 0", got)
+	}
 }
 
 func TestGeoMean(t *testing.T) {
 	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
 		t.Errorf("GeoMean(2,8) = %v", got)
 	}
-	if GeoMean(nil) != 0 {
-		t.Error("empty GeoMean should be 0")
-	}
-	if GeoMean([]float64{1, -1}) != 0 {
-		t.Error("non-positive input should yield 0")
+	// Degenerate inputs follow the documented "0, never NaN" contract.
+	for _, tc := range []struct {
+		name string
+		xs   []float64
+	}{
+		{"nil", nil},
+		{"empty", []float64{}},
+		{"zero element", []float64{1, 0, 4}},
+		{"negative element", []float64{1, -1}},
+		{"all negative", []float64{-2, -8}},
+	} {
+		got := GeoMean(tc.xs)
+		if got != 0 {
+			t.Errorf("GeoMean(%s) = %v, want 0", tc.name, got)
+		}
+		if math.IsNaN(got) {
+			t.Errorf("GeoMean(%s) = NaN, contract says never NaN", tc.name)
+		}
 	}
 }
 

@@ -23,8 +23,15 @@ var smokePrograms = []struct {
 	{pkg: "./cmd/chopinsim", args: []string{"-exp", "tab3", "-scale", "0.02", "-benches", "cod2"}},
 	{pkg: "./cmd/chopinsim", args: []string{"-bench", "cod2", "-scheme", "chopin", "-scale", "0.02", "-gpus", "2",
 		"-timeline", "timeline.json", "-metrics", "metrics.csv"}},
+	{pkg: "./cmd/chopinsim", args: []string{"-exp", "fig2", "-scale", "0.02", "-benches", "cod2",
+		"-runrec", "runrec.json"}},
 	// {repo} expands to the repository root at run time.
 	{pkg: "./cmd/chopintrace", args: []string{"-check", "{repo}/internal/obs/testdata/golden_small.json"}},
+	{pkg: "./cmd/chopinstat", args: []string{"-gate",
+		"{repo}/internal/runrec/testdata/golden_fig19.json",
+		"{repo}/internal/runrec/testdata/golden_fig19.json"}},
+	{pkg: "./cmd/chopinreport", args: []string{"-o", "report.html",
+		"{repo}/internal/runrec/testdata/golden_fig19.json"}},
 	{pkg: "./cmd/tracegen", args: []string{"-bench", "cod2", "-scale", "0.02", "-info"}},
 	{pkg: "./cmd/benchjson", args: nil}, // empty stdin → empty JSON report
 
