@@ -98,6 +98,7 @@ func main() {
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS)")
+		engineW = flag.Int("engine-workers", 0, "event-engine worker goroutines per simulation; >1 enables the conservative parallel engine (0/1 = sequential)")
 
 		faults    = flag.String("faults", "", "single run: fault-injection spec (drop=P,corrupt=P,dup=P,delay=P:C,degrade=F@A:B,stall=G@A+D,fail=G@A) or 'random'")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan (with -faults)")
@@ -152,13 +153,15 @@ func main() {
 		opt.Verbose = *verbose
 		opt.Out = os.Stderr
 		opt.Workers = *workers
+		opt.EngineWorkers = *engineW
 		if err := experiments.UpdateGolden(*gdir, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("re-recorded %d golden files in %s\n", len(experiments.IDs()), *gdir)
 	case *self:
-		opt := experiments.Options{Scale: *scale, Verify: *verify, Verbose: *verbose, Out: os.Stderr, Workers: *workers}
+		opt := experiments.Options{Scale: *scale, Verify: *verify, Verbose: *verbose, Out: os.Stderr,
+			Workers: *workers, EngineWorkers: *engineW}
 		if *benches != "" {
 			opt.Benchmarks = strings.Split(*benches, ",")
 		}
@@ -178,11 +181,12 @@ func main() {
 		}
 	case *exp != "":
 		opt := experiments.Options{
-			Scale:   *scale,
-			Verify:  *verify,
-			Verbose: *verbose,
-			Out:     os.Stderr,
-			Workers: *workers,
+			Scale:         *scale,
+			Verify:        *verify,
+			Verbose:       *verbose,
+			Out:           os.Stderr,
+			Workers:       *workers,
+			EngineWorkers: *engineW,
 		}
 		if *timeout > 0 {
 			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -254,7 +258,7 @@ func main() {
 			frame:    *trFrame,
 		}
 		fo := faultOpts{spec: *faults, seed: *faultSeed, timeout: *timeout}
-		if err := runSingle(*scheme, *bench, *gpus, *scale, *ideal, *verify, *pngOut, *runrecOut, to, fo); err != nil {
+		if err := runSingle(*scheme, *bench, *gpus, *engineW, *scale, *ideal, *verify, *pngOut, *runrecOut, to, fo); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -317,7 +321,7 @@ func serveMonitor(addr string) (*live.Monitor, error) {
 	return mon, nil
 }
 
-func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool, pngOut, recOut string, to traceOpts, fo faultOpts) error {
+func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ideal, verify bool, pngOut, recOut string, to traceOpts, fo faultOpts) error {
 	b, err := trace.ByName(bench)
 	if err != nil {
 		return err
@@ -325,6 +329,7 @@ func runSingle(scheme, bench string, gpus int, scale float64, ideal, verify bool
 	fr := trace.Generate(b, scale)
 	cfg := multigpu.DefaultConfig()
 	cfg.NumGPUs = gpus
+	cfg.EngineWorkers = engineWorkers
 	cfg.Link.Ideal = ideal
 	cfg.Verify = verify
 	cfg.GroupThreshold = max(16, int(float64(cfg.GroupThreshold)*scale))

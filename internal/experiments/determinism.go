@@ -79,13 +79,95 @@ func runDigests(opt Options, workers int) ([]Digest, error) {
 	return digests, nil
 }
 
-// CheckDeterminism runs the same simulation matrix twice — once strictly
-// sequentially (Workers=1) and once with the options' full parallelism — and
-// compares cycle counts and image checksums run-by-run. Any difference means
-// a simulation's outcome depends on unrelated concurrent work (shared
-// mutable state, map-iteration order leaking into event order, ...), which
-// would silently invalidate every experiment table. It returns the digests
-// of the sequential pass and an error describing each mismatch.
+// engineMatrix is the scheme set for the engine axis of the self-check:
+// five Scheme rows covering every scheduler path (including the
+// round-robin CHOPIN variant), all at a GPU count distinct from the
+// worker-axis matrix so digest keys stay unique.
+func engineMatrix() []sfr.Scheme {
+	return []sfr.Scheme{
+		sfr.Duplication{},
+		sfr.GPUpd{},
+		sfr.CHOPIN{},
+		sfr.CHOPIN{RoundRobin: true},
+		sfr.SortMiddle{},
+	}
+}
+
+// engineAxisGPUs is the GPU count used for the engine axis. It differs
+// from both worker-axis rows (2 and 8) so a digest key identifies which
+// axis produced it.
+const engineAxisGPUs = 4
+
+// runEngineDigests executes the engine matrix over every benchmark in the
+// options with the given Config.EngineWorkers value and returns one digest
+// per simulation, in matrix order.
+func runEngineDigests(opt Options, engineWorkers int) ([]Digest, error) {
+	opt.EngineWorkers = engineWorkers
+	opt.normalize()
+	schemes := engineMatrix()
+	n := len(schemes) * len(opt.Benchmarks)
+	outs := make([]*stats.FrameStats, n)
+	imgs := make([]uint64, n)
+	var jobs []job
+	i := 0
+	for _, bench := range opt.Benchmarks {
+		for _, s := range schemes {
+			cfg := opt.baseConfig()
+			cfg.NumGPUs = engineAxisGPUs
+			jobs = append(jobs, job{bench: bench, scheme: s, cfg: cfg, out: &outs[i], img: &imgs[i]})
+			i++
+		}
+	}
+	if err := runJobs(&opt, jobs); err != nil {
+		return nil, err
+	}
+	digests := make([]Digest, n)
+	for i, st := range outs {
+		digests[i] = Digest{
+			Scheme: jobs[i].scheme.Name(),
+			Bench:  jobs[i].bench,
+			GPUs:   jobs[i].cfg.NumGPUs,
+			Cycles: int64(st.TotalCycles),
+			Image:  imgs[i],
+		}
+	}
+	return digests, nil
+}
+
+// diffDigests compares two digest slices run-by-run and describes every
+// cycle-count or image mismatch, labelling the two sides a and b.
+func diffDigests(seq, par []Digest, a, b string) []string {
+	var diffs []string
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Cycles != p.Cycles {
+			diffs = append(diffs, fmt.Sprintf("%s: cycles %d (%s) vs %d (%s)", s.key(), s.Cycles, a, p.Cycles, b))
+		}
+		if s.Image != p.Image {
+			diffs = append(diffs, fmt.Sprintf("%s: image %016x (%s) vs %016x (%s)", s.key(), s.Image, a, p.Image, b))
+		}
+	}
+	return diffs
+}
+
+// CheckDeterminism runs the self-check along two independent axes and
+// compares cycle counts and image checksums run-by-run.
+//
+// Axis 1 — concurrent simulations: the scheme × GPU-count matrix runs once
+// strictly sequentially (Workers=1) and once with the options' full
+// parallelism. A difference means concurrent simulations influence each
+// other (shared mutable state, map-iteration order leaking into event
+// order, ...).
+//
+// Axis 2 — the event engine: the engine matrix (five scheme rows) runs
+// once on the sequential event loop (EngineWorkers=0) and once on the
+// conservative parallel engine (EngineWorkers>1, sharded event queues with
+// lookahead barriers). A difference means the parallel engine reordered
+// observably-coupled events — exactly the bug class its barrier merge is
+// designed to exclude.
+//
+// It returns the digests of the sequential passes of both axes and an
+// error describing each mismatch.
 func CheckDeterminism(opt Options) ([]Digest, error) {
 	opt.normalize()
 	seq, err := runDigests(opt, 1)
@@ -96,19 +178,26 @@ func CheckDeterminism(opt Options) ([]Digest, error) {
 	if err != nil {
 		return seq, fmt.Errorf("parallel pass: %w", err)
 	}
-	var diffs []string
-	for i := range seq {
-		s, p := seq[i], par[i]
-		if s.Cycles != p.Cycles {
-			diffs = append(diffs, fmt.Sprintf("%s: cycles %d (sequential) vs %d (parallel)", s.key(), s.Cycles, p.Cycles))
-		}
-		if s.Image != p.Image {
-			diffs = append(diffs, fmt.Sprintf("%s: image %016x (sequential) vs %016x (parallel)", s.key(), s.Image, p.Image))
-		}
+	diffs := diffDigests(seq, par, "sequential", "parallel")
+
+	engWorkers := opt.EngineWorkers
+	if engWorkers < 2 {
+		engWorkers = 4
 	}
+	eseq, err := runEngineDigests(opt, 0)
+	if err != nil {
+		return seq, fmt.Errorf("sequential-engine pass: %w", err)
+	}
+	epar, err := runEngineDigests(opt, engWorkers)
+	if err != nil {
+		return seq, fmt.Errorf("parallel-engine pass: %w", err)
+	}
+	diffs = append(diffs, diffDigests(eseq, epar, "sequential engine", fmt.Sprintf("engine-workers=%d", engWorkers))...)
+
+	all := append(seq, eseq...)
 	if len(diffs) > 0 {
-		return seq, fmt.Errorf("experiments: %d determinism violation(s):\n  %s",
+		return all, fmt.Errorf("experiments: %d determinism violation(s):\n  %s",
 			len(diffs), strings.Join(diffs, "\n  "))
 	}
-	return seq, nil
+	return all, nil
 }

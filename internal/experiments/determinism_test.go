@@ -2,13 +2,18 @@ package experiments
 
 import "testing"
 
-// TestDeterminismAcrossWorkers runs the self-check matrix sequentially and
-// in parallel and requires identical cycle counts and image checksums. A
-// failure here means concurrent simulations influence each other — shared
-// mutable state or scheduling order leaking into results — which would
-// invalidate every experiment table.
+// TestDeterminismAcrossWorkers runs the self-check along both axes —
+// concurrent simulations (Workers) and the conservative parallel event
+// engine (EngineWorkers) — and requires identical cycle counts and image
+// checksums. A failure on the first axis means concurrent simulations
+// influence each other; on the second, that the parallel engine's barrier
+// merge reordered observably-coupled events. Either would invalidate every
+// experiment table. Three benchmarks give the engine axis geometry with
+// different draw counts, resolutions, and depth complexity.
 func TestDeterminismAcrossWorkers(t *testing.T) {
-	digests, err := CheckDeterminism(tinyOptions())
+	opt := tinyOptions()
+	opt.Benchmarks = []string{"cod2", "wolf", "cry"}
+	digests, err := CheckDeterminism(opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,6 +47,13 @@ type Options struct {
 	Benchmarks []string
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
 	Workers int
+	// EngineWorkers enables the conservative parallel event engine inside
+	// each simulation (multigpu.Config.EngineWorkers): per-GPU + fabric
+	// event shards with the link latency as lookahead, plus worker fan-out
+	// of the per-GPU functional rasterization. Results are byte-identical
+	// to the sequential engine; values < 2 (the default) keep simulations
+	// single-threaded.
+	EngineWorkers int
 	// Verify attaches the runtime invariant checker to every simulation the
 	// experiment runs (multigpu.Config.Verify); any violation aborts the
 	// experiment with an error naming the offending run.
@@ -118,6 +125,7 @@ func (o *Options) baseConfig() multigpu.Config {
 	// distribution-to-rendering ratio across scales.
 	cfg.GroupThreshold = o.scaled(cfg.GroupThreshold)
 	cfg.Verify = o.Verify
+	cfg.EngineWorkers = o.EngineWorkers
 	return cfg
 }
 
@@ -175,26 +183,40 @@ func Run(id string, opt Options) (*Result, error) {
 	return r.fn(&opt)
 }
 
-// frameCache memoizes generated traces per (benchmark, scale).
+// frameCache memoizes generated traces per (benchmark, scale). Each key
+// holds its own once-guarded entry, so concurrent callers generating
+// *distinct* benchmarks proceed in parallel (the map lock covers only the
+// entry lookup, never Generate) while duplicate requests for the same
+// frame share one generation.
+type frameEntry struct {
+	once sync.Once
+	fr   *primitive.Frame
+	err  error
+}
+
 var (
 	frameMu    sync.Mutex
-	frameCache = map[string]*primitive.Frame{}
+	frameCache = map[string]*frameEntry{}
 )
 
 func frameFor(bench string, scale float64) (*primitive.Frame, error) {
 	key := fmt.Sprintf("%s@%.4f", bench, scale)
 	frameMu.Lock()
-	defer frameMu.Unlock()
-	if fr, ok := frameCache[key]; ok {
-		return fr, nil
+	e, ok := frameCache[key]
+	if !ok {
+		e = &frameEntry{}
+		frameCache[key] = e
 	}
-	b, err := trace.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	fr := trace.Generate(b, scale)
-	frameCache[key] = fr
-	return fr, nil
+	frameMu.Unlock()
+	e.once.Do(func() {
+		b, err := trace.ByName(bench)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.fr = trace.Generate(b, scale)
+	})
+	return e.fr, e.err
 }
 
 // job is one simulation in an experiment's matrix.
@@ -257,6 +279,27 @@ func runJobs(opt *Options, jobs []job) error {
 	ctx := opt.Ctx
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// Prefetch the batch's unique frames concurrently: the per-key cache
+	// entries are once-guarded, so distinct benchmarks generate in parallel
+	// here instead of serially inside the spawn loop below. Errors are
+	// surfaced by the per-job lookup, which hits the cached entry.
+	{
+		var pf sync.WaitGroup
+		seen := map[string]bool{}
+		for i := range jobs {
+			b := jobs[i].bench
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			pf.Add(1)
+			go func(b string) {
+				defer pf.Done()
+				_, _ = frameFor(b, opt.Scale)
+			}(b)
+		}
+		pf.Wait()
 	}
 	for i := range jobs {
 		j := &jobs[i]

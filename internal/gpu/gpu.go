@@ -243,7 +243,20 @@ type GPU struct {
 	failed   bool
 	failedAt sim.Cycle
 	stats    Stats
+
+	shard sim.ShardID
 }
+
+// SetShard records the engine shard this GPU belongs to under conservative
+// parallel simulation (multigpu assigns shard 1+ID). The GPU's completion
+// events are still scheduled globally — they carry scheme-orchestration
+// callbacks (barrier dones, scheduler updates) that touch cross-GPU state,
+// so tagging them affine would be unsound — but the shard id identifies the
+// GPU for worker-fanout grouping and shard-affine models layered on top.
+func (g *GPU) SetShard(s sim.ShardID) { g.shard = s }
+
+// Shard returns the shard id recorded by SetShard (ShardGlobal when unset).
+func (g *GPU) Shard() sim.ShardID { return g.shard }
 
 // New returns a GPU with a cleared framebuffer for render target 0.
 func New(id int, eng *sim.Engine, costs CostConfig, width, height int, rcfg raster.Config) (*GPU, error) {
@@ -353,17 +366,46 @@ func (g *GPU) BusyUntil() sim.Cycle {
 	return g.fragFree
 }
 
-// SubmitDraw schedules a draw command for execution. The draw is functionally
-// rasterized immediately (submission order is execution order); its timing
-// occupies the geometry and fragment stages behind previously submitted
-// work. Completion callbacks fire at the simulated completion times.
-func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts DrawOpts) *raster.DrawResult {
+// PreparedDraw is the functional half of a draw submission: the command,
+// its rasterization result, and the submission options, ready to be
+// committed to the timing pipeline. The backing allocation doubles as the
+// completion-event carrier, so a prepare+commit pair allocates exactly as
+// much as SubmitDraw did.
+type PreparedDraw struct {
+	d    primitive.DrawCommand
+	opts DrawOpts
+	ev   drawEvent
+}
+
+// PrepareDraw functionally rasterizes a draw against this GPU's current
+// framebuffer/depth state and returns the prepared submission. Prepares on
+// the same GPU must stay in submission order (rasterization order is
+// semantically meaningful), but prepares on *distinct* GPUs touch disjoint
+// state — renderer, render targets, per-GPU counters; textures are
+// read-only — so a caller may run them on different goroutines
+// (sim.Engine.Fanout) and then commit in the original order. That split is
+// how fan-out schemes (Duplication, CHOPIN's duplicate groups) parallelize
+// the dominant functional-rasterization cost without perturbing event
+// order.
+func (g *GPU) PrepareDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts DrawOpts) *PreparedDraw {
 	// Functional execution against this GPU's current state. Targets are all
 	// built to the GPU's own dimensions, so the switch cannot fail.
 	_ = g.rend.SetTarget(g.Target(d.State.RenderTarget))
-	res := g.rend.Draw(d, view, proj)
-	g.stats.Raster.Add(res)
+	p := &PreparedDraw{d: d, opts: opts}
+	p.ev.res = g.rend.Draw(d, view, proj)
+	p.ev.onGeom = opts.OnGeomDone
+	p.ev.onDone = opts.OnDone
+	g.stats.Raster.Add(p.ev.res)
 	g.stats.DrawsExecuted++
+	return p
+}
+
+// CommitDraw charges a prepared draw to the timing pipeline and schedules
+// its completion callbacks: the ordered half of a submission. Commits must
+// happen on the dispatching goroutine, in global submission order.
+func (g *GPU) CommitDraw(p *PreparedDraw) *raster.DrawResult {
+	d, opts := p.d, p.opts
+	res := p.ev.res
 
 	geomCycles := sim.Cycle(g.costs.GeomCycles(res.VerticesShaded, res.TrianglesIn, d.VertexCost))
 	if opts.GeomFree {
@@ -421,7 +463,7 @@ func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts 
 		}
 	}
 
-	ev := &drawEvent{res: res, onGeom: opts.OnGeomDone, onDone: opts.OnDone}
+	ev := &p.ev
 	if opts.OnGeomDone != nil {
 		g.eng.AtCall(geomEnd, (*geomFire)(ev))
 	}
@@ -429,6 +471,15 @@ func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts 
 		g.eng.AtCall(fragEnd, (*doneFire)(ev))
 	}
 	return &ev.res
+}
+
+// SubmitDraw schedules a draw command for execution. The draw is functionally
+// rasterized immediately (submission order is execution order); its timing
+// occupies the geometry and fragment stages behind previously submitted
+// work. Completion callbacks fire at the simulated completion times.
+// SubmitDraw is exactly PrepareDraw followed by CommitDraw.
+func (g *GPU) SubmitDraw(d primitive.DrawCommand, view, proj vecmath.Mat4, opts DrawOpts) *raster.DrawResult {
+	return g.CommitDraw(g.PrepareDraw(d, view, proj, opts))
 }
 
 // SubmitGeometry schedules geometry-only processing of a draw (vertex

@@ -324,3 +324,88 @@ func TestFragCyclesTexSamples(t *testing.T) {
 		t.Errorf("TEX cost not charged: %v vs %v", c.FragCycles(&textured, 1), c.FragCycles(&plain, 1))
 	}
 }
+
+// TestPrepareCommitEquivalence: PrepareDraw+CommitDraw must be
+// observationally identical to SubmitDraw — same pixels, same stats, same
+// completion times — including when the prepares of *distinct* GPUs run
+// out of order relative to their commits (the fan-out pattern
+// multigpu.System.SubmitDraws uses).
+func TestPrepareCommitEquivalence(t *testing.T) {
+	const w, h = 64, 64
+	view, proj := cams(w, h)
+	draws := []primitive.DrawCommand{
+		quad(0, 5, 0, 0, 48, 48),
+		quad(1, 3, 16, 16, 64, 64),
+		quad(2, 7, 0, 32, 64, 64),
+	}
+
+	run := func(split bool) (*GPU, *GPU, []sim.Cycle) {
+		eng := sim.New()
+		a, err := New(0, eng, testCosts(), w, h, raster.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(1, eng, testCosts(), w, h, raster.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dones []sim.Cycle
+		opts := func() DrawOpts {
+			return DrawOpts{OnDone: func(*raster.DrawResult) { dones = append(dones, eng.Now()) }}
+		}
+		for _, d := range draws {
+			if split {
+				// Prepare both GPUs' functional work first (as a worker
+				// fan-out would), then commit in submission order.
+				pa := a.PrepareDraw(d, view, proj, opts())
+				pb := b.PrepareDraw(d, view, proj, opts())
+				a.CommitDraw(pa)
+				b.CommitDraw(pb)
+			} else {
+				a.SubmitDraw(d, view, proj, opts())
+				b.SubmitDraw(d, view, proj, opts())
+			}
+		}
+		eng.Run()
+		return a, b, dones
+	}
+
+	a1, b1, d1 := run(false)
+	a2, b2, d2 := run(true)
+	if len(d1) != len(d2) {
+		t.Fatalf("completion count: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("completion %d at cycle %d (submit) vs %d (prepare+commit)", i, d1[i], d2[i])
+		}
+	}
+	for _, pair := range []struct{ x, y *GPU }{{a1, a2}, {b1, b2}} {
+		rx, ry := &pair.x.Stats().Raster, &pair.y.Stats().Raster
+		if rx.FragsGenerated != ry.FragsGenerated || rx.FragsWritten != ry.FragsWritten ||
+			rx.TrianglesIn != ry.TrianglesIn || pair.x.Stats().DrawsExecuted != pair.y.Stats().DrawsExecuted {
+			t.Fatalf("gpu %d raster stats diverge", pair.x.ID)
+		}
+		if pair.x.Stats().GeomBusy != pair.y.Stats().GeomBusy || pair.x.Stats().FragBusy != pair.y.Stats().FragBusy {
+			t.Fatalf("gpu %d busy cycles diverge", pair.x.ID)
+		}
+		cx := pair.x.Target(0).Checksum()
+		cy := pair.y.Target(0).Checksum()
+		if cx != cy {
+			t.Fatalf("gpu %d framebuffer checksum %x vs %x", pair.x.ID, cx, cy)
+		}
+	}
+}
+
+// TestGPUShardTag pins the SetShard/Shard accessors.
+func TestGPUShardTag(t *testing.T) {
+	eng := sim.New()
+	g := newTestGPU(t, eng, testCosts(), 8, 8)
+	if g.Shard() != sim.ShardGlobal {
+		t.Fatalf("fresh GPU shard = %d, want global", g.Shard())
+	}
+	g.SetShard(3)
+	if g.Shard() != 3 {
+		t.Fatalf("shard = %d, want 3", g.Shard())
+	}
+}

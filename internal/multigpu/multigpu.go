@@ -17,8 +17,10 @@ import (
 	"chopin/internal/gpu"
 	"chopin/internal/interconnect"
 	"chopin/internal/obs"
+	"chopin/internal/primitive"
 	"chopin/internal/raster"
 	"chopin/internal/sim"
+	"chopin/internal/vecmath"
 )
 
 // Config is the simulated architecture configuration (paper Table II plus
@@ -85,6 +87,18 @@ type Config struct {
 	// with partial statistics. Wire a context through this (see
 	// internal/experiments and chopinsim -timeout).
 	Cancel func() bool
+
+	// EngineWorkers enables the engine's conservative parallel mode
+	// (DESIGN.md §9): the event population is sharded per GPU plus one
+	// shard for the fabric, the link latency becomes the lookahead window,
+	// and up to EngineWorkers goroutines execute shard-affine windows and
+	// fan out per-GPU functional rasterization (System.SubmitDraws).
+	// Results are byte-identical to the sequential engine at any worker
+	// count. Values < 2 (the default) keep the engine fully sequential
+	// with its 0-allocs/op hot paths. Like Tracer and Cancel, this is an
+	// execution attachment, not architecture: it is excluded from
+	// Fingerprint.
+	EngineWorkers int
 }
 
 // DefaultConfig returns the paper's Table II system.
@@ -106,15 +120,17 @@ func DefaultConfig() Config {
 // configuration: the fields that determine simulated timing and output
 // (GPU count, cost model, rasterizer knobs, link parameters, scheme
 // thresholds). Attachments that observe or perturb a run from outside the
-// modelled architecture — Tracer, Cancel, Faults, Verify, RecordPerDraw —
-// are excluded, so a traced or verified re-run of the same architecture
-// fingerprints identically. Run records (package runrec) key rows on it.
+// modelled architecture — Tracer, Cancel, Faults, Verify, RecordPerDraw,
+// EngineWorkers — are excluded, so a traced, verified, or parallel-engine
+// re-run of the same architecture fingerprints identically. Run records
+// (package runrec) key rows on it.
 func (c Config) Fingerprint() string {
 	c.Tracer = nil
 	c.Cancel = nil
 	c.Faults = nil
 	c.Verify = false
 	c.RecordPerDraw = false
+	c.EngineWorkers = 0
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", c)
 	return fmt.Sprintf("%016x", h.Sum64())
@@ -149,6 +165,12 @@ type System struct {
 	// failHandlers are scheme callbacks invoked when a GPU is declared
 	// failed, in registration order.
 	failHandlers []func(g int)
+
+	// SubmitDraws scratch, reused across batches so the steady-state
+	// fan-out path allocates only the prepared draws themselves.
+	subIdx    [][]int
+	subPrep   []*gpu.PreparedDraw
+	subActive []int
 }
 
 // New builds a system for a width×height screen.
@@ -178,9 +200,22 @@ func New(cfg Config, width, height int) (*System, error) {
 		cfg.Link.Retry = interconnect.RetryConfig{}
 	}
 	eng := sim.New()
+	if cfg.EngineWorkers > 1 {
+		// Conservative parallel mode: one shard per GPU plus one for the
+		// fabric, with the link latency as the lookahead window. With an
+		// ideal (zero-latency) fabric there is no positive lookahead to
+		// exploit, so only the worker pool (SubmitDraws fan-out) is enabled.
+		eng.SetWorkers(cfg.EngineWorkers)
+		if look := cfg.Link.LatencyCycles; look > 0 && !cfg.Link.Ideal {
+			eng.ConfigureShards(cfg.NumGPUs+1, look)
+		}
+	}
 	fabric, err := interconnect.New(eng, cfg.NumGPUs, cfg.Link)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.EngineWorkers > 1 && eng.Shards() > 0 {
+		fabric.SetShard(sim.ShardID(cfg.NumGPUs + 1))
 	}
 	s := &System{
 		Cfg:    cfg,
@@ -228,6 +263,9 @@ func New(cfg Config, width, height int) (*System, error) {
 			return nil, err
 		}
 		g.SetTracer(cfg.Tracer)
+		if eng.Shards() > 0 {
+			g.SetShard(sim.ShardID(i + 1))
+		}
 		s.GPUs = append(s.GPUs, g)
 	}
 	s.tileCount = s.GPUs[0].Target(0).TileCount()
@@ -263,6 +301,81 @@ func New(cfg Config, width, height int) (*System, error) {
 		eng.SetCancel(cfg.Cancel)
 	}
 	return s, nil
+}
+
+// DrawReq is one draw submission in a SubmitDraws batch.
+type DrawReq struct {
+	// GPU is the target GPU index.
+	GPU int
+	// Draw is the command to submit.
+	Draw primitive.DrawCommand
+	// Opts are the per-submission options.
+	Opts gpu.DrawOpts
+}
+
+// SubmitDraws submits a batch of draws, fanning the functional
+// rasterization of distinct GPUs across the engine's workers while keeping
+// every observable effect in request order: prepares run grouped per GPU
+// (a GPU's own draws stay in order; distinct GPUs touch disjoint state),
+// then every draw is committed — timing, stats, tracer spans, completion
+// events — sequentially in the order requested. The result is therefore
+// byte-identical to a plain SubmitDraw loop at any worker count. With
+// fewer than two workers, or a batch that is all one GPU, it IS the plain
+// loop.
+//
+// This is the fan-out path the duplication-style schemes use for their
+// all-GPU draw broadcasts — the dominant wall-clock cost of a sweep.
+func (s *System) SubmitDraws(view, proj vecmath.Mat4, reqs []DrawReq) {
+	inline := len(reqs) < 2 || s.Eng.Workers() < 2
+	if !inline {
+		// Fan out only when more than one GPU is involved.
+		first := reqs[0].GPU
+		multi := false
+		for i := 1; i < len(reqs); i++ {
+			if reqs[i].GPU != first {
+				multi = true
+				break
+			}
+		}
+		inline = !multi
+	}
+	if inline {
+		for i := range reqs {
+			r := &reqs[i]
+			s.GPUs[r.GPU].SubmitDraw(r.Draw, view, proj, r.Opts)
+		}
+		return
+	}
+	if s.subIdx == nil {
+		s.subIdx = make([][]int, s.Cfg.NumGPUs)
+	}
+	if cap(s.subPrep) < len(reqs) {
+		s.subPrep = make([]*gpu.PreparedDraw, len(reqs))
+	}
+	prep := s.subPrep[:len(reqs)]
+	active := s.subActive[:0]
+	for i := range reqs {
+		g := reqs[i].GPU
+		if len(s.subIdx[g]) == 0 {
+			active = append(active, g)
+		}
+		s.subIdx[g] = append(s.subIdx[g], i)
+	}
+	s.Eng.Fanout(len(active), func(k int) {
+		g := active[k]
+		for _, i := range s.subIdx[g] {
+			r := &reqs[i]
+			prep[i] = s.GPUs[g].PrepareDraw(r.Draw, view, proj, r.Opts)
+		}
+	})
+	for i := range reqs {
+		s.GPUs[reqs[i].GPU].CommitDraw(prep[i])
+		prep[i] = nil
+	}
+	for _, g := range active {
+		s.subIdx[g] = s.subIdx[g][:0]
+	}
+	s.subActive = active[:0]
 }
 
 // rebuildMasks recomputes every GPU's tile-ownership mask from the owner

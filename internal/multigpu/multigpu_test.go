@@ -4,6 +4,11 @@ import (
 	"testing"
 
 	"chopin/internal/colorspace"
+	"chopin/internal/gpu"
+	"chopin/internal/primitive"
+	"chopin/internal/raster"
+	"chopin/internal/sim"
+	"chopin/internal/vecmath"
 )
 
 // newSys builds a system, failing the test on config errors.
@@ -131,5 +136,107 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := New(DefaultConfig(), 0, 64); err == nil {
 		t.Error("expected error for zero width")
+	}
+}
+
+// TestSubmitDrawsEquivalence: a SubmitDraws batch with EngineWorkers > 1
+// must be byte-identical to the sequential SubmitDraw loop — same
+// framebuffers, same completion cycles — and parallel-engine wiring must
+// not leak into the architectural fingerprint.
+func TestSubmitDrawsEquivalence(t *testing.T) {
+	const w, h = 128, 128
+	draw := func(id int, z, x0, y0, x1, y1 float64) primitive.DrawCommand {
+		c := colorspace.Opaque(float64(id%3)/2, 1, 0.5)
+		v := func(x, y float64) primitive.Vertex {
+			return primitive.Vertex{Position: vecmath.Vec3{X: x, Y: y, Z: -z}, Color: c}
+		}
+		return primitive.DrawCommand{
+			ID: id,
+			Tris: []primitive.Triangle{
+				{V: [3]primitive.Vertex{v(x0, y0), v(x1, y0), v(x1, y1)}},
+				{V: [3]primitive.Vertex{v(x0, y0), v(x1, y1), v(x0, y1)}},
+			},
+			Model: vecmath.Identity(),
+			State: primitive.DefaultState(),
+		}
+	}
+	view := vecmath.Identity()
+	proj := vecmath.Orthographic(0, w, h, 0, 1, 10)
+
+	run := func(workers int) ([]uint64, []sim.Cycle, string) {
+		cfg := DefaultConfig()
+		cfg.NumGPUs = 4
+		cfg.EngineWorkers = workers
+		sys := newSys(t, cfg, w, h)
+		var dones []sim.Cycle
+		for i := 0; i < 6; i++ {
+			reqs := make([]DrawReq, cfg.NumGPUs)
+			for g := 0; g < cfg.NumGPUs; g++ {
+				reqs[g] = DrawReq{GPU: g, Draw: draw(i, float64(1+i%4), float64(8*i), float64(4*i), float64(40+8*i), float64(60+4*i)),
+					Opts: gpu.DrawOpts{OnDone: func(*raster.DrawResult) { dones = append(dones, sys.Eng.Now()) }}}
+			}
+			sys.SubmitDraws(view, proj, reqs)
+		}
+		sys.Eng.Run()
+		sums := make([]uint64, cfg.NumGPUs)
+		for g := range sys.GPUs {
+			sums[g] = sys.GPUs[g].Target(0).Checksum()
+		}
+		return sums, dones, cfg.Fingerprint()
+	}
+
+	seqSums, seqDones, seqFP := run(0)
+	parSums, parDones, parFP := run(4)
+	if seqFP != parFP {
+		t.Errorf("EngineWorkers leaked into Fingerprint: %s vs %s", seqFP, parFP)
+	}
+	if len(seqDones) != len(parDones) {
+		t.Fatalf("completions: %d sequential vs %d parallel", len(seqDones), len(parDones))
+	}
+	for i := range seqDones {
+		if seqDones[i] != parDones[i] {
+			t.Fatalf("completion %d at cycle %d sequential vs %d parallel", i, seqDones[i], parDones[i])
+		}
+	}
+	for g := range seqSums {
+		if seqSums[g] != parSums[g] {
+			t.Fatalf("gpu %d framebuffer checksum %x sequential vs %x parallel", g, seqSums[g], parSums[g])
+		}
+	}
+}
+
+// TestEngineWorkersWiring pins the shard layout New builds: GPU i on shard
+// 1+i, the fabric on shard NumGPUs+1, lookahead = link latency; and that
+// an ideal link disables sharding but keeps the worker pool.
+func TestEngineWorkersWiring(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumGPUs = 4
+	cfg.EngineWorkers = 3
+	sys := newSys(t, cfg, 64, 64)
+	if got := sys.Eng.Workers(); got != 3 {
+		t.Errorf("workers = %d, want 3", got)
+	}
+	if got := sys.Eng.Shards(); got != 5 {
+		t.Errorf("shards = %d, want 5 (4 GPUs + fabric)", got)
+	}
+	if got := sys.Eng.Lookahead(); got != cfg.Link.LatencyCycles {
+		t.Errorf("lookahead = %d, want %d", got, cfg.Link.LatencyCycles)
+	}
+	for i, g := range sys.GPUs {
+		if got := g.Shard(); got != sim.ShardID(i+1) {
+			t.Errorf("gpu %d shard = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := sys.Fabric.Shard(); got != 5 {
+		t.Errorf("fabric shard = %d, want 5", got)
+	}
+
+	cfg.Link.Ideal = true
+	sys = newSys(t, cfg, 64, 64)
+	if got := sys.Eng.Shards(); got != 0 {
+		t.Errorf("ideal link: shards = %d, want 0", got)
+	}
+	if got := sys.Eng.Workers(); got != 3 {
+		t.Errorf("ideal link: workers = %d, want 3", got)
 	}
 }

@@ -345,19 +345,25 @@ func (r *chopinRun) duplicateGroup(grp primitive.Group, rt int) {
 	})
 	// Registered per submission (not len×N upfront) so a GPU failing between
 	// issues shrinks the expected count instead of wedging the barrier.
+	// The alive-GPU broadcast goes through SubmitDraws so the redundant
+	// functional rasterization fans across the engine's workers under
+	// EngineWorkers with submission order unchanged.
 	last := grp.End - 1
+	reqs := make([]multigpu.DrawReq, 0, r.n)
 	r.ex.IssueDraws(grp.Start, grp.End, func(i int) {
 		d := r.fr.Draws[i]
+		reqs = reqs[:0]
 		for g := 0; g < r.n; g++ {
 			if !r.sys.Alive(g) {
 				continue
 			}
 			bar.Add(1)
-			r.sys.GPUs[g].SubmitDraw(d, r.fr.View, r.fr.Proj, gpu.DrawOpts{
+			reqs = append(reqs, multigpu.DrawReq{GPU: g, Draw: d, Opts: gpu.DrawOpts{
 				RecordTiming: r.sys.Cfg.RecordPerDraw && g == 0,
 				OnDone:       func(*raster.DrawResult) { bar.Done() },
-			})
+			}})
 		}
+		r.sys.SubmitDraws(r.fr.View, r.fr.Proj, reqs)
 		if i == last {
 			bar.Seal()
 		}

@@ -26,6 +26,11 @@ func (Duplication) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameS
 	r.OwnTiles()
 	n := sys.Cfg.NumGPUs
 
+	// The all-GPU broadcast goes through SubmitDraws so the functional
+	// rasterization — N copies of every draw, the dominant cost of this
+	// scheme — fans across the engine's workers under EngineWorkers; the
+	// submission order and therefore every observable is unchanged.
+	reqs := make([]multigpu.DrawReq, n)
 	r.RunSegments(func(seg exec.Segment, done func()) {
 		phase := r.StartPhase(stats.PhaseNormal)
 		bar := r.TracedBarrier("segment draws", func() {
@@ -37,11 +42,12 @@ func (Duplication) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameS
 		r.IssueDraws(seg.Start, seg.End, func(i int) {
 			d := fr.Draws[i]
 			for g := 0; g < n; g++ {
-				sys.GPUs[g].SubmitDraw(d, fr.View, fr.Proj, gpu.DrawOpts{
+				reqs[g] = multigpu.DrawReq{GPU: g, Draw: d, Opts: gpu.DrawOpts{
 					RecordTiming: sys.Cfg.RecordPerDraw && g == 0,
 					OnDone:       func(*raster.DrawResult) { bar.Done() },
-				})
+				}}
 			}
+			sys.SubmitDraws(fr.View, fr.Proj, reqs)
 		})
 	})
 	return finishRun(r, sys, fr)

@@ -1,0 +1,549 @@
+// Conservative parallel mode for the event engine.
+//
+// The model follows classic conservative parallel discrete-event simulation
+// (and its recent application to GPU timing simulators, "Parallelizing a
+// modern GPU simulator", arXiv 2502.14691): the event population is
+// partitioned into shards — in the CHOPIN simulator one per GPU plus one for
+// the interconnect fabric — and a shard may run ahead of the others only up
+// to a barrier at now + lookahead, where lookahead is the minimum
+// cross-shard latency (the 200-cycle link latency). Within a window, events
+// on distinct shards are causally independent: any event one shard creates
+// for another lands at or beyond the barrier, so no shard can receive work
+// it should already have processed.
+//
+// Run proceeds window by window:
+//
+//  1. barrier = earliest pending timestamp + lookahead.
+//  2. If the window holds any global (unsharded) event, fewer than two
+//     distinct shards, a watcher/probe hook, or the engine has fewer than
+//     two workers, the window is drained with the ordinary sequential
+//     Step loop — bit-identical to the purely sequential engine.
+//  3. Otherwise events below the barrier are popped — in exact (at, seq)
+//     order — into per-shard queues and the shards run concurrently, each
+//     with a private clock and staging buffer. Same-shard insertions below
+//     the barrier go straight into the shard's local queue; everything else
+//     (cross-shard sends, global events, post-barrier work) is staged.
+//  4. At the barrier the workers are joined and staged + leftover events
+//     are merged back into the global queue in canonical order: ascending
+//     shard id, local queue order first, then staging-buffer append order,
+//     each receiving a fresh global sequence number.
+//
+// The merge order is deterministic — it depends only on the shard
+// partition, never on goroutine scheduling — so a run is a pure function of
+// its inputs at any worker count. Step 2 is the determinism argument for
+// the simulator's committed goldens: scheme-orchestration events (draw
+// issue, barriers, deliveries) are global, so every window that contains
+// one serializes and the observable event order is exactly the sequential
+// order. Windows where all pending work is shard-affine (the differential
+// harness in shard_test.go constructs these) run genuinely in parallel and
+// are covered under -race.
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ShardID identifies an event's affinity. ShardGlobal (the zero value)
+// means the event may touch any simulator state and forces its window to
+// serialize; ids 1..Shards name shards that may run concurrently.
+type ShardID int32
+
+// ShardGlobal marks an event with no shard affinity.
+const ShardGlobal ShardID = 0
+
+// ShardFunc is a shard-affine scheduled action. It receives the context it
+// is running under — sequential dispatch or a parallel-window worker — and
+// must do all of its scheduling through that context so insertions made
+// inside a window are staged for the barrier merge instead of racing on the
+// global queue.
+type ShardFunc func(sc *ShardCtx)
+
+// parallel is the conservative-mode state hung off an Engine.
+type parallel struct {
+	shards    int
+	workers   int
+	lookahead Cycle
+
+	// inWindow is set while worker goroutines own the shard queues; the
+	// engine facade panics on scheduling attempts during that span. Written
+	// only by the dispatching goroutine.
+	inWindow bool
+
+	states []shardState  // indexed by ShardID; slot 0 unused
+	active []*shardState // shards holding work this window, population order
+	sem    chan struct{} // bounds concurrently running shard workers
+
+	parWindows int64 // windows dispatched across workers
+	seqWindows int64 // windows drained sequentially
+	violations int64 // staged insertions that landed below their barrier
+}
+
+// shardState is one shard's private slice of a window.
+type shardState struct {
+	id      ShardID
+	q       eventHeap
+	now     Cycle
+	barrier Cycle
+	seq     int64 // local tie-break counter, branched from the global seq
+	staged  []event
+	ctx     ShardCtx
+	active  bool
+	panicv  any
+}
+
+// ConfigureShards partitions the event population into shards 1..shards
+// with the given lookahead (the minimum latency of any cross-shard
+// interaction; must be positive). Shard-tagged events may then be scheduled
+// with the *On variants and ShardFunc APIs. Configuration alone does not
+// change execution — Run only parallelizes once SetWorkers grants more than
+// one worker.
+func (e *Engine) ConfigureShards(shards int, lookahead Cycle) {
+	if shards < 1 {
+		panic("sim: ConfigureShards needs at least one shard")
+	}
+	if lookahead < 1 {
+		panic("sim: ConfigureShards needs a positive lookahead")
+	}
+	p := e.ensurePar()
+	p.shards = shards
+	p.lookahead = lookahead
+	p.states = make([]shardState, shards+1)
+	for i := 1; i <= shards; i++ {
+		s := &p.states[i]
+		s.id = ShardID(i)
+		s.ctx = ShardCtx{e: e, shard: ShardID(i), w: s}
+	}
+	p.active = make([]*shardState, 0, shards)
+}
+
+// SetWorkers bounds the engine's worker-goroutine fan-out, for both
+// parallel windows and Fanout. n < 1 is treated as 1 (sequential).
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p := e.ensurePar()
+	p.workers = n
+	p.sem = make(chan struct{}, n)
+}
+
+func (e *Engine) ensurePar() *parallel {
+	if e.par == nil {
+		e.par = &parallel{workers: 1}
+	}
+	return e.par
+}
+
+// Workers returns the configured worker bound (1 when unconfigured).
+func (e *Engine) Workers() int {
+	if e.par == nil {
+		return 1
+	}
+	return e.par.workers
+}
+
+// Shards returns the configured shard count (0 when unconfigured).
+func (e *Engine) Shards() int {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.shards
+}
+
+// Lookahead returns the configured conservative window (0 when
+// unconfigured).
+func (e *Engine) Lookahead() Cycle {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.lookahead
+}
+
+// ParallelWindows reports how many windows were dispatched across workers;
+// the differential harness asserts it is nonzero where parallelism is
+// expected.
+func (e *Engine) ParallelWindows() int64 {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.parWindows
+}
+
+// SequentialWindows reports how many windows were drained sequentially
+// under parallel mode (global events, hooks, or a single active shard).
+func (e *Engine) SequentialWindows() int64 {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.seqWindows
+}
+
+// LookaheadViolations counts staged insertions that landed below the
+// barrier of the window that created them — a model scheduling cross-shard
+// work at less than the declared lookahead. The merge still orders them
+// deterministically, but determinism versus the sequential engine is no
+// longer guaranteed; harnesses assert this stays zero.
+func (e *Engine) LookaheadViolations() int64 {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.violations
+}
+
+// checkShard validates a shard tag against the configuration.
+func (e *Engine) checkShard(s ShardID) {
+	if s < 0 {
+		panic("sim: negative shard id")
+	}
+	if p := e.par; p != nil && p.shards > 0 && int(s) > p.shards {
+		panic("sim: shard id beyond configured shard count")
+	}
+}
+
+// AtOn schedules fn at cycle t with the given shard affinity. The caller
+// asserts that fn touches only that shard's state (plus anything it reaches
+// strictly through scheduling); windows made entirely of such events may
+// run in parallel.
+func (e *Engine) AtOn(s ShardID, t Cycle, fn func()) {
+	e.guardWindow()
+	e.checkShard(s)
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.push(event{at: t, shard: s, fn: fn})
+}
+
+// AfterOn schedules fn on shard s, d cycles from now. Negative delays panic.
+func (e *Engine) AfterOn(s ShardID, d Cycle, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.AtOn(s, e.now+d, fn)
+}
+
+// AtCallOn is AtCall with a shard affinity: allocation-free for
+// pointer-backed Callbacks.
+func (e *Engine) AtCallOn(s ShardID, t Cycle, cb Callback) {
+	e.guardWindow()
+	e.checkShard(s)
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.push(event{at: t, shard: s, cb: cb})
+}
+
+// AfterCallOn schedules cb on shard s, d cycles from now.
+func (e *Engine) AfterCallOn(s ShardID, d Cycle, cb Callback) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.AtCallOn(s, e.now+d, cb)
+}
+
+// AtShardFunc schedules a context-aware action on shard s. ShardFuncs are
+// the only event kind that may reschedule from inside a parallel window, so
+// models that want genuine window parallelism express their event chains
+// with them.
+func (e *Engine) AtShardFunc(s ShardID, t Cycle, fn ShardFunc) {
+	e.guardWindow()
+	e.checkShard(s)
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.push(event{at: t, shard: s, sfn: fn})
+}
+
+// AfterShardFunc schedules a context-aware action on shard s, d cycles from
+// now.
+func (e *Engine) AfterShardFunc(s ShardID, d Cycle, fn ShardFunc) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.AtShardFunc(s, e.now+d, fn)
+}
+
+// ShardCtx is the scheduling context a ShardFunc runs under. Outside a
+// parallel window it forwards to the engine directly; inside one it routes
+// same-shard below-barrier work into the shard's private queue and stages
+// everything else for the barrier merge.
+type ShardCtx struct {
+	e     *Engine
+	shard ShardID
+	w     *shardState // nil when dispatched sequentially
+}
+
+// Shard returns the shard this context schedules on by default.
+func (c *ShardCtx) Shard() ShardID { return c.shard }
+
+// Now returns the current time as seen by this context: the shard-local
+// clock inside a parallel window, the engine clock otherwise.
+func (c *ShardCtx) Now() Cycle {
+	if c.w != nil {
+		return c.w.now
+	}
+	return c.e.now
+}
+
+// Lookahead returns the engine's configured conservative window.
+func (c *ShardCtx) Lookahead() Cycle { return c.e.Lookahead() }
+
+// At schedules fn on this context's own shard at cycle t.
+func (c *ShardCtx) At(t Cycle, fn ShardFunc) { c.sched(c.shard, t, event{sfn: fn}) }
+
+// After schedules fn on this context's own shard, d cycles from Now.
+func (c *ShardCtx) After(d Cycle, fn ShardFunc) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	c.sched(c.shard, c.Now()+d, event{sfn: fn})
+}
+
+// AtShard schedules fn on shard s at cycle t. From inside a parallel window
+// a cross-shard target must satisfy t >= the window barrier (the
+// conservative lookahead contract); earlier targets are still merged
+// deterministically but are counted as lookahead violations.
+func (c *ShardCtx) AtShard(s ShardID, t Cycle, fn ShardFunc) {
+	c.e.checkShard(s)
+	c.sched(s, t, event{sfn: fn})
+}
+
+// AfterShard schedules fn on shard s, d cycles from Now.
+func (c *ShardCtx) AfterShard(s ShardID, d Cycle, fn ShardFunc) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	c.AtShard(s, c.Now()+d, fn)
+}
+
+// AtGlobal schedules an unsharded closure at cycle t; the window containing
+// it will serialize.
+func (c *ShardCtx) AtGlobal(t Cycle, fn func()) { c.sched(ShardGlobal, t, event{fn: fn}) }
+
+// AtCallGlobal schedules an unsharded Callback at cycle t.
+func (c *ShardCtx) AtCallGlobal(t Cycle, cb Callback) { c.sched(ShardGlobal, t, event{cb: cb}) }
+
+// sched routes one insertion. ev carries the payload; at/shard/seq are
+// assigned here.
+func (c *ShardCtx) sched(target ShardID, t Cycle, ev event) {
+	if t < c.Now() {
+		panic("sim: scheduling event in the past")
+	}
+	ev.at = t
+	ev.shard = target
+	if w := c.w; w != nil {
+		if target == c.shard && t < w.barrier {
+			// Same shard, same window: runs under this worker, ordered by
+			// the local tie-break counter (branched from the global seq, so
+			// the order matches what sequential execution would assign).
+			w.seq++
+			ev.seq = w.seq
+			w.q.push(ev)
+			return
+		}
+		w.staged = append(w.staged, ev)
+		return
+	}
+	c.e.push(ev)
+}
+
+// runParallel is Run's conservative windowed dispatcher.
+func (e *Engine) runParallel() Cycle {
+	p := e.par
+	for !e.halted && len(e.q) > 0 {
+		if e.cancel != nil && e.cancel() {
+			e.halted = true
+			e.canceled = true
+			break
+		}
+		barrier := e.q[0].at + p.lookahead
+		if e.watch != nil || e.probe != nil || !e.windowParallel(barrier) {
+			p.seqWindows++
+			for !e.halted && len(e.q) > 0 && e.q[0].at < barrier {
+				e.Step()
+			}
+			continue
+		}
+		p.parWindows++
+		e.runWindow(barrier)
+	}
+	return e.now
+}
+
+// windowParallel reports whether every event below the barrier is
+// shard-affine and at least two distinct shards hold work.
+func (e *Engine) windowParallel(barrier Cycle) bool {
+	var first ShardID
+	multi := false
+	for i := range e.q {
+		ev := &e.q[i]
+		if ev.at >= barrier {
+			continue
+		}
+		if ev.shard == ShardGlobal {
+			return false
+		}
+		if first == 0 {
+			first = ev.shard
+		} else if ev.shard != first {
+			multi = true
+		}
+	}
+	return multi
+}
+
+// runWindow executes one parallel window up to barrier.
+func (e *Engine) runWindow(barrier Cycle) {
+	p := e.par
+	p.active = p.active[:0]
+	// Drain the window's events into per-shard queues. Popping yields
+	// ascending (at, seq), so each shard's slice arrives sorted — already a
+	// valid heap.
+	for len(e.q) > 0 && e.q[0].at < barrier {
+		ev := e.q.pop()
+		s := &p.states[ev.shard]
+		if !s.active {
+			s.active = true
+			p.active = append(p.active, s)
+		}
+		s.q = append(s.q, ev)
+	}
+	start := e.now
+	base := e.seq
+	for _, s := range p.active {
+		s.now = start
+		s.barrier = barrier
+		s.seq = base
+		s.staged = s.staged[:0]
+		s.panicv = nil
+	}
+	p.inWindow = true
+	var wg sync.WaitGroup
+	for _, s := range p.active {
+		wg.Add(1)
+		p.sem <- struct{}{}
+		go func(s *shardState) {
+			defer wg.Done()
+			defer func() { <-p.sem }()
+			s.run()
+		}(s)
+	}
+	wg.Wait()
+	p.inWindow = false
+	// Merge in canonical order: ascending shard id; per shard, leftover
+	// queue order (at, seq) first, then staged insertions in append order.
+	// Each merged event gets a fresh global sequence number, so the order
+	// is fully determined by the partition — goroutine scheduling never
+	// leaks into it.
+	maxNow := e.now
+	var panicv any
+	for i := 1; i <= p.shards; i++ {
+		s := &p.states[i]
+		if !s.active {
+			continue
+		}
+		s.active = false
+		if s.panicv != nil && panicv == nil {
+			panicv = s.panicv
+		}
+		if s.now > maxNow {
+			maxNow = s.now
+		}
+		for len(s.q) > 0 {
+			e.push(s.q.pop())
+		}
+		for j := range s.staged {
+			if s.staged[j].at < barrier && s.staged[j].shard != s.id {
+				p.violations++
+			}
+			e.push(s.staged[j])
+			s.staged[j] = event{}
+		}
+		s.staged = s.staged[:0]
+	}
+	e.now = maxNow
+	if panicv != nil {
+		// Re-raise on the dispatching goroutine so callers' recover
+		// handlers (the experiments harness wraps scheme runs) see it.
+		panic(panicv)
+	}
+}
+
+// run executes one shard's slice of a window on a worker goroutine.
+func (s *shardState) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicv = r
+		}
+	}()
+	ctx := &s.ctx
+	for len(s.q) > 0 && s.q[0].at < s.barrier {
+		ev := s.q.pop()
+		s.now = ev.at
+		switch {
+		case ev.cb != nil:
+			ev.cb.Fire()
+		case ev.fn != nil:
+			ev.fn()
+		default:
+			ev.sfn(ctx)
+		}
+	}
+}
+
+// Fanout runs fn(0..n-1) across the engine's workers and returns when all
+// calls have completed. The calls must be mutually independent — Fanout
+// makes no ordering promise between them — and must not touch the engine.
+// With fewer than two workers (or n < 2) the calls run inline, in order,
+// on the caller's goroutine; simulation results must not depend on which
+// path was taken.
+//
+// The timing model uses this to fan the functional rasterization of
+// already-ordered draw batches across cores (multigpu.System.SubmitDraws)
+// while all event scheduling stays on the dispatching goroutine.
+func (e *Engine) Fanout(n int, fn func(i int)) {
+	w := 1
+	if e.par != nil {
+		w = e.par.workers
+	}
+	if w > n {
+		w = n
+	}
+	if w < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicv any
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicv == nil {
+						panicv = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if panicv != nil {
+		// Re-raise on the caller's goroutine so its recover handlers run.
+		panic(panicv)
+	}
+}

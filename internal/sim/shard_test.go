@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The differential harness for the conservative parallel dispatcher: a
+// synthetic node/hub model built entirely from shard-affine events, run
+// once on the sequential engine and once per worker count on the parallel
+// engine, comparing per-shard digests. The model is constructed so that no
+// two order-sensitive events share (cycle, shard) — chain ticks live on
+// even cycles, message arrivals on odd cycles with sender-unique offsets —
+// and message effects accumulate commutatively, so any digest mismatch is
+// an engine-ordering bug, not model noise.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// xorshift is the model's deterministic per-node random stream.
+func xorshift(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}
+
+// chainDigest is one run's observable outcome.
+type chainDigest struct {
+	final Cycle
+	hash  []uint64 // per shard, index 0 unused
+}
+
+func (d chainDigest) equal(o chainDigest) bool {
+	if d.final != o.final || len(d.hash) != len(o.hash) {
+		return false
+	}
+	for i := range d.hash {
+		if d.hash[i] != o.hash[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runChainModel drives nodes independent event chains plus a hub shard that
+// receives and relays messages at >= lookahead latency, and returns the
+// digest. workers = 1 exercises the sequential dispatcher; workers > 1 the
+// windowed parallel one.
+func runChainModel(seed uint64, nodes, workers, steps int) (chainDigest, *Engine) {
+	const look = Cycle(50) // even, so chain (even) and message (odd) cycles never meet
+	e := New()
+	e.ConfigureShards(nodes+1, look)
+	e.SetWorkers(workers)
+	hub := ShardID(nodes + 1)
+
+	hash := make([]uint64, nodes+2)
+	for i := range hash {
+		hash[i] = fnvOffset
+	}
+	rng := make([]uint64, nodes+1)
+	remaining := make([]int, nodes+1)
+
+	// absorb folds an order-sensitive observation into a shard's digest.
+	absorb := func(sh ShardID, v uint64) {
+		hash[sh] = (hash[sh] ^ v) * fnvPrime
+	}
+	// accumulate folds a commutative observation: message arrivals may tie
+	// on (cycle, shard) across senders, so their contribution must not
+	// depend on intra-cycle order.
+	accumulate := func(sh ShardID, v uint64) {
+		hash[sh] += v * fnvPrime
+	}
+
+	// sink handlers: pure digest updates, no rescheduling.
+	nodeRecv := make([]ShardFunc, nodes+1)
+	for n := 1; n <= nodes; n++ {
+		sh := ShardID(n)
+		nodeRecv[n] = func(sc *ShardCtx) { accumulate(sh, uint64(sc.Now())*31) }
+	}
+	hubRecv := func(from int) ShardFunc {
+		return func(sc *ShardCtx) {
+			accumulate(hub, uint64(sc.Now())*uint64(from+7))
+			// Relay onward to a node picked from the arrival time, again at
+			// full lookahead with an odd-preserving offset.
+			dst := 1 + int(uint64(sc.Now())%uint64(nodes))
+			sc.AtShard(ShardID(dst), sc.Now()+look+Cycle(2*dst), nodeRecv[dst])
+		}
+	}
+
+	tick := make([]ShardFunc, nodes+1)
+	for n := 1; n <= nodes; n++ {
+		n := n
+		sh := ShardID(n)
+		tick[n] = func(sc *ShardCtx) {
+			r := xorshift(&rng[n])
+			absorb(sh, uint64(sc.Now()))
+			absorb(sh, r)
+			remaining[n]--
+			if remaining[n] <= 0 {
+				return
+			}
+			if r%5 == 0 {
+				// Message to the hub: arrival = now + lookahead + odd
+				// sender-unique offset, so it is beyond this window's
+				// barrier and never collides with a chain tick.
+				sc.AtShard(hub, sc.Now()+look+Cycle(2*n+1), hubRecv(n))
+			}
+			// Chain ticks stay on even cycles.
+			sc.After(Cycle(2*(1+r%13)), tick[n])
+		}
+	}
+	for n := 1; n <= nodes; n++ {
+		rng[n] = seed*0x9e3779b97f4a7c15 + uint64(n)*0xbf58476d1ce4e5b9
+		if rng[n] == 0 {
+			rng[n] = 1
+		}
+		remaining[n] = steps
+		e.AtShardFunc(ShardID(n), Cycle(2*n), tick[n])
+	}
+	final := e.Run()
+	return chainDigest{final: final, hash: hash}, e
+}
+
+// TestShardDifferential is the core determinism contract: the chain model
+// produces byte-identical digests on the sequential engine and on the
+// parallel engine at every worker count, across seeds, and the parallel
+// runs actually exercised multi-shard windows without lookahead
+// violations. CI runs this under -race, which makes the worker goroutines'
+// memory accesses part of the assertion.
+func TestShardDifferential(t *testing.T) {
+	const nodes, steps = 6, 400
+	for seed := uint64(1); seed <= 5; seed++ {
+		ref, refEng := runChainModel(seed, nodes, 1, steps)
+		if refEng.ParallelWindows() != 0 {
+			t.Fatalf("seed %d: sequential run dispatched %d parallel windows", seed, refEng.ParallelWindows())
+		}
+		for _, workers := range []int{2, 3, 8} {
+			got, eng := runChainModel(seed, nodes, workers, steps)
+			if !got.equal(ref) {
+				t.Errorf("seed %d workers %d: digest mismatch: final %d vs %d, hash %v vs %v",
+					seed, workers, got.final, ref.final, got.hash, ref.hash)
+			}
+			if eng.ParallelWindows() == 0 {
+				t.Errorf("seed %d workers %d: no window ran in parallel; harness is not exercising the parallel path", seed, workers)
+			}
+			if v := eng.LookaheadViolations(); v != 0 {
+				t.Errorf("seed %d workers %d: %d lookahead violations in a conforming model", seed, workers, v)
+			}
+		}
+	}
+}
+
+// TestGlobalEventSerializesWindow pins the determinism argument used by the
+// real simulator: a window containing any ShardGlobal event is drained
+// sequentially. Periodic global events therefore force every window to
+// serialize while the digest stays identical.
+func TestGlobalEventSerializesWindow(t *testing.T) {
+	run := func(workers int) (chainDigest, *Engine) {
+		const look = Cycle(50)
+		e := New()
+		e.ConfigureShards(3, look)
+		e.SetWorkers(workers)
+		hash := make([]uint64, 4)
+		var globalSum uint64
+		var chain func(sh ShardID, left int) ShardFunc
+		chain = func(sh ShardID, left int) ShardFunc {
+			return func(sc *ShardCtx) {
+				hash[sh] = (hash[sh] ^ uint64(sc.Now())) * fnvPrime
+				if left > 0 {
+					sc.After(3, chain(sh, left-1))
+				}
+			}
+		}
+		for sh := ShardID(1); sh <= 2; sh++ {
+			e.AtShardFunc(sh, Cycle(sh), chain(sh, 200))
+		}
+		// A global heartbeat keeps every window impure.
+		var beat func()
+		n := 0
+		beat = func() {
+			globalSum += uint64(e.Now())
+			n++
+			if n < 100 {
+				e.After(7, beat)
+			}
+		}
+		e.After(0, beat)
+		final := e.Run()
+		hash[0] = globalSum
+		return chainDigest{final: final, hash: hash}, e
+	}
+	ref, _ := run(1)
+	got, eng := run(4)
+	if !got.equal(ref) {
+		t.Fatalf("digest mismatch with global heartbeat: %v vs %v", got, ref)
+	}
+	if eng.ParallelWindows() != 0 {
+		t.Fatalf("windows containing global events must serialize; got %d parallel windows", eng.ParallelWindows())
+	}
+	if eng.SequentialWindows() == 0 {
+		t.Fatal("expected serialized windows to be counted")
+	}
+}
+
+// TestLookaheadViolationCounted: a model that sends cross-shard below the
+// declared lookahead is detected and still merged deterministically (the
+// clock never regresses).
+func TestLookaheadViolationCounted(t *testing.T) {
+	e := New()
+	e.ConfigureShards(2, 100)
+	e.SetWorkers(2)
+	fired := make([]int, 3)
+	var tick func(sh ShardID, left int) ShardFunc
+	tick = func(sh ShardID, left int) ShardFunc {
+		return func(sc *ShardCtx) {
+			fired[sh]++
+			if left > 0 {
+				sc.After(5, tick(sh, left-1))
+			}
+			if left == 10 {
+				// Cross-shard at only 10 cycles: below the 100-cycle
+				// lookahead, a contract breach the engine must count.
+				other := ShardID(3 - sh)
+				sc.AtShard(other, sc.Now()+10, func(*ShardCtx) { fired[other]++ })
+			}
+		}
+	}
+	e.AtShardFunc(1, 0, tick(1, 40))
+	e.AtShardFunc(2, 1, tick(2, 40))
+	e.Run()
+	if e.LookaheadViolations() == 0 {
+		t.Fatal("sub-lookahead cross-shard sends were not counted as violations")
+	}
+	if fired[1] != 42 || fired[2] != 42 {
+		t.Fatalf("fired = %v, want 42 per shard (41 chain + 1 violation delivery)", fired)
+	}
+}
+
+// TestEngineFacadePanicsInWindow: scheduling through the engine facade from
+// a worker goroutine is a determinism bug; the engine fails loudly instead
+// of racing on the global queue.
+func TestEngineFacadePanicsInWindow(t *testing.T) {
+	e := New()
+	e.ConfigureShards(2, 50)
+	e.SetWorkers(2)
+	bad := func(sc *ShardCtx) { e.After(1, func() {}) }
+	keep := func(sc *ShardCtx) {}
+	e.AtShardFunc(1, 0, bad)
+	e.AtShardFunc(2, 0, keep)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("facade scheduling inside a parallel window did not panic")
+		}
+	}()
+	e.Run()
+}
+
+// TestShardTagsSequentialEquivalence: with workers unset (or one), tagged
+// events run through the ordinary Step loop and behave exactly like
+// untagged ones — the tags are inert metadata.
+func TestShardTagsSequentialEquivalence(t *testing.T) {
+	e := New()
+	e.ConfigureShards(3, 10)
+	var order []string
+	e.AtOn(1, 5, func() { order = append(order, "fn@5") })
+	e.AtCallOn(2, 5, fnCallback(func() { order = append(order, "cb@5") }))
+	e.AtShardFunc(3, 5, func(sc *ShardCtx) {
+		order = append(order, fmt.Sprintf("sfn@%d/shard%d", sc.Now(), sc.Shard()))
+		sc.After(2, func(sc *ShardCtx) { order = append(order, fmt.Sprintf("child@%d", sc.Now())) })
+	})
+	e.At(5, func() { order = append(order, "global@5") })
+	e.Run()
+	want := "[fn@5 cb@5 sfn@5/shard3 global@5 child@7]"
+	if got := fmt.Sprint(order); got != want {
+		t.Fatalf("sequential dispatch order = %s, want %s", got, want)
+	}
+}
+
+type fnCallback func()
+
+func (f fnCallback) Fire() { f() }
+
+// TestShardValidation pins the configuration error paths.
+func TestShardValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero shards", func() { New().ConfigureShards(0, 10) })
+	mustPanic("zero lookahead", func() { New().ConfigureShards(1, 0) })
+	mustPanic("negative shard", func() { New().AtOn(-1, 0, func() {}) })
+	mustPanic("shard beyond count", func() {
+		e := New()
+		e.ConfigureShards(2, 10)
+		e.AtOn(3, 0, func() {})
+	})
+	// Unconfigured engines accept any non-negative tag: the tags are inert.
+	e := New()
+	ran := false
+	e.AtOn(9, 0, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("tagged event did not fire on unconfigured engine")
+	}
+}
+
+// TestFanout covers the inline and worker paths of Engine.Fanout, including
+// panic propagation back to the caller's goroutine.
+func TestFanout(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := New()
+		e.SetWorkers(workers)
+		const n = 64
+		out := make([]int, n)
+		e.Fanout(n, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i*i)
+			}
+		}
+	}
+	e := New()
+	e.SetWorkers(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Fanout did not propagate worker panic")
+			}
+		}()
+		e.Fanout(8, func(i int) {
+			if i == 5 {
+				panic("boom")
+			}
+		})
+	}()
+}
+
+// TestShardTagAllocs extends the 0-allocs/op contract to the shard-tagged
+// scheduling paths with workers unset: parallel mode must cost the default
+// configuration nothing.
+func TestShardTagAllocs(t *testing.T) {
+	e := New()
+	e.ConfigureShards(4, 200)
+	cb := &tally{}
+	sfn := ShardFunc(func(sc *ShardCtx) {})
+	// Warm the queue's backing array past the test loop's high-water mark
+	// (512 events per run) so steady-state growth is excluded.
+	for j := 0; j < 600; j++ {
+		e.AtCallOn(1+ShardID(j%4), e.Now()+Cycle(j), cb)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		base := e.Now()
+		for j := 0; j < 256; j++ {
+			sh := 1 + ShardID(j%4)
+			e.AtCallOn(sh, base+Cycle(j%37), cb)
+			e.AtShardFunc(sh, base+Cycle(j%37), sfn)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("sequential shard-tagged schedule/fire allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -29,12 +29,17 @@ type Callback interface {
 	Fire()
 }
 
-// event is one queue entry. Exactly one of fn and cb is set.
+// event is one queue entry. Exactly one of fn, cb, and sfn is set. shard is
+// the event's affinity (ShardGlobal unless scheduled through a shard-aware
+// API); the sequential dispatcher ignores it, the parallel dispatcher uses
+// it to decide which windows may fan out (see shard.go).
 type event struct {
-	at  Cycle
-	seq int64
-	fn  func()
-	cb  Callback
+	at    Cycle
+	seq   int64
+	shard ShardID
+	fn    func()
+	cb    Callback
+	sfn   ShardFunc
 }
 
 // before reports whether a fires before b: earlier cycle first, scheduling
@@ -63,10 +68,15 @@ type Probe interface {
 const cancelStride = 64
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
+//
+// An Engine is single-threaded by default. ConfigureShards + SetWorkers
+// (shard.go) switch Run to a conservative windowed dispatcher that may fan
+// shard-affine events out to worker goroutines; every other configuration is
+// bit-identical to sequential execution.
 type Engine struct {
 	now   Cycle
 	seq   int64
-	q     []event // four-ary min-heap on (at, seq)
+	q     eventHeap // four-ary min-heap on (at, seq)
 	watch func(at Cycle)
 	probe Probe
 
@@ -74,6 +84,14 @@ type Engine struct {
 	canceled    bool
 	cancel      func() bool
 	cancelCount int
+
+	// par holds the conservative parallel-mode state; nil on the default
+	// sequential path so the hot-path guard below is one pointer test.
+	par *parallel
+	// seqCtx is the reusable ShardCtx handed to ShardFunc events dispatched
+	// sequentially, so tagging events with a shard costs no allocations when
+	// the engine runs single-threaded.
+	seqCtx ShardCtx
 }
 
 // New returns a fresh engine at cycle 0.
@@ -127,40 +145,48 @@ func (e *Engine) Resume() {
 // stays within one or two lines of the flat slice.
 const arity = 4
 
+// eventHeap is a four-ary min-heap of events on (at, seq), stored flat in a
+// reusable slice. It is factored out of Engine so the parallel dispatcher's
+// per-shard queues (shard.go) reuse the exact same ordering code as the
+// global queue — one comparison function, one tie-break rule.
+type eventHeap []event
+
 // push appends ev and restores heap order along its ancestor path.
-func (e *Engine) push(ev event) {
-	i := len(e.q)
-	e.q = append(e.q, ev)
+func (h *eventHeap) push(ev event) {
+	q := *h
+	i := len(q)
+	q = append(q, ev)
 	for i > 0 {
 		p := (i - 1) / arity
-		if !ev.before(&e.q[p]) {
+		if !ev.before(&q[p]) {
 			break
 		}
-		e.q[i] = e.q[p]
+		q[i] = q[p]
 		i = p
 	}
-	e.q[i] = ev
+	q[i] = ev
+	*h = q
 }
 
 // pop removes and returns the earliest event. The vacated slot is zeroed so
 // the backing array does not retain the popped event's closure (and
 // everything it captures) for the rest of the run.
-func (e *Engine) pop() event {
-	q := e.q
+func (h *eventHeap) pop() event {
+	q := *h
 	top := q[0]
 	n := len(q) - 1
 	moved := q[n]
 	q[n] = event{}
-	e.q = q[:n]
+	*h = q[:n]
 	if n > 0 {
-		e.siftDown(moved)
+		h.siftDown(moved)
 	}
 	return top
 }
 
 // siftDown places moved (the former last element) starting from the root.
-func (e *Engine) siftDown(moved event) {
-	q := e.q
+func (h *eventHeap) siftDown(moved event) {
+	q := *h
 	n := len(q)
 	i := 0
 	for {
@@ -187,13 +213,30 @@ func (e *Engine) siftDown(moved event) {
 	q[i] = moved
 }
 
+// push appends ev to the global queue with the next sequence number.
+func (e *Engine) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	e.q.push(ev)
+}
+
+// guardWindow panics when the engine facade is used from inside a parallel
+// window: worker goroutines must schedule through their ShardCtx, which
+// stages insertions for the barrier merge. On the sequential path (par ==
+// nil) this is a single pointer test.
+func (e *Engine) guardWindow() {
+	if p := e.par; p != nil && p.inWindow {
+		panic("sim: engine scheduling from inside a parallel window; use the ShardCtx")
+	}
+}
+
 // At schedules fn to run at the given cycle, which must not be in the past.
 func (e *Engine) At(t Cycle, fn func()) {
+	e.guardWindow()
 	if t < e.now {
 		panic("sim: scheduling event in the past")
 	}
-	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, fn: fn})
 }
 
 // After schedules fn to run d cycles from now. Negative delays panic.
@@ -207,11 +250,11 @@ func (e *Engine) After(d Cycle, fn func()) {
 // AtCall schedules cb to fire at the given cycle, which must not be in the
 // past. Unlike At, scheduling a pointer-backed Callback does not allocate.
 func (e *Engine) AtCall(t Cycle, cb Callback) {
+	e.guardWindow()
 	if t < e.now {
 		panic("sim: scheduling event in the past")
 	}
-	e.seq++
-	e.push(event{at: t, seq: e.seq, cb: cb})
+	e.push(event{at: t, cb: cb})
 }
 
 // AfterCall schedules cb to fire d cycles from now. Negative delays panic.
@@ -239,15 +282,28 @@ func (e *Engine) Step() bool {
 			}
 		}
 	}
-	ev := e.pop()
-	e.now = ev.at
+	ev := e.q.pop()
+	// A lookahead violation (see shard.go) can merge an event behind the
+	// clock; never let the clock regress. On well-formed schedules the
+	// clamp is a no-op: past scheduling panics, so ev.at >= e.now.
+	if ev.at > e.now {
+		e.now = ev.at
+	}
 	if e.watch != nil {
 		e.watch(ev.at)
 	}
-	if ev.cb != nil {
+	switch {
+	case ev.cb != nil:
 		ev.cb.Fire()
-	} else {
+	case ev.fn != nil:
 		ev.fn()
+	default:
+		// ShardFunc events dispatched sequentially run with the reusable
+		// context: same-shard routing, zero allocations.
+		e.seqCtx.e = e
+		e.seqCtx.shard = ev.shard
+		e.seqCtx.w = nil
+		ev.sfn(&e.seqCtx)
 	}
 	if e.probe != nil {
 		e.probe.EventFired(ev.at, len(e.q))
@@ -258,7 +314,14 @@ func (e *Engine) Step() bool {
 // Run executes events until the queue is empty or the engine halts, and
 // returns the final time. After a halt, Pending reports how many events
 // were abandoned.
+//
+// With shards configured and more than one worker, Run uses the
+// conservative windowed dispatcher (shard.go); observable behavior is
+// identical.
 func (e *Engine) Run() Cycle {
+	if p := e.par; p != nil && p.shards > 0 && p.workers > 1 {
+		return e.runParallel()
+	}
 	for e.Step() {
 	}
 	return e.now
