@@ -7,6 +7,7 @@
 //	chopinsim -exp fig13 [-scale 0.25]      reproduce a paper figure/table
 //	chopinsim -exp all                      run every experiment
 //	chopinsim -bench cry -scheme chopin     simulate one scheme on one trace
+//	chopinsim -scheme chopin -gpus 64 -topology mesh -comp-alg radix-k   scale-out run
 //	chopinsim -verify -bench cry -scheme chopin   run with invariant checks
 //	chopinsim -scheme chopin -timeline t.json -metrics m.csv   capture a timeline
 //	chopinsim -scheme chopin -timeline t.json -trace-frame 2   trace the 3rd repeat
@@ -31,8 +32,10 @@ import (
 	"strings"
 	"time"
 
+	"chopin/internal/composite/plan"
 	"chopin/internal/experiments"
 	"chopin/internal/fault"
+	"chopin/internal/interconnect"
 	"chopin/internal/multigpu"
 	"chopin/internal/obs"
 	"chopin/internal/obs/live"
@@ -87,8 +90,11 @@ func main() {
 		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all eight)")
 		scheme  = flag.String("scheme", "", "single run: duplication | gpupd | sort-middle | chopin | chopin-naive | chopin-rr | chopin-reorder")
 		bench   = flag.String("bench", "cod2", "single run: benchmark name")
-		gpus    = flag.Int("gpus", 8, "single run: GPU count")
+		gpus    = flag.Int("gpus", 8, "single run: GPU count (up to 64 with an exchange plan)")
 		ideal   = flag.Bool("ideal", false, "single run: idealized inter-GPU links")
+		topo    = flag.String("topology", "", "single run: inter-GPU fabric: crossbar | ring | mesh (default crossbar)")
+		compAlg = flag.String("comp-alg", "", "single run: CHOPIN composition exchange plan: direct-send | binary-swap | radix-k | mixed-radix | auto (default direct-send)")
+		radixK  = flag.Int("radix-k", 0, "single run: radix for -comp-alg radix-k (0 = largest supported)")
 		pngOut  = flag.String("png", "", "single run: write the rendered frame to this PNG file")
 		verify  = flag.Bool("verify", false, "attach the runtime invariant checker to every simulation")
 		update  = flag.Bool("update-golden", false, "re-record the golden experiment outputs and exit")
@@ -171,8 +177,12 @@ func main() {
 			os.Exit(1)
 		}
 		for _, d := range digests {
-			fmt.Printf("%-12s %-6s n=%-2d %12d cycles  image %016x\n",
-				d.Scheme, d.Bench, d.GPUs, d.Cycles, d.Image)
+			cfgLabel := d.Cfg
+			if cfgLabel == "" {
+				cfgLabel = "default"
+			}
+			fmt.Printf("%-12s %-6s n=%-2d %-22s %12d cycles  image %016x\n",
+				d.Scheme, d.Bench, d.GPUs, cfgLabel, d.Cycles, d.Image)
 		}
 		fmt.Printf("determinism self-check passed: %d simulations identical sequentially and in parallel\n", len(digests))
 	case *list:
@@ -258,7 +268,8 @@ func main() {
 			frame:    *trFrame,
 		}
 		fo := faultOpts{spec: *faults, seed: *faultSeed, timeout: *timeout}
-		if err := runSingle(*scheme, *bench, *gpus, *engineW, *scale, *ideal, *verify, *pngOut, *runrecOut, to, fo); err != nil {
+		so := scaleOpts{topology: *topo, compAlg: *compAlg, radixK: *radixK}
+		if err := runSingle(*scheme, *bench, *gpus, *engineW, *scale, *ideal, *verify, *pngOut, *runrecOut, to, fo, so); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -308,6 +319,35 @@ type faultOpts struct {
 	timeout time.Duration
 }
 
+// scaleOpts carries the single-run scale-out flags: fabric topology and
+// composition exchange plan. Empty strings keep the paper's defaults
+// (crossbar, direct send).
+type scaleOpts struct {
+	topology string
+	compAlg  string
+	radixK   int
+}
+
+// apply resolves the flags into cfg, rejecting unknown names.
+func (s scaleOpts) apply(cfg *multigpu.Config) error {
+	if s.topology != "" {
+		kind, err := interconnect.ParseTopologyKind(s.topology)
+		if err != nil {
+			return &UsageError{Flag: "topology", Reason: err.Error()}
+		}
+		cfg.Link.Topology = kind
+	}
+	if s.compAlg != "" {
+		alg, err := plan.ParseAlgorithm(s.compAlg)
+		if err != nil {
+			return &UsageError{Flag: "comp-alg", Reason: err.Error()}
+		}
+		cfg.CompAlg = alg
+	}
+	cfg.RadixK = s.radixK
+	return nil
+}
+
 // serveMonitor starts the live sweep monitor on addr in the background.
 func serveMonitor(addr string) (*live.Monitor, error) {
 	mon := live.New()
@@ -321,7 +361,7 @@ func serveMonitor(addr string) (*live.Monitor, error) {
 	return mon, nil
 }
 
-func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ideal, verify bool, pngOut, recOut string, to traceOpts, fo faultOpts) error {
+func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ideal, verify bool, pngOut, recOut string, to traceOpts, fo faultOpts, so scaleOpts) error {
 	b, err := trace.ByName(bench)
 	if err != nil {
 		return err
@@ -333,15 +373,18 @@ func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ide
 	cfg.Link.Ideal = ideal
 	cfg.Verify = verify
 	cfg.GroupThreshold = max(16, int(float64(cfg.GroupThreshold)*scale))
+	if err := so.apply(&cfg); err != nil {
+		return err
+	}
 	if fo.spec != "" {
 		if fo.spec == "random" {
 			cfg.Faults = fault.RandomPlan(fo.seed, gpus)
 		} else {
-			plan, err := fault.ParseSpec(fo.spec, fo.seed)
+			fp, err := fault.ParseSpec(fo.spec, fo.seed)
 			if err != nil {
 				return err
 			}
-			cfg.Faults = plan
+			cfg.Faults = fp
 		}
 	}
 	if fo.timeout > 0 {

@@ -220,10 +220,10 @@ func BinarySwap(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*frameb
 			// the top half, peer keeps the bottom half; each sends the other
 			// half to its partner, who composes it.
 			mid := (lo[g] + hi[g]) / 2
-			px := mergeRows(work[g], work[peer], cmp, lo[g], mid)
+			px := DepthMergeRows(work[g], work[peer], cmp, lo[g], mid)
 			tr.Messages++
 			tr.Bytes += int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
-			px = mergeRows(work[peer], work[g], cmp, mid, hi[g])
+			px = DepthMergeRows(work[peer], work[g], cmp, mid, hi[g])
 			tr.Messages++
 			tr.Bytes += int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
 			hi[g] = mid
@@ -289,7 +289,7 @@ func RadixK(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc, k int) (*fra
 					if o == m {
 						continue
 					}
-					px := mergeRows(work[m], work[o], cmp, p0, p1)
+					px := DepthMergeRows(work[m], work[o], cmp, p0, p1)
 					tr.Messages++
 					tr.Bytes += int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
 				}
@@ -312,10 +312,14 @@ func RadixK(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc, k int) (*fra
 // GPU count is factorized, and each round runs radix-k direct-send inside
 // groups sized by one prime factor. Powers of two reduce to binary-swap;
 // any other count works without padding or idle GPUs.
-func MixedRadix(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*framebuffer.Buffer, Traffic) {
+//
+// The error return exists for contract symmetry with BinarySwap and RadixK
+// (callers select schedules dynamically and handle one shape); mixed-radix
+// itself accepts any positive count.
+func MixedRadix(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*framebuffer.Buffer, Traffic, error) {
 	n := len(subs)
 	if n == 0 {
-		return nil, Traffic{}
+		return nil, Traffic{}, nil
 	}
 	factors := factorize(n)
 	work := make([]*framebuffer.Buffer, n)
@@ -348,7 +352,7 @@ func MixedRadix(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*frameb
 					if o == m {
 						continue
 					}
-					px := mergeRows(work[m], work[o], cmp, p0, p1)
+					px := DepthMergeRows(work[m], work[o], cmp, p0, p1)
 					tr.Messages++
 					tr.Bytes += int64(px) * framebuffer.OpaqueCompositionBytesPerPixel
 				}
@@ -364,7 +368,7 @@ func MixedRadix(subs []*framebuffer.Buffer, cmp colorspace.CompareFunc) (*frameb
 		tr.Messages++
 		tr.Bytes += int64(px) * framebuffer.ColorBytesPerPixel
 	}
-	return result, tr
+	return result, tr, nil
 }
 
 // factorize returns n's prime factors in ascending order.
@@ -382,9 +386,44 @@ func factorize(n int) []int {
 	return out
 }
 
-// mergeRows depth-merges rows [y0, y1) of src into dst and returns the pixel
-// count of the region.
-func mergeRows(dst, src *framebuffer.Buffer, cmp colorspace.CompareFunc, y0, y1 int) int {
+// DepthMergeRegion composes src into dst over rows [y0, y1), restricted to
+// src's dirty tiles (and, when tiles is non-nil, to that tile subset): each
+// tile's rectangle is clipped to the row range before merging. This is the
+// region-exchange primitive of the scheme layer's plan executor — payload
+// regions are row ranges that need not align with tile boundaries, and
+// clipping to dirty tiles keeps a buffer's cleared pixels (depth exactly
+// ClearDepth) from overwriting real far-plane content under CmpLessEqual
+// ties. Returns the merged pixel count.
+func DepthMergeRegion(dst, src *framebuffer.Buffer, cmp colorspace.CompareFunc, y0, y1 int, tiles []int) (pixels int) {
+	if tiles == nil {
+		tiles = src.DirtyTiles()
+	}
+	for _, tl := range tiles {
+		if !src.Dirty(tl) {
+			continue
+		}
+		x0, ty0, x1, ty1 := dst.TileRect(tl)
+		cy0, cy1 := max(ty0, y0), min(ty1, y1)
+		for y := cy0; y < cy1; y++ {
+			for x := x0; x < x1; x++ {
+				if colorspace.Compare(cmp, src.DepthAt(x, y), dst.DepthAt(x, y)) {
+					dst.Set(x, y, src.At(x, y))
+					dst.SetDepth(x, y, src.DepthAt(x, y))
+				}
+			}
+		}
+		if cy1 > cy0 {
+			pixels += (cy1 - cy0) * (x1 - x0)
+		}
+	}
+	return pixels
+}
+
+// DepthMergeRows depth-merges rows [y0, y1) of src into dst — the
+// row-region merge primitive of the swap schedules, exported for the scheme
+// layer's exchange-plan executor — and returns the pixel count of the
+// region.
+func DepthMergeRows(dst, src *framebuffer.Buffer, cmp colorspace.CompareFunc, y0, y1 int) int {
 	w := dst.Width()
 	for y := y0; y < y1; y++ {
 		for x := 0; x < w; x++ {

@@ -288,7 +288,7 @@ func TestMixedRadixMatchesReference(t *testing.T) {
 	for _, n := range []int{2, 3, 5, 6, 8, 10, 12} {
 		subs := randomSubImages(t, n, 64, 64, int64(40+n))
 		ref := DepthReference(subs, colorspace.CmpLess)
-		got, tr := MixedRadix(subs, colorspace.CmpLess)
+		got, tr, _ := MixedRadix(subs, colorspace.CmpLess)
 		if !got.Equal(ref, 0) {
 			t.Fatalf("n=%d: mixed-radix differs in %d pixels", n, got.DiffCount(ref, 0))
 		}
@@ -301,7 +301,7 @@ func TestMixedRadixMatchesReference(t *testing.T) {
 func TestMixedRadixEqualsBinarySwapForPowersOfTwo(t *testing.T) {
 	subs := randomSubImages(t, 8, 64, 64, 99)
 	_, bs, _ := BinarySwap(subs, colorspace.CmpLess)
-	_, mr := MixedRadix(subs, colorspace.CmpLess)
+	_, mr, _ := MixedRadix(subs, colorspace.CmpLess)
 	if bs.Rounds != mr.Rounds || bs.Messages != mr.Messages {
 		t.Errorf("mixed-radix(8) should equal binary-swap: %+v vs %+v", mr, bs)
 	}

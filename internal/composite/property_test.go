@@ -48,7 +48,7 @@ func TestPropertyParallelSchedulesMatchReference(t *testing.T) {
 		if got, _ := DirectSend(subs, cmp); !got.Equal(ref, 0) {
 			t.Fatalf("trial %d (n=%d %dx%d): DirectSend differs from reference", trial, n, w, h)
 		}
-		if got, _ := MixedRadix(subs, cmp); !got.Equal(ref, 0) {
+		if got, _, err := MixedRadix(subs, cmp); err != nil || !got.Equal(ref, 0) {
 			t.Fatalf("trial %d (n=%d %dx%d): MixedRadix differs from reference", trial, n, w, h)
 		}
 		if n&(n-1) == 0 {

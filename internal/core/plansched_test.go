@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"chopin/internal/composite/plan"
+)
+
+// drivePlan runs a plan to completion through the scheduler, asserting port
+// exclusivity and round gating at every step, and returns the completed
+// session order.
+func drivePlan(t *testing.T, p *plan.Plan) []plan.Session {
+	t.Helper()
+	ps, err := NewPlanScheduler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < p.N; g++ {
+		ps.SetReady(g)
+	}
+	var order []plan.Session
+	for steps := 0; !ps.Done(); steps++ {
+		if steps > p.N*p.N*len(p.Rounds)+16 {
+			t.Fatalf("plan scheduler stalled after %d completed sessions", len(order))
+		}
+		batch := ps.NextSessions()
+		if len(batch) == 0 {
+			t.Fatalf("no startable sessions but not done (%d completed)", len(order))
+		}
+		sending := make(map[int]bool)
+		receiving := make(map[int]bool)
+		for _, s := range batch {
+			if sending[s.Sender] || receiving[s.Receiver] {
+				t.Fatalf("batch double-books a port: %+v", s)
+			}
+			sending[s.Sender] = true
+			receiving[s.Receiver] = true
+		}
+		for _, s := range batch {
+			if err := ps.Complete(s); err != nil {
+				t.Fatal(err)
+			}
+			order = append(order, s)
+		}
+	}
+	if got := len(order); got != p.Sessions() {
+		t.Fatalf("completed %d sessions, want %d", got, p.Sessions())
+	}
+	return order
+}
+
+// TestPlanSchedulerAllPlans drives every planner to completion at a spread
+// of group sizes, including the 64-GPU scale.
+func TestPlanSchedulerAllPlans(t *testing.T) {
+	const h = 64
+	for _, n := range []int{1, 2, 3, 5, 8, 12, 16, 33, 48, 64} {
+		for _, alg := range []plan.Algorithm{plan.AlgDirectSend, plan.AlgBinarySwap, plan.AlgRadixK, plan.AlgMixedRadix} {
+			p, err := plan.For(alg, n, h, 0, plan.AssocCommutative, 1)
+			if err != nil {
+				continue // planner does not support this n
+			}
+			drivePlan(t, p)
+		}
+	}
+}
+
+// TestPlanSchedulerRoundGating pins that no round-1 session starts before
+// both its parties drain round 0: with binary-swap n=4 and only GPUs 0 and
+// 1 ready, the pair exchange of round 0 runs between them, but neither may
+// enter round 1 (their round-1 peers 2 and 3 are still in round 0).
+func TestPlanSchedulerRoundGating(t *testing.T) {
+	p, err := plan.BinarySwap(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPlanScheduler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.SetReady(0)
+	ps.SetReady(1)
+	var completed int
+	for {
+		batch := ps.NextSessions()
+		if len(batch) == 0 {
+			break
+		}
+		for _, s := range batch {
+			if s.Sender > 1 || s.Receiver > 1 {
+				t.Fatalf("session %+v scheduled with GPUs 2,3 not ready", s)
+			}
+			if err := ps.Complete(s); err != nil {
+				t.Fatal(err)
+			}
+			completed++
+		}
+	}
+	if completed != 2 {
+		t.Fatalf("completed %d sessions with half the group ready, want 2 (the 0↔1 pair)", completed)
+	}
+	if ps.Round(0) != 1 || ps.Round(1) != 1 {
+		t.Fatalf("rounds after pair exchange: %d, %d; want 1, 1", ps.Round(0), ps.Round(1))
+	}
+	if ps.Done() {
+		t.Fatal("scheduler done with GPUs 2,3 never ready")
+	}
+	// The stragglers arrive; the plan must now run to completion.
+	ps.SetReady(2)
+	ps.SetReady(3)
+	for !ps.Done() {
+		batch := ps.NextSessions()
+		if len(batch) == 0 {
+			t.Fatal("stalled after stragglers became ready")
+		}
+		for _, s := range batch {
+			if err := ps.Complete(s); err != nil {
+				t.Fatal(err)
+			}
+			completed++
+		}
+	}
+	if completed != p.Sessions() {
+		t.Fatalf("completed %d sessions, want %d", completed, p.Sessions())
+	}
+}
+
+// TestPlanSchedulerErrors pins the misuse contract.
+func TestPlanSchedulerErrors(t *testing.T) {
+	if _, err := NewPlanScheduler(nil); err == nil {
+		t.Error("NewPlanScheduler(nil): want error")
+	}
+	p, _ := plan.DirectSend(2, 8)
+	ps, err := NewPlanScheduler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.SetReady(0)
+	ps.SetReady(1)
+	if err := ps.Complete(plan.Session{Sender: 0, Receiver: 1}); err == nil {
+		t.Error("Complete before NextSessions: want error")
+	}
+	batch := ps.NextSessions()
+	if len(batch) != 2 {
+		t.Fatalf("direct-send n=2 start batch = %d sessions, want 2", len(batch))
+	}
+	if err := ps.Complete(batch[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Complete(batch[0]); err == nil {
+		t.Error("double Complete: want error")
+	}
+}
+
+// TestPlanSchedulerSingleGPU pins the degenerate group: one GPU, no
+// sessions, done at SetReady.
+func TestPlanSchedulerSingleGPU(t *testing.T) {
+	p, err := plan.DirectSend(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPlanScheduler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Done() {
+		t.Fatal("done before SetReady")
+	}
+	ps.SetReady(0)
+	if !ps.Done() {
+		t.Fatal("single-GPU group not done after SetReady")
+	}
+}

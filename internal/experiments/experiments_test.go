@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig4", "fig5", "fig8", "fig9", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
 		"tab2", "tab3", "sec6d", "sec6e", "sec6f",
-		"ext-afr", "ext-reorder", "ext-taxonomy",
+		"ext-afr", "ext-reorder", "ext-taxonomy", "scale64",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

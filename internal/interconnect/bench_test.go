@@ -74,6 +74,54 @@ func TestShardedEngineAllocs(t *testing.T) {
 	}
 }
 
+// benchTopology builds a fabric with the given topology kind and measures
+// the neighbour-send steady state — the Send/tryStart hot path with and
+// without the routed-path claim loop.
+func benchTopology(b *testing.B, kind TopologyKind) {
+	const n, transfers = 8, 256
+	cfg := DefaultConfig()
+	cfg.Topology = kind
+	eng := sim.New()
+	f := newFabric(b, eng, n, cfg)
+	benchSend(eng, f, n, transfers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSend(eng, f, n, transfers)
+	}
+}
+
+// BenchmarkSendCrossbar is the default-path benchmark the 0-allocs/op CI
+// guard tracks: the topology indirection must cost nothing when disabled
+// (a single nil check on tryStart).
+func BenchmarkSendCrossbar(b *testing.B) { benchTopology(b, TopoCrossbar) }
+
+// BenchmarkSendRing and BenchmarkSendMesh track the routed-path cost.
+func BenchmarkSendRing(b *testing.B) { benchTopology(b, TopoRing) }
+func BenchmarkSendMesh(b *testing.B) { benchTopology(b, TopoMesh2D) }
+
+// TestTopologySendAllocs pins the hot-path allocation contract across
+// topologies: the crossbar (explicitly configured, same nil-topology path
+// as the default) stays at zero, and the routed topologies also stay at
+// zero in steady state — the route scratch buffer and link-occupancy table
+// are preallocated at construction.
+func TestTopologySendAllocs(t *testing.T) {
+	const n, transfers = 8, 64
+	for _, kind := range []TopologyKind{TopoCrossbar, TopoRing, TopoMesh2D} {
+		cfg := DefaultConfig()
+		cfg.Topology = kind
+		eng := sim.New()
+		f := newFabric(t, eng, n, cfg)
+		benchSend(eng, f, n, transfers)
+		allocs := testing.AllocsPerRun(100, func() {
+			benchSend(eng, f, n, transfers)
+		})
+		if allocs != 0 {
+			t.Errorf("%s Send path allocated %.1f allocs/op, want 0", kind, allocs)
+		}
+	}
+}
+
 // TestStartObserver checks the StartObserver extension: Started fires when a
 // queued transfer begins transmitting, with the true occupancy interval, and
 // plain Observers keep working without it.

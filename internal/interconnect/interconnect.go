@@ -74,6 +74,13 @@ type Config struct {
 	// value (Timeout == 0) disables it, which is the exact legacy delivery
 	// path.
 	Retry RetryConfig
+	// Topology selects the fabric wiring (see topology.go). The zero value,
+	// TopoCrossbar, is the legacy point-to-point crossbar and keeps the
+	// original timing path bit-for-bit. Routed topologies (ring, mesh) make
+	// each bulk transfer claim a path of per-hop link channels, paying
+	// LatencyCycles per hop and contending for shared links. Ignored on
+	// Ideal fabrics.
+	Topology TopologyKind
 }
 
 // RetryConfig parameterizes the ack/timeout/retry protocol that recovers
@@ -384,6 +391,14 @@ type Fabric struct {
 	// callbacks that touch arbitrary simulator state.
 	shard sim.ShardID
 
+	// topo is the routed topology (nil for the crossbar: a single nil check
+	// keeps the legacy timing path). linkFree[l] is when directed link l's
+	// current occupant drains; routeBuf is the preallocated route scratch
+	// (the engine core is single-threaded, so one buffer suffices).
+	topo     Topology
+	linkFree []sim.Cycle
+	routeBuf []int
+
 	sending []bool
 	// egressQueue[src] is a FIFO consumed from egressHead[src]: popping
 	// advances the head index and the slice is reset (retaining capacity)
@@ -441,7 +456,49 @@ func New(eng *sim.Engine, n int, cfg Config) (*Fabric, error) {
 	for i := range f.ports {
 		f.ports[i] = egressPort{f: f, src: i}
 	}
+	if !cfg.Ideal && cfg.Topology != TopoCrossbar {
+		topo, err := NewTopology(cfg.Topology, n)
+		if err != nil {
+			return nil, err
+		}
+		f.topo = topo
+		f.linkFree = make([]sim.Cycle, topo.NumLinks())
+		f.routeBuf = make([]int, 0, topo.Diameter()+1)
+	}
 	return f, nil
+}
+
+// Topology returns the routed topology, or nil for the crossbar.
+func (f *Fabric) Topology() Topology { return f.topo }
+
+// Diameter returns the fabric's hop diameter: 1 for the crossbar (and
+// ideal fabrics), the topology's diameter otherwise. Plan auto-selection
+// keys off it.
+func (f *Fabric) Diameter() int {
+	if f.topo == nil {
+		return 1
+	}
+	return f.topo.Diameter()
+}
+
+// claimRoute reserves the routed src→dst path for a transfer whose
+// transmission time is tx, starting no earlier than start. The transfer's
+// head waits at each link for the previous occupant to drain, occupies the
+// link for tx, and pays the link latency per hop; the returned cycle is
+// when the last byte arrives at dst (before ingress-port serialization).
+// With one hop and no contention this reduces exactly to the crossbar's
+// start + tx + LatencyCycles.
+func (f *Fabric) claimRoute(src, dst int, start, tx sim.Cycle) sim.Cycle {
+	f.routeBuf = f.topo.Route(src, dst, f.routeBuf[:0])
+	t := start
+	for _, l := range f.routeBuf {
+		if free := f.linkFree[l]; free > t {
+			t = free
+		}
+		f.linkFree[l] = t + tx
+		t += f.cfg.LatencyCycles
+	}
+	return t + tx
 }
 
 // fail records the fabric's first unrecoverable fault. The fabric keeps
@@ -700,8 +757,13 @@ func (f *Fabric) tryStart(src int) {
 	// Egress port frees when the last byte leaves.
 	f.eng.AfterCallOn(f.shard, tx, &f.ports[src])
 	// Cut-through delivery: last byte arrives latency cycles after it was
-	// sent; the ingress port serializes concurrent arrivals.
+	// sent; the ingress port serializes concurrent arrivals. On a routed
+	// topology the transfer instead claims its path of link channels,
+	// waiting out per-link contention and paying the latency per hop.
 	arrive := now + tx + f.cfg.LatencyCycles
+	if f.topo != nil {
+		arrive = f.claimRoute(m.src, m.dst, now, tx)
+	}
 	switch flt.Kind {
 	case FaultDelay:
 		f.stats.Faults[m.class].Delays++

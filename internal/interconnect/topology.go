@@ -1,0 +1,202 @@
+// Topology extracts the fabric's wiring from its port model. The legacy
+// fabric is a full crossbar (NVSwitch-style): every GPU pair is connected
+// point-to-point, so a transfer's only resources are the source egress port
+// and the destination ingress port. Scale-out systems are not crossbars —
+// ring (NVLink bridges) and 2D-mesh fabrics route a bulk transfer over a
+// path of shared link channels, each with its own finite bandwidth, so
+// transfers crossing the same link contend even when their endpoints are
+// disjoint.
+//
+// A Topology enumerates directed links and routes each (src, dst) pair over
+// them deterministically. The fabric claims the routed path hop by hop: a
+// transfer waits for each link's previous occupant to drain, holds the link
+// for its own transmission time, and pays the link latency per hop. The
+// crossbar keeps a nil Topology and the exact legacy timing path.
+package interconnect
+
+import "fmt"
+
+// TopologyKind selects the fabric wiring. The zero value is the legacy
+// crossbar, so existing configurations are unchanged.
+type TopologyKind uint8
+
+const (
+	// TopoCrossbar is the legacy full crossbar: every pair directly
+	// connected, no shared links, bit-for-bit the original timing model.
+	TopoCrossbar TopologyKind = iota
+	// TopoRing connects GPU i to (i±1) mod n with one directed link per
+	// direction; transfers take the shorter way around.
+	TopoRing
+	// TopoMesh2D arranges the GPUs in a near-square row-major grid with
+	// directed links between grid neighbours and dimension-order (X-then-Y)
+	// routing.
+	TopoMesh2D
+)
+
+// String returns the topology name used by flags and reports.
+func (k TopologyKind) String() string {
+	switch k {
+	case TopoCrossbar:
+		return "crossbar"
+	case TopoRing:
+		return "ring"
+	case TopoMesh2D:
+		return "mesh"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseTopologyKind parses a topology name as accepted by the -topology
+// flag.
+func ParseTopologyKind(s string) (TopologyKind, error) {
+	switch s {
+	case "crossbar", "xbar":
+		return TopoCrossbar, nil
+	case "ring":
+		return TopoRing, nil
+	case "mesh", "mesh2d":
+		return TopoMesh2D, nil
+	default:
+		return TopoCrossbar, fmt.Errorf("interconnect: unknown topology %q (want crossbar, ring, or mesh)", s)
+	}
+}
+
+// Topology routes bulk transfers over a fixed set of directed links.
+// Implementations must be deterministic: the same (src, dst) always yields
+// the same route, so simulated timing is reproducible.
+type Topology interface {
+	// Kind identifies the topology.
+	Kind() TopologyKind
+	// NumLinks is the number of directed link channels (route entries are
+	// indices in [0, NumLinks)).
+	NumLinks() int
+	// Diameter is the maximum hop count between any pair — the input to
+	// plan auto-selection (a high-diameter fabric favours neighbour-heavy
+	// exchange plans).
+	Diameter() int
+	// Hops returns the length of the src→dst route.
+	Hops(src, dst int) int
+	// Route appends the directed link IDs of the src→dst path to buf and
+	// returns it. src != dst; callers reuse buf to keep the hot path
+	// allocation-free.
+	Route(src, dst int, buf []int) []int
+}
+
+// NewTopology builds the routed topology for kind over n GPUs.
+// TopoCrossbar returns (nil, nil): the crossbar has no shared links and the
+// fabric keeps its legacy path.
+func NewTopology(kind TopologyKind, n int) (Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("interconnect: invalid GPU count %d for topology %s", n, kind)
+	}
+	switch kind {
+	case TopoCrossbar:
+		return nil, nil
+	case TopoRing:
+		return &ring{n: n}, nil
+	case TopoMesh2D:
+		return newMesh2D(n), nil
+	default:
+		return nil, fmt.Errorf("interconnect: unknown topology kind %d", kind)
+	}
+}
+
+// ring is a bidirectional ring: link i carries i→(i+1)%n (clockwise), link
+// n+i carries i→(i−1+n)%n (counter-clockwise). Routes take the shorter
+// direction; ties (even n, antipodal pair) break clockwise.
+type ring struct{ n int }
+
+func (r *ring) Kind() TopologyKind { return TopoRing }
+func (r *ring) NumLinks() int      { return 2 * r.n }
+func (r *ring) Diameter() int      { return r.n / 2 }
+
+func (r *ring) Hops(src, dst int) int {
+	d := (dst - src + r.n) % r.n
+	return min(d, r.n-d)
+}
+
+func (r *ring) Route(src, dst int, buf []int) []int {
+	d := (dst - src + r.n) % r.n
+	if d <= r.n-d {
+		for at := src; at != dst; at = (at + 1) % r.n {
+			buf = append(buf, at)
+		}
+		return buf
+	}
+	for at := src; at != dst; at = (at - 1 + r.n) % r.n {
+		buf = append(buf, r.n+at)
+	}
+	return buf
+}
+
+// mesh2D is a near-square row-major grid: cols = ⌈√n⌉, rows = ⌈n/cols⌉, GPU
+// g at (g/cols, g%cols). The last row may be partial. Each node owns four
+// directed link slots, id = node*4 + direction (0:+x, 1:−x, 2:+y, 3:−y);
+// slots pointing off the grid are simply never routed over.
+type mesh2D struct {
+	n, cols, rows int
+}
+
+func newMesh2D(n int) *mesh2D {
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	return &mesh2D{n: n, cols: cols, rows: (n + cols - 1) / cols}
+}
+
+func (m *mesh2D) Kind() TopologyKind { return TopoMesh2D }
+func (m *mesh2D) NumLinks() int      { return 4 * m.n }
+func (m *mesh2D) Diameter() int      { return (m.rows - 1) + (m.cols - 1) }
+
+func (m *mesh2D) Hops(src, dst int) int {
+	sr, sc := src/m.cols, src%m.cols
+	dr, dc := dst/m.cols, dst%m.cols
+	return abs(sr-dr) + abs(sc-dc)
+}
+
+func (m *mesh2D) Route(src, dst int, buf []int) []int {
+	sr, sc := src/m.cols, src%m.cols
+	dr, dc := dst/m.cols, dst%m.cols
+	// Dimension-order (X-then-Y) routing. When the last row is partial the
+	// X-first corner (sr, dc) may not exist — only possible when src itself
+	// sits in the partial last row — in which case route Y first: the
+	// Y-first corner (dr, sc) does exist, because dst's row dr must be an
+	// earlier, full row (it has a column src's row lacks).
+	if sr*m.cols+dc >= m.n {
+		buf = m.walkY(buf, sr, dr, sc)
+		return m.walkX(buf, dr, sc, dc)
+	}
+	buf = m.walkX(buf, sr, sc, dc)
+	return m.walkY(buf, sr, dr, dc)
+}
+
+// walkX appends the links traversing row from column c0 to c1.
+func (m *mesh2D) walkX(buf []int, row, c0, c1 int) []int {
+	for c := c0; c < c1; c++ {
+		buf = append(buf, (row*m.cols+c)*4+0)
+	}
+	for c := c0; c > c1; c-- {
+		buf = append(buf, (row*m.cols+c)*4+1)
+	}
+	return buf
+}
+
+// walkY appends the links traversing col from row r0 to r1.
+func (m *mesh2D) walkY(buf []int, r0, r1, col int) []int {
+	for r := r0; r < r1; r++ {
+		buf = append(buf, (r*m.cols+col)*4+2)
+	}
+	for r := r0; r > r1; r-- {
+		buf = append(buf, (r*m.cols+col)*4+3)
+	}
+	return buf
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -12,6 +12,7 @@ import (
 	"hash/fnv"
 
 	"chopin/internal/check"
+	"chopin/internal/composite/plan"
 	"chopin/internal/fault"
 	"chopin/internal/framebuffer"
 	"chopin/internal/gpu"
@@ -99,6 +100,20 @@ type Config struct {
 	// execution attachment, not architecture: it is excluded from
 	// Fingerprint.
 	EngineWorkers int
+
+	// CompAlg selects the exchange plan opaque composition groups execute
+	// (DESIGN.md §10). The zero value, plan.AlgDirectSend, keeps the
+	// paper's direct-send composition path — naive or arbitrated per
+	// UseCompScheduler — bit-for-bit. Any other value routes opaque groups
+	// through the plan executor (binary-swap, radix-k, mixed-radix);
+	// plan.AlgAuto picks per group from the group size, the operator's
+	// algebraic class, and the fabric's topology diameter. Transparent
+	// groups always keep the ordered adjacent-merge chain: multi-round
+	// swap plans are illegal for non-commutative operators.
+	CompAlg plan.Algorithm
+	// RadixK is the radix for CompAlg == plan.AlgRadixK; 0 uses
+	// plan.DefaultK for the GPU count.
+	RadixK int
 }
 
 // DefaultConfig returns the paper's Table II system.
@@ -116,23 +131,70 @@ func DefaultConfig() Config {
 	}
 }
 
+// fpLink and fpConfig mirror the field sets Fingerprint has always hashed,
+// frozen at their pre-topology shape. Fingerprint formats these mirrors
+// with %+v instead of the live structs so that adding Config fields cannot
+// silently re-key every existing run record: new architecture axes must be
+// appended explicitly below, and only when they deviate from the legacy
+// default — a default-configured system fingerprints exactly as it always
+// has (pinned by TestFingerprintDefaultPinned).
+type fpLink struct {
+	BytesPerCycle float64
+	LatencyCycles sim.Cycle
+	Ideal         bool
+	Retry         interconnect.RetryConfig
+}
+
+type fpConfig struct {
+	NumGPUs             int
+	Costs               gpu.CostConfig
+	Raster              raster.Config
+	Link                fpLink
+	GroupThreshold      int
+	SchedulerQuantum    int
+	UseCompScheduler    bool
+	DriverCyclesPerDraw float64
+	BatchSize           int
+	RecordPerDraw       bool
+	Verify              bool
+	Tracer              *obs.Tracer
+	Faults              *fault.Plan
+	Watchdog            sim.Cycle
+	Cancel              func() bool
+	EngineWorkers       int
+}
+
 // Fingerprint returns a stable 16-hex-digit digest of the architectural
 // configuration: the fields that determine simulated timing and output
-// (GPU count, cost model, rasterizer knobs, link parameters, scheme
-// thresholds). Attachments that observe or perturb a run from outside the
-// modelled architecture — Tracer, Cancel, Faults, Verify, RecordPerDraw,
-// EngineWorkers — are excluded, so a traced, verified, or parallel-engine
-// re-run of the same architecture fingerprints identically. Run records
-// (package runrec) key rows on it.
+// (GPU count, cost model, rasterizer knobs, link parameters, topology,
+// composition algorithm, scheme thresholds). Attachments that observe or
+// perturb a run from outside the modelled architecture — Tracer, Cancel,
+// Faults, Verify, RecordPerDraw, EngineWorkers — are excluded, so a traced,
+// verified, or parallel-engine re-run of the same architecture fingerprints
+// identically. Run records (package runrec) key rows on it.
 func (c Config) Fingerprint() string {
-	c.Tracer = nil
-	c.Cancel = nil
-	c.Faults = nil
-	c.Verify = false
-	c.RecordPerDraw = false
-	c.EngineWorkers = 0
+	fp := fpConfig{
+		NumGPUs: c.NumGPUs,
+		Costs:   c.Costs,
+		Raster:  c.Raster,
+		Link: fpLink{
+			BytesPerCycle: c.Link.BytesPerCycle,
+			LatencyCycles: c.Link.LatencyCycles,
+			Ideal:         c.Link.Ideal,
+			Retry:         c.Link.Retry,
+		},
+		GroupThreshold:      c.GroupThreshold,
+		SchedulerQuantum:    c.SchedulerQuantum,
+		UseCompScheduler:    c.UseCompScheduler,
+		DriverCyclesPerDraw: c.DriverCyclesPerDraw,
+		BatchSize:           c.BatchSize,
+		Watchdog:            c.Watchdog,
+	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v", c)
+	fmt.Fprintf(h, "%+v", fp)
+	if c.Link.Topology != interconnect.TopoCrossbar || c.CompAlg != plan.AlgDirectSend || c.RadixK != 0 {
+		fmt.Fprintf(h, "|topo=%d comp=%d k=%d", c.Link.Topology, c.CompAlg, c.RadixK)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

@@ -2,6 +2,7 @@ package runrec
 
 import (
 	"fmt"
+	"hash/fnv"
 	"html"
 	"io"
 	"math"
@@ -29,23 +30,46 @@ var schemeSlots = map[string]int{
 	"CHOPIN+CompSched": 5,
 	"IdealCHOPIN":      6,
 	"SortMiddle":       7,
+	// Scale-out exchange-plan variants (the scale64 experiment) reuse slots
+	// of schemes they never share a figure with; within a scale64 figure
+	// (Duplication + the four plans) all five slots are distinct.
+	"CHOPIN/direct-send": 4,
+	"CHOPIN/binary-swap": 2,
+	"CHOPIN/radix-k":     3,
+	"CHOPIN/auto":        6,
+}
+
+// schemeRanks orders schemes whose legend position should differ from
+// their palette slot; everything else ranks by slot.
+var schemeRanks = map[string]int{
+	"CHOPIN/direct-send": 10,
+	"CHOPIN/binary-swap": 11,
+	"CHOPIN/radix-k":     12,
+	"CHOPIN/auto":        13,
 }
 
 // schemeRank orders schemes canonically (legend and bar order).
 func schemeRank(name string) int {
+	if r, ok := schemeRanks[name]; ok {
+		return r
+	}
 	if s, ok := schemeSlots[name]; ok {
 		return s
 	}
 	return 100
 }
 
-// slotFor returns the palette slot for a scheme; unknown schemes share the
-// last slot (they also sort last, so adjacent-color collisions stay rare).
+// slotFor returns the palette slot for a scheme; unknown schemes hash
+// deterministically over the palette, so distinct ad-hoc labels in one
+// figure usually land on distinct colors and a label keeps its color
+// across reports.
 func slotFor(name string) int {
 	if s, ok := schemeSlots[name]; ok {
 		return s
 	}
-	return 8
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32()%8) + 1
 }
 
 // phaseSlot colors execution phases; the mapping is fixed for the same

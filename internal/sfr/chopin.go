@@ -6,6 +6,7 @@ import (
 
 	"chopin/internal/colorspace"
 	"chopin/internal/composite"
+	"chopin/internal/composite/plan"
 	"chopin/internal/core"
 	"chopin/internal/exec"
 	"chopin/internal/framebuffer"
@@ -69,6 +70,11 @@ type chopinRun struct {
 	ll    *core.LeastLoadedScheduler // non-nil when the Fig. 10 scheduler is used
 	cs    *core.CompositionScheduler // non-nil when the Fig. 11 scheduler is used
 
+	// compPlan is non-nil when Config.CompAlg resolved to a non-direct-send
+	// exchange plan: opaque groups then run the plan executor instead of the
+	// paper's owner-addressed direct send.
+	compPlan *plan.Plan
+
 	steps   []core.Step
 	stepIdx int    // 1-based index of the executing step (scheduler epoch)
 	next    func() // advances the step sequence
@@ -114,6 +120,18 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStat
 		}
 		r.cs = cs
 	}
+	if alg := sys.Cfg.CompAlg; alg != plan.AlgDirectSend && r.n > 1 {
+		// Opaque depth merge is commutative and associative, so every
+		// planner is legal; Auto picks per group size and fabric diameter.
+		p, err := plan.For(alg, r.n, sys.Height(), sys.Cfg.RadixK,
+			plan.AssocCommutative, sys.Fabric.Diameter())
+		if err != nil {
+			return nil, err
+		}
+		if p.Alg != plan.AlgDirectSend {
+			r.compPlan = p
+		}
+	}
 	r.steps = core.Plan(fr.Draws, sys.Cfg.GroupThreshold)
 	if r.n == 1 {
 		// A 1-GPU system has nothing to compose: every group renders
@@ -122,11 +140,11 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStat
 			r.steps[i].Duplicate = true
 		}
 	}
-	plan := core.Summarize(r.steps)
+	summary := core.Summarize(r.steps)
 	st := r.ex.St
-	st.GroupsTotal = plan.Groups
-	st.GroupsAccelerated = plan.Accelerated
-	st.TrianglesAccelerated = plan.TrianglesAccel
+	st.GroupsTotal = summary.Groups
+	st.GroupsAccelerated = summary.Accelerated
+	st.TrianglesAccelerated = summary.TrianglesAccel
 	r.ex.SetTextures()
 	r.cumDirty = make([]map[int]map[int]bool, r.n)
 	for g := range r.cumDirty {
@@ -401,8 +419,6 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 	if cs != nil {
 		cs.Reset()
 	}
-	// Naive direct-send bookkeeping: total directed transfers required.
-	naiveRemaining := r.n * (r.n - 1)
 
 	groupEnd := func() {
 		r.ex.AttributePhases(phaseStart, []exec.Mark{
@@ -412,6 +428,35 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 			r.foldDirty(g, rt)
 		}
 		r.next()
+	}
+
+	// A configured exchange plan supersedes both the composition scheduler
+	// and the naive direct send for this group.
+	var pex *planExec
+	if r.compPlan != nil {
+		var err error
+		pex, err = newPlanExec(r, rt, mergeCmp, groupEnd)
+		if err != nil {
+			r.ex.Fail(err)
+			return
+		}
+	}
+
+	// Naive direct-send bookkeeping derives from the enumerated session
+	// list — one round, all ordered pairs, each sender walking receivers in
+	// (g+1, g+2, … mod n) order, the same wire order as always — so the
+	// group completes when every actually scheduled session has drained
+	// rather than when a hardwired n·(n−1) counter hits zero.
+	var naiveSessions [][]core.Session
+	naiveRemaining := 0
+	if cs == nil && pex == nil {
+		naiveSessions = make([][]core.Session, r.n)
+		for g := range naiveSessions {
+			for off := 1; off < r.n; off++ {
+				naiveSessions[g] = append(naiveSessions[g], core.Session{Sender: g, Receiver: (g + off) % r.n})
+			}
+			naiveRemaining += len(naiveSessions[g])
+		}
 	}
 
 	// region computes the transfer payload sender→receiver: sender's tiles
@@ -475,8 +520,8 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 	}
 
 	naiveSend := func(g int) {
-		for off := 1; off < r.n; off++ {
-			recv := (g + off) % r.n
+		for _, s := range naiveSessions[g] {
+			recv := s.Receiver
 			tiles, px := region(g, recv)
 			finish := func() {
 				naiveRemaining--
@@ -505,10 +550,13 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 		if readyCount == r.n {
 			tAllReady = eng.Now()
 		}
-		if cs != nil {
+		switch {
+		case pex != nil:
+			pex.setReady(g)
+		case cs != nil:
 			cs.SetReady(g, r.stepIdx)
 			pumpScheduled()
-		} else {
+		default:
 			naiveSend(g)
 		}
 	}

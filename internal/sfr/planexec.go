@@ -1,0 +1,165 @@
+package sfr
+
+import (
+	"chopin/internal/colorspace"
+	"chopin/internal/composite"
+	"chopin/internal/composite/plan"
+	"chopin/internal/core"
+	"chopin/internal/framebuffer"
+	"chopin/internal/interconnect"
+)
+
+// planExec executes one opaque composition group's exchange plan
+// (Config.CompAlg: binary-swap, radix-k, mixed-radix, or whatever Auto
+// resolved to) over the simulated fabric, replacing the direct-send
+// exchange while keeping the rest of the group lifecycle — draw
+// distribution, readiness, phase attribution — unchanged.
+//
+// Execution model: when GPU g's sub-image is ready, its group contribution
+// (the dirty tiles of its render target) is snapshotted into a work buffer,
+// because multi-round plans forward partially accumulated region content
+// that must contain only this group's rendering, not the target's prior
+// frame state. Sessions transfer the full payload region (rows × width ×
+// 8 B, the dense exchange of the classic schedules) and the receiver's ROPs
+// depth-merge the sender's dirty content clipped to the region. A session
+// completes — unblocking the round gating in core.PlanScheduler — only
+// after its merge is applied, so content a GPU forwards in round r+1
+// already includes everything it accumulated in round r. After the last
+// round each GPU holds the fully composed pixels of its Final region and
+// scatters them to the screen's tile owners, who merge them into their
+// authoritative render targets.
+type planExec struct {
+	r    *chopinRun
+	rt   int
+	cmp  colorspace.CompareFunc
+	p    *plan.Plan
+	ps   *core.PlanScheduler
+	work []*framebuffer.Buffer
+
+	scattered bool
+	done      func()
+}
+
+func newPlanExec(r *chopinRun, rt int, cmp colorspace.CompareFunc, done func()) (*planExec, error) {
+	ps, err := core.NewPlanScheduler(r.compPlan)
+	if err != nil {
+		return nil, err
+	}
+	return &planExec{
+		r:    r,
+		rt:   rt,
+		cmp:  cmp,
+		p:    r.compPlan,
+		ps:   ps,
+		work: make([]*framebuffer.Buffer, r.n),
+		done: done,
+	}, nil
+}
+
+// setReady snapshots GPU g's group contribution and lets the scheduler
+// start any sessions the snapshot unblocks.
+func (px *planExec) setReady(g int) {
+	tgt := px.r.sys.GPUs[g].Target(px.rt)
+	w := framebuffer.MustNew(tgt.Width(), tgt.Height())
+	for _, t := range tgt.DirtyTiles() {
+		// Same dimensions by construction; CopyTileFrom cannot fail.
+		_ = w.CopyTileFrom(tgt, t)
+	}
+	px.work[g] = w
+	px.ps.SetReady(g)
+	px.pump()
+}
+
+// pump starts every session the scheduler can arbitrate now.
+func (px *planExec) pump() {
+	r := px.r
+	for _, s := range px.ps.NextSessions() {
+		s := s
+		rows := s.Region.Rows()
+		if rows == 0 {
+			// Degenerate split (more GPUs than rows in the range): the
+			// session carries no pixels but still sequences the rounds.
+			r.sys.Eng.After(0, func() { px.complete(s) })
+			continue
+		}
+		pixels := rows * r.sys.Width()
+		bytes := int64(pixels) * framebuffer.OpaqueCompositionBytesPerPixel
+		r.sys.Fabric.Send(s.Sender, s.Receiver, bytes, interconnect.ClassComposition, func() {
+			r.sys.GPUs[s.Receiver].SubmitMerge(pixels, func() {
+				composite.DepthMergeRegion(px.work[s.Receiver], px.work[s.Sender],
+					px.cmp, s.Region.Lo, s.Region.Hi, nil)
+			}, func() { px.complete(s) })
+		})
+	}
+}
+
+// complete retires a session after its merge has been applied, then either
+// pumps newly unblocked sessions or, when every round has drained,
+// scatters the composed regions to their owners.
+func (px *planExec) complete(s plan.Session) {
+	if err := px.ps.Complete(s); err != nil {
+		px.r.ex.Fail(err)
+		return
+	}
+	if px.ps.Done() {
+		px.scatter()
+		return
+	}
+	px.pump()
+}
+
+// scatter distributes each GPU's fully composed Final region to the
+// screen's tile owners, who depth-merge it into their authoritative render
+// target — the plan-executor counterpart of direct-send's owner-addressed
+// delivery, paying one transfer per (holder, owner) pair with content.
+func (px *planExec) scatter() {
+	if px.scattered {
+		return
+	}
+	px.scattered = true
+	r := px.r
+	bar := r.ex.TracedBarrier("plan scatter", px.done)
+	for g := 0; g < r.n; g++ {
+		fr := px.p.Final[g]
+		w := px.work[g]
+		if fr.Empty() || w == nil {
+			continue
+		}
+		for owner := 0; owner < r.n; owner++ {
+			var tiles []int
+			pxCount := 0
+			for t := 0; t < r.sys.TileCount(); t++ {
+				if r.sys.Owner(t) != owner || !w.Dirty(t) {
+					continue
+				}
+				x0, y0, x1, y1 := w.TileRect(t)
+				cy0, cy1 := max(y0, fr.Lo), min(y1, fr.Hi)
+				if cy1 <= cy0 {
+					continue
+				}
+				tiles = append(tiles, t)
+				pxCount += (cy1 - cy0) * (x1 - x0)
+			}
+			if pxCount == 0 {
+				continue
+			}
+			owner, tiles, pxCount := owner, tiles, pxCount
+			apply := func() {
+				dst := r.sys.GPUs[owner].Target(px.rt)
+				composite.DepthMergeRegion(dst, w, px.cmp, fr.Lo, fr.Hi, tiles)
+			}
+			bar.Add(1)
+			if owner == g {
+				// The holder owns these tiles itself: a local ROP merge, no
+				// fabric traffic.
+				r.sys.GPUs[owner].SubmitMerge(pxCount, apply, bar.Done)
+				continue
+			}
+			bytes := int64(pxCount) * framebuffer.OpaqueCompositionBytesPerPixel
+			r.sys.Fabric.Send(g, owner, bytes, interconnect.ClassComposition, func() {
+				r.sys.GPUs[owner].SubmitMerge(pxCount, apply, bar.Done)
+			})
+		}
+	}
+	bar.SealDeferred(r.sys.Eng)
+}
