@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -38,6 +39,7 @@ import (
 	"chopin/internal/interconnect"
 	"chopin/internal/multigpu"
 	"chopin/internal/obs"
+	"chopin/internal/obs/causal"
 	"chopin/internal/obs/live"
 	"chopin/internal/runrec"
 	"chopin/internal/sfr"
@@ -469,6 +471,15 @@ func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ide
 		for _, c := range cfg.Tracer.CounterFinals() {
 			row.Metrics[runrec.CounterMetric(c.Pid, c.Name)] = float64(c.Val)
 		}
+		if tr != nil {
+			cm, err := causalMetrics(tr)
+			if err != nil {
+				return fmt.Errorf("causal analysis of captured timeline: %w", err)
+			}
+			for k, v := range cm {
+				row.Metrics[k] = v
+			}
+		}
 		rec.Add(row)
 		if err := rec.Record().WriteFile(recOut); err != nil {
 			return err
@@ -509,6 +520,42 @@ func printFaultSummary(st *stats.FrameStats) {
 		fmt.Printf("recovery: %d GPU(s) failed; degraded-mode recovery took %d cycles\n",
 			st.GPUsFailed, st.RecoveryCycles)
 	}
+}
+
+// causalMetrics round-trips the captured timeline through the exporter and
+// the causal engine (exactly what chopintrace -critical does) and returns
+// the bottleneck-attribution metrics recorded into run records: the causal
+// makespan and critical path, per-category attribution (attr_<category>),
+// and per-category what-if projected makespans (whatif_<category>). A trace
+// with no category-tagged spans yields no metrics rather than an error, so
+// pre-causal capture paths keep working.
+func causalMetrics(tr *obs.Tracer) (map[string]float64, error) {
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	tf, err := obs.Load(&buf)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := causal.AnalyzeTrace(tf)
+	if errors.Is(err, causal.ErrNoCategories) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := map[string]float64{
+		"causal_makespan":      float64(rep.Makespan),
+		"causal_critical_path": float64(rep.CriticalPath),
+	}
+	for _, a := range rep.Attribution {
+		m["attr_"+a.Category] = float64(a.Cycles)
+	}
+	for _, w := range rep.WhatIf {
+		m["whatif_"+w.Category] = float64(w.Makespan)
+	}
+	return m, nil
 }
 
 // writeTrace exports the captured timeline/metrics and prints the

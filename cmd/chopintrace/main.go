@@ -6,40 +6,85 @@
 //	chopintrace trace.json             print the trace digest
 //	chopintrace -top 20 trace.json     show the 20 longest spans
 //	chopintrace -check trace.json      validate structural invariants only
+//	chopintrace -critical trace.json   causal critical path + attribution
+//	chopintrace -whatif trace.json     what-if bounds per category
+//	chopintrace -json trace.json       machine-readable digest (byte-stable)
 //
-// The digest shows the k longest spans, per-track busy utilization, and a
-// critical-path lower bound (the union of busy intervals across tracks).
-// -check exits non-zero if any exporter invariant is violated: negative
-// durations, non-monotone span starts per track, out-of-order counter
-// samples, or unpaired flow arrows.
+// The digest shows the k longest spans, per-track busy utilization, and the
+// busy-coverage figure. -critical builds the causal dependency graph
+// (internal/obs/causal) and prints the exact critical path plus a
+// per-category cycle attribution that sums to the frame makespan; -whatif
+// adds "removing category X buys at most Y" speedup bounds. Combining
+// -critical with -check additionally gates the causal accounting invariants
+// (attribution sums to the makespan) and exits non-zero on violation.
+//
+// -check alone exits non-zero if any exporter invariant is violated:
+// negative durations, non-monotone span starts per track, out-of-order
+// counter samples, or unpaired flow arrows.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"chopin/internal/obs"
+	"chopin/internal/obs/causal"
 )
 
+// options collects the command-line switches run honors.
+type options struct {
+	top      int
+	check    bool
+	critical bool
+	whatif   bool
+	jsonOut  bool
+}
+
 func main() {
-	var (
-		top   = flag.Int("top", 10, "number of longest spans to show")
-		check = flag.Bool("check", false, "validate trace invariants and exit (non-zero on violation)")
-	)
+	var opt options
+	flag.IntVar(&opt.top, "top", 10, "number of longest spans to show")
+	flag.BoolVar(&opt.check, "check", false, "validate trace invariants and exit (non-zero on violation)")
+	flag.BoolVar(&opt.critical, "critical", false, "build the causal graph; print critical path and bottleneck attribution")
+	flag.BoolVar(&opt.whatif, "whatif", false, "print what-if speedup bounds per category (implies the causal graph)")
+	flag.BoolVar(&opt.jsonOut, "json", false, "emit the digest as byte-stable JSON instead of text")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: chopintrace [-top k] [-check] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: chopintrace [-top k] [-check] [-critical] [-whatif] [-json] trace.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *top, *check); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), opt); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, top int, check bool) error {
+// jsonTrack is the machine-readable per-track utilization row.
+type jsonTrack struct {
+	Name        string  `json:"name"`
+	Busy        int64   `json:"busy"`
+	Spans       int     `json:"spans"`
+	Utilization float64 `json:"utilization"`
+}
+
+// jsonDigest is the -json output. Field order is fixed by the struct and all
+// nested slices are canonically ordered, so output is byte-stable for
+// identical traces.
+type jsonDigest struct {
+	Events       int            `json:"events"`
+	Start        int64          `json:"start"`
+	End          int64          `json:"end"`
+	BusyCoverage int64          `json:"busy_coverage"`
+	CriticalPath int64          `json:"critical_path"`
+	Counters     int            `json:"counters"`
+	Tracks       []jsonTrack    `json:"tracks"`
+	Causal       *causal.Report `json:"causal,omitempty"`
+}
+
+func run(w io.Writer, path string, opt options) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -57,38 +102,98 @@ func run(path string, top int, check bool) error {
 		return err
 	}
 
+	var rep *causal.Report
+	if opt.critical || opt.whatif || opt.jsonOut {
+		rep, err = causal.AnalyzeTrace(tf)
+		if err != nil {
+			// A capture without category tags has no causal graph; the JSON
+			// digest simply omits the block, but -critical/-whatif were asked
+			// for it explicitly and must fail loudly.
+			if !errors.Is(err, causal.ErrNoCategories) || opt.critical || opt.whatif {
+				return err
+			}
+			rep = nil
+		}
+	}
+
 	problems := tf.Validate()
-	if check {
+	if opt.check {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, "INVALID:", p)
 		}
 		if len(problems) > 0 {
 			return fmt.Errorf("%d invariant violation(s) in %s", len(problems), path)
 		}
-		fmt.Printf("%s: %d events, all trace invariants hold\n", path, len(tf.Events))
-		return nil
+		fmt.Fprintf(w, "%s: %d events, all trace invariants hold\n", path, len(tf.Events))
+		if rep != nil {
+			if err := rep.Check(); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			fmt.Fprintf(w, "causal: attribution sums to makespan %d; critical path %d cycles\n",
+				rep.Makespan, rep.CriticalPath)
+		}
+		if !opt.jsonOut {
+			return nil
+		}
 	}
 
-	s := tf.Summarize(top)
-	fmt.Printf("%s: %d events over cycles [%d, %d] (%d cycles)\n",
+	s := tf.Summarize(opt.top)
+	if rep != nil {
+		s.CriticalPath = rep.CriticalPath
+	}
+
+	if opt.jsonOut {
+		d := jsonDigest{
+			Events:       len(tf.Events),
+			Start:        s.Start,
+			End:          s.End,
+			BusyCoverage: s.BusyCoverage,
+			CriticalPath: s.CriticalPath,
+			Counters:     s.Counters,
+			Causal:       rep,
+		}
+		for _, t := range s.Tracks {
+			d.Tracks = append(d.Tracks, jsonTrack{Name: t.Name, Busy: t.Busy, Spans: t.Spans, Utilization: t.Utilization})
+		}
+		enc := json.NewEncoder(w)
+		return enc.Encode(&d)
+	}
+
+	fmt.Fprintf(w, "%s: %d events over cycles [%d, %d] (%d cycles)\n",
 		path, len(tf.Events), s.Start, s.End, s.End-s.Start)
-	fmt.Printf("counters: %d series\n", s.Counters)
-	fmt.Printf("busy coverage: %d cycles (%.1f%% of interval); critical-path lower bound: %d cycles\n",
-		s.BusyCoverage, pct(s.BusyCoverage, s.End-s.Start), s.CriticalPath)
+	fmt.Fprintf(w, "counters: %d series\n", s.Counters)
+	fmt.Fprintf(w, "busy coverage: %d cycles (%.1f%% of interval)\n",
+		s.BusyCoverage, pct(s.BusyCoverage, s.End-s.Start))
 
-	fmt.Printf("\ntop %d spans by duration:\n", len(s.TopSpans))
-	for _, e := range s.TopSpans {
-		fmt.Printf("  %12d cycles  @%-12d %-24s %s\n", e.Dur, e.Ts, tf.TrackName(e.Pid, e.Tid), e.Name)
+	if rep != nil && opt.critical {
+		fmt.Fprintf(w, "\ncausal critical path: %d of %d cycles executing (%.1f%%); graph %d nodes, %d edges\n",
+			rep.CriticalPath, rep.Makespan, pct(rep.CriticalPath, rep.Makespan), rep.Nodes, rep.EdgeCount)
+		fmt.Fprintf(w, "bottleneck attribution (sums to makespan):\n")
+		for _, a := range rep.Attribution {
+			fmt.Fprintf(w, "  %-12s %12d cycles  %5.1f%%\n", a.Category, a.Cycles, 100*a.Fraction)
+		}
+	}
+	if rep != nil && opt.whatif {
+		fmt.Fprintf(w, "\nwhat-if bounds (one category's weights zeroed, makespan recomputed):\n")
+		for _, wi := range rep.WhatIf {
+			fmt.Fprintf(w, "  -%-12s makespan %12d  saved %12d  speedup %5.2fx\n",
+				wi.Category, wi.Makespan, wi.Saved, wi.Speedup)
+		}
 	}
 
-	fmt.Printf("\nper-track utilization (busiest first):\n")
+	fmt.Fprintf(w, "\ntop %d spans by duration:\n", len(s.TopSpans))
+	for _, e := range s.TopSpans {
+		fmt.Fprintf(w, "  %12d cycles  @%-12d %-24s %s\n", e.Dur, e.Ts, tf.TrackName(e.Pid, e.Tid), e.Name)
+	}
+
+	fmt.Fprintf(w, "\nper-track utilization (busiest first):\n")
 	for _, t := range s.Tracks {
-		fmt.Printf("  %-24s %6.1f%%  busy %12d cycles  %6d spans\n",
+		fmt.Fprintf(w, "  %-24s %6.1f%%  busy %12d cycles  %6d spans\n",
 			t.Name, 100*t.Utilization, t.Busy, t.Spans)
 	}
 
 	if len(problems) > 0 {
-		fmt.Printf("\nWARNING: %d invariant violation(s); rerun with -check for details\n", len(problems))
+		fmt.Fprintf(w, "\nWARNING: %d invariant violation(s); rerun with -check for details\n", len(problems))
 	}
 	return nil
 }

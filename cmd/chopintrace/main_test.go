@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"chopin/internal/obs"
+	"chopin/internal/obs/causal"
 )
 
 // writeTemp writes content to a file in a test temp dir and returns its path.
@@ -19,6 +24,26 @@ func writeTemp(t *testing.T, name, content string) string {
 	return path
 }
 
+// writeTaggedTrace exports a small category-tagged timeline to disk and
+// returns its path: two pipeline spans, a barrier joined by the second, and
+// a merge the barrier releases.
+func writeTaggedTrace(t *testing.T) string {
+	t.Helper()
+	tr := obs.New()
+	geo := tr.Track(obs.PidGPU(0), obs.GPUProcName(0), obs.TidGeometry, "geometry")
+	frag := tr.Track(obs.PidGPU(0), obs.GPUProcName(0), obs.TidFragment, "fragment")
+	bar := tr.Track(obs.PidSim, obs.SimProcName, obs.TidBarriers, "barriers")
+	tr.Span(geo, "draw geom", 0, 100, obs.CatArg(obs.CatGeometry), obs.Arg{Key: "draw", Val: 1})
+	tr.Span(frag, "draw", 100, 80, obs.CatArg(obs.CatRaster), obs.Arg{Key: "draw", Val: 1})
+	tr.Span(bar, "render", 0, 180, obs.CatArg(obs.CatQueueing))
+	tr.Span(frag, "merge", 180, 60, obs.CatArg(obs.CatComposition))
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return writeTemp(t, "tagged.json", buf.String())
+}
+
 func TestRunEmptyTrace(t *testing.T) {
 	for _, tc := range []struct {
 		name, content string
@@ -28,7 +53,7 @@ func TestRunEmptyTrace(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			path := writeTemp(t, "trace.json", tc.content)
-			err := run(path, 10, false)
+			err := run(io.Discard, path, options{top: 10})
 			if !errors.Is(err, obs.ErrEmptyTrace) {
 				t.Fatalf("run() = %v, want ErrEmptyTrace", err)
 			}
@@ -45,7 +70,7 @@ func TestRunTruncatedTrace(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			path := writeTemp(t, "trace.json", tc.content)
-			err := run(path, 10, false)
+			err := run(io.Discard, path, options{top: 10})
 			var trunc *obs.TruncatedTraceError
 			if !errors.As(err, &trunc) {
 				t.Fatalf("run() = %v, want *TruncatedTraceError", err)
@@ -58,7 +83,7 @@ func TestRunMalformedMidFile(t *testing.T) {
 	// Garbage in the middle of an otherwise-complete file is a parse error,
 	// not a truncation.
 	path := writeTemp(t, "trace.json", `{"traceEvents": [}{]}`)
-	err := run(path, 10, false)
+	err := run(io.Discard, path, options{top: 10})
 	if err == nil {
 		t.Fatal("run() accepted malformed JSON")
 	}
@@ -69,7 +94,7 @@ func TestRunMalformedMidFile(t *testing.T) {
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.json"), 10, false); err == nil {
+	if err := run(io.Discard, filepath.Join(t.TempDir(), "nope.json"), options{top: 10}); err == nil {
 		t.Fatal("run() succeeded on a missing file")
 	}
 }
@@ -77,10 +102,107 @@ func TestRunMissingFile(t *testing.T) {
 func TestRunValidTrace(t *testing.T) {
 	path := writeTemp(t, "trace.json",
 		`{"traceEvents": [{"name": "raster", "ph": "X", "ts": 0, "dur": 100, "pid": 0, "tid": 1}]}`)
-	if err := run(path, 10, false); err != nil {
+	if err := run(io.Discard, path, options{top: 10}); err != nil {
 		t.Fatalf("run() on a valid trace: %v", err)
 	}
-	if err := run(path, 10, true); err != nil {
+	if err := run(io.Discard, path, options{top: 10, check: true}); err != nil {
 		t.Fatalf("run() -check on a valid trace: %v", err)
+	}
+}
+
+func TestRunCriticalPrintsAttribution(t *testing.T) {
+	path := writeTaggedTrace(t)
+	var out bytes.Buffer
+	if err := run(&out, path, options{top: 10, critical: true, whatif: true}); err != nil {
+		t.Fatalf("run() -critical -whatif: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"causal critical path: 240 of 240 cycles",
+		"bottleneck attribution",
+		"geometry", "raster", "composition",
+		"what-if bounds",
+		"-composition",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunCriticalCheckGate: -critical -check passes the causal accounting
+// gate on a tagged trace, and fails loudly (typed ErrNoCategories) on a
+// capture that predates category tagging.
+func TestRunCriticalCheckGate(t *testing.T) {
+	path := writeTaggedTrace(t)
+	var out bytes.Buffer
+	if err := run(&out, path, options{top: 10, check: true, critical: true}); err != nil {
+		t.Fatalf("run() -critical -check: %v", err)
+	}
+	if !strings.Contains(out.String(), "attribution sums to makespan") {
+		t.Errorf("gate confirmation missing from output:\n%s", out.String())
+	}
+
+	untagged := writeTemp(t, "old.json",
+		`{"traceEvents": [{"name": "raster", "ph": "X", "ts": 0, "dur": 100, "pid": 0, "tid": 1}]}`)
+	err := run(io.Discard, untagged, options{top: 10, check: true, critical: true})
+	if !errors.Is(err, causal.ErrNoCategories) {
+		t.Fatalf("run() -critical on an untagged trace = %v, want ErrNoCategories", err)
+	}
+}
+
+// TestRunJSONRoundTrip: -json output is byte-stable across invocations and
+// parses back into the digest structure with the causal block intact.
+func TestRunJSONRoundTrip(t *testing.T) {
+	path := writeTaggedTrace(t)
+	var a, b bytes.Buffer
+	if err := run(&a, path, options{top: 10, jsonOut: true}); err != nil {
+		t.Fatalf("run() -json: %v", err)
+	}
+	if err := run(&b, path, options{top: 10, jsonOut: true}); err != nil {
+		t.Fatalf("run() -json (second): %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("-json output not byte-stable:\n%s\n%s", a.String(), b.String())
+	}
+	var d jsonDigest
+	if err := json.Unmarshal(a.Bytes(), &d); err != nil {
+		t.Fatalf("unmarshal -json output: %v", err)
+	}
+	if d.Events == 0 || len(d.Tracks) == 0 {
+		t.Errorf("digest missing summary data: %+v", d)
+	}
+	if d.Causal == nil {
+		t.Fatal("digest missing causal block for a tagged trace")
+	}
+	if err := d.Causal.Check(); err != nil {
+		t.Errorf("round-tripped causal report fails its own invariants: %v", err)
+	}
+	if d.CriticalPath != d.Causal.CriticalPath {
+		t.Errorf("digest critical path %d != causal report %d", d.CriticalPath, d.Causal.CriticalPath)
+	}
+	if len(d.Causal.WhatIf) == 0 {
+		t.Error("causal block has no what-if entries")
+	}
+}
+
+// TestRunJSONUntagged: -json on a capture without categories still works,
+// omitting the causal block rather than failing.
+func TestRunJSONUntagged(t *testing.T) {
+	path := writeTemp(t, "old.json",
+		`{"traceEvents": [{"name": "raster", "ph": "X", "ts": 0, "dur": 100, "pid": 0, "tid": 1}]}`)
+	var out bytes.Buffer
+	if err := run(&out, path, options{top: 10, jsonOut: true}); err != nil {
+		t.Fatalf("run() -json on untagged trace: %v", err)
+	}
+	var d jsonDigest
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Causal != nil {
+		t.Error("untagged trace produced a causal block")
+	}
+	if d.CriticalPath != 0 {
+		t.Errorf("critical path = %d without dependency info, want 0", d.CriticalPath)
 	}
 }

@@ -240,11 +240,14 @@ func (b *Barrier) Trace(eng *sim.Engine, tr *obs.Tracer, tk obs.Track, name stri
 	b.eng, b.tr, b.track, b.name = eng, tr, tk, name
 }
 
-// release emits the wait span (if armed) and runs the continuation.
+// release emits the wait span (if armed) and runs the continuation. The wait
+// is category-tagged queueing: seal-to-release is pure waiting on the last
+// registered completion, the join point the causal graph builder turns into
+// barrier edges (DESIGN.md §11).
 func (b *Barrier) release() {
 	b.released = true
 	if b.tr != nil {
-		b.tr.Span(b.track, b.name, b.sealAt, b.eng.Now()-b.sealAt)
+		b.tr.Span(b.track, b.name, b.sealAt, b.eng.Now()-b.sealAt, obs.CatArg(obs.CatQueueing))
 	}
 	b.fn()
 }

@@ -451,10 +451,16 @@ func (g *GPU) CommitDraw(p *PreparedDraw) *raster.DrawResult {
 	if g.tr != nil {
 		g.cumFragsGen += int64(res.FragsGenerated)
 		name := fmt.Sprintf("draw %d", d.ID)
+		// The shared "draw" arg links the two stage spans of one draw so the
+		// causal graph can add the geometry→fragment pipeline edge.
 		g.tr.Span(g.trGeom, name, geomStart, geomCycles,
+			obs.CatArg(obs.CatGeometry),
+			obs.Arg{Key: "draw", Val: int64(d.ID)},
 			obs.Arg{Key: "triangles", Val: int64(res.TrianglesIn)},
 			obs.Arg{Key: "vertices", Val: int64(res.VerticesShaded)})
 		g.tr.Span(g.trFrag, name, fragStart, fragCycles,
+			obs.CatArg(obs.CatRaster),
+			obs.Arg{Key: "draw", Val: int64(d.ID)},
 			obs.Arg{Key: "frags_generated", Val: int64(res.FragsGenerated)},
 			obs.Arg{Key: "frags_shaded", Val: int64(res.FragsShaded)})
 		if culled := res.FragsEarlyTested - res.FragsEarlyPassed; culled > 0 {
@@ -498,6 +504,7 @@ func (g *GPU) SubmitGeometry(verts, tris int, vertexCost float64, onDone func())
 	g.trisDone += tris
 	if g.tr != nil {
 		g.tr.Span(g.trGeom, "geometry", start, cycles,
+			obs.CatArg(obs.CatGeometry),
 			obs.Arg{Key: "triangles", Val: int64(tris)})
 	}
 	if onDone != nil {
@@ -515,6 +522,7 @@ func (g *GPU) SubmitProjection(tris int, onDone func()) {
 	g.stats.ProjBusy += cycles
 	if g.tr != nil {
 		g.tr.Span(g.trGeom, "projection", start, cycles,
+			obs.CatArg(obs.CatGeometry),
 			obs.Arg{Key: "triangles", Val: int64(tris)})
 	}
 	if onDone != nil {
@@ -537,6 +545,7 @@ func (g *GPU) SubmitMerge(pixels int, apply func(), onDone func()) {
 	g.stats.MergeBusy += cycles
 	if g.tr != nil {
 		g.tr.Span(g.trFrag, "merge", start, cycles,
+			obs.CatArg(obs.CatComposition),
 			obs.Arg{Key: "pixels", Val: int64(pixels)})
 	}
 	if onDone != nil {
@@ -588,8 +597,8 @@ func (g *GPU) Stall(cycles sim.Cycle) {
 	g.fragFree = fragStart + cycles
 	g.stats.StallCycles += cycles
 	if g.tr != nil {
-		g.tr.Span(g.trGeom, "stall", geomStart, cycles)
-		g.tr.Span(g.trFrag, "stall", fragStart, cycles)
+		g.tr.Span(g.trGeom, "stall", geomStart, cycles, obs.CatArg(obs.CatQueueing))
+		g.tr.Span(g.trFrag, "stall", fragStart, cycles, obs.CatArg(obs.CatQueueing))
 	}
 }
 

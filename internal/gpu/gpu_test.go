@@ -409,3 +409,23 @@ func TestGPUShardTag(t *testing.T) {
 		t.Fatalf("shard = %d, want 3", g.Shard())
 	}
 }
+
+// TestTracerDisabledAllocs pins the nil-tracer contract on the submission
+// hot paths that now carry category tags: with no tracer attached, the tag
+// arguments must never be materialized — 0 allocs/op. (SubmitGeometry is
+// excluded only because it legitimately appends to the progress-segment
+// slice; its tracing block is the same nil-guarded shape.)
+func TestTracerDisabledAllocs(t *testing.T) {
+	eng := sim.New()
+	g := newTestGPU(t, eng, testCosts(), 64, 64)
+	warm := func() {
+		g.SubmitProjection(16, nil)
+		g.SubmitMerge(16, nil, nil)
+		g.Stall(4)
+		eng.Run()
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Fatalf("untraced submission paths allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -59,6 +59,17 @@ func (c Class) String() string {
 	}
 }
 
+// classCategory maps a traffic class to its causal attribution category:
+// composition exchange bytes are composition cost (the paper's Fig. 4 bucket
+// counts the wire time of the sequential exchange, not just the ROP merges),
+// everything else is plain inter-GPU transfer.
+func classCategory(c Class) obs.Category {
+	if c == ClassComposition {
+		return obs.CatComposition
+	}
+	return obs.CatTransfer
+}
+
 // Config sets the fabric's performance parameters.
 type Config struct {
 	// BytesPerCycle is the uni-directional bandwidth of each port. The
@@ -271,6 +282,7 @@ type message struct {
 	onDelivered func()
 	x           *xfer // retry-protocol state; nil on the fault-free fast path
 	corrupt     bool  // this copy arrives corrupted and is discarded
+	spanned     bool  // an ingress span was recorded for this copy (tracing on)
 }
 
 // xfer is the sender-side state of one reliable transfer under the retry
@@ -331,6 +343,17 @@ func (d *delivery) Fire() {
 		f.obs.Delivered(m.src, m.dst, m.bytes, m.class)
 	}
 	if m.onDelivered != nil {
+		if f.tr != nil && m.spanned {
+			// Arm the one-shot cause annotation: work the callback records
+			// synchronously (a composition merge, a distribution insert) was
+			// launched by this delivery, whose ingress span ends right now.
+			// The causal graph builder turns the annotation into a
+			// delivery→work edge (DESIGN.md §11).
+			f.tr.SetCause(f.trIngress[m.dst], int64(f.eng.Now()))
+			m.onDelivered()
+			f.tr.ClearCause()
+			return
+		}
 		m.onDelivered()
 	}
 }
@@ -789,12 +812,22 @@ func (f *Fabric) tryStart(src int) {
 	}
 	if f.tr != nil {
 		name := m.class.String()
+		// Category: composition-class traffic is composition work (the
+		// paper's Fig. 4 bucket includes the exchange), other classes are
+		// transfer; retransmissions of any class are retry-recovery delay.
+		cat, attempt := classCategory(m.class), int64(1)
+		if m.x != nil && m.x.attempts > 1 {
+			cat, attempt = obs.CatRetry, int64(m.x.attempts)
+		}
 		id := f.tr.FlowStart(f.trEgress[src], name, now)
-		f.tr.Span(f.trEgress[src], name, now, tx,
-			obs.Arg{Key: "bytes", Val: m.bytes}, obs.Arg{Key: "dst", Val: int64(m.dst)})
-		f.tr.Span(f.trIngress[m.dst], name, recvDone-tx, tx,
-			obs.Arg{Key: "bytes", Val: m.bytes}, obs.Arg{Key: "src", Val: int64(m.src)})
+		f.tr.Span(f.trEgress[src], name, now, tx, obs.CatArg(cat),
+			obs.Arg{Key: "bytes", Val: m.bytes}, obs.Arg{Key: "dst", Val: int64(m.dst)},
+			obs.Arg{Key: "attempt", Val: attempt})
+		f.tr.Span(f.trIngress[m.dst], name, recvDone-tx, tx, obs.CatArg(cat),
+			obs.Arg{Key: "bytes", Val: m.bytes}, obs.Arg{Key: "src", Val: int64(m.src)},
+			obs.Arg{Key: "attempt", Val: attempt})
 		f.tr.FlowEnd(f.trIngress[m.dst], name, recvDone-tx, id)
+		m.spanned = true
 	}
 	f.eng.AtCall(recvDone, f.newDelivery(m))
 	if flt.Kind == FaultDuplicate {
@@ -865,6 +898,14 @@ func (f *Fabric) timeout(x *xfer, id int) {
 	}
 	x.retryPending = true
 	f.faultInstant("fault.retry", x.m)
+	if f.tr != nil {
+		// The backoff window is pure recovery delay: the payload sits at the
+		// sender waiting out the exponential backoff before re-queueing.
+		f.tr.Span(f.trEgress[x.m.src], "retry-backoff", int64(f.eng.Now()), int64(backoff),
+			obs.CatArg(obs.CatRetry),
+			obs.Arg{Key: "bytes", Val: x.m.bytes}, obs.Arg{Key: "dst", Val: int64(x.m.dst)},
+			obs.Arg{Key: "retry", Val: int64(x.retries)})
+	}
 	f.eng.AfterOn(f.shard, backoff, func() { f.retransmit(x) })
 }
 

@@ -275,3 +275,29 @@ func BenchmarkSendFaultsDisabled(b *testing.B) {
 		eng.Run()
 	}
 }
+
+// TestRetryPathUntracedAllocs ratchets the disabled-tracer contract on the
+// retransmission path: a dropped transfer exercises timeout, backoff, and
+// the retry-tagged span emission sites, and with no tracer attached none of
+// the category or backoff span arguments may be materialized. The reliable
+// protocol itself allocates (per-transfer xfer state and timer callbacks),
+// so the guard pins that ceiling: any increase means tag or arg construction
+// leaked outside a nil-tracer guard.
+func TestRetryPathUntracedAllocs(t *testing.T) {
+	const retryMachineryAllocs = 5 // xfer state + ack/retry timer events, tracer-independent
+	eng := sim.New()
+	f, inj := retryFabric(t, eng)
+	script := [1]Fault{{Kind: FaultDrop}}
+	// Warm the delivery free list and the timer wheel.
+	inj.script = script[:]
+	f.Send(0, 1, 64, ClassComposition, nil)
+	eng.Run()
+	if got := testing.AllocsPerRun(100, func() {
+		inj.script = script[:]
+		f.Send(0, 1, 64, ClassComposition, nil)
+		eng.Run()
+	}); got > retryMachineryAllocs {
+		t.Errorf("untraced retransmission path allocates %.1f per drop, want <= %d (span args must stay behind the nil-tracer guard)",
+			got, retryMachineryAllocs)
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+// Category classifies a span for causal bottleneck attribution (see
+// internal/obs/causal and DESIGN.md §11). Instrumented models tag spans with
+// CatArg so the critical-path engine can charge every cycle of the frame
+// makespan to one of the paper's cost buckets: geometry processing,
+// rasterization, image composition, inter-GPU transfer, queueing/waiting,
+// and fault-recovery (retry) delay.
+//
+// The tag rides in the span's args under CatKey, so it survives the JSON
+// export/load round trip without any trace-format change, and untagged spans
+// (phase rollups, engine dispatch slices, traces captured before tagging)
+// are simply invisible to the causal graph.
+type Category int64
+
+const (
+	// CatNone marks an untagged span; it never appears in a CatArg.
+	CatNone Category = iota
+	// CatGeometry is vertex/geometry work: draw geometry stages, geometry-only
+	// passes, and the sort-first projection pre-pass.
+	CatGeometry
+	// CatRaster is fragment/ROP rasterization work.
+	CatRaster
+	// CatComposition is image-composition work: sub-image merges on the ROPs
+	// and composition-class wire traffic (the paper's Fig. 4 bucket).
+	CatComposition
+	// CatTransfer is non-composition inter-GPU wire occupancy (primitive
+	// distribution, consistency sync) plus uncovered link latency.
+	CatTransfer
+	// CatQueueing is waiting: barrier seal-to-release waits, injected pipeline
+	// stalls, and scheduling gaps between causally ordered spans.
+	CatQueueing
+	// CatRetry is fault-recovery delay: retransmission wire occupancy and
+	// retry backoff windows under the interconnect retry protocol.
+	CatRetry
+
+	// NumCategories bounds the valid Category values (CatNone excluded from
+	// attribution but included in the range).
+	NumCategories
+)
+
+// CatKey is the span arg key carrying the category tag.
+const CatKey = "cat"
+
+// Cause arg keys: a span carrying all three was launched by the completion
+// of the span on track (CausePidKey, CauseTidKey) ending at CauseTsKey —
+// recorded by the one-shot SetCause/ClearCause mechanism around delivery
+// callbacks.
+const (
+	CausePidKey = "cause_pid"
+	CauseTidKey = "cause_tid"
+	CauseTsKey  = "cause_ts"
+)
+
+// CatArg returns the span annotation tagging a span with category c.
+func CatArg(c Category) Arg { return Arg{Key: CatKey, Val: int64(c)} }
+
+// String returns the category's canonical lower-case name.
+func (c Category) String() string {
+	switch c {
+	case CatGeometry:
+		return "geometry"
+	case CatRaster:
+		return "raster"
+	case CatComposition:
+		return "composition"
+	case CatTransfer:
+		return "transfer"
+	case CatQueueing:
+		return "queueing"
+	case CatRetry:
+		return "retry"
+	default:
+		return "none"
+	}
+}
+
+// Categories returns the attributable categories in canonical display order
+// (CatNone excluded).
+func Categories() []Category {
+	return []Category{CatGeometry, CatRaster, CatComposition, CatTransfer, CatQueueing, CatRetry}
+}
+
+// Category extracts the event's category tag; CatNone when untagged or out
+// of range.
+func (e *LoadedEvent) Category() Category {
+	c := Category(e.Args[CatKey])
+	if c <= CatNone || c >= NumCategories {
+		return CatNone
+	}
+	return c
+}

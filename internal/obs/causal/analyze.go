@@ -1,0 +1,274 @@
+package causal
+
+import (
+	"fmt"
+
+	"chopin/internal/obs"
+)
+
+// CategoryCycles is one attribution bucket: cycles of the frame makespan
+// charged to one category.
+type CategoryCycles struct {
+	Category string  `json:"category"`
+	Cycles   int64   `json:"cycles"`
+	Fraction float64 `json:"fraction"`
+}
+
+// PathStep is one chronological segment of the critical path: either a span
+// executing (Kind "span") or a waiting gap between causally ordered spans
+// (Kind "gap"). Steps tile [Report.Start, Report.End] exactly.
+type PathStep struct {
+	Kind     string `json:"kind"`
+	Pid      int    `json:"pid"`
+	Tid      int    `json:"tid"`
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	From     int64  `json:"from"`
+	To       int64  `json:"to"`
+}
+
+// WhatIfEntry is one what-if projection: the frame makespan recomputed with
+// one category's weights zeroed — service time of the category's spans, plus
+// the wire-latency lags whose receiving span is in the category (for wire
+// categories) or all scheduling-gap lags (for queueing). Speedup is the
+// optimistic "removing this category buys at most this" bound, the
+// observability analogue of the paper's Fig. 4 argument.
+type WhatIfEntry struct {
+	Category string  `json:"category"`
+	Makespan int64   `json:"makespan"`
+	Saved    int64   `json:"saved"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// Report is the causal analysis digest. Field order is fixed and all slices
+// are canonically ordered, so JSON output is byte-stable for identical
+// traces.
+type Report struct {
+	Nodes        int              `json:"nodes"`
+	EdgeCount    int              `json:"edges"`
+	Start        int64            `json:"start"`
+	End          int64            `json:"end"`
+	Makespan     int64            `json:"makespan"`
+	CriticalPath int64            `json:"critical_path"`
+	Attribution  []CategoryCycles `json:"attribution"`
+	Path         []PathStep       `json:"path,omitempty"`
+	WhatIf       []WhatIfEntry    `json:"what_if,omitempty"`
+}
+
+// AttrFor returns the cycles attributed to category c.
+func (r *Report) AttrFor(c obs.Category) int64 {
+	for _, a := range r.Attribution {
+		if a.Category == c.String() {
+			return a.Cycles
+		}
+	}
+	return 0
+}
+
+// WhatIfFor returns the what-if entry for category c (zero value if absent).
+func (r *Report) WhatIfFor(c obs.Category) WhatIfEntry {
+	for _, w := range r.WhatIf {
+		if w.Category == c.String() {
+			return w
+		}
+	}
+	return WhatIfEntry{}
+}
+
+// Check verifies the engine's accounting invariants and returns the first
+// violation: the per-category attribution must sum exactly to the makespan,
+// the critical path cannot exceed the makespan, and no bucket may be
+// negative. CI gates on it (chopintrace -critical -check).
+func (r *Report) Check() error {
+	var sum int64
+	for _, a := range r.Attribution {
+		if a.Cycles < 0 {
+			return fmt.Errorf("causal: negative attribution %d for %s", a.Cycles, a.Category)
+		}
+		sum += a.Cycles
+	}
+	if sum != r.Makespan {
+		return fmt.Errorf("causal: attribution sums to %d, want makespan %d", sum, r.Makespan)
+	}
+	if r.CriticalPath < 0 || r.CriticalPath > r.Makespan {
+		return fmt.Errorf("causal: critical path %d outside [0, makespan %d]", r.CriticalPath, r.Makespan)
+	}
+	for _, w := range r.WhatIf {
+		if w.Makespan < 0 || w.Makespan > r.Makespan {
+			return fmt.Errorf("causal: what-if(%s) makespan %d outside [0, %d]", w.Category, w.Makespan, r.Makespan)
+		}
+	}
+	return nil
+}
+
+// service returns node v's modeled service time. Barrier-track spans record
+// seal-to-release waiting, which the model realizes through join edges (the
+// barrier releases when its last joiner finishes), so a joined barrier
+// contributes zero service; an unjoined barrier (its gating completions left
+// no tagged span, e.g. control traffic) keeps its observed wait as
+// irreducible delay.
+func (g *Graph) service(v int) int64 {
+	if g.joinedBarrier(v) {
+		return 0
+	}
+	return g.Nodes[v].Dur
+}
+
+// Project recomputes the frame makespan under the edge model with category
+// zero's weights removed. Passing obs.CatNone removes nothing; because every
+// edge lag is derived from the observed schedule (each constraint is tight),
+// the baseline projection reproduces the observed makespan exactly — the
+// internal consistency check tests pin.
+//
+// Zeroing semantics: spans of the category execute in zero cycles; flow-edge
+// lags (wire latency) are zeroed when the receiving span is in the category;
+// all other lags (scheduling gaps) are zeroed only for CatQueueing. Lags not
+// zeroed stay fixed at their observed values, so the projection is a bound
+// under the observed dependence structure, not a re-simulation.
+func (g *Graph) Project(zero obs.Category) int64 {
+	start := make([]int64, len(g.Nodes))
+	fin := make([]int64, len(g.Nodes))
+	maxFin := g.Start
+	for _, v := range g.topo {
+		st := g.Nodes[v].Ts // roots anchor at their observed start
+		if len(g.in[v]) > 0 {
+			st = -1 << 62
+			for _, ei := range g.in[v] {
+				e := g.Edges[ei]
+				lag := e.Lag
+				switch {
+				case e.Kind == EdgeFlow:
+					if zero != obs.CatNone && g.Nodes[e.To].Cat == zero {
+						lag = 0
+					}
+				case zero == obs.CatQueueing:
+					lag = 0
+				}
+				var c int64
+				if e.Kind == EdgeFlow {
+					c = start[e.From] + lag
+				} else {
+					c = fin[e.From] + lag
+				}
+				if c > st {
+					st = c
+				}
+			}
+		}
+		s := g.service(v)
+		if zero != obs.CatNone && g.Nodes[v].Cat == zero {
+			s = 0
+		}
+		start[v] = st
+		fin[v] = st + s
+		if fin[v] > maxFin {
+			maxFin = fin[v]
+		}
+	}
+	return maxFin - g.Start
+}
+
+// Analyze extracts the critical path and the per-category attribution, which
+// sums exactly to the makespan by construction: a backward walk from the
+// last-finishing node follows, at every node, the binding in-edge (the
+// predecessor that finished latest — the dependency that actually gated it),
+// crediting the node's uncovered span segment to its category and any
+// uncovered gap below it to queueing (scheduling/barrier gaps) or to the
+// receiving span's category (wire-latency gaps). The walk maintains a single
+// descending boundary that starts at End and reaches Start, so the credited
+// segments tile the makespan with no overlap and no hole.
+func (g *Graph) Analyze() *Report {
+	var attr [obs.NumCategories]int64
+	var rev []PathStep
+
+	// Last-finishing node, ties toward the lowest canonical index.
+	end := 0
+	for i := range g.Nodes {
+		if g.Nodes[i].End() > g.Nodes[end].End() {
+			end = i
+		}
+	}
+
+	v, t := end, g.End
+	for {
+		n := &g.Nodes[v]
+		// A joined barrier is pass-through: its span is waiting realized by
+		// its join edges, and the walk descends into the last joiner so the
+		// work running under the wait gets the credit, not the wait itself.
+		if !g.joinedBarrier(v) {
+			if top := min(t, n.End()); top > n.Ts {
+				attr[n.Cat] += top - n.Ts
+				rev = append(rev, PathStep{Kind: "span", Pid: n.Pid, Tid: n.Tid, Name: n.Name,
+					Category: n.Cat.String(), From: n.Ts, To: top})
+				t = n.Ts
+			}
+		}
+		best, bestEnd := -1, int64(0)
+		for _, ei := range g.in[v] {
+			if fe := g.Nodes[g.Edges[ei].From].End(); best < 0 || fe > bestEnd {
+				best, bestEnd = ei, fe
+			}
+		}
+		if best < 0 {
+			if t > g.Start {
+				attr[obs.CatQueueing] += t - g.Start
+				rev = append(rev, PathStep{Kind: "gap", Pid: n.Pid, Tid: n.Tid, Name: "idle",
+					Category: obs.CatQueueing.String(), From: g.Start, To: t})
+			}
+			break
+		}
+		e := g.Edges[best]
+		if p := g.Nodes[e.From].End(); p < t {
+			cat, name := obs.CatQueueing, "wait"
+			if e.Kind == EdgeFlow {
+				// Uncovered wire latency travels with the receiving span's
+				// category (transfer, composition, or retry).
+				cat, name = n.Cat, "latency"
+			}
+			attr[cat] += t - p
+			rev = append(rev, PathStep{Kind: "gap", Pid: n.Pid, Tid: n.Tid, Name: name,
+				Category: cat.String(), From: p, To: t})
+			t = p
+		}
+		v = e.From
+	}
+
+	r := &Report{
+		Nodes: len(g.Nodes), EdgeCount: len(g.Edges),
+		Start: g.Start, End: g.End, Makespan: g.Makespan(),
+	}
+	for _, c := range obs.Categories() {
+		cc := CategoryCycles{Category: c.String(), Cycles: attr[c]}
+		if r.Makespan > 0 {
+			cc.Fraction = float64(attr[c]) / float64(r.Makespan)
+		}
+		r.Attribution = append(r.Attribution, cc)
+	}
+	// Critical path = the chain's executing cycles: everything except the
+	// waiting charged to queueing. Never exceeds the makespan.
+	r.CriticalPath = r.Makespan - attr[obs.CatQueueing]
+	// Reverse the walk into chronological order.
+	for i := len(rev) - 1; i >= 0; i-- {
+		r.Path = append(r.Path, rev[i])
+	}
+	return r
+}
+
+// AnalyzeTrace is the one-call pipeline: build the graph, extract path and
+// attribution, and project every category's what-if bound.
+func AnalyzeTrace(tf *obs.TraceFile) (*Report, error) {
+	g, err := Build(tf)
+	if err != nil {
+		return nil, err
+	}
+	r := g.Analyze()
+	for _, c := range obs.Categories() {
+		m := g.Project(c)
+		w := WhatIfEntry{Category: c.String(), Makespan: m, Saved: r.Makespan - m}
+		if m > 0 {
+			w.Speedup = float64(r.Makespan) / float64(m)
+		}
+		r.WhatIf = append(r.WhatIf, w)
+	}
+	return r, nil
+}

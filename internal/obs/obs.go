@@ -97,6 +97,12 @@ type Tracer struct {
 	grid     [][]int64
 
 	flowSeq int64
+
+	// One-shot cause annotation (SetCause/ClearCause): while armed, the next
+	// span recorded carries cause_* args pointing at (causeTrack, causeTs).
+	causeTrack Track
+	causeTs    int64
+	causeArmed bool
 }
 
 // DefaultSampleInterval is the probe sampling period in cycles used when
@@ -143,7 +149,42 @@ func (t *Tracer) Span(tk Track, name string, start, dur int64, args ...Arg) {
 	if t == nil || tk < 0 || dur <= 0 {
 		return
 	}
+	if t.causeArmed {
+		// Consume the armed cause: this span is the first work recorded since
+		// the causing completion, so it carries the causal back-pointer.
+		t.causeArmed = false
+		ti := t.tracks[t.causeTrack]
+		args = append(args,
+			Arg{Key: CausePidKey, Val: int64(ti.Pid)},
+			Arg{Key: CauseTidKey, Val: int64(ti.Tid)},
+			Arg{Key: CauseTsKey, Val: t.causeTs})
+	}
 	t.events = append(t.events, Event{Track: tk, Name: name, Kind: KindSpan, Ts: start, Dur: dur, Args: args})
+}
+
+// SetCause arms a one-shot causal annotation: the next span recorded — by
+// any call site, typically a callback launched by a completed transfer —
+// carries cause_pid/cause_tid/cause_ts args identifying the span on tk
+// ending at ts as its cause. The causal graph builder turns the annotation
+// into a cross-track dependency edge (delivery → launched work) that flow
+// arrows cannot express, because the launched work is recorded by a
+// different subsystem than the transfer. Arm before invoking the callback
+// and ClearCause after: exactly the spans emitted synchronously inside the
+// window are candidates, and only the first consumes the annotation.
+func (t *Tracer) SetCause(tk Track, ts int64) {
+	if t == nil || tk < 0 {
+		return
+	}
+	t.causeTrack, t.causeTs, t.causeArmed = tk, ts, true
+}
+
+// ClearCause disarms an unconsumed cause annotation (the callback emitted no
+// span). Safe on a nil tracer.
+func (t *Tracer) ClearCause() {
+	if t == nil {
+		return
+	}
+	t.causeArmed = false
 }
 
 // Instant records a point event at ts on the track.

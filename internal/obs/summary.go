@@ -214,12 +214,25 @@ type Summary struct {
 	Tracks []TrackUtilization
 	// BusyCoverage is the union of all span intervals across every track, in
 	// cycles: the portion of the timeline where at least one modelled
-	// resource was busy.
+	// resource was busy. It is NOT a critical-path figure — two busy tracks
+	// with no causal chain between them inflate the union past any real
+	// dependency path.
 	BusyCoverage int64
-	// CriticalPath is a lower-bound estimate of the frame's critical path in
-	// cycles: the busy coverage (work that cannot be hidden behind other
-	// work is at least the time some resource is the only busy one, and the
-	// makespan can never beat the union of busy time along any chain).
+	// CriticalPath is the busy length of the frame's causal critical path in
+	// cycles: the cycles along the longest observed dependency chain during
+	// which the chain's spans were executing (makespan minus the chain's
+	// waiting gaps). Summarize cannot derive it from span geometry alone and
+	// leaves it zero; tools with dependency information populate it from the
+	// causal graph (cmd/chopintrace via internal/obs/causal).
+	//
+	// Soundness: every edge of the causal graph is a precedence constraint
+	// observed in the run — FIFO order on one hardware resource track, an
+	// egress→ingress transfer, a delivery callback launching work, or a
+	// barrier joining on its last completion — so the spans on the extracted
+	// path form a chain in which each genuinely waited for its predecessor.
+	// The sum of their on-path durations is therefore a true lower bound on
+	// the frame makespan under any schedule preserving the same dependences,
+	// and in particular CriticalPath ≤ End − Start always holds.
 	CriticalPath int64
 	// Counters is the number of distinct counter series.
 	Counters int
@@ -307,6 +320,7 @@ func (tf *TraceFile) Summarize(k int) *Summary {
 	sort.SliceStable(s.Tracks, func(a, b int) bool { return s.Tracks[a].Busy > s.Tracks[b].Busy })
 
 	s.BusyCoverage = unionLen(all)
-	s.CriticalPath = s.BusyCoverage
+	// CriticalPath stays zero here: deriving it needs the dependency graph
+	// (internal/obs/causal), not span geometry. See the field doc.
 	return s
 }

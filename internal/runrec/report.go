@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"chopin/internal/obs"
 	"chopin/internal/stats"
 )
 
@@ -271,6 +272,106 @@ func (f *figure) phases() ([]phaseBreakdown, []string) {
 	return bds, names
 }
 
+// bottleneckRow is one row's causal bottleneck attribution: per-category
+// cycle fractions of the row's own causal makespan (summing to 1), plus the
+// what-if speedup bound for each category.
+type bottleneckRow struct {
+	label   string
+	frac    []float64 // aligned with obs.Categories()
+	speedup []float64 // makespan / whatif_<category>; 0 when not recorded
+}
+
+// bottleneckRows extracts the rows carrying causal attribution metrics
+// (attr_<category>, recorded by chopinsim when a run is traced), in key
+// order so output is deterministic.
+func bottleneckRows(rec *Record) []bottleneckRow {
+	cats := obs.Categories()
+	var out []bottleneckRow
+	for i := range rec.Rows {
+		r := &rec.Rows[i]
+		mk := r.Metrics["causal_makespan"]
+		if mk <= 0 {
+			continue
+		}
+		br := bottleneckRow{label: r.Key.String(), frac: make([]float64, len(cats)), speedup: make([]float64, len(cats))}
+		for ci, c := range cats {
+			br.frac[ci] = r.Metrics["attr_"+c.String()] / mk
+			if w := r.Metrics["whatif_"+c.String()]; w > 0 {
+				br.speedup[ci] = mk / w
+			}
+		}
+		out = append(out, br)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].label < out[b].label })
+	return out
+}
+
+// writeBottlenecks renders the causal bottleneck figure: one stacked bar per
+// traced row (category cycles as fractions of that row's causal makespan —
+// the Fig. 4 analogue) and a what-if table of per-category speedup bounds.
+func writeBottlenecks(b *strings.Builder, rec *Record) {
+	rows := bottleneckRows(rec)
+	if len(rows) == 0 {
+		return
+	}
+	cats := obs.Categories()
+	b.WriteString("<h2>causal bottleneck attribution</h2>\n")
+	const barH, barGap, labW = 20, 10, 190
+	plotW := float64(chW - labW - 70)
+	h := padT + len(rows)*(barH+barGap) + 46
+	fmt.Fprintf(b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="causal bottleneck attribution">`+"\n",
+		chW, h, chW, h)
+	baseY := padT + len(rows)*(barH+barGap)
+	for _, v := range []float64{0, 0.5, 1.0} {
+		x := float64(labW) + plotW*v
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="var(--grid)" stroke-width="1"/>`+"\n",
+			x, padT, x, baseY)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" text-anchor="middle">%.1f</text>`+"\n", x, baseY+16, v)
+	}
+	for ri, row := range rows {
+		y := padT + ri*(barH+barGap)
+		fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="end" class="lab">%s</text>`+"\n",
+			labW-8, y+barH-5, esc(row.label))
+		x := float64(labW)
+		for ci, v := range row.frac {
+			if v <= 0 {
+				continue
+			}
+			w := plotW * v
+			fmt.Fprintf(b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="var(--s%d)"><title>%s %s: %.3f of causal makespan</title></rect>`+"\n",
+				x, y, math.Max(w-2, 0.5), barH, ci%8+1, esc(row.label), cats[ci].String(), v)
+			x += w
+		}
+	}
+	lx := labW
+	ly := baseY + 28
+	for ci, c := range cats {
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" rx="2" fill="var(--s%d)"/>`+"\n", lx, ly, ci%8+1)
+		fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="start" class="lab">%s</text>`+"\n", lx+16, ly+10, c.String())
+		lx += 22 + 9*len(c.String())
+	}
+	b.WriteString("</svg>\n")
+
+	// What-if bounds: the speedup ceiling from removing each category.
+	b.WriteString("<h2>what-if speedup bounds</h2>\n<table>\n<tr><th>row</th>")
+	for _, c := range cats {
+		fmt.Fprintf(b, "<th>&#8722;%s</th>", c.String())
+	}
+	b.WriteString("</tr>\n")
+	for _, row := range rows {
+		fmt.Fprintf(b, "<tr><td>%s</td>", esc(row.label))
+		for _, s := range row.speedup {
+			if s > 0 {
+				fmt.Fprintf(b, "<td>%.2f&#215;</td>", s)
+			} else {
+				b.WriteString("<td>&#8212;</td>")
+			}
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+}
+
 // faultMetrics are the columns of the fault-cost table, in display order.
 var faultMetrics = []string{
 	"fault_drops", "fault_corrupts", "fault_duplicates", "fault_delays",
@@ -306,6 +407,7 @@ func WriteReport(w io.Writer, rec *Record, title string) error {
 	for _, f := range groupFigures(rec) {
 		writeFigure(&b, f)
 	}
+	writeBottlenecks(&b, rec)
 	writeFaults(&b, rec)
 	b.WriteString("</body>\n</html>\n")
 	_, err := io.WriteString(w, b.String())

@@ -132,3 +132,57 @@ func TestReportFaultTable(t *testing.T) {
 		t.Fatal("faulty record missing the fault table")
 	}
 }
+
+// TestReportBottleneckSection: records without causal metrics omit the
+// bottleneck figure (the golden fig19 record predates the causal engine);
+// records carrying attr_*/whatif_* metrics render the stacked bar, the
+// legend, and the what-if bounds table — and stay well-formed XML.
+func TestReportBottleneckSection(t *testing.T) {
+	clean := renderGolden(t)
+	if strings.Contains(clean, "causal bottleneck attribution") {
+		t.Fatal("record without causal metrics should omit the bottleneck figure")
+	}
+
+	rec := &Record{Schema: SchemaVersion, Rows: []Row{
+		sampleRow("single", "", "CHOPIN", "cod2", 8, 1000),
+	}}
+	m := rec.Rows[0].Metrics
+	m["causal_makespan"] = 1000
+	m["causal_critical_path"] = 700
+	m["attr_geometry"] = 100
+	m["attr_raster"] = 400
+	m["attr_composition"] = 150
+	m["attr_transfer"] = 50
+	m["attr_queueing"] = 300
+	m["attr_retry"] = 0
+	m["whatif_composition"] = 850
+	m["whatif_queueing"] = 700
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rec, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"causal bottleneck attribution",
+		"what-if speedup bounds",
+		"composition", "queueing",
+		"0.150 of causal makespan", // the composition segment tooltip
+		"1.18&#215;",               // 1000/850 speedup bound
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bottleneck section missing %q", want)
+		}
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	dec.Strict = true
+	dec.Entity = xml.HTMLEntity
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("report with bottleneck figure is not well-formed XML: %v", err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package sfr
+
+import (
+	"bytes"
+	"testing"
+
+	"chopin/internal/fault"
+	"chopin/internal/obs"
+	"chopin/internal/obs/causal"
+)
+
+// analyzeRun round-trips a tracer through the JSON exporter and runs the
+// causal engine, exactly as chopintrace -critical does.
+func analyzeRun(t *testing.T, tr *obs.Tracer) (*causal.Graph, *causal.Report) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := obs.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := causal.Build(tf)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	r, err := causal.AnalyzeTrace(tf)
+	if err != nil {
+		t.Fatalf("AnalyzeTrace: %v", err)
+	}
+	return g, r
+}
+
+// TestCausalPropertyAllSchemes is the engine's property test over real
+// workloads: for every scheme, the causal graph built from a traced cod2
+// frame must satisfy the accounting identities — attribution sums exactly to
+// the makespan, the critical path never exceeds it, the baseline projection
+// reproduces it, the graph never extends past the frame's simulated end, and
+// a fault-free run charges nothing to retries.
+func TestCausalPropertyAllSchemes(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	for _, s := range []Scheme{Duplication{}, GPUpd{}, SortMiddle{}, CHOPIN{}, CHOPIN{Reorder: true}} {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			cfg := testConfig(4)
+			tr := obs.New()
+			cfg.Tracer = tr
+			sys, st := runScheme(t, s, cfg, fr)
+			sys.FinishTrace()
+
+			g, r := analyzeRun(t, tr)
+			if err := r.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if r.Makespan <= 0 {
+				t.Fatal("empty causal graph from a traced run")
+			}
+			// Tagged spans live inside the simulated frame: the graph cannot
+			// end after the frame does.
+			if r.End > int64(st.TotalCycles) {
+				t.Errorf("graph end %d after frame end %d", r.End, st.TotalCycles)
+			}
+			if r.CriticalPath > r.Makespan || r.CriticalPath <= 0 {
+				t.Errorf("critical path %d outside (0, makespan %d]", r.CriticalPath, r.Makespan)
+			}
+			// Every edge lag is derived from the observed schedule, so the
+			// baseline forward pass must land exactly on the observed makespan.
+			if m := g.Project(obs.CatNone); m != r.Makespan {
+				t.Errorf("baseline projection %d != makespan %d", m, r.Makespan)
+			}
+			// No faults injected: nothing may be attributed to retries, and no
+			// retry-tagged span may exist at all.
+			if got := r.AttrFor(obs.CatRetry); got != 0 {
+				t.Errorf("fault-free run attributes %d cycles to retry", got)
+			}
+			for _, n := range g.Nodes {
+				if n.Cat == obs.CatRetry {
+					t.Fatalf("fault-free run produced retry span %q on (%d,%d)", n.Name, n.Pid, n.Tid)
+				}
+			}
+			// What-if projections are bounds: never negative, never above the
+			// observed makespan.
+			for _, w := range r.WhatIf {
+				if w.Makespan < 0 || w.Makespan > r.Makespan {
+					t.Errorf("what-if(%s) = %d outside [0, %d]", w.Category, w.Makespan, r.Makespan)
+				}
+			}
+		})
+	}
+}
+
+// TestWhatIfCompositionFig4Ordering reproduces the paper's qualitative
+// Fig. 4 argument at 8 GPUs. Fig. 4's claim is twofold: total image
+// composition work grows with GPU count and would dominate frame time if
+// serialized, and CHOPIN's contribution is overlapping that work with
+// rendering so removing it buys almost nothing more. Duplication sidesteps
+// composition entirely (every GPU renders every pixel), so it is the zero
+// reference on both axes:
+//
+//   - attribution: CHOPIN charges real cycles to composition, Duplication
+//     charges exactly none;
+//   - what-if bound: both sit at the bottom of the speedup scale, with
+//     CHOPIN ≥ Duplication == 1.0 exactly — for Duplication because there is
+//     nothing to remove, for CHOPIN because the overlap already removed it;
+//   - scaling: CHOPIN's total composition work is strictly increasing in
+//     GPU count (Fig. 4's growth trend).
+func TestWhatIfCompositionFig4Ordering(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	type row struct {
+		attr, work int64
+		speedup    float64
+	}
+	measure := func(s Scheme, gpus int) row {
+		cfg := testConfig(gpus)
+		tr := obs.New()
+		cfg.Tracer = tr
+		sys, _ := runScheme(t, s, cfg, fr)
+		sys.FinishTrace()
+		g, r := analyzeRun(t, tr)
+		if err := r.Check(); err != nil {
+			t.Fatal(err)
+		}
+		var work int64
+		for _, n := range g.Nodes {
+			if n.Cat == obs.CatComposition {
+				work += n.Dur
+			}
+		}
+		return row{attr: r.AttrFor(obs.CatComposition), work: work, speedup: r.WhatIfFor(obs.CatComposition).Speedup}
+	}
+
+	chopin := measure(CHOPIN{}, 8)
+	dup := measure(Duplication{}, 8)
+	if chopin.attr <= 0 || chopin.work <= 0 {
+		t.Errorf("CHOPIN composition: attribution %d, work %d; want both > 0", chopin.attr, chopin.work)
+	}
+	if dup.attr != 0 || dup.work != 0 {
+		t.Errorf("Duplication composition: attribution %d, work %d; want exactly 0 (no composition exchange)", dup.attr, dup.work)
+	}
+	if dup.speedup != 1.0 {
+		t.Errorf("Duplication what-if(composition) speedup = %.4f, want exactly 1.0", dup.speedup)
+	}
+	if chopin.speedup < dup.speedup {
+		t.Errorf("what-if(composition) speedup: CHOPIN %.4f < Duplication %.4f", chopin.speedup, dup.speedup)
+	}
+	// Fig. 4 growth trend: composition work strictly increases with GPU count.
+	if w2, w8 := measure(CHOPIN{}, 2).work, chopin.work; w2 >= w8 {
+		t.Errorf("CHOPIN composition work did not grow with GPU count: %d at 2 GPUs vs %d at 8", w2, w8)
+	}
+}
+
+// TestRetryAttributionUnderChaos injects seeded transfer drops into a CHOPIN
+// frame and checks the retry machinery surfaces in the causal graph: retry
+// spans appear, and the same run without faults has none. (The property test
+// above pins the fault-free zero; this pins the fault-present signal.)
+func TestRetryAttributionUnderChaos(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	cfg := testConfig(4)
+	cfg.Faults = &fault.Plan{
+		Seed: 7,
+		Transfers: []fault.TransferRule{
+			{Class: fault.Any, Src: fault.Any, Dst: fault.Any, Drop: 0.2},
+		},
+	}
+	tr := obs.New()
+	cfg.Tracer = tr
+	sys, st := runScheme(t, CHOPIN{}, cfg, fr)
+	sys.FinishTrace()
+	if st.Faults.Retries == 0 {
+		t.Fatal("chaos plan produced no retransmissions; drop rate too low for this trace")
+	}
+
+	g, r := analyzeRun(t, tr)
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	retryNodes := 0
+	for _, n := range g.Nodes {
+		if n.Cat == obs.CatRetry {
+			retryNodes++
+		}
+	}
+	if retryNodes == 0 {
+		t.Error("retransmitting run produced no retry-tagged spans")
+	}
+}
+
+// TestCausalReportDeterministicAcrossRuns: two independent traced runs of the
+// same scheme produce byte-identical timelines and therefore byte-identical
+// causal reports — the determinism guarantee -json consumers rely on.
+func TestCausalReportDeterministicAcrossRuns(t *testing.T) {
+	fr := testFrame(t, "cod2", 0.04)
+	dump := func() []byte {
+		cfg := testConfig(4)
+		tr := obs.New()
+		cfg.Tracer = tr
+		sys, _ := runScheme(t, CHOPIN{}, cfg, fr)
+		sys.FinishTrace()
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := dump(), dump()
+	if !bytes.Equal(a, b) {
+		t.Fatal("traced runs are not byte-identical; causal analysis cannot be deterministic")
+	}
+}
