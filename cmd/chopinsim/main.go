@@ -43,6 +43,7 @@ import (
 	"chopin/internal/obs/live"
 	"chopin/internal/runrec"
 	"chopin/internal/sfr"
+	"chopin/internal/sim"
 	"chopin/internal/stats"
 	"chopin/internal/trace"
 )
@@ -108,9 +109,10 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS)")
 		engineW = flag.Int("engine-workers", 0, "event-engine worker goroutines per simulation; >1 enables the conservative parallel engine (0/1 = sequential)")
 
-		faults    = flag.String("faults", "", "single run: fault-injection spec (drop=P,corrupt=P,dup=P,delay=P:C,degrade=F@A:B,stall=G@A+D,fail=G@A) or 'random'")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan (with -faults)")
-		timeout   = flag.Duration("timeout", 0, "wall-clock limit; the simulation cancels cleanly when it expires (0 = none)")
+		faults     = flag.String("faults", "", "single run: fault-injection spec (drop=P,corrupt=P,dup=P,delay=P:C,degrade=F@A:B,stall=G@A+D,fail=G@A,link:A-B@T) or 'random'")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault plan (with -faults)")
+		stragglerW = flag.Int64("straggler-window", 0, "single run: arm CHOPIN's per-round straggler watchdog with this progress window in cycles (0 = off)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit; the simulation cancels cleanly when it expires (0 = none)")
 
 		timeline = flag.String("timeline", "", "single run: write a Perfetto/Chrome trace-event timeline (JSON) to this file")
 		metrics  = flag.String("metrics", "", "single run: write sampled counters (CSV) to this file")
@@ -269,7 +271,7 @@ func main() {
 			interval: *mInterv,
 			frame:    *trFrame,
 		}
-		fo := faultOpts{spec: *faults, seed: *faultSeed, timeout: *timeout}
+		fo := faultOpts{spec: *faults, seed: *faultSeed, timeout: *timeout, straggler: sim.Cycle(*stragglerW)}
 		so := scaleOpts{topology: *topo, compAlg: *compAlg, radixK: *radixK}
 		if err := runSingle(*scheme, *bench, *gpus, *engineW, *scale, *ideal, *verify, *pngOut, *runrecOut, to, fo, so); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -314,11 +316,13 @@ type traceOpts struct {
 
 func (t traceOpts) enabled() bool { return t.timeline != "" || t.metrics != "" }
 
-// faultOpts carries the single-run fault-injection and timeout flags.
+// faultOpts carries the single-run fault-injection, straggler-watchdog, and
+// timeout flags.
 type faultOpts struct {
-	spec    string
-	seed    int64
-	timeout time.Duration
+	spec      string
+	seed      int64
+	timeout   time.Duration
+	straggler sim.Cycle
 }
 
 // scaleOpts carries the single-run scale-out flags: fabric topology and
@@ -389,6 +393,7 @@ func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ide
 			cfg.Faults = fp
 		}
 	}
+	cfg.StragglerWindow = fo.straggler
 	if fo.timeout > 0 {
 		deadline := time.Now().Add(fo.timeout)
 		cfg.Cancel = func() bool { return time.Now().After(deadline) }
@@ -424,7 +429,7 @@ func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ide
 	st, err := s.Run(sys, fr)
 	if err != nil {
 		if st != nil {
-			printFaultSummary(st)
+			printFaultSummary(sys, st)
 		}
 		return err
 	}
@@ -456,7 +461,7 @@ func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ide
 		fmt.Printf("composition groups: %d total, %d accelerated (%d triangles)\n",
 			st.GroupsTotal, st.GroupsAccelerated, st.TrianglesAccelerated)
 	}
-	printFaultSummary(st)
+	printFaultSummary(sys, st)
 	if recOut != "" {
 		seed := int64(0)
 		if fo.spec != "" {
@@ -507,18 +512,28 @@ func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ide
 	return nil
 }
 
-// printFaultSummary reports injected-fault and recovery activity; silent on
-// fault-free runs.
-func printFaultSummary(st *stats.FrameStats) {
+// printFaultSummary reports injected-fault and recovery activity, including
+// downed fabric links and the reroute outcome; silent on fault-free runs.
+func printFaultSummary(sys *multigpu.System, st *stats.FrameStats) {
 	f := st.Faults
-	if f.Total()+f.Retries+f.Timeouts+f.Lost == 0 && st.GPUsFailed == 0 {
+	downed := sys.Fabric.DownedLinks()
+	if f.Total()+f.Retries+f.Timeouts+f.Lost == 0 && st.GPUsFailed == 0 &&
+		len(downed) == 0 && st.PlanRepairs == 0 {
 		return
 	}
 	fmt.Printf("faults: %d injected (drop %d, corrupt %d, dup %d, delay %d); protocol: %d retries, %d timeouts, %d lost\n",
 		f.Total(), f.Drops, f.Corrupts, f.Duplicates, f.Delays, f.Retries, f.Timeouts, f.Lost)
-	if st.GPUsFailed > 0 {
-		fmt.Printf("recovery: %d GPU(s) failed; degraded-mode recovery took %d cycles\n",
-			st.GPUsFailed, st.RecoveryCycles)
+	if len(downed) > 0 {
+		names := make([]string, len(downed))
+		for i, l := range downed {
+			names[i] = fmt.Sprintf("%d-%d", l[0], l[1])
+		}
+		fmt.Printf("links down: %s; reroutes %d, unroutable %d\n",
+			strings.Join(names, " "), sys.Fabric.RerouteCount(), sys.Fabric.UnroutableCount())
+	}
+	if st.GPUsFailed > 0 || st.PlanRepairs > 0 {
+		fmt.Printf("recovery: %d GPU(s) failed, %d exchange-plan repair(s); degraded-mode recovery took %d cycles\n",
+			st.GPUsFailed, st.PlanRepairs, st.RecoveryCycles)
 	}
 }
 

@@ -176,6 +176,36 @@ type Plan struct {
 	// Final[g] is the fully composed row range GPU g holds after the last
 	// round, which it scatters to the screen's tile owners.
 	Final []Region
+
+	// Live[g] marks the GPUs participating in the exchange. nil means all N
+	// participate (every planner-built plan); a repair plan built by Repair
+	// restricts sessions and Final regions to the survivor set, and Check
+	// requires exactly the survivors' contributions to converge.
+	Live []bool
+	// Repaired marks a plan synthesized by Repair, and CompletedRounds
+	// records how many rounds of the aborted original had fully completed at
+	// the checkpoint the repair was taken from (diagnostics only: the repair
+	// restarts from the groups' re-snapshotted work buffers, it does not
+	// resume mid-schedule).
+	Repaired        bool
+	CompletedRounds int
+}
+
+// IsLive reports whether GPU g participates in the plan's exchange.
+func (p *Plan) IsLive(g int) bool { return p.Live == nil || p.Live[g] }
+
+// NumLive returns the number of participating GPUs.
+func (p *Plan) NumLive() int {
+	if p.Live == nil {
+		return p.N
+	}
+	m := 0
+	for _, ok := range p.Live {
+		if ok {
+			m++
+		}
+	}
+	return m
 }
 
 // Sessions returns the total session count across rounds.
@@ -281,6 +311,19 @@ func MixedRadix(n, h int) (*Plan, error) {
 // radixRounds generates the grouped direct-send rounds for the given factor
 // sequence and returns them with the final per-GPU regions.
 func radixRounds(n, h int, factors []int) ([]Round, []Region) {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return radixRoundsOver(ids, h, factors)
+}
+
+// radixRoundsOver is radixRounds generalized to an explicit participant list:
+// the schedule is computed over virtual indices 0..len(ids)-1 and each
+// session/region is expressed in terms of the actual GPU ids. This is what
+// lets Repair reuse the mixed-radix machinery over an arbitrary survivor set.
+func radixRoundsOver(ids []int, h int, factors []int) ([]Round, []Region) {
+	n := len(ids)
 	lo, hi := fullRegions(n, h)
 	var rounds []Round
 	stride := 1
@@ -302,7 +345,7 @@ func radixRounds(n, h int, factors []int) ([]Round, []Region) {
 					if jo == j {
 						continue
 					}
-					round = append(round, Session{Sender: base + jo*stride, Receiver: m, Region: Region{p0, p1}})
+					round = append(round, Session{Sender: ids[base+jo*stride], Receiver: ids[m], Region: Region{p0, p1}})
 				}
 				lo[m], hi[m] = p0, p1
 			}
@@ -440,15 +483,25 @@ func For(alg Algorithm, n, h, k int, class OpClass, diameter int) (*Plan, error)
 
 // Check validates a plan's structural invariants by simulating per-row
 // contribution sets: after the last round, every row of every GPU's Final
-// region must have accumulated all N contributions, and every session must
-// stay inside the screen. Within one round a GPU's sent rows must be
-// disjoint from its received rows — the property that lets the executor
-// read a sender's buffer at merge time without round-internal ordering.
-// Direct-send (OwnerRegions) plans are instead checked for exactly one
-// session per ordered pair.
+// region must have accumulated all participating contributions, and every
+// session must stay inside the screen. Within one round a GPU's sent rows
+// must be disjoint from its received rows — the property that lets the
+// executor read a sender's buffer at merge time without round-internal
+// ordering. Direct-send (OwnerRegions) plans are instead checked for exactly
+// one session per ordered pair. Plans with a Live set (repair plans) must
+// keep dead GPUs out of every session, leave their Final regions empty, and
+// converge exactly the survivors' contributions.
 func Check(p *Plan) error {
 	if p.N < 1 || p.N > 64 {
 		return fmt.Errorf("plan: invalid GPU count %d", p.N)
+	}
+	if p.Live != nil && len(p.Live) != p.N {
+		return fmt.Errorf("plan: Live has %d entries, want %d", len(p.Live), p.N)
+	}
+	live := func(g int) bool { return p.Live == nil || p.Live[g] }
+	numLive := p.NumLive()
+	if numLive == 0 {
+		return fmt.Errorf("plan: no live GPUs")
 	}
 	for ri, round := range p.Rounds {
 		for _, s := range round {
@@ -457,6 +510,9 @@ func Check(p *Plan) error {
 			}
 			if s.Sender < 0 || s.Sender >= p.N || s.Receiver < 0 || s.Receiver >= p.N {
 				return fmt.Errorf("plan: round %d session %d→%d out of range", ri, s.Sender, s.Receiver)
+			}
+			if !live(s.Sender) || !live(s.Receiver) {
+				return fmt.Errorf("plan: round %d session %d→%d touches a dead GPU", ri, s.Sender, s.Receiver)
 			}
 			if s.Region.Lo < 0 || s.Region.Hi > p.Height || s.Region.Lo > s.Region.Hi {
 				return fmt.Errorf("plan: round %d session %d→%d region [%d,%d) outside screen height %d",
@@ -475,16 +531,20 @@ func Check(p *Plan) error {
 				seen[k] = true
 			}
 		}
-		want := p.N * (p.N - 1)
+		want := numLive * (numLive - 1)
 		if len(seen) != want {
 			return fmt.Errorf("plan: direct-send has %d sessions, want %d", len(seen), want)
 		}
 		return nil
 	}
-	full := uint64(1)<<uint(p.N) - 1
+	var full uint64
 	contrib := make([][]uint64, p.N)
 	for g := range contrib {
 		contrib[g] = make([]uint64, p.Height)
+		if !live(g) {
+			continue
+		}
+		full |= 1 << uint(g)
 		for y := range contrib[g] {
 			contrib[g][y] = 1 << uint(g)
 		}
@@ -525,13 +585,19 @@ func Check(p *Plan) error {
 		return fmt.Errorf("plan: Final has %d entries, want %d", len(p.Final), p.N)
 	}
 	for g, fr := range p.Final {
+		if !live(g) {
+			if fr.Rows() != 0 {
+				return fmt.Errorf("plan: dead GPU %d has non-empty final region [%d,%d)", g, fr.Lo, fr.Hi)
+			}
+			continue
+		}
 		for y := fr.Lo; y < fr.Hi; y++ {
 			if contrib[g][y] != full {
-				return fmt.Errorf("plan: GPU %d's final row %d has contributions %064b, want all %d", g, y, contrib[g][y], p.N)
+				return fmt.Errorf("plan: GPU %d's final row %d has contributions %064b, want all %d live", g, y, contrib[g][y], numLive)
 			}
 		}
 	}
-	// Final regions must tile the screen exactly once.
+	// Live final regions must tile the screen exactly once.
 	cover := make([]int, p.Height)
 	for _, fr := range p.Final {
 		for y := fr.Lo; y < fr.Hi; y++ {
@@ -544,4 +610,78 @@ func Check(p *Plan) error {
 		}
 	}
 	return nil
+}
+
+// Repair synthesizes a replacement exchange plan after mid-plan failures:
+// given the original plan and the survivor set, it builds a standalone plan
+// over the survivors in the original GPU id space. The executor restarts the
+// exchange from freshly re-snapshotted work buffers (the composition-group
+// checkpoints), so the repair plan is complete rather than a resumption —
+// completedRounds of the aborted schedule is recorded for diagnostics only.
+// Depth merge being commutative, associative, and idempotent is what makes
+// the fresh restart exact.
+//
+// The repaired plan always passes Check: OwnerRegions plans repair to a
+// survivor direct-send; everything else repairs to a mixed-radix schedule
+// over the survivor list (binary-swap when the survivor count is a power of
+// two degenerates to exactly the 2-2-…-2 factorization).
+func Repair(p *Plan, live []bool, completedRounds int) (*Plan, error) {
+	if p == nil {
+		return nil, fmt.Errorf("plan: repair of a nil plan")
+	}
+	if len(live) != p.N {
+		return nil, fmt.Errorf("plan: repair survivor set has %d entries, want %d", len(live), p.N)
+	}
+	if completedRounds < 0 || completedRounds > len(p.Rounds) {
+		return nil, fmt.Errorf("plan: repair checkpoint at round %d outside plan's %d rounds", completedRounds, len(p.Rounds))
+	}
+	ids := make([]int, 0, p.N)
+	for g, ok := range live {
+		if !ok {
+			continue
+		}
+		if p.Live != nil && !p.Live[g] {
+			return nil, fmt.Errorf("plan: repair survivor %d was not live in the source plan", g)
+		}
+		ids = append(ids, g)
+	}
+	m := len(ids)
+	if m == 0 {
+		return nil, fmt.Errorf("plan: repair with no survivors")
+	}
+	q := &Plan{
+		Alg:             p.Alg,
+		N:               p.N,
+		Height:          p.Height,
+		OwnerRegions:    p.OwnerRegions,
+		Final:           make([]Region, p.N),
+		Live:            append([]bool(nil), live...),
+		Repaired:        true,
+		CompletedRounds: completedRounds,
+	}
+	if m == 1 {
+		// A lone survivor already holds the only remaining contribution:
+		// no exchange rounds, it owns the whole screen.
+		if !q.OwnerRegions {
+			q.Final[ids[0]] = Region{0, p.Height}
+		}
+		return q, nil
+	}
+	if q.OwnerRegions {
+		round := make(Round, 0, m*(m-1))
+		for i, g := range ids {
+			for off := 1; off < m; off++ {
+				round = append(round, Session{Sender: g, Receiver: ids[(i+off)%m], Region: Region{0, p.Height}})
+			}
+		}
+		q.Rounds = []Round{round}
+		return q, nil
+	}
+	q.Alg = AlgMixedRadix
+	rounds, fin := radixRoundsOver(ids, p.Height, factorize(m))
+	q.Rounds = rounds
+	for v, g := range ids {
+		q.Final[g] = fin[v]
+	}
+	return q, nil
 }

@@ -59,6 +59,10 @@ type Runtime struct {
 	err      error
 	wd       *Watchdog
 	barriers []*Barrier
+
+	// planState, when set, supplies the active exchange plan's state for
+	// watchdog diagnostics (see SetPlanState).
+	planState func() *PlanState
 }
 
 // New returns a runtime for one frame with an initialized FrameStats. A

@@ -53,6 +53,28 @@ func (g GPUState) String() string {
 	return s
 }
 
+// PlanState is a snapshot of the active exchange plan for a watchdog
+// diagnostic: where the composition exchange stood when the frame wedged.
+// Captured only while a plan executor is live (SetPlanState).
+type PlanState struct {
+	// CompletedRounds is the number of leading rounds every live GPU has
+	// finished, of Rounds total.
+	CompletedRounds int
+	Rounds          int
+	// PendingSessions counts sessions not yet completed.
+	PendingSessions int
+	// Ready is the bitmask of GPUs whose sub-images were marked ready.
+	Ready uint64
+	// Live is the bitmask of GPUs participating in the (possibly repaired)
+	// plan.
+	Live uint64
+}
+
+func (p *PlanState) String() string {
+	return fmt.Sprintf("plan: round %d/%d, %d pending session(s), ready=%#x, live=%#x",
+		p.CompletedRounds, p.Rounds, p.PendingSessions, p.Ready, p.Live)
+}
+
 // A DeadlockError reports that the event queue drained while barriers were
 // still unreleased: some completion that would have retired them was lost
 // (e.g. a transfer abandoned by the retry protocol, wrapped as Cause).
@@ -60,6 +82,8 @@ type DeadlockError struct {
 	At       sim.Cycle
 	Barriers []BarrierState
 	GPUs     []GPUState
+	// Plan is the active exchange plan's state when one was live, or nil.
+	Plan *PlanState
 	// Cause is the underlying fault when one was recorded (e.g. an
 	// interconnect.LostTransferError), or nil.
 	Cause error
@@ -71,6 +95,9 @@ func (e *DeadlockError) Error() string {
 		e.At, len(e.Barriers))
 	for _, bs := range e.Barriers {
 		fmt.Fprintf(&b, "; blocked on [%s]", bs)
+	}
+	if e.Plan != nil {
+		fmt.Fprintf(&b, "; %s", e.Plan)
 	}
 	for _, gs := range e.GPUs {
 		fmt.Fprintf(&b, "; %s", gs)
@@ -92,6 +119,8 @@ type StuckError struct {
 	Window   sim.Cycle
 	Barriers []BarrierState
 	GPUs     []GPUState
+	// Plan is the active exchange plan's state when one was live, or nil.
+	Plan *PlanState
 }
 
 func (e *StuckError) Error() string {
@@ -100,6 +129,9 @@ func (e *StuckError) Error() string {
 		e.Window, e.At, len(e.Barriers))
 	for _, bs := range e.Barriers {
 		fmt.Fprintf(&b, "; blocked on [%s]", bs)
+	}
+	if e.Plan != nil {
+		fmt.Fprintf(&b, "; %s", e.Plan)
 	}
 	for _, gs := range e.GPUs {
 		fmt.Fprintf(&b, "; %s", gs)
@@ -187,6 +219,7 @@ func (w *Watchdog) tick() {
 				Window:   w.interval * stuckTicks,
 				Barriers: live,
 				GPUs:     w.r.gpuStates(),
+				Plan:     w.r.planStateSnapshot(),
 			})
 			return
 		}
@@ -235,6 +268,22 @@ func (r *Runtime) deadlockError(live []BarrierState) *DeadlockError {
 		At:       r.Sys.Eng.Now(),
 		Barriers: live,
 		GPUs:     r.gpuStates(),
+		Plan:     r.planStateSnapshot(),
 		Cause:    r.Sys.Fabric.Err(),
 	}
+}
+
+// SetPlanState installs (or, with nil, clears) the provider the watchdog
+// queries for the active exchange plan's state. The scheme layer sets it for
+// the lifetime of each plan-composed group, so wedged frames report where
+// the exchange stood.
+func (r *Runtime) SetPlanState(f func() *PlanState) { r.planState = f }
+
+// planStateSnapshot captures the active plan's state, or nil when no plan
+// executor is live.
+func (r *Runtime) planStateSnapshot() *PlanState {
+	if r.planState == nil {
+		return nil
+	}
+	return r.planState()
 }

@@ -104,6 +104,78 @@ func TestWatchdogParksAfterFrameCompletes(t *testing.T) {
 	}
 }
 
+func TestWatchdogDiagnosticsIncludePlanState(t *testing.T) {
+	// With a plan-state provider installed (as the plan executor does for the
+	// lifetime of each plan-composed group), both watchdog diagnostics must
+	// report where the exchange stood: active round, pending sessions, and
+	// the ready/live GPU bitmasks.
+	r := watchdogRuntime(t, 1000)
+	r.SetPlanState(func() *PlanState {
+		return &PlanState{CompletedRounds: 2, Rounds: 4, PendingSessions: 3, Ready: 0xb, Live: 0xf}
+	})
+	b := r.TracedBarrier("plan exchange", func() { t.Error("wedged barrier released") })
+	b.Add(1)
+	b.Seal()
+	err := r.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run() = %v, want *DeadlockError", err)
+	}
+	if dl.Plan == nil || dl.Plan.CompletedRounds != 2 || dl.Plan.PendingSessions != 3 {
+		t.Errorf("deadlock plan state = %+v", dl.Plan)
+	}
+	for _, want := range []string{"plan: round 2/4", "3 pending session(s)", "ready=0xb", "live=0xf"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic missing %q: %v", want, err)
+		}
+	}
+
+	// The stuck path must carry the same snapshot.
+	r2 := watchdogRuntime(t, 1000)
+	r2.SetPlanState(func() *PlanState {
+		return &PlanState{CompletedRounds: 1, Rounds: 3, PendingSessions: 5, Ready: 0x1, Live: 0x3}
+	})
+	b2 := r2.TracedBarrier("plan exchange", func() { t.Error("wedged barrier released") })
+	b2.Add(1)
+	b2.Seal()
+	var spin func()
+	spin = func() { r2.Eng().After(100, spin) }
+	spin()
+	err = r2.Run()
+	var stuck *StuckError
+	if !errors.As(err, &stuck) {
+		t.Fatalf("Run() = %v, want *StuckError", err)
+	}
+	if stuck.Plan == nil || stuck.Plan.PendingSessions != 5 {
+		t.Errorf("stuck plan state = %+v", stuck.Plan)
+	}
+	if !strings.Contains(err.Error(), "plan: round 1/3") {
+		t.Errorf("stuck diagnostic missing plan state: %v", err)
+	}
+}
+
+func TestWatchdogDiagnosticsOmitPlanStateWhenCleared(t *testing.T) {
+	// Outside a plan-composed group (provider nil or cleared) the diagnostic
+	// must not fabricate plan state.
+	r := watchdogRuntime(t, 1000)
+	r.SetPlanState(func() *PlanState { return &PlanState{Rounds: 4} })
+	r.SetPlanState(nil)
+	b := r.TracedBarrier("direct composition", func() { t.Error("wedged barrier released") })
+	b.Add(1)
+	b.Seal()
+	err := r.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run() = %v, want *DeadlockError", err)
+	}
+	if dl.Plan != nil {
+		t.Errorf("plan state reported with no plan live: %+v", dl.Plan)
+	}
+	if strings.Contains(err.Error(), "plan:") {
+		t.Errorf("diagnostic mentions a plan with none live: %v", err)
+	}
+}
+
 func TestRunDetectsDeadlockWithoutWatchdog(t *testing.T) {
 	// Watchdog disabled: the drained-queue deadlock is still caught at Run
 	// exit, just without the mid-run halt.

@@ -83,10 +83,12 @@ func typedChaosError(err error) bool {
 		canceled    *exec.CanceledError
 		lost        *interconnect.LostTransferError
 		selfSend    *interconnect.SelfSendError
+		unroutable  *interconnect.UnroutableError
 	)
 	return errors.As(err, &unsupported) || errors.As(err, &deadlock) ||
 		errors.As(err, &stuck) || errors.As(err, &canceled) ||
-		errors.As(err, &lost) || errors.As(err, &selfSend)
+		errors.As(err, &lost) || errors.As(err, &selfSend) ||
+		errors.As(err, &unroutable)
 }
 
 // chaosResult is one run's outcome, comparable across repeat runs of the
@@ -100,7 +102,14 @@ type chaosResult struct {
 // runChaosOne executes one scheme under one fault plan, converting panics
 // into test failures and classifying the outcome. Single-frame schemes are
 // golden-checked on success; AFR checks sequence-level invariants instead.
-func runChaosOne(t *testing.T, env *chaosEnv, scheme string, plan *fault.Plan) (res chaosResult) {
+func runChaosOne(t *testing.T, env *chaosEnv, scheme string, plan *fault.Plan) chaosResult {
+	t.Helper()
+	return runChaosOneWith(t, env, scheme, plan, nil)
+}
+
+// runChaosOneWith is runChaosOne with a config hook, letting matrix sweeps
+// vary topology and exchange plan while keeping the golden-or-typed contract.
+func runChaosOneWith(t *testing.T, env *chaosEnv, scheme string, plan *fault.Plan, mutate func(*multigpu.Config)) (res chaosResult) {
 	t.Helper()
 	defer func() {
 		if r := recover(); r != nil {
@@ -108,6 +117,9 @@ func runChaosOne(t *testing.T, env *chaosEnv, scheme string, plan *fault.Plan) (
 		}
 	}()
 	cfg := chaosConfig(plan)
+	if mutate != nil {
+		mutate(&cfg)
+	}
 
 	if scheme == "AFR" {
 		sys, err := multigpu.New(cfg, env.fr.Width, env.fr.Height)

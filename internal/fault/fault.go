@@ -66,6 +66,15 @@ type GPUFault struct {
 	Fail bool
 }
 
+// LinkFail downs the fabric link between GPUs A and B at cycle At — a link
+// fail-stop fault. Routed topologies reroute around the downed link (or
+// surface a typed UnroutableError when the survivors disconnect the pair);
+// on the crossbar the A↔B point-to-point connection itself is severed.
+type LinkFail struct {
+	A, B int
+	At   sim.Cycle
+}
+
 // Plan is a declarative, seeded fault schedule.
 type Plan struct {
 	// Seed drives every probabilistic decision in the plan.
@@ -76,6 +85,8 @@ type Plan struct {
 	Links []LinkDegrade
 	// GPUs are scheduled GPU stalls and fail-stops.
 	GPUs []GPUFault
+	// LinkFails are scheduled link fail-stops.
+	LinkFails []LinkFail
 }
 
 // Validate checks the plan's parameters.
@@ -115,12 +126,23 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("fault: gpu fault %d: neither stall nor fail", i)
 		}
 	}
+	for i, l := range p.LinkFails {
+		if l.A < 0 || l.B < 0 {
+			return fmt.Errorf("fault: link fail %d: negative GPU id", i)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("fault: link fail %d: link %d-%d is a self-loop", i, l.A, l.B)
+		}
+		if l.At < 0 {
+			return fmt.Errorf("fault: link fail %d: negative cycle %d", i, l.At)
+		}
+	}
 	return nil
 }
 
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Transfers) == 0 && len(p.Links) == 0 && len(p.GPUs) == 0)
+	return p == nil || (len(p.Transfers) == 0 && len(p.Links) == 0 && len(p.GPUs) == 0 && len(p.LinkFails) == 0)
 }
 
 // rng is a splitmix64 stream: tiny, fast, and — unlike math/rand — with a

@@ -138,6 +138,37 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 }
 
+func TestParseSpecLinkFail(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want []LinkFail
+		ok   bool
+	}{
+		{"link:3-4@5000", []LinkFail{{A: 3, B: 4, At: 5000}}, true},
+		{"link:0-1@0", []LinkFail{{A: 0, B: 1, At: 0}}, true},
+		{"link:1-0@10,link:5-6@200", []LinkFail{{A: 1, B: 0, At: 10}, {A: 5, B: 6, At: 200}}, true},
+		{"drop=0.01,link:2-3@99", []LinkFail{{A: 2, B: 3, At: 99}}, true},
+		{" link:3-4@5000 ", []LinkFail{{A: 3, B: 4, At: 5000}}, true},
+		{"link:3-4", nil, false},      // missing cycle
+		{"link:3@5000", nil, false},   // missing second endpoint
+		{"link:a-4@5000", nil, false}, // bad endpoint
+		{"link:3-b@5000", nil, false}, // bad endpoint
+		{"link:3-4@soon", nil, false}, // bad cycle
+		{"link:3-3@5000", nil, false}, // self-loop fails Validate
+		{"link:-1-4@5000", nil, false},
+		{"link:3-4@-5", nil, false}, // negative cycle fails Validate
+	} {
+		p, err := ParseSpec(tc.spec, 1)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseSpec(%q) err = %v, want ok=%v", tc.spec, err, tc.ok)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(p.LinkFails, tc.want) {
+			t.Errorf("ParseSpec(%q) link fails = %+v, want %+v", tc.spec, p.LinkFails, tc.want)
+		}
+	}
+}
+
 func TestRandomPlanDeterministicAndValid(t *testing.T) {
 	const gpus = 4
 	for seed := int64(0); seed < 50; seed++ {

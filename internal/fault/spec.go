@@ -18,8 +18,9 @@ import (
 //	degrade=F@A:B multiply all egress bandwidth by F in cycles [A, B)
 //	stall=G@A+D   stall GPU G at cycle A for D cycles
 //	fail=G@A      fail-stop GPU G at cycle A
+//	link:A-B@T    fail the fabric link between GPUs A and B at cycle T
 //
-// Example: "drop=0.01,corrupt=0.005,delay=0.02:400,fail=1@50000".
+// Example: "drop=0.01,corrupt=0.005,delay=0.02:400,fail=1@50000,link:3-4@5000".
 // The seed is supplied separately (chopinsim -fault-seed).
 func ParseSpec(spec string, seed int64) (*Plan, error) {
 	p := &Plan{Seed: seed}
@@ -28,6 +29,14 @@ func ParseSpec(spec string, seed int64) (*Plan, error) {
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
+			continue
+		}
+		if val, isLink := strings.CutPrefix(part, "link:"); isLink {
+			lf, err := parseLinkFail(val)
+			if err != nil {
+				return nil, err
+			}
+			p.LinkFails = append(p.LinkFails, lf)
 			continue
 		}
 		key, val, ok := strings.Cut(part, "=")
@@ -120,6 +129,32 @@ func ParseSpec(spec string, seed int64) (*Plan, error) {
 	return p, nil
 }
 
+// parseLinkFail parses "A-B@T": the link between GPUs A and B downs at
+// cycle T.
+func parseLinkFail(val string) (LinkFail, error) {
+	pair, atStr, ok := strings.Cut(val, "@")
+	if !ok {
+		return LinkFail{}, fmt.Errorf("fault: bad link fail %q: want link:A-B@CYCLE", val)
+	}
+	aStr, bStr, ok := strings.Cut(pair, "-")
+	if !ok {
+		return LinkFail{}, fmt.Errorf("fault: bad link endpoints %q: want A-B", pair)
+	}
+	a, err := strconv.Atoi(aStr)
+	if err != nil {
+		return LinkFail{}, fmt.Errorf("fault: bad link endpoint %q: %v", aStr, err)
+	}
+	b, err := strconv.Atoi(bStr)
+	if err != nil {
+		return LinkFail{}, fmt.Errorf("fault: bad link endpoint %q: %v", bStr, err)
+	}
+	at, err := strconv.ParseInt(atStr, 10, 64)
+	if err != nil {
+		return LinkFail{}, fmt.Errorf("fault: bad link fail cycle %q: %v", atStr, err)
+	}
+	return LinkFail{A: a, B: b, At: sim.Cycle(at)}, nil
+}
+
 // parseGPUAt splits "GPU@rest" and parses the GPU id.
 func parseGPUAt(val string) (gpu int, rest string, err error) {
 	gpuStr, rest, ok := strings.Cut(val, "@")
@@ -189,6 +224,18 @@ func RandomPlan(seed int64, numGPUs int) *Plan {
 			GPU:  r.intn(numGPUs),
 			At:   sim.Cycle(r.intn(400_000)),
 			Fail: true,
+		})
+	}
+	// Link fail-stop between ring-adjacent GPUs: always a physical link on
+	// ring and crossbar fabrics, and adjacent on the mesh whenever the pair
+	// shares a grid edge. Drawn last so earlier fields keep their values for
+	// pre-existing seeds.
+	if numGPUs > 1 && r.float64() < 0.3 {
+		a := r.intn(numGPUs)
+		p.LinkFails = append(p.LinkFails, LinkFail{
+			A:  a,
+			B:  (a + 1) % numGPUs,
+			At: sim.Cycle(r.intn(300_000)),
 		})
 	}
 	return p

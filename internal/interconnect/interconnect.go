@@ -275,6 +275,23 @@ func (e *SelfSendError) Error() string {
 	return fmt.Sprintf("interconnect: self-send of %s traffic on GPU %d at cycle %d", e.Class, e.GPU, e.At)
 }
 
+// An UnroutableError reports a transfer whose endpoints are disconnected
+// after link fail-stop faults: the crossbar pair's point-to-point connection
+// was downed, or a routed topology's surviving links no longer connect the
+// pair. The fabric records it and completes the transfer at the default
+// route's timing so the frame still drains; schemes surface Err at frame
+// end.
+type UnroutableError struct {
+	Src, Dst int
+	At       sim.Cycle
+	Link     [2]int // the downed link blamed for the disconnection
+}
+
+func (e *UnroutableError) Error() string {
+	return fmt.Sprintf("interconnect: no route from GPU %d to GPU %d at cycle %d (link %d-%d down)",
+		e.Src, e.Dst, e.At, e.Link[0], e.Link[1])
+}
+
 type message struct {
 	src, dst    int
 	bytes       int64
@@ -422,6 +439,23 @@ type Fabric struct {
 	linkFree []sim.Cycle
 	routeBuf []int
 
+	// Link fail-stop state. Everything here stays nil until the first
+	// DownLink, so the fault-free path pays a single integer/nil check.
+	// linkDown[l] marks directed link l failed; downedPairs are crossbar
+	// endpoint pairs whose point-to-point connection was severed; detours
+	// caches BFS reroutes until the next DownLink invalidates them.
+	linkDown        []bool
+	downCount       int
+	downedPairs     map[[2]int]bool
+	downedByID      map[int][2]int
+	downedLinks     [][2]int
+	detours         map[[2]int][]int
+	rerouteCount    int64
+	unroutableCount int64
+	// linkRetries[l] counts retransmissions routed over link l, lazily
+	// allocated on the first retry so fault-free runs never touch it.
+	linkRetries []int64
+
 	sending []bool
 	// egressQueue[src] is a FIFO consumed from egressHead[src]: popping
 	// advances the head index and the slice is reset (retaining capacity)
@@ -513,6 +547,9 @@ func (f *Fabric) Diameter() int {
 // start + tx + LatencyCycles.
 func (f *Fabric) claimRoute(src, dst int, start, tx sim.Cycle) sim.Cycle {
 	f.routeBuf = f.topo.Route(src, dst, f.routeBuf[:0])
+	if f.downCount != 0 {
+		f.routeBuf = f.reroute(src, dst, f.routeBuf)
+	}
 	t := start
 	for _, l := range f.routeBuf {
 		if free := f.linkFree[l]; free > t {
@@ -522,6 +559,156 @@ func (f *Fabric) claimRoute(src, dst int, start, tx sim.Cycle) sim.Cycle {
 		t += f.cfg.LatencyCycles
 	}
 	return t + tx
+}
+
+// DownLink fails the fabric link between GPUs a and b (both directions) —
+// a link fail-stop fault. On routed topologies, subsequent transfers whose
+// route crosses the link detour around it over the shortest surviving path
+// (direction reversal on a ring, BFS around the hole on a mesh); pairs the
+// survivors disconnect surface a typed UnroutableError. On the crossbar the
+// a↔b point-to-point connection has no detour, so transfers between the pair
+// are immediately unroutable. Ideal fabrics bypass fault injection entirely,
+// including link faults. An error is returned when the endpoints name no
+// direct link of the topology (the fault cannot materialize).
+func (f *Fabric) DownLink(a, b int) error {
+	if a < 0 || b < 0 || a >= f.n || b >= f.n || a == b {
+		return fmt.Errorf("interconnect: invalid link %d-%d for %d GPUs", a, b, f.n)
+	}
+	if f.cfg.Ideal {
+		return nil
+	}
+	if f.topo == nil {
+		if f.downedPairs == nil {
+			f.downedPairs = make(map[[2]int]bool)
+		}
+		f.downedPairs[[2]int{a, b}] = true
+		f.downedPairs[[2]int{b, a}] = true
+		f.downedLinks = append(f.downedLinks, [2]int{a, b})
+		return nil
+	}
+	la := f.topo.LinkBetween(a, b)
+	lb := f.topo.LinkBetween(b, a)
+	if la < 0 && lb < 0 {
+		return fmt.Errorf("interconnect: no direct %s link between GPU %d and GPU %d", f.topo.Kind(), a, b)
+	}
+	if f.linkDown == nil {
+		f.linkDown = make([]bool, f.topo.NumLinks())
+		f.downedByID = make(map[int][2]int)
+	}
+	for _, l := range [2]int{la, lb} {
+		if l >= 0 && !f.linkDown[l] {
+			f.linkDown[l] = true
+			f.downedByID[l] = [2]int{a, b}
+			f.downCount++
+		}
+	}
+	f.downedLinks = append(f.downedLinks, [2]int{a, b})
+	f.detours = nil
+	return nil
+}
+
+// reroute substitutes a detour when the default route crosses a downed
+// link. Detours are breadth-first searches over the surviving links, cached
+// until the next DownLink; when the survivors disconnect the pair, a typed
+// UnroutableError is recorded and the transfer keeps the default route's
+// timing so the frame still drains.
+func (f *Fabric) reroute(src, dst int, route []int) []int {
+	downed := -1
+	for _, l := range route {
+		if f.linkDown[l] {
+			downed = l
+			break
+		}
+	}
+	if downed < 0 {
+		return route
+	}
+	key := [2]int{src, dst}
+	det, cached := f.detours[key]
+	if !cached {
+		det = f.findDetour(src, dst)
+		if f.detours == nil {
+			f.detours = make(map[[2]int][]int)
+		}
+		f.detours[key] = det
+	}
+	if det == nil {
+		f.unroutableCount++
+		f.fail(&UnroutableError{Src: src, Dst: dst, At: f.eng.Now(), Link: f.downedByID[downed]})
+		return route
+	}
+	f.rerouteCount++
+	return append(route[:0], det...)
+}
+
+// findDetour breadth-first searches the surviving links for a shortest
+// src→dst path, visiting neighbours in the topology's ascending link order
+// so the detour is deterministic. Returns nil when the pair is
+// disconnected.
+func (f *Fabric) findDetour(src, dst int) []int {
+	prevLink := make([]int, f.n)
+	prevNode := make([]int, f.n)
+	visited := make([]bool, f.n)
+	visited[src] = true
+	queue := make([]int, 1, f.n)
+	queue[0] = src
+	var nbuf []int
+	for len(queue) > 0 && !visited[dst] {
+		v := queue[0]
+		queue = queue[1:]
+		nbuf = f.topo.Neighbors(v, nbuf[:0])
+		for _, w := range nbuf {
+			l := f.topo.LinkBetween(v, w)
+			if l < 0 || f.linkDown[l] || visited[w] {
+				continue
+			}
+			visited[w] = true
+			prevLink[w] = l
+			prevNode[w] = v
+			queue = append(queue, w)
+		}
+	}
+	if !visited[dst] {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != src; v = prevNode[v] {
+		rev = append(rev, prevLink[v])
+	}
+	out := make([]int, len(rev))
+	for i, l := range rev {
+		out[len(rev)-1-i] = l
+	}
+	return out
+}
+
+// DownedLinks returns the applied link fail-stop faults as endpoint pairs,
+// in down order.
+func (f *Fabric) DownedLinks() [][2]int { return f.downedLinks }
+
+// RerouteCount returns how many transfers detoured around a downed link.
+func (f *Fabric) RerouteCount() int64 { return f.rerouteCount }
+
+// UnroutableCount returns how many transfers found no surviving route.
+func (f *Fabric) UnroutableCount() int64 { return f.unroutableCount }
+
+// LinkRetryCount returns the number of retransmissions whose route crossed
+// directed link l — the per-hop attribution of retry traffic on routed
+// topologies (always 0 on the crossbar, which has no shared links).
+func (f *Fabric) LinkRetryCount(l int) int64 {
+	if f.linkRetries == nil || l < 0 || l >= len(f.linkRetries) {
+		return 0
+	}
+	return f.linkRetries[l]
+}
+
+// LinkBusyUntil returns when directed link l's current occupant drains —
+// diagnostic visibility into per-hop claims on routed topologies.
+func (f *Fabric) LinkBusyUntil(l int) sim.Cycle {
+	if l < 0 || l >= len(f.linkFree) {
+		return 0
+	}
+	return f.linkFree[l]
 }
 
 // fail records the fabric's first unrecoverable fault. The fabric keeps
@@ -786,6 +973,21 @@ func (f *Fabric) tryStart(src int) {
 	arrive := now + tx + f.cfg.LatencyCycles
 	if f.topo != nil {
 		arrive = f.claimRoute(m.src, m.dst, now, tx)
+		if m.x != nil && m.x.attempts > 1 {
+			// Attribute the retransmission to every link it re-claims: the
+			// retry holds the whole routed path again, not just the ports.
+			if f.linkRetries == nil {
+				f.linkRetries = make([]int64, f.topo.NumLinks())
+			}
+			for _, l := range f.routeBuf {
+				f.linkRetries[l]++
+			}
+		}
+	} else if f.downedPairs != nil && f.downedPairs[[2]int{m.src, m.dst}] {
+		// The crossbar pair's point-to-point connection is down and has no
+		// detour; record the typed error and let the transfer drain.
+		f.unroutableCount++
+		f.fail(&UnroutableError{Src: m.src, Dst: m.dst, At: now, Link: [2]int{m.src, m.dst}})
 	}
 	switch flt.Kind {
 	case FaultDelay:

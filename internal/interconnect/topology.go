@@ -81,6 +81,14 @@ type Topology interface {
 	// returns it. src != dst; callers reuse buf to keep the hot path
 	// allocation-free.
 	Route(src, dst int, buf []int) []int
+	// LinkBetween returns the directed link id carrying src→dst when the two
+	// nodes are direct neighbours, or -1. This is how link fail-stop faults
+	// name a physical link by its endpoints.
+	LinkBetween(src, dst int) int
+	// Neighbors appends src's direct neighbours to buf in ascending link-id
+	// order and returns it — the adjacency the fabric's detour search walks
+	// when links are down.
+	Neighbors(src int, buf []int) []int
 }
 
 // NewTopology builds the routed topology for kind over n GPUs.
@@ -126,6 +134,28 @@ func (r *ring) Route(src, dst int, buf []int) []int {
 	}
 	for at := src; at != dst; at = (at - 1 + r.n) % r.n {
 		buf = append(buf, r.n+at)
+	}
+	return buf
+}
+
+func (r *ring) LinkBetween(src, dst int) int {
+	switch {
+	case r.n > 1 && dst == (src+1)%r.n:
+		return src
+	case r.n > 1 && dst == (src-1+r.n)%r.n:
+		return r.n + src
+	default:
+		return -1
+	}
+}
+
+func (r *ring) Neighbors(src int, buf []int) []int {
+	if r.n < 2 {
+		return buf
+	}
+	buf = append(buf, (src+1)%r.n)
+	if r.n > 2 {
+		buf = append(buf, (src-1+r.n)%r.n)
 	}
 	return buf
 }
@@ -190,6 +220,44 @@ func (m *mesh2D) walkY(buf []int, r0, r1, col int) []int {
 	}
 	for r := r0; r > r1; r-- {
 		buf = append(buf, (r*m.cols+col)*4+3)
+	}
+	return buf
+}
+
+func (m *mesh2D) LinkBetween(src, dst int) int {
+	if src < 0 || dst < 0 || src >= m.n || dst >= m.n {
+		return -1
+	}
+	sr, sc := src/m.cols, src%m.cols
+	dr, dc := dst/m.cols, dst%m.cols
+	switch {
+	case sr == dr && dc == sc+1:
+		return src*4 + 0
+	case sr == dr && dc == sc-1:
+		return src*4 + 1
+	case sc == dc && dr == sr+1:
+		return src*4 + 2
+	case sc == dc && dr == sr-1:
+		return src*4 + 3
+	default:
+		return -1
+	}
+}
+
+func (m *mesh2D) Neighbors(src int, buf []int) []int {
+	sr, sc := src/m.cols, src%m.cols
+	// Ascending link-id order: +x, −x, +y, −y.
+	if sc+1 < m.cols && src+1 < m.n {
+		buf = append(buf, src+1)
+	}
+	if sc > 0 {
+		buf = append(buf, src-1)
+	}
+	if (sr+1)*m.cols+sc < m.n {
+		buf = append(buf, src+m.cols)
+	}
+	if sr > 0 {
+		buf = append(buf, src-m.cols)
 	}
 	return buf
 }

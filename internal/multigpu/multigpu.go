@@ -114,6 +114,14 @@ type Config struct {
 	// RadixK is the radix for CompAlg == plan.AlgRadixK; 0 uses
 	// plan.DefaultK for the GPU count.
 	RadixK int
+
+	// StragglerWindow, when positive, arms CHOPIN's per-round progress
+	// watchdog on exchange-plan composition: a plan group that makes no
+	// progress for a full window while at least one GPU is ready has its
+	// laggard excluded and the plan repaired over the rest, instead of
+	// waiting out a stall. 0 (the default) disables straggler exclusion;
+	// it only affects CompAlg != plan.AlgDirectSend runs.
+	StragglerWindow sim.Cycle
 }
 
 // DefaultConfig returns the paper's Table II system.
@@ -194,6 +202,9 @@ func (c Config) Fingerprint() string {
 	fmt.Fprintf(h, "%+v", fp)
 	if c.Link.Topology != interconnect.TopoCrossbar || c.CompAlg != plan.AlgDirectSend || c.RadixK != 0 {
 		fmt.Fprintf(h, "|topo=%d comp=%d k=%d", c.Link.Topology, c.CompAlg, c.RadixK)
+	}
+	if c.StragglerWindow != 0 {
+		fmt.Fprintf(h, "|sw=%d", c.StragglerWindow)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -357,6 +368,17 @@ func New(cfg Config, width, height int) (*System, error) {
 			} else {
 				eng.At(gf.At, func() { s.GPUs[gf.GPU].Stall(gf.Stall) })
 			}
+		}
+		for _, lf := range cfg.Faults.LinkFails {
+			if lf.A >= cfg.NumGPUs || lf.B >= cfg.NumGPUs {
+				return nil, fmt.Errorf("multigpu: fault plan downs link %d-%d of %d GPUs", lf.A, lf.B, cfg.NumGPUs)
+			}
+			lf := lf
+			// DownLink errors when the endpoints name no physical link of
+			// this topology (a mesh pair without a shared grid edge): the
+			// fault simply cannot materialize, mirroring a degrade window
+			// past frame end.
+			eng.At(lf.At, func() { _ = s.Fabric.DownLink(lf.A, lf.B) })
 		}
 	}
 	if cfg.Cancel != nil {

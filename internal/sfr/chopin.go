@@ -74,6 +74,11 @@ type chopinRun struct {
 	// exchange plan: opaque groups then run the plan executor instead of the
 	// paper's owner-addressed direct send.
 	compPlan *plan.Plan
+	// curPex is the live plan executor while an opaque group composes via
+	// compPlan, so a fail-stop detected mid-plan excludes the GPU from the
+	// running exchange immediately instead of waiting for the step-boundary
+	// checkpoint.
+	curPex *planExec
 
 	steps   []core.Step
 	stepIdx int    // 1-based index of the executing step (scheduler epoch)
@@ -154,7 +159,12 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStat
 	if len(fr.Draws) > 0 {
 		r.prevRT = fr.Draws[0].State.RenderTarget
 	}
-	sys.OnGPUFail(func(g int) { r.failedPending = append(r.failedPending, g) })
+	sys.OnGPUFail(func(g int) {
+		r.failedPending = append(r.failedPending, g)
+		if r.curPex != nil {
+			r.curPex.exclude(g)
+		}
+	})
 
 	// One virtual step past the last group gives failures after the final
 	// group a recovery checkpoint before the image is assembled.
@@ -176,6 +186,19 @@ func (c CHOPIN) Run(sys *multigpu.System, fr *primitive.Frame) (*stats.FrameStat
 func (r *chopinRun) nextAlive(g int) int {
 	for off := 0; off < r.n; off++ {
 		if cand := (g + off) % r.n; r.sys.Alive(cand) {
+			return cand
+		}
+	}
+	return g
+}
+
+// nextEligible is nextAlive additionally skipping GPUs excluded from the
+// active composition exchange (stragglers are alive but no longer receive
+// this group's draws).
+func (r *chopinRun) nextEligible(g int, excluded []bool) int {
+	for off := 0; off < r.n; off++ {
+		cand := (g + off) % r.n
+		if r.sys.Alive(cand) && !excluded[cand] {
 			return cand
 		}
 	}
@@ -420,19 +443,25 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 		cs.Reset()
 	}
 
+	// A configured exchange plan supersedes both the composition scheduler
+	// and the naive direct send for this group (pex is assigned below;
+	// groupEnd closes over it).
+	var pex *planExec
+
 	groupEnd := func() {
-		r.ex.AttributePhases(phaseStart, []exec.Mark{
-			{Tag: stats.PhaseNormal, At: tAllReady},
-		}, stats.PhaseComposition)
+		marks := []exec.Mark{{Tag: stats.PhaseNormal, At: tAllReady}}
+		if pex != nil {
+			r.curPex = nil
+			r.ex.SetPlanState(nil)
+			marks = pex.phaseMarks(tAllReady)
+		}
+		r.ex.AttributePhases(phaseStart, marks, stats.PhaseComposition)
 		for g := range r.cumDirty {
 			r.foldDirty(g, rt)
 		}
 		r.next()
 	}
 
-	// A configured exchange plan supersedes both the composition scheduler
-	// and the naive direct send for this group.
-	var pex *planExec
 	if r.compPlan != nil {
 		var err error
 		pex, err = newPlanExec(r, rt, mergeCmp, groupEnd)
@@ -440,6 +469,8 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 			r.ex.Fail(err)
 			return
 		}
+		r.curPex = pex
+		r.ex.SetPlanState(pex.planState)
 	}
 
 	// Naive direct-send bookkeeping derives from the enumerated session
@@ -564,9 +595,14 @@ func (r *chopinRun) opaqueGroup(grp primitive.Group, rt int) {
 	r.ex.IssueDraws(grp.Start, grp.End, func(i int) {
 		d := r.fr.Draws[i]
 		g := r.sched.Assign(d.TriangleCount(), eng.Now())
-		if !r.sys.Alive(g) {
-			// Remap assignments away from failed GPUs (the driver stops
-			// dispatching to a dead GPU as soon as failure is detected).
+		if pex != nil {
+			// Remap assignments away from failed or excluded GPUs (the
+			// driver stops dispatching to a dead GPU as soon as failure is
+			// detected) and record who renders what, so a mid-plan
+			// exclusion knows which draws to re-render on survivors.
+			g = r.nextEligible(g, pex.excluded)
+			pex.assigned[g] = append(pex.assigned[g], i)
+		} else if !r.sys.Alive(g) {
 			g = r.nextAlive(g)
 		}
 		outstanding[g]++
