@@ -99,6 +99,7 @@ func main() {
 		compAlg = flag.String("comp-alg", "", "single run: CHOPIN composition exchange plan: direct-send | binary-swap | radix-k | mixed-radix | auto (default direct-send)")
 		radixK  = flag.Int("radix-k", 0, "single run: radix for -comp-alg radix-k (0 = largest supported)")
 		pngOut  = flag.String("png", "", "single run: write the rendered frame to this PNG file")
+		fabSum  = flag.Bool("fabric-summary", false, "single run: enable fabric link telemetry and print the per-link summary (hottest links, latency quantiles)")
 		verify  = flag.Bool("verify", false, "attach the runtime invariant checker to every simulation")
 		update  = flag.Bool("update-golden", false, "re-record the golden experiment outputs and exit")
 		gdir    = flag.String("golden-dir", "internal/experiments/testdata/golden", "golden output directory (with -update-golden)")
@@ -273,7 +274,7 @@ func main() {
 		}
 		fo := faultOpts{spec: *faults, seed: *faultSeed, timeout: *timeout, straggler: sim.Cycle(*stragglerW)}
 		so := scaleOpts{topology: *topo, compAlg: *compAlg, radixK: *radixK}
-		if err := runSingle(*scheme, *bench, *gpus, *engineW, *scale, *ideal, *verify, *pngOut, *runrecOut, to, fo, so); err != nil {
+		if err := runSingle(*scheme, *bench, *gpus, *engineW, *scale, *ideal, *verify, *fabSum, *pngOut, *runrecOut, to, fo, so); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -367,7 +368,7 @@ func serveMonitor(addr string) (*live.Monitor, error) {
 	return mon, nil
 }
 
-func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ideal, verify bool, pngOut, recOut string, to traceOpts, fo faultOpts, so scaleOpts) error {
+func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ideal, verify, fabricSummary bool, pngOut, recOut string, to traceOpts, fo faultOpts, so scaleOpts) error {
 	b, err := trace.ByName(bench)
 	if err != nil {
 		return err
@@ -378,6 +379,7 @@ func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ide
 	cfg.EngineWorkers = engineWorkers
 	cfg.Link.Ideal = ideal
 	cfg.Verify = verify
+	cfg.FabricTelemetry = fabricSummary
 	cfg.GroupThreshold = max(16, int(float64(cfg.GroupThreshold)*scale))
 	if err := so.apply(&cfg); err != nil {
 		return err
@@ -462,6 +464,9 @@ func runSingle(scheme, bench string, gpus, engineWorkers int, scale float64, ide
 			st.GroupsTotal, st.GroupsAccelerated, st.TrianglesAccelerated)
 	}
 	printFaultSummary(sys, st)
+	if fabricSummary {
+		printFabricSummary(sys, st)
+	}
 	if recOut != "" {
 		seed := int64(0)
 		if fo.spec != "" {
@@ -535,6 +540,39 @@ func printFaultSummary(sys *multigpu.System, st *stats.FrameStats) {
 		fmt.Printf("recovery: %d GPU(s) failed, %d exchange-plan repair(s); degraded-mode recovery took %d cycles\n",
 			st.GPUsFailed, st.PlanRepairs, st.RecoveryCycles)
 	}
+}
+
+// printFabricSummary reports the fabric link telemetry of a single run: the
+// digest captured into FrameStats plus the hottest links from the live
+// collector. Fully deterministic — same run, same bytes.
+func printFabricSummary(sys *multigpu.System, st *stats.FrameStats) {
+	lt := sys.Fabric.LinkTelemetry()
+	if lt == nil || st.Fabric == nil {
+		fmt.Println("fabric telemetry: not available (ideal fabric has no links to meter)")
+		return
+	}
+	fb := st.Fabric
+	fmt.Printf("fabric: %d links (%d active), %d transfers, mean hops %.2f\n",
+		fb.Links, fb.ActiveLinks, fb.Transfers, fb.MeanHops)
+	fmt.Printf("transfer latency: p50 %d, p90 %d, p99 %d cycles; link-wait %d cycles total\n",
+		fb.LatencyP50, fb.LatencyP90, fb.LatencyP99, fb.QueuedCycles)
+	top := lt.Top(5)
+	if len(top) == 0 {
+		fmt.Println("no link carried traffic")
+		return
+	}
+	fmt.Println("hottest links:")
+	tbl := stats.NewTable("link", "busy", "util%", "MB", "transfers", "queued", "retries")
+	for _, l := range top {
+		util := 0.0
+		if st.TotalCycles > 0 {
+			util = 100 * float64(l.Busy) / float64(st.TotalCycles)
+		}
+		tbl.AddRow(l.Name, fmt.Sprintf("%d", l.Busy), fmt.Sprintf("%.1f", util),
+			stats.MB(l.Bytes), fmt.Sprintf("%d", l.Transfers),
+			fmt.Sprintf("%d", l.Queued), fmt.Sprintf("%d", l.Retries))
+	}
+	fmt.Print(tbl.String())
 }
 
 // causalMetrics round-trips the captured timeline through the exporter and

@@ -8,6 +8,7 @@
 //	chopintrace -check trace.json      validate structural invariants only
 //	chopintrace -critical trace.json   causal critical path + attribution
 //	chopintrace -whatif trace.json     what-if bounds per category
+//	chopintrace -fabric trace.json     fabric channels, congestion waves, latency
 //	chopintrace -json trace.json       machine-readable digest (byte-stable)
 //
 // The digest shows the k longest spans, per-track busy utilization, and the
@@ -41,6 +42,7 @@ type options struct {
 	check    bool
 	critical bool
 	whatif   bool
+	fabric   bool
 	jsonOut  bool
 }
 
@@ -50,10 +52,11 @@ func main() {
 	flag.BoolVar(&opt.check, "check", false, "validate trace invariants and exit (non-zero on violation)")
 	flag.BoolVar(&opt.critical, "critical", false, "build the causal graph; print critical path and bottleneck attribution")
 	flag.BoolVar(&opt.whatif, "whatif", false, "print what-if speedup bounds per category (implies the causal graph)")
+	flag.BoolVar(&opt.fabric, "fabric", false, "print the fabric breakdown: hottest channels, per-wave congestion, wire-latency quantiles")
 	flag.BoolVar(&opt.jsonOut, "json", false, "emit the digest as byte-stable JSON instead of text")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: chopintrace [-top k] [-check] [-critical] [-whatif] [-json] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: chopintrace [-top k] [-check] [-critical] [-whatif] [-fabric] [-json] trace.json")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), opt); err != nil {
@@ -82,6 +85,8 @@ type jsonDigest struct {
 	Counters     int            `json:"counters"`
 	Tracks       []jsonTrack    `json:"tracks"`
 	Causal       *causal.Report `json:"causal,omitempty"`
+	// Fabric is present only with -fabric.
+	Fabric *obs.FabricSummary `json:"fabric,omitempty"`
 }
 
 func run(w io.Writer, path string, opt options) error {
@@ -100,6 +105,16 @@ func run(w io.Writer, path string, opt options) error {
 			return fmt.Errorf("%s is cut off mid-write; re-run the capture (%w)", path, err)
 		}
 		return err
+	}
+
+	var fab *obs.FabricSummary
+	if opt.fabric {
+		fab, err = tf.FabricSummary()
+		if err != nil {
+			// ErrNoTransferSpans and friends: the breakdown was asked for
+			// explicitly, so fail with the typed error, never an empty table.
+			return fmt.Errorf("%s: %w", path, err)
+		}
 	}
 
 	var rep *causal.Report
@@ -151,6 +166,7 @@ func run(w io.Writer, path string, opt options) error {
 			CriticalPath: s.CriticalPath,
 			Counters:     s.Counters,
 			Causal:       rep,
+			Fabric:       fab,
 		}
 		for _, t := range s.Tracks {
 			d.Tracks = append(d.Tracks, jsonTrack{Name: t.Name, Busy: t.Busy, Spans: t.Spans, Utilization: t.Utilization})
@@ -181,6 +197,10 @@ func run(w io.Writer, path string, opt options) error {
 		}
 	}
 
+	if fab != nil {
+		printFabric(w, fab, opt.top)
+	}
+
 	fmt.Fprintf(w, "\ntop %d spans by duration:\n", len(s.TopSpans))
 	for _, e := range s.TopSpans {
 		fmt.Fprintf(w, "  %12d cycles  @%-12d %-24s %s\n", e.Dur, e.Ts, tf.TrackName(e.Pid, e.Tid), e.Name)
@@ -196,6 +216,38 @@ func run(w io.Writer, path string, opt options) error {
 		fmt.Fprintf(w, "\nWARNING: %d invariant violation(s); rerun with -check for details\n", len(problems))
 	}
 	return nil
+}
+
+// printFabric renders the trace-derived fabric breakdown: channel table,
+// latency quantiles, and the gap-separated congestion waves (one per
+// composition round under round-barriered exchanges).
+func printFabric(w io.Writer, fab *obs.FabricSummary, top int) {
+	fmt.Fprintf(w, "\nfabric: %d channels, %d transfers, %.2f MB, %d retries\n",
+		len(fab.Pairs), fab.Transfers, float64(fab.Bytes)/(1<<20), fab.Retries)
+	if fab.Latencies > 0 {
+		fmt.Fprintf(w, "wire latency (egress start -> ingress drain, %d transfers): p50 %d  p90 %d  p99 %d cycles\n",
+			fab.Latencies, fab.LatencyP50, fab.LatencyP90, fab.LatencyP99)
+	}
+	n := len(fab.Pairs)
+	if top > 0 && n > top {
+		n = top
+	}
+	fmt.Fprintf(w, "hottest channels (of %d):\n", len(fab.Pairs))
+	for _, p := range fab.Pairs[:n] {
+		fmt.Fprintf(w, "  %-10s busy %12d cycles  %10.2f MB  %6d transfers  %d retries\n",
+			p.Name(), p.Busy, float64(p.Bytes)/(1<<20), p.Transfers, p.Retries)
+	}
+	const maxWaves = 16
+	fmt.Fprintf(w, "congestion waves (%d, gap-separated):\n", len(fab.Waves))
+	for i, wv := range fab.Waves {
+		if i == maxWaves {
+			fmt.Fprintf(w, "  ... %d more\n", len(fab.Waves)-maxWaves)
+			break
+		}
+		fmt.Fprintf(w, "  %3d: cycles [%d, %d]  %6d transfers  %10.2f MB  hottest g%d->g%d (%d cycles)\n",
+			i, wv.Start, wv.End, wv.Transfers, float64(wv.Bytes)/(1<<20),
+			wv.MaxPairSrc, wv.MaxPairDst, wv.MaxPairBusy)
+	}
 }
 
 func pct(num, den int64) float64 {

@@ -186,6 +186,74 @@ func TestRunJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// writeFabricTrace exports a timeline with one fabric transfer: an egress
+// span on GPU 0 flow-paired to an ingress span on GPU 1.
+func writeFabricTrace(t *testing.T) string {
+	t.Helper()
+	tr := obs.New()
+	eg := tr.Track(obs.PidGPU(0), obs.GPUProcName(0), obs.TidEgress, "link egress")
+	in := tr.Track(obs.PidGPU(1), obs.GPUProcName(1), obs.TidIngress, "link ingress")
+	id := tr.FlowStart(eg, "composition", 0)
+	tr.Span(eg, "composition", 0, 100,
+		obs.Arg{Key: "bytes", Val: 6400}, obs.Arg{Key: "dst", Val: 1}, obs.Arg{Key: "attempt", Val: 1})
+	tr.Span(in, "composition", 200, 100,
+		obs.Arg{Key: "bytes", Val: 6400}, obs.Arg{Key: "src", Val: 0}, obs.Arg{Key: "attempt", Val: 1})
+	tr.FlowEnd(in, "composition", 200, id)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return writeTemp(t, "fabric.json", buf.String())
+}
+
+// TestRunFabric: -fabric prints the channel table and congestion waves, and
+// the -json digest carries the fabric block.
+func TestRunFabric(t *testing.T) {
+	path := writeFabricTrace(t)
+	var out bytes.Buffer
+	if err := run(&out, path, options{top: 10, fabric: true}); err != nil {
+		t.Fatalf("run() -fabric: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"fabric: 1 channels, 1 transfers",
+		"g0->g1",
+		"congestion waves (1",
+		"wire latency",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	var j bytes.Buffer
+	if err := run(&j, path, options{top: 10, fabric: true, jsonOut: true}); err != nil {
+		t.Fatalf("run() -fabric -json: %v", err)
+	}
+	var d jsonDigest
+	if err := json.Unmarshal(j.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Fabric == nil || d.Fabric.Transfers != 1 || len(d.Fabric.Pairs) != 1 {
+		t.Errorf("json digest fabric block = %+v", d.Fabric)
+	}
+}
+
+// TestRunFabricNoTransferSpans: asking for the fabric breakdown of a trace
+// with no transfer spans fails with the typed error — never a zero-row
+// table.
+func TestRunFabricNoTransferSpans(t *testing.T) {
+	path := writeTaggedTrace(t) // pipeline spans only, nothing on the fabric
+	err := run(io.Discard, path, options{top: 10, fabric: true})
+	if !errors.Is(err, obs.ErrNoTransferSpans) {
+		t.Fatalf("run() -fabric on a fabric-less trace = %v, want ErrNoTransferSpans", err)
+	}
+	// Without -fabric the same trace still summarizes fine.
+	if err := run(io.Discard, path, options{top: 10}); err != nil {
+		t.Fatalf("run() without -fabric: %v", err)
+	}
+}
+
 // TestRunJSONUntagged: -json on a capture without categories still works,
 // omitting the causal block rather than failing.
 func TestRunJSONUntagged(t *testing.T) {

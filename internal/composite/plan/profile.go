@@ -1,0 +1,189 @@
+// Plan-congestion attribution: a static cost model that charges every
+// session of an exchange plan to the fabric links its route crosses, before
+// any simulation runs. This is how we quantify which links a plan saturates
+// — e.g. that id-XOR binary-swap pairing on a ring concentrates each round's
+// traffic on a sliver of the fabric — and it is the input the topology-aware
+// planner work on the ROADMAP starts from.
+//
+// The model is exact for the quantities the fabric's timing model also
+// computes: per-link bytes and per-link busy cycles accumulate identically
+// to a real run of the same sessions (test-enforced), because both sides
+// route with the same Topology and apply the same per-transmission ceiling.
+// What the static model does not capture is queueing — contention-induced
+// waits depend on the dynamic interleaving — which is exactly the part the
+// fabric's LinkTelemetry measures at run time.
+package plan
+
+import (
+	"fmt"
+
+	"chopin/internal/interconnect"
+)
+
+// ProfileOptions parameterizes the cost model.
+type ProfileOptions struct {
+	// BytesPerRow converts session region rows to payload bytes: screen
+	// width × bytes per pixel. Zero defaults to 1 (loads in row units).
+	BytesPerRow int64
+	// BytesPerCycle, when positive, additionally computes per-link busy
+	// cycles with the fabric's per-transmission ceiling — the exact cycles a
+	// telemetry-enabled fabric would attribute to each link executing the
+	// plan fault-free.
+	BytesPerCycle float64
+}
+
+// RoundProfile is the cost attribution of one plan round.
+type RoundProfile struct {
+	// Sessions is the number of non-empty sessions; TotalBytes their summed
+	// payload.
+	Sessions   int
+	TotalBytes int64
+	// HopBytes is Σ bytes × route-length — the total wire work the round
+	// imposes on the fabric.
+	HopBytes int64
+	// MaxLink is the round's most-loaded link (lowest id on ties) and
+	// MaxLinkBytes its load.
+	MaxLink      int
+	MaxLinkBytes int64
+	// LoadFactor is the round's congestion concentration: MaxLinkBytes
+	// divided by the fair share HopBytes/Links. 1.0 means the round spreads
+	// its traffic perfectly evenly; k means the hottest link carries k times
+	// its share while other links idle, so the round serializes behind it.
+	LoadFactor float64
+	// LinkBytes[l] is the payload routed over directed link l this round;
+	// LinkBusy[l] the corresponding busy cycles (nil unless BytesPerCycle
+	// was set).
+	LinkBytes []int64
+	LinkBusy  []int64
+}
+
+// CostProfile is the full plan attribution returned by Profile.
+type CostProfile struct {
+	// N is the plan's GPU count, Links the directed link id space of the
+	// topology (ordered pairs on the crossbar).
+	N, Links int
+	// Rounds holds the per-round attribution, in execution order.
+	Rounds []RoundProfile
+	// LinkBytes and LinkBusy are the whole-plan per-link accumulations
+	// (LinkBusy nil unless BytesPerCycle was set).
+	LinkBytes []int64
+	LinkBusy  []int64
+	// TotalBytes and HopBytes aggregate all rounds.
+	TotalBytes, HopBytes int64
+	// MaxLink / MaxLinkBytes locate the hottest link over the whole plan.
+	MaxLink      int
+	MaxLinkBytes int64
+	// MaxLinkLoad is the plan's max-link-load: the worst per-round
+	// LoadFactor. It is normalized (1.0 = perfectly spread), so plans of
+	// different total traffic compare directly: a high value means rounds
+	// bottleneck on a few links regardless of how many bytes they move.
+	MaxLinkLoad float64
+	// MeanHops is the mean route length per session.
+	MeanHops float64
+}
+
+// Profile charges every session of p to the links its route crosses on
+// topo and returns the per-round and whole-plan attribution. A nil topo is
+// the crossbar: every ordered pair is its own single-hop link, id
+// sender·N + receiver.
+//
+// Direct-send (OwnerRegions) sessions are costed at the receiver's owned
+// share — region rows divided by the live GPU count — matching the
+// executor's ownership intersection in the all-dirty worst case; other
+// plans are costed at their literal region rows. Link fail-stop reroutes
+// are not modeled: the profile describes the intact fabric.
+func Profile(p *Plan, topo interconnect.Topology, opt ProfileOptions) (*CostProfile, error) {
+	if p == nil {
+		return nil, fmt.Errorf("plan: profile of a nil plan")
+	}
+	if err := checkDims(p.N, max(p.Height, 1)); err != nil {
+		return nil, err
+	}
+	bpr := opt.BytesPerRow
+	if bpr <= 0 {
+		bpr = 1
+	}
+	links := p.N * p.N
+	if topo != nil {
+		links = topo.NumLinks()
+	}
+	cp := &CostProfile{
+		N:         p.N,
+		Links:     links,
+		LinkBytes: make([]int64, links),
+		MaxLink:   -1,
+	}
+	if opt.BytesPerCycle > 0 {
+		cp.LinkBusy = make([]int64, links)
+	}
+	numLive := int64(p.NumLive())
+	var route []int
+	var sessions, hopSum int64
+	for _, round := range p.Rounds {
+		rp := RoundProfile{MaxLink: -1, LinkBytes: make([]int64, links)}
+		if cp.LinkBusy != nil {
+			rp.LinkBusy = make([]int64, links)
+		}
+		for _, s := range round {
+			bytes := int64(s.Region.Rows()) * bpr
+			if p.OwnerRegions && numLive > 0 {
+				bytes /= numLive
+			}
+			if bytes <= 0 || s.Sender == s.Receiver {
+				continue
+			}
+			var busy int64
+			if cp.LinkBusy != nil {
+				// The fabric's per-transmission ceiling, reproduced exactly
+				// (interconnect tryStart): a transfer holds each link for tx.
+				busy = int64(float64(bytes)/opt.BytesPerCycle + 0.999999)
+				if busy < 1 {
+					busy = 1
+				}
+			}
+			if topo == nil {
+				route = append(route[:0], s.Sender*p.N+s.Receiver)
+			} else {
+				route = topo.Route(s.Sender, s.Receiver, route[:0])
+			}
+			for _, l := range route {
+				rp.LinkBytes[l] += bytes
+				if rp.LinkBusy != nil {
+					rp.LinkBusy[l] += busy
+				}
+			}
+			rp.Sessions++
+			rp.TotalBytes += bytes
+			rp.HopBytes += bytes * int64(len(route))
+			sessions++
+			hopSum += int64(len(route))
+		}
+		for l, b := range rp.LinkBytes {
+			cp.LinkBytes[l] += b
+			if rp.LinkBusy != nil {
+				cp.LinkBusy[l] += rp.LinkBusy[l]
+			}
+			if b > rp.MaxLinkBytes {
+				rp.MaxLink, rp.MaxLinkBytes = l, b
+			}
+		}
+		if rp.HopBytes > 0 {
+			rp.LoadFactor = float64(rp.MaxLinkBytes) * float64(links) / float64(rp.HopBytes)
+		}
+		if rp.LoadFactor > cp.MaxLinkLoad {
+			cp.MaxLinkLoad = rp.LoadFactor
+		}
+		cp.TotalBytes += rp.TotalBytes
+		cp.HopBytes += rp.HopBytes
+		cp.Rounds = append(cp.Rounds, rp)
+	}
+	for l, b := range cp.LinkBytes {
+		if b > cp.MaxLinkBytes {
+			cp.MaxLink, cp.MaxLinkBytes = l, b
+		}
+	}
+	if sessions > 0 {
+		cp.MeanHops = float64(hopSum) / float64(sessions)
+	}
+	return cp, nil
+}

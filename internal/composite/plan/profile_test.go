@@ -1,0 +1,220 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"chopin/internal/interconnect"
+	"chopin/internal/sim"
+)
+
+func ringTopo(t *testing.T, n int) interconnect.Topology {
+	t.Helper()
+	topo, err := interconnect.NewTopology(interconnect.TopoRing, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestProfileBinarySwapRingCongestion is the acceptance check for the cost
+// model: on a 64-GPU ring, id-XOR binary-swap's max-link-load is strictly
+// above direct-send's. Load is normalized to the round's fair share
+// (LoadFactor), which is what "fabric-hostile" means here: every binary-swap
+// round funnels its traffic over one pairing direction — half the directed
+// links idle while the hot ones carry twice their share, so the round
+// serializes behind them — whereas ownership-partitioned direct-send spreads
+// its (much larger) total almost perfectly evenly. Both facts show up: the
+// concentration in MaxLinkLoad, the total wire work in HopBytes.
+func TestProfileBinarySwapRingCongestion(t *testing.T) {
+	const n, h = 64, 4096
+	topo := ringTopo(t, n)
+	bs, err := BinarySwap(n, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := DirectSend(n, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ProfileOptions{BytesPerRow: 512}
+	pbs, err := Profile(bs, topo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pds, err := Profile(ds, topo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pbs.MaxLinkLoad <= pds.MaxLinkLoad {
+		t.Fatalf("binary-swap max-link-load %.3f not strictly above direct-send's %.3f",
+			pbs.MaxLinkLoad, pds.MaxLinkLoad)
+	}
+	// Pin the analytical values so the model can't drift silently: every
+	// binary-swap round loads its hot links at 2× fair share; direct-send
+	// spreads within ~3% of even (528/512 on the clockwise links).
+	if pbs.MaxLinkLoad != 2.0 {
+		t.Errorf("binary-swap MaxLinkLoad = %.4f, want exactly 2.0", pbs.MaxLinkLoad)
+	}
+	if pds.MaxLinkLoad < 1.0 || pds.MaxLinkLoad > 1.04 {
+		t.Errorf("direct-send MaxLinkLoad = %.4f, want ~1.031", pds.MaxLinkLoad)
+	}
+	// Total wire work goes the other way — binary-swap's neighbour-heavy
+	// early rounds move far fewer hop·bytes — which is why Auto still picks
+	// it on rings. Both sides of the trade-off must be visible.
+	if pbs.HopBytes >= pds.HopBytes {
+		t.Errorf("binary-swap hop·bytes %d not below direct-send's %d", pbs.HopBytes, pds.HopBytes)
+	}
+	if len(pbs.Rounds) != 6 || pbs.Links != 2*n {
+		t.Fatalf("profile shape: %d rounds, %d links", len(pbs.Rounds), pbs.Links)
+	}
+	// Stride-32 round: every session traverses half the ring clockwise.
+	last := pbs.Rounds[5]
+	if last.Sessions != 64 || last.MaxLinkBytes != int64(h/64*512*32) {
+		t.Errorf("last round: %d sessions, max link %dB", last.Sessions, last.MaxLinkBytes)
+	}
+}
+
+// TestProfileMatchesMeasured executes a plan's sessions round-by-round on a
+// real fabric with link telemetry enabled and requires the profile's
+// per-round, per-link attribution to agree exactly — bytes and busy cycles
+// both. The static model and the timing model must route identically and
+// apply the same transmission ceiling.
+func TestProfileMatchesMeasured(t *testing.T) {
+	cases := []struct {
+		name string
+		kind interconnect.TopologyKind
+		n    int
+		alg  Algorithm
+	}{
+		{"ring16-bs", interconnect.TopoRing, 16, AlgBinarySwap},
+		{"mesh12-mr", interconnect.TopoMesh2D, 12, AlgMixedRadix},
+		{"crossbar8-bs", interconnect.TopoCrossbar, 8, AlgBinarySwap},
+	}
+	const h, bpr = 256, 512
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := interconnect.DefaultConfig()
+			cfg.Topology = tc.kind
+			eng := sim.New()
+			f, err := interconnect.New(eng, tc.n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lt := f.EnableLinkTelemetry()
+			p, err := For(tc.alg, tc.n, h, 0, AssocCommutative, f.Diameter())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := Profile(p, f.Topology(), ProfileOptions{BytesPerRow: bpr, BytesPerCycle: cfg.BytesPerCycle})
+			if err != nil {
+				t.Fatal(err)
+			}
+			links := lt.NumLinks()
+			if links != cp.Links {
+				t.Fatalf("link space: telemetry %d, profile %d", links, cp.Links)
+			}
+			prevBytes := make([]int64, links)
+			prevBusy := make([]int64, links)
+			for ri, round := range p.Rounds {
+				for _, s := range round {
+					bytes := int64(s.Region.Rows()) * bpr
+					if bytes == 0 {
+						continue
+					}
+					f.Send(s.Sender, s.Receiver, bytes, interconnect.ClassComposition, nil)
+				}
+				eng.Run() // round barrier, like the executor's round gating
+				for l := 0; l < links; l++ {
+					gotBytes := lt.BytesOn(l) - prevBytes[l]
+					gotBusy := int64(lt.BusyCycles(l)) - prevBusy[l]
+					prevBytes[l] = lt.BytesOn(l)
+					prevBusy[l] = int64(lt.BusyCycles(l))
+					if gotBytes != cp.Rounds[ri].LinkBytes[l] {
+						t.Fatalf("round %d link %d: measured %dB, profile %dB",
+							ri, l, gotBytes, cp.Rounds[ri].LinkBytes[l])
+					}
+					if gotBusy != cp.Rounds[ri].LinkBusy[l] {
+						t.Fatalf("round %d link %d: measured %d busy cycles, profile %d",
+							ri, l, gotBusy, cp.Rounds[ri].LinkBusy[l])
+					}
+				}
+			}
+			for l := 0; l < links; l++ {
+				if lt.BytesOn(l) != cp.LinkBytes[l] || int64(lt.BusyCycles(l)) != cp.LinkBusy[l] {
+					t.Fatalf("whole-plan link %d: measured %dB/%d cycles, profile %dB/%d",
+						l, lt.BytesOn(l), lt.BusyCycles(l), cp.LinkBytes[l], cp.LinkBusy[l])
+				}
+			}
+		})
+	}
+}
+
+// TestProfileDeterministic: profiling the same plan twice yields deeply
+// equal results (reports golden-test against profile output).
+func TestProfileDeterministic(t *testing.T) {
+	topo := ringTopo(t, 32)
+	p, err := BinarySwap(32, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Profile(p, topo, ProfileOptions{BytesPerRow: 128, BytesPerCycle: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile(p, topo, ProfileOptions{BytesPerRow: 128, BytesPerCycle: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("profile not deterministic")
+	}
+}
+
+// TestProfileCrossbarOwnerShare: direct-send on the crossbar costs each
+// session at the receiver's owned share and loads every ordered pair
+// exactly once.
+func TestProfileCrossbarOwnerShare(t *testing.T) {
+	const n, h = 8, 256
+	p, err := DirectSend(n, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Profile(p, nil, ProfileOptions{BytesPerRow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPer := int64(h) * 8 / n
+	active := 0
+	for l, b := range cp.LinkBytes {
+		if l/n == l%n {
+			if b != 0 {
+				t.Fatalf("self link %d carries %dB", l, b)
+			}
+			continue
+		}
+		if b != wantPer {
+			t.Fatalf("pair link %d carries %dB, want %d", l, b, wantPer)
+		}
+		active++
+	}
+	if active != n*(n-1) {
+		t.Fatalf("%d active pairs, want %d", active, n*(n-1))
+	}
+	if cp.MeanHops != 1 {
+		t.Fatalf("crossbar mean hops = %g", cp.MeanHops)
+	}
+	// Perfectly even spread over the n·(n−1) used pairs; the normalization
+	// counts all n² ids, so the factor is n²/(n·(n−1)).
+	want := float64(n*n) / float64(n*(n-1))
+	if cp.MaxLinkLoad != want {
+		t.Fatalf("crossbar direct-send MaxLinkLoad = %g, want %g", cp.MaxLinkLoad, want)
+	}
+}
+
+// TestProfileErrors covers the error paths.
+func TestProfileErrors(t *testing.T) {
+	if _, err := Profile(nil, nil, ProfileOptions{}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}

@@ -296,6 +296,7 @@ type message struct {
 	src, dst    int
 	bytes       int64
 	class       Class
+	queued      sim.Cycle // when the transfer entered the egress queue
 	onDelivered func()
 	x           *xfer // retry-protocol state; nil on the fault-free fast path
 	corrupt     bool  // this copy arrives corrupted and is discarded
@@ -481,6 +482,10 @@ type Fabric struct {
 	// on the hot paths — same contract as tr).
 	inj Injector
 
+	// lt is the optional link-telemetry collector (nil = disabled, a bare
+	// nil check on the hot paths — same contract as tr and inj).
+	lt *LinkTelemetry
+
 	err      error // first unrecoverable fault (lost transfer, self-send)
 	errCount int
 
@@ -553,6 +558,9 @@ func (f *Fabric) claimRoute(src, dst int, start, tx sim.Cycle) sim.Cycle {
 	t := start
 	for _, l := range f.routeBuf {
 		if free := f.linkFree[l]; free > t {
+			if f.lt != nil {
+				f.lt.queued[l] += free - t
+			}
 			t = free
 		}
 		f.linkFree[l] = t + tx
@@ -638,6 +646,10 @@ func (f *Fabric) reroute(src, dst int, route []int) []int {
 		return route
 	}
 	f.rerouteCount++
+	if f.lt != nil {
+		// Blame the detour on the downed link that forced it.
+		f.lt.reroutes[downed]++
+	}
 	return append(route[:0], det...)
 }
 
@@ -841,7 +853,7 @@ func (f *Fabric) Send(src, dst int, bytes int64, class Class, onDelivered func()
 		f.eng.AfterCall(0, f.newDelivery(message{src: src, dst: dst, bytes: bytes, class: class, onDelivered: onDelivered}))
 		return
 	}
-	m := message{src: src, dst: dst, bytes: bytes, class: class, onDelivered: onDelivered}
+	m := message{src: src, dst: dst, bytes: bytes, class: class, queued: f.eng.Now(), onDelivered: onDelivered}
 	if f.inj != nil && f.cfg.Retry.Timeout > 0 {
 		x := &xfer{}
 		x.m = m
@@ -989,6 +1001,17 @@ func (f *Fabric) tryStart(src int) {
 		f.unroutableCount++
 		f.fail(&UnroutableError{Src: m.src, Dst: m.dst, At: now, Link: [2]int{m.src, m.dst}})
 	}
+	if f.lt != nil {
+		// Attribute the transmission to the links it occupies (the claimed
+		// route, or the pair's point-to-point connection on the crossbar) —
+		// dropped copies included: their bytes left the source and held the
+		// links either way.
+		var route []int
+		if f.topo != nil {
+			route = f.routeBuf
+		}
+		f.lt.recordTransmission(m.src, m.dst, m.bytes, route, tx, now-m.queued)
+	}
 	switch flt.Kind {
 	case FaultDelay:
 		f.stats.Faults[m.class].Delays++
@@ -1008,6 +1031,17 @@ func (f *Fabric) tryStart(src int) {
 	}
 	recvDone := max(arrive, f.ingressFree[m.dst]+tx)
 	f.ingressFree[m.dst] = recvDone
+	if f.lt != nil && !m.corrupt {
+		// End-to-end latency: queue entry to last byte drained. Corrupted
+		// copies never complete a transfer, so they stay out of the
+		// distribution (the fault counters account for them).
+		f.lt.latency.Record(recvDone - m.queued)
+		if f.topo != nil {
+			f.lt.hops.Record(int64(len(f.routeBuf)))
+		} else {
+			f.lt.hops.Record(1)
+		}
+	}
 	f.wireBytes[m.class] += m.bytes
 	if f.obsStart != nil {
 		f.obsStart.Started(m.src, m.dst, m.bytes, m.class, now, recvDone)
@@ -1124,6 +1158,9 @@ func (f *Fabric) retransmit(x *xfer) {
 		f.transmitControl(x.m)
 		return
 	}
+	// Each retransmission is its own queue visit: re-stamp the queue entry so
+	// the latency histogram measures this attempt, not the original send.
+	x.m.queued = f.eng.Now()
 	f.egressQueue[x.m.src] = append(f.egressQueue[x.m.src], x.m)
 	f.tryStart(x.m.src)
 }

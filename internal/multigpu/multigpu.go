@@ -70,6 +70,15 @@ type Config struct {
 	// Tracer.WriteJSON / Tracer.WriteCSV. A nil Tracer (the default) keeps
 	// every hot path on a bare nil-check with zero allocations.
 	Tracer *obs.Tracer
+	// FabricTelemetry attaches the fabric's link-telemetry collector
+	// (interconnect.LinkTelemetry): per-link busy cycles, bytes, queueing,
+	// reroute attribution, and per-transfer latency/hop histograms, digested
+	// into FrameStats.Fabric at the end of the run. Like Tracer it observes
+	// without perturbing — a telemetry-enabled run simulates byte-identically
+	// — and it is excluded from Fingerprint. Ignored on ideal fabrics, which
+	// have no links to meter. The default keeps the fabric's hot paths on a
+	// bare nil check with zero allocations.
+	FabricTelemetry bool
 
 	// Faults, when non-nil and non-empty, installs the deterministic
 	// fault-injection plan (package fault): the fabric gets the compiled
@@ -289,6 +298,9 @@ func New(cfg Config, width, height int) (*System, error) {
 	}
 	if cfg.EngineWorkers > 1 && eng.Shards() > 0 {
 		fabric.SetShard(sim.ShardID(cfg.NumGPUs + 1))
+	}
+	if cfg.FabricTelemetry {
+		fabric.EnableLinkTelemetry()
 	}
 	s := &System{
 		Cfg:    cfg,

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fabricTrace builds a small timeline with two composition waves: egress
+// activity at cycles [0, 150] (two transfers, 0→1 and 0→2, the second a
+// retry) and at [500, 550] (one transfer 1→0). Flow arrows pair each egress
+// span with its ingress span so wire latency is recoverable.
+func fabricTrace(t *testing.T) *TraceFile {
+	t.Helper()
+	tr := New()
+	eg0 := tr.Track(PidGPU(0), GPUProcName(0), TidEgress, "link egress")
+	eg1 := tr.Track(PidGPU(1), GPUProcName(1), TidEgress, "link egress")
+	in0 := tr.Track(PidGPU(0), GPUProcName(0), TidIngress, "link ingress")
+	in1 := tr.Track(PidGPU(1), GPUProcName(1), TidIngress, "link ingress")
+	in2 := tr.Track(PidGPU(2), GPUProcName(2), TidIngress, "link ingress")
+
+	// Wave 1: 0→1 (100 cycles busy, arrives at 300) and 0→2 (overlapping,
+	// attempt 2 — a retransmission).
+	id := tr.FlowStart(eg0, "composition", 0)
+	tr.Span(eg0, "composition", 0, 100,
+		Arg{Key: "bytes", Val: 6400}, Arg{Key: "dst", Val: 1}, Arg{Key: "attempt", Val: 1})
+	tr.Span(in1, "composition", 200, 100,
+		Arg{Key: "bytes", Val: 6400}, Arg{Key: "src", Val: 0}, Arg{Key: "attempt", Val: 1})
+	tr.FlowEnd(in1, "composition", 200, id)
+
+	id2 := tr.FlowStart(eg0, "composition", 100)
+	tr.Span(eg0, "composition", 100, 50,
+		Arg{Key: "bytes", Val: 3200}, Arg{Key: "dst", Val: 2}, Arg{Key: "attempt", Val: 2})
+	tr.Span(in2, "composition", 250, 50,
+		Arg{Key: "bytes", Val: 3200}, Arg{Key: "src", Val: 0}, Arg{Key: "attempt", Val: 2})
+	tr.FlowEnd(in2, "composition", 250, id2)
+
+	// Egress bookkeeping without a dst arg must not count as a transfer.
+	tr.Span(eg0, "retry-backoff", 150, 10)
+
+	// Wave 2, after an idle gap: 1→0.
+	id3 := tr.FlowStart(eg1, "composition", 500)
+	tr.Span(eg1, "composition", 500, 50,
+		Arg{Key: "bytes", Val: 3200}, Arg{Key: "dst", Val: 0}, Arg{Key: "attempt", Val: 1})
+	tr.Span(in0, "composition", 600, 50,
+		Arg{Key: "bytes", Val: 3200}, Arg{Key: "src", Val: 1}, Arg{Key: "attempt", Val: 1})
+	tr.FlowEnd(in0, "composition", 600, id3)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tf
+}
+
+func TestFabricSummary(t *testing.T) {
+	fs, err := fabricTrace(t).FabricSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Transfers != 3 || fs.Bytes != 12800 || fs.Retries != 1 {
+		t.Errorf("totals = %d transfers %dB %d retries, want 3/12800/1",
+			fs.Transfers, fs.Bytes, fs.Retries)
+	}
+	if len(fs.Pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(fs.Pairs))
+	}
+	// Busiest first: g0->g1 (100 busy); then g0->g2 and g1->g0 tie at 50
+	// busy/3200B and order by ascending (src,dst).
+	if fs.Pairs[0].Name() != "g0->g1" || fs.Pairs[0].Busy != 100 || fs.Pairs[0].Bytes != 6400 {
+		t.Errorf("pairs[0] = %+v", fs.Pairs[0])
+	}
+	if fs.Pairs[1].Name() != "g0->g2" || fs.Pairs[1].Retries != 1 {
+		t.Errorf("pairs[1] = %+v", fs.Pairs[1])
+	}
+	if fs.Pairs[2].Name() != "g1->g0" {
+		t.Errorf("pairs[2] = %+v", fs.Pairs[2])
+	}
+	// Two gap-separated egress waves: [0,150] with 2 transfers, [500,550]
+	// with 1 (waves measure egress occupancy, not delivery).
+	if len(fs.Waves) != 2 {
+		t.Fatalf("waves = %+v, want 2", fs.Waves)
+	}
+	w0, w1 := fs.Waves[0], fs.Waves[1]
+	if w0.Start != 0 || w0.End != 150 || w0.Transfers != 2 || w0.Bytes != 9600 {
+		t.Errorf("wave 0 = %+v", w0)
+	}
+	if w0.MaxPairSrc != 0 || w0.MaxPairDst != 1 || w0.MaxPairBusy != 100 {
+		t.Errorf("wave 0 hottest = g%d->g%d (%d)", w0.MaxPairSrc, w0.MaxPairDst, w0.MaxPairBusy)
+	}
+	if w1.Start != 500 || w1.End != 550 || w1.Transfers != 1 {
+		t.Errorf("wave 1 = %+v", w1)
+	}
+	// Wire latencies: 0→1 ends at 300 (300−0), 0→2 at 300 (300−100=200),
+	// 1→0 at 650 (650−500=150). The histogram's log2 buckets interpolate:
+	// p50 lands in [128,256) at 191, p99 at the [256,512) bucket floor 256.
+	if fs.Latencies != 3 {
+		t.Fatalf("latencies = %d, want 3", fs.Latencies)
+	}
+	if fs.LatencyP50 != 191 || fs.LatencyP99 != 256 {
+		t.Errorf("latency p50=%d p99=%d, want 191/256", fs.LatencyP50, fs.LatencyP99)
+	}
+}
+
+// TestFabricSummaryDeterministic: two invocations agree exactly, pair and
+// wave order included (golden CI output depends on it).
+func TestFabricSummaryDeterministic(t *testing.T) {
+	tf := fabricTrace(t)
+	a, err := tf.FabricSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tf.FabricSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) || len(a.Waves) != len(b.Waves) {
+		t.Fatalf("shapes differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Errorf("pair %d differs: %+v vs %+v", i, a.Pairs[i], b.Pairs[i])
+		}
+	}
+	for i := range a.Waves {
+		if a.Waves[i] != b.Waves[i] {
+			t.Errorf("wave %d differs: %+v vs %+v", i, a.Waves[i], b.Waves[i])
+		}
+	}
+}
+
+// TestFabricSummaryNoTransfers: a trace with spans but none on the fabric
+// yields the typed error, not an empty summary.
+func TestFabricSummaryNoTransfers(t *testing.T) {
+	tr := New()
+	geo := tr.Track(PidGPU(0), GPUProcName(0), TidGeometry, "geometry")
+	tr.Span(geo, "draw", 0, 100)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.FabricSummary(); !errors.Is(err, ErrNoTransferSpans) {
+		t.Fatalf("FabricSummary = %v, want ErrNoTransferSpans", err)
+	}
+}

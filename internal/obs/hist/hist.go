@@ -1,0 +1,213 @@
+// Package hist provides fixed-bucket log2 histograms for latency and size
+// distributions collected on simulator hot paths. The design constraints
+// mirror the tracer's (DESIGN.md §6): Record is allocation-free and O(1) so
+// it can sit behind a nil check on a per-transfer path, Merge is
+// deterministic so per-shard histograms combine to the same result in any
+// order, and the export is byte-stable so reports built from histograms can
+// be golden-tested.
+//
+// Buckets are powers of two: bucket 0 holds the value 0, bucket i (i ≥ 1)
+// holds values in [2^(i-1), 2^i). Sixty-four buckets cover the full
+// non-negative int64 range, so Record never needs a bounds branch beyond
+// clamping negatives to zero. Quantiles interpolate linearly inside the
+// winning bucket using integer arithmetic only, which keeps them exactly
+// reproducible across platforms.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// NumBuckets is the fixed bucket count: one zero bucket plus one bucket per
+// possible bit length of a positive int64.
+const NumBuckets = 64
+
+// H is a log2 histogram. The zero value is empty and ready to use; H must
+// not be copied while being recorded into (use Merge to combine).
+type H struct {
+	counts [NumBuckets]int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketOf returns the bucket index for v (negatives clamp to the zero
+// bucket).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketLo returns the inclusive lower bound of bucket i.
+func bucketLo(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1) << uint(i-1)
+}
+
+// bucketHi returns the exclusive upper bound of bucket i (saturating at
+// MaxInt64 for the last bucket).
+func bucketHi(i int) int64 {
+	if i == 0 {
+		return 1
+	}
+	if i >= 63 {
+		return int64(1)<<62 - 1 + int64(1)<<62 // MaxInt64, avoiding overflow
+	}
+	return int64(1) << uint(i)
+}
+
+// Record adds one observation. It never allocates.
+func (h *H) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *H) Count() int64 { return h.total }
+
+// Sum returns the sum of all observations.
+func (h *H) Sum() int64 { return h.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (h *H) Min() int64 { return h.min }
+
+// Max returns the largest observation (0 when empty).
+func (h *H) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *H) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Merge accumulates o into h. Merging is commutative and associative, so
+// per-shard histograms combine to the same result in any order.
+func (h *H) Merge(o *H) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the estimated value v
+// such that a fraction q of observations are ≤ v. The rank is resolved to a
+// bucket exactly; within the bucket the value is linearly interpolated with
+// integer arithmetic, clamped to the observed min/max so single-bucket
+// distributions report exact values. Returns 0 when empty.
+func (h *H) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// rank is the 1-based index of the target observation: ceil(q·total),
+	// computed in a way that is exact for the q values reports use.
+	rank := int64(q*float64(h.total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		c := h.counts[i]
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		lo, hi := bucketLo(i), bucketHi(i)
+		// Interpolate: observation (rank-cum) of c spread evenly over
+		// [lo, hi).
+		v := lo + (hi-1-lo)*(rank-cum-1)/c
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
+// Bucket is one non-empty bucket of a histogram snapshot.
+type Bucket struct {
+	// Lo is the inclusive lower bound, Hi the exclusive upper bound.
+	Lo, Hi int64
+	// Count is the number of observations in [Lo, Hi).
+	Count int64
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *H) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c != 0 {
+			out = append(out, Bucket{Lo: bucketLo(i), Hi: bucketHi(i), Count: c})
+		}
+	}
+	return out
+}
+
+// String renders a byte-stable one-line summary:
+//
+//	count=12 sum=340 min=1 max=99 p50=20 p90=80 p99=99
+//
+// Empty histograms render "count=0".
+func (h *H) String() string {
+	if h.total == 0 {
+		return "count=0"
+	}
+	return fmt.Sprintf("count=%d sum=%d min=%d max=%d p50=%d p90=%d p99=%d",
+		h.total, h.sum, h.min, h.max, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+}
+
+// Export renders the full byte-stable multi-line form: the String summary
+// followed by one "  [lo,hi) count" line per non-empty bucket. Reports
+// golden-test against this.
+func (h *H) Export() string {
+	var b strings.Builder
+	b.WriteString(h.String())
+	b.WriteByte('\n')
+	for _, bk := range h.Buckets() {
+		fmt.Fprintf(&b, "  [%d,%d) %d\n", bk.Lo, bk.Hi, bk.Count)
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	var h H
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not zero: %s", h.String())
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty p99 = %d, want 0", q)
+	}
+	if s := h.String(); s != "count=0" {
+		t.Fatalf("empty String = %q", s)
+	}
+	if bs := h.Buckets(); bs != nil {
+		t.Fatalf("empty Buckets = %v, want nil", bs)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	for i := 1; i < 63; i++ {
+		lo, hi := bucketLo(i), bucketHi(i)
+		if bucketOf(lo) != i || bucketOf(hi-1) != i {
+			t.Errorf("bucket %d bounds [%d,%d) not self-consistent", i, lo, hi)
+		}
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var h H
+	for i := 0; i < 100; i++ {
+		h.Record(37)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if v := h.Quantile(q); v != 37 {
+			t.Fatalf("Quantile(%g) = %d, want 37 (min/max clamp)", q, v)
+		}
+	}
+	if h.Min() != 37 || h.Max() != 37 || h.Sum() != 3700 {
+		t.Fatalf("stats wrong: %s", h.String())
+	}
+}
+
+func TestQuantileExactWithinBucket(t *testing.T) {
+	// 100 observations of 0..99: p50 must land near 50, p99 near 99, and
+	// quantiles must be monotone in q.
+	var h H
+	for v := int64(0); v < 100; v++ {
+		h.Record(v)
+	}
+	p50, p90, p99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+	if p50 < 32 || p50 > 63 {
+		t.Errorf("p50 = %d outside its bucket [32,64)", p50)
+	}
+	if p90 < 64 || p90 > 99 {
+		t.Errorf("p90 = %d outside [64,99]", p90)
+	}
+	if p99 < 90 || p99 > 99 {
+		t.Errorf("p99 = %d, want near 99", p99)
+	}
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%d p90=%d p99=%d", p50, p90, p99)
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != 99 {
+		t.Errorf("q=0/q=1 should be min/max, got %d/%d", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	// Split one stream across three shards in different ways: merging in any
+	// order and any grouping must reproduce the single-histogram result
+	// byte for byte.
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 20)
+	}
+	var whole H
+	var sh [3]H
+	for i, v := range vals {
+		whole.Record(v)
+		sh[i%3].Record(v)
+	}
+	var m1, m2 H
+	m1.Merge(&sh[0])
+	m1.Merge(&sh[1])
+	m1.Merge(&sh[2])
+	m2.Merge(&sh[2])
+	m2.Merge(&sh[0])
+	m2.Merge(&sh[1])
+	if m1.Export() != whole.Export() || m2.Export() != whole.Export() {
+		t.Fatalf("merge order changed the histogram:\nwhole:\n%s\nm1:\n%s\nm2:\n%s",
+			whole.Export(), m1.Export(), m2.Export())
+	}
+	var empty H
+	m1.Merge(&empty)
+	m1.Merge(nil)
+	if m1.Export() != whole.Export() {
+		t.Fatalf("merging empty/nil changed the histogram")
+	}
+}
+
+func TestRecordZeroAllocs(t *testing.T) {
+	var h H
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestExportByteStable(t *testing.T) {
+	var a, b H
+	for _, v := range []int64{0, 1, 5, 5, 9, 1024, 70000} {
+		a.Record(v)
+		b.Record(v)
+	}
+	if a.Export() != b.Export() {
+		t.Fatalf("identical streams exported differently:\n%s\n%s", a.Export(), b.Export())
+	}
+	want := "count=7 sum=71044 min=0 max=70000 p50=5 p90=65536 p99=65536\n" +
+		"  [0,1) 1\n  [1,2) 1\n  [4,8) 2\n  [8,16) 1\n  [1024,2048) 1\n  [65536,131072) 1\n"
+	if got := a.Export(); got != want {
+		t.Fatalf("Export drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"chopin/internal/obs"
@@ -372,6 +373,102 @@ func writeBottlenecks(b *strings.Builder, rec *Record) {
 	b.WriteString("</table>\n")
 }
 
+// linkHeatRow is one telemetry-enabled row's per-link utilization vector,
+// reconstructed from the link_util:<id> metric family.
+type linkHeatRow struct {
+	label string
+	row   *Row
+	util  []float64 // indexed by link id; length fabric_links
+	max   float64
+}
+
+// linkHeatRows extracts the rows carrying fabric link telemetry (fabric_links
+// plus link_util:<id>, recorded when a run enables FabricTelemetry), in key
+// order so output is deterministic.
+func linkHeatRows(rec *Record) []linkHeatRow {
+	var out []linkHeatRow
+	for i := range rec.Rows {
+		r := &rec.Rows[i]
+		links := int(r.Metrics["fabric_links"])
+		if links <= 0 {
+			continue
+		}
+		hr := linkHeatRow{label: r.Key.String(), row: r, util: make([]float64, links)}
+		for m, v := range r.Metrics {
+			rest, ok := strings.CutPrefix(m, "link_util:")
+			if !ok {
+				continue
+			}
+			l, err := strconv.Atoi(rest)
+			if err != nil || l < 0 || l >= links {
+				continue
+			}
+			hr.util[l] = v
+			if v > hr.max {
+				hr.max = v
+			}
+		}
+		out = append(out, hr)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].label < out[b].label })
+	return out
+}
+
+// writeLinkHeatmap renders the fabric link-utilization figure: one heat strip
+// per telemetry-enabled row (one cell per directed link, opacity proportional
+// to that link's busy fraction of the frame, on a shared scale) plus a table
+// of the frame-level fabric digest metrics.
+func writeLinkHeatmap(b *strings.Builder, rec *Record) {
+	rows := linkHeatRows(rec)
+	if len(rows) == 0 {
+		return
+	}
+	gmax := 0.0
+	for _, hr := range rows {
+		if hr.max > gmax {
+			gmax = hr.max
+		}
+	}
+	if gmax <= 0 {
+		gmax = 1
+	}
+	b.WriteString("<h2>fabric link utilization</h2>\n")
+	const stripH, stripGap, labW = 20, 10, 190
+	plotW := float64(chW - labW - 70)
+	h := padT + len(rows)*(stripH+stripGap) + 30
+	fmt.Fprintf(b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="per-link utilization heatmap">`+"\n",
+		chW, h, chW, h)
+	for ri, hr := range rows {
+		y := padT + ri*(stripH+stripGap)
+		fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="end" class="lab">%s</text>`+"\n",
+			labW-8, y+stripH-5, esc(hr.label))
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="none" stroke="var(--grid)" stroke-width="1"/>`+"\n",
+			labW, y, plotW, stripH)
+		cw := plotW / float64(len(hr.util))
+		for l, u := range hr.util {
+			if u <= 0 {
+				continue
+			}
+			x := float64(labW) + cw*float64(l)
+			fmt.Fprintf(b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="var(--s8)" fill-opacity="%.3f"><title>%s link %d: %.1f%% busy</title></rect>`+"\n",
+				x, y, math.Max(cw, 0.5), stripH, u/gmax, esc(hr.label), l, 100*u)
+		}
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="start">link id 0 &#8594; %d; opacity scaled to the hottest link (%.1f%% busy)</text>`+"\n",
+		labW, padT+len(rows)*(stripH+stripGap)+16, len(rows[0].util)-1, 100*gmax)
+	b.WriteString("</svg>\n")
+
+	b.WriteString("<table>\n<tr><th>row</th><th>links</th><th>active</th><th>max util</th><th>mean hops</th><th>p50 lat</th><th>p99 lat</th><th>queued</th><th>reroutes</th></tr>\n")
+	for _, hr := range rows {
+		m := hr.row.Metrics
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%.0f</td><td>%.0f</td><td>%.1f%%</td><td>%.2f</td><td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%.0f</td></tr>\n",
+			esc(hr.label), m["fabric_links"], m["fabric_active_links"], 100*m["max_link_util"],
+			m["mean_hops"], m["p50_transfer_latency"], m["p99_transfer_latency"],
+			m["queued_cycles"], m["reroutes"])
+	}
+	b.WriteString("</table>\n")
+}
+
 // faultMetrics are the columns of the fault-cost table, in display order.
 var faultMetrics = []string{
 	"fault_drops", "fault_corrupts", "fault_duplicates", "fault_delays",
@@ -408,6 +505,7 @@ func WriteReport(w io.Writer, rec *Record, title string) error {
 		writeFigure(&b, f)
 	}
 	writeBottlenecks(&b, rec)
+	writeLinkHeatmap(&b, rec)
 	writeFaults(&b, rec)
 	b.WriteString("</body>\n</html>\n")
 	_, err := io.WriteString(w, b.String())

@@ -133,6 +133,69 @@ func TestReportFaultTable(t *testing.T) {
 	}
 }
 
+// TestReportLinkHeatmap: records without fabric telemetry omit the link
+// heatmap (the golden fig19 record predates it); records carrying
+// fabric_links plus link_util:<id> metrics render the heat strip with
+// per-link cells on a shared opacity scale, the digest table — and stay
+// well-formed XML.
+func TestReportLinkHeatmap(t *testing.T) {
+	clean := renderGolden(t)
+	if strings.Contains(clean, "fabric link utilization") {
+		t.Fatal("record without fabric telemetry should omit the link heatmap")
+	}
+
+	rec := &Record{Schema: SchemaVersion, Rows: []Row{
+		sampleRow("single", "", "CHOPIN", "cod2", 8, 1000),
+	}}
+	m := rec.Rows[0].Metrics
+	m["fabric_links"] = 8
+	m["fabric_active_links"] = 2
+	m["max_link_util"] = 0.5
+	m["mean_hops"] = 1
+	m["p50_transfer_latency"] = 300
+	m["p99_transfer_latency"] = 400
+	m["queued_cycles"] = 100
+	m["reroutes"] = 0
+	m["link_util:1"] = 0.5
+	m["link_util:3"] = 0.25
+	m["link_util:99"] = 1.0 // out of range for 8 links: must be ignored
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rec, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fabric link utilization",
+		"per-link utilization heatmap",
+		`fill-opacity="1.000"`, // link 1 at the shared max (0.5/0.5)
+		`fill-opacity="0.500"`, // link 3 at half the max (0.25/0.5)
+		"link 1: 50.0% busy",
+		"link 3: 25.0% busy",
+		"hottest link (50.0% busy)",
+		"<th>mean hops</th>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("link heatmap missing %q", want)
+		}
+	}
+	// Two heat cells only: the idle links and the out-of-range id draw nothing.
+	if got := strings.Count(out, "% busy</title>"); got != 2 {
+		t.Errorf("%d heat cells, want 2", got)
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	dec.Strict = true
+	dec.Entity = xml.HTMLEntity
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("report with link heatmap is not well-formed XML: %v", err)
+		}
+	}
+}
+
 // TestReportBottleneckSection: records without causal metrics omit the
 // bottleneck figure (the golden fig19 record predates the causal engine);
 // records carrying attr_*/whatif_* metrics render the stacked bar, the

@@ -160,12 +160,37 @@ func FromStats(key Key, cfgFingerprint string, st *stats.FrameStats) Row {
 		"fault_lost":            float64(st.Faults.Lost),
 		"gpus_failed":           float64(st.GPUsFailed),
 		"recovery_cycles":       float64(st.RecoveryCycles),
+		"downed_links":          float64(st.LinksDowned),
+		"reroutes":              float64(st.Reroutes),
+		"unroutable":            float64(st.Unroutable),
 	}
 	for _, p := range stats.Phases() {
 		m["phase_"+p.String()] = float64(st.Phase(p))
 	}
+	if fb := st.Fabric; fb != nil {
+		m["fabric_links"] = float64(fb.Links)
+		m["fabric_active_links"] = float64(fb.ActiveLinks)
+		m["fabric_transfers"] = float64(fb.Transfers)
+		m["max_link_busy"] = float64(fb.MaxLinkBusy)
+		m["max_link_util"] = fb.MaxLinkUtil
+		m["mean_hops"] = fb.MeanHops
+		m["p50_transfer_latency"] = float64(fb.LatencyP50)
+		m["p90_transfer_latency"] = float64(fb.LatencyP90)
+		m["p99_transfer_latency"] = float64(fb.LatencyP99)
+		m["queued_cycles"] = float64(fb.QueuedCycles)
+		for l, u := range fb.LinkUtil {
+			if u > 0 {
+				m[LinkUtilMetric(l)] = u
+			}
+		}
+	}
 	return Row{Key: key, Config: cfgFingerprint, Metrics: m}
 }
+
+// LinkUtilMetric names the run-record metric for link l's utilization.
+// FromStats emits one per active link when fabric telemetry was enabled;
+// chopinreport's link heatmap scans for this family.
+func LinkUtilMetric(l int) string { return fmt.Sprintf("link_util:%d", l) }
 
 // CounterMetric names the run-record metric for an obs counter snapshot.
 func CounterMetric(pid int, name string) string {

@@ -114,6 +114,32 @@ func finishStats(st *stats.FrameStats, sys *multigpu.System, fr *primitive.Frame
 	}
 	st.GPUsFailed = len(sys.Failed())
 	st.RecoveryCycles = st.Phase(stats.PhaseRecovery)
+	st.LinksDowned = int64(len(sys.Fabric.DownedLinks()))
+	st.Reroutes = sys.Fabric.RerouteCount()
+	st.Unroutable = sys.Fabric.UnroutableCount()
+	if lt := sys.Fabric.LinkTelemetry(); lt != nil {
+		s := lt.Summarize()
+		fb := &stats.FabricStats{
+			Links:        s.Links,
+			ActiveLinks:  s.ActiveLinks,
+			Transfers:    s.Transfers,
+			MaxLink:      s.MaxLink,
+			MaxLinkBusy:  s.MaxLinkBusy,
+			MeanHops:     s.MeanHops,
+			LatencyP50:   s.LatencyP50,
+			LatencyP90:   s.LatencyP90,
+			LatencyP99:   s.LatencyP99,
+			QueuedCycles: s.QueuedCycles,
+		}
+		if st.TotalCycles > 0 {
+			fb.MaxLinkUtil = float64(s.MaxLinkBusy) / float64(st.TotalCycles)
+			fb.LinkUtil = make([]float64, len(s.LinkBusy))
+			for l, b := range s.LinkBusy {
+				fb.LinkUtil[l] = float64(b) / float64(st.TotalCycles)
+			}
+		}
+		st.Fabric = fb
+	}
 
 	if ck := sys.Check; ck != nil {
 		ck.VerifyConservation()

@@ -113,6 +113,42 @@ type FrameStats struct {
 	// RecoveryCycles is the wall-clock cost of degraded-mode recovery
 	// (tile reassignment and re-render); it equals Phase(PhaseRecovery).
 	RecoveryCycles sim.Cycle
+
+	// LinksDowned, Reroutes, Unroutable summarize link fail-stop activity on
+	// the fabric: links administratively downed during the frame, transfers
+	// detoured around them, and transfers with no surviving path. Always
+	// captured (zero on healthy fabrics) so chaos runs can gate on them.
+	LinksDowned, Reroutes, Unroutable int64
+
+	// Fabric carries the link-telemetry digest when the run enabled fabric
+	// telemetry (multigpu.Config.FabricTelemetry); nil otherwise.
+	Fabric *FabricStats
+}
+
+// FabricStats is the frame-level fabric link-telemetry digest — a plain
+// mirror of the interconnect collector's summary so downstream consumers
+// (run records, reports) need no interconnect dependency.
+type FabricStats struct {
+	// Links is the fabric's directed link id space; ActiveLinks how many
+	// carried traffic this frame.
+	Links, ActiveLinks int
+	// Transfers is the number of transmissions the histograms cover.
+	Transfers int64
+	// MaxLink is the busiest link's id and MaxLinkBusy its occupied cycles;
+	// MaxLinkUtil is that divided by the frame's total cycles.
+	MaxLink     int
+	MaxLinkBusy sim.Cycle
+	MaxLinkUtil float64
+	// MeanHops is the mean route length per transmission.
+	MeanHops float64
+	// LatencyP50/P90/P99 are per-transmission end-to-end latency quantiles
+	// in cycles (Send to last byte drained).
+	LatencyP50, LatencyP90, LatencyP99 int64
+	// QueuedCycles is the total time transfers spent waiting for links.
+	QueuedCycles sim.Cycle
+	// LinkUtil[l] is link l's busy cycles divided by the frame's total
+	// cycles — the per-link utilization vector the report heatmap renders.
+	LinkUtil []float64
 }
 
 // FaultStats aggregates injected interconnect faults and the recovery
